@@ -1,0 +1,32 @@
+// Ablation — cluster granularity vs provisioning efficiency: sweep the MF
+// tree's complexity (cp) and watch the trade-off between the number of rack
+// clusters and the over-provisioned capacity. Coarse trees behave like SF
+// (one conservative pool); very fine trees approach the clairvoyant LB but
+// yield operationally awkward micro-clusters.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/core/provisioning.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Ablation - MF cluster count vs efficiency");
+  const bench::Context& ctx = bench::context();
+
+  std::printf("workload W6, 100%% SLA, daily granularity\n");
+  std::printf("%-10s %10s %12s %12s %12s\n", "tree cp", "clusters", "MF %",
+              "SF %", "LB %");
+  for (const double cp : {0.05, 0.02, 0.01, 0.005, 0.002, 0.0005, 0.0001}) {
+    core::ProvisioningOptions opt;
+    opt.slas = {1.0};
+    opt.tree_config.cp = cp;
+    opt.tree_config.max_depth = 10;
+    const auto study = core::provision_servers(*ctx.metrics, *ctx.env,
+                                               simdc::WorkloadId::kW6, opt);
+    std::printf("%-10.4f %10zu %11.2f%% %11.2f%% %11.2f%%\n", cp,
+                study.clusters.size(), study.mf.overprovision_pct[0],
+                study.sf.overprovision_pct[0], study.lb.overprovision_pct[0]);
+  }
+  return 0;
+}

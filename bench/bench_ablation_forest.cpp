@@ -1,0 +1,77 @@
+// Ablation — single CART tree vs bagged forest for the MF framework's
+// quantitative estimates: out-of-bag/holdout error of the λ model and the
+// stability of the temperature partial-dependence curve (the Q3 estimate).
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/cart/forest.hpp"
+#include "rainshine/cart/prune.hpp"
+#include "rainshine/core/observations.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Ablation - single tree vs bagged forest");
+  const bench::Context& ctx = bench::context();
+
+  core::ObservationOptions obs;
+  obs.day_stride = std::max(4, ctx.day_stride * 2);
+  obs.include_mu = false;
+  const table::Table tbl = core::rack_day_table(*ctx.metrics, *ctx.env, obs);
+  const std::vector<std::string> features = {
+      core::col::kDc,      core::col::kSku,      core::col::kWorkload,
+      core::col::kPowerKw, core::col::kAgeMonths, core::col::kTempF,
+      core::col::kRh};
+  const cart::Dataset data(tbl, core::col::kLambdaDisk, features,
+                           cart::Task::kRegression);
+  std::printf("observations: %zu rack-days\n\n", data.num_rows());
+
+  // Chronological-ish holdout: every 5th row.
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    (r % 5 == 0 ? test_rows : train_rows).push_back(r);
+  }
+  const cart::Dataset train = data.subset(train_rows);
+  const cart::Dataset test = data.subset(test_rows);
+
+  const auto mse = [&](auto&& model) {
+    double err = 0.0;
+    for (std::size_t r = 0; r < test.num_rows(); ++r) {
+      const double d = test.y(r) - model.predict(test, r);
+      err += d * d;
+    }
+    return err / static_cast<double>(test.num_rows());
+  };
+
+  cart::Config tree_cfg{/*min_samples_split=*/200, /*min_samples_leaf=*/80,
+                        /*max_depth=*/8, /*cp=*/0.0005};
+  const cart::Tree tree = cart::grow(train, tree_cfg);
+  std::printf("%-24s %10s %10s %8s\n", "model", "test MSE", "OOB", "leaves");
+  std::printf("%-24s %10.5f %10s %8zu\n", "single tree", mse(tree), "-",
+              tree.num_leaves());
+
+  for (const std::size_t trees : {5UL, 15UL, 40UL}) {
+    cart::ForestConfig fcfg;
+    fcfg.num_trees = trees;
+    fcfg.tree = tree_cfg;
+    fcfg.features_per_tree = 4;
+    const cart::Forest forest = grow_forest(train, fcfg);
+    std::printf("forest (%2zu trees)       %10.5f %10.5f %8s\n", trees,
+                mse(forest), forest.oob_error(), "-");
+  }
+
+  std::printf("\ntemperature partial dependence (disk lambda), tree vs forest:\n");
+  cart::ForestConfig fcfg;
+  fcfg.num_trees = 25;
+  fcfg.tree = tree_cfg;
+  const cart::Forest forest = grow_forest(train, fcfg);
+  const auto pd_tree = cart::partial_dependence(tree, train, core::col::kTempF, 8);
+  const auto pd_forest = forest.partial_dependence(train, core::col::kTempF, 8);
+  std::printf("%8s %12s %12s\n", "T (F)", "tree", "forest");
+  for (std::size_t i = 0; i < pd_tree.size() && i < pd_forest.size(); ++i) {
+    std::printf("%8.1f %12.5f %12.5f\n", pd_tree[i].x, pd_tree[i].yhat,
+                pd_forest[i].yhat);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Extension — failure prediction (the paper's §VII future work): predict
+// whether a rack opens a hardware RMA in the next week, from its factors
+// and recent history, with the §V class-rebalancing preprocessing.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/core/prediction.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Extension - 7-day rack failure prediction");
+  const bench::Context& ctx = bench::context();
+
+  core::PredictionOptions opt;
+  opt.day_stride = std::max(3, ctx.day_stride);
+  const auto study = core::predict_rack_failures(*ctx.metrics, *ctx.env, opt);
+
+  std::printf("train rows (rebalanced): %zu, test rows: %zu, test prevalence %.1f%%\n\n",
+              study.train_rows, study.test_rows, 100.0 * study.test_positive_rate);
+  const auto print = [](const char* name, const core::ConfusionMatrix& m) {
+    std::printf("%-6s tp=%-6zu fp=%-6zu fn=%-6zu tn=%-6zu | acc %.3f  prec %.3f  "
+                "recall %.3f  f1 %.3f\n",
+                name, m.tp, m.fp, m.fn, m.tn, m.accuracy(), m.precision(),
+                m.recall(), m.f1());
+  };
+  print("train", study.train);
+  print("test", study.test);
+
+  std::printf("\npredictive factors:");
+  for (std::size_t i = 0; i < study.factors.size() && i < 6; ++i) {
+    std::printf(" %s(%.2f)", study.factors[i].feature.c_str(),
+                study.factors[i].importance);
+  }
+  std::printf("\n\nbaseline comparison: predicting 'fail' for everyone gives\n"
+              "precision = prevalence (%.3f) and recall 1.0; the tree trades a\n"
+              "little recall for much higher precision, which is what makes\n"
+              "pro-active maintenance affordable.\n",
+              study.test_positive_rate);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 10 — over-provisioning requirement (% of capacity) determined by the
+// LB / MF / SF approaches at 90/95/100% availability SLAs, daily
+// granularity, for W1 (compute) and W6 (storage).
+//
+// Paper shape: MF well below SF (less than half at the 100% SLA) and close
+// to the clairvoyant LB for both workloads.
+#include "common.hpp"
+#include "provisioning_common.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 10 - server spare provisioning (daily)");
+  const bench::Context& ctx = bench::context();
+  core::ProvisioningOptions opt;
+  opt.granularity = core::Granularity::kDaily;
+  for (const auto wl : {simdc::WorkloadId::kW1, simdc::WorkloadId::kW6}) {
+    bench::print_provisioning(
+        core::provision_servers(*ctx.metrics, *ctx.env, wl, opt));
+  }
+  return 0;
+}

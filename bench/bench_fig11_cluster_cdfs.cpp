@@ -1,0 +1,50 @@
+// Fig. 11 — per-cluster over-provisioning CDFs identified by MF, against the
+// single pooled SF curve, at the daily granularity.
+//
+// Paper shape: W1 splits into ~10 clusters with requirements spanning
+// ~2-50%; W6 into ~5 clusters spanning ~2-85%; the SF curve sits to the
+// right of most cluster curves (one-size-fits-all conservatism).
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/core/provisioning.hpp"
+
+using namespace rainshine;
+
+namespace {
+
+void print_study(const core::ServerProvisioningStudy& study) {
+  std::printf("workload %s: %zu MF clusters (deciles of pooled mu fraction, %%)\n",
+              std::string(simdc::to_string(study.workload)).c_str(),
+              study.clusters.size());
+  std::printf("%-9s %6s |", "curve", "racks");
+  for (int d = 0; d <= 10; ++d) std::printf(" %5d%%", d * 10);
+  std::printf(" | req@100%%\n");
+
+  const auto print_deciles = [](const std::vector<double>& deciles) {
+    for (const double v : deciles) std::printf(" %6.2f", 100.0 * v);
+  };
+  for (std::size_t c = 0; c < study.clusters.size(); ++c) {
+    const core::Cluster& cluster = study.clusters[c];
+    std::printf("cluster%-2zu %6zu |", c + 1, cluster.rack_ids.size());
+    print_deciles(cluster.mu_fraction_deciles);
+    std::printf(" | %6.2f%%  [%s]\n", 100.0 * cluster.requirement.back(),
+                cluster.rule.c_str());
+  }
+  std::printf("%-9s %6s |", "SF", "all");
+  print_deciles(study.sf_mu_deciles);
+  std::printf(" |\n\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_context_banner("Fig. 11 - MF cluster over-provisioning CDFs");
+  const bench::Context& ctx = bench::context();
+  core::ProvisioningOptions opt;
+  opt.granularity = core::Granularity::kDaily;
+  for (const auto wl : {simdc::WorkloadId::kW1, simdc::WorkloadId::kW6}) {
+    print_study(core::provision_servers(*ctx.metrics, *ctx.env, wl, opt));
+  }
+  return 0;
+}

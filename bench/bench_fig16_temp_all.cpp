@@ -1,0 +1,18 @@
+// Fig. 16 — temperature vs ALL failures (single-factor view). Paper shape:
+// little variation in the bin means but high variation within each bin —
+// temperature alone doesn't explain aggregate failures.
+#include "common.hpp"
+#include "rainshine/core/environment_analysis.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 16 - temperature vs all failures");
+  const bench::Context& ctx = bench::context();
+  core::EnvironmentOptions opt;
+  opt.day_stride = ctx.day_stride;
+  const auto study = core::analyze_environment(*ctx.metrics, *ctx.env, opt);
+  bench::print_normalized("mean TOTAL failure rate per rack-day, by temperature (F)",
+                          study.all_by_temp);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 17 — temperature vs HARD-DISK failures. Paper shape: a clear
+// increasing trend of disk failure rate with operating temperature.
+#include "common.hpp"
+#include "rainshine/core/environment_analysis.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 17 - temperature vs hard-disk failures");
+  const bench::Context& ctx = bench::context();
+  core::EnvironmentOptions opt;
+  opt.day_stride = ctx.day_stride;
+  const auto study = core::analyze_environment(*ctx.metrics, *ctx.env, opt);
+  bench::print_normalized("mean DISK failure rate per rack-day, by temperature (F)",
+                          study.disk_by_temp);
+  return 0;
+}

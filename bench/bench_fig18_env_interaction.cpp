@@ -1,0 +1,58 @@
+// Fig. 18 — the MF-discovered temperature x humidity interaction on disk
+// failures, per DC.
+//
+// Paper shape: the classification tree splits DC1's disk failures at ~78F
+// (+50% above it) and, within the hot branch, at RH ~25% (a further +25%
+// below it); DC2's disk rate is insensitive to T/RH. The y-axis is
+// normalized to the hot-and-dry subgroup's mean.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/core/environment_analysis.hpp"
+#include "rainshine/util/strings.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 18 - temperature x humidity interaction (MF)");
+  const bench::Context& ctx = bench::context();
+  core::EnvironmentOptions opt;
+  opt.day_stride = ctx.day_stride;
+  const auto study = core::analyze_environment(*ctx.metrics, *ctx.env, opt);
+
+  std::printf("discovered splits: DC1 temp %s F (planted 78), DC1 RH %s %% "
+              "(planted 25), DC2 temp %s\n\n",
+              study.dc1_temp_split
+                  ? util::format_double(*study.dc1_temp_split, 1).c_str()
+                  : "none",
+              study.dc1_rh_split
+                  ? util::format_double(*study.dc1_rh_split, 1).c_str()
+                  : "none",
+              study.dc2_temp_split
+                  ? util::format_double(*study.dc2_temp_split, 1).c_str()
+                  : "none");
+
+  // Normalize to the DC1 hot-and-dry subgroup mean (the paper's reference).
+  double reference = 0.0;
+  for (const auto& cell : study.cells) {
+    if (cell.dc == "DC1" && cell.condition.find("RH<=") != std::string::npos) {
+      reference = cell.mean_rate;
+    }
+  }
+  std::printf("%-4s %-26s %10s %10s %10s %10s\n", "DC", "condition", "norm",
+              "mean", "sd", "n");
+  for (const auto& cell : study.cells) {
+    std::printf("%-4s %-26s %10.3f %10.4f %10.4f %10zu\n", cell.dc.c_str(),
+                cell.condition.c_str(),
+                reference > 0.0 ? cell.mean_rate / reference : 0.0,
+                cell.mean_rate, cell.stddev, cell.n);
+  }
+
+  std::printf("\ndisk-failure tree factor ranking:");
+  for (std::size_t i = 0; i < study.factors.size() && i < 5; ++i) {
+    std::printf(" %s(%.2f)", study.factors[i].feature.c_str(),
+                study.factors[i].importance);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 2 — inter-DC and intra-DC variation of the mean failure rate
+// (total tickets per rack-day) per DC region. Paper shape: considerable
+// variation across and within DCs; DC1 regions generally above DC2.
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 2 - failure rate by DC region");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by region",
+                          marginals.by_region());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 3 — failure rate by day of week. Paper shape: weekdays above
+// weekends (workload-demand coupling).
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 3 - failure rate by day of week");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by weekday",
+                          marginals.by_weekday());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 4 — failure rate by month of year. Paper shape: elevated mean and
+// spread in the second half of the year (seasonal/environmental coupling).
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 4 - failure rate by month of year");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by month",
+                          marginals.by_month());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 5 — failure rate vs relative humidity on the day of failure.
+// Paper shape: notable elevation at low-humidity operating points.
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 5 - failure rate by relative humidity");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by RH bin (%)",
+                          marginals.by_humidity());
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 6 — failure rate per workload. Paper shape: W2 (compute-intensive)
+// highest; W3 (HPC) lowest; storage-data (W5, W6) below storage-compute
+// (W4, W7).
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 6 - failure rate by workload");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by workload",
+                          marginals.by_workload());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 7 — failure rate per hardware SKU (raw single-factor view). Paper
+// shape: marked differences in mean and sd across SKUs.
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 7 - failure rate by SKU");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by SKU",
+                          marginals.by_sku());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 8 — failure rate vs rack power rating. Paper shape: racks rated
+// above ~12 kW report higher failure rates.
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 8 - failure rate by rack power rating");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by power (kW)",
+                          marginals.by_power());
+  return 0;
+}

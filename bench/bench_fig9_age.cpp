@@ -1,0 +1,16 @@
+// Fig. 9 — failure rate vs equipment age (months). Paper shape: new
+// equipment fails more (the front edge of the bathtub curve); no wear-out
+// tail visible within the window.
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Fig. 9 - failure rate by equipment age");
+  const bench::Context& ctx = bench::context();
+  const core::Marginals marginals(*ctx.metrics, *ctx.env, ctx.day_stride);
+  bench::print_normalized("mean total failure rate per rack-day, by age (months)",
+                          marginals.by_age());
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark micro-benchmarks of the library's hot paths: fleet
+// simulation, metric extraction, CART fitting, ECDF quantiles. These guard
+// against performance regressions; the experiment binaries above reproduce
+// the paper's tables and figures.
+#include <benchmark/benchmark.h>
+
+#include "rainshine/cart/prune.hpp"
+#include "rainshine/core/observations.hpp"
+#include "rainshine/simdc/tickets.hpp"
+#include "rainshine/stats/ecdf.hpp"
+
+using namespace rainshine;
+
+namespace {
+
+const simdc::Fleet& small_fleet() {
+  static const simdc::Fleet fleet = [] {
+    simdc::FleetSpec spec = simdc::FleetSpec::test_default();
+    spec.num_days = 120;
+    return simdc::Fleet(spec);
+  }();
+  return fleet;
+}
+
+struct SimBundle {
+  const simdc::Fleet& fleet = small_fleet();
+  simdc::EnvironmentModel env{fleet, 1};
+  simdc::HazardModel hazard{fleet, env};
+  simdc::TicketLog log = simulate(fleet, env, hazard, {.seed = 1});
+  core::FailureMetrics metrics{fleet, log};
+};
+
+const SimBundle& bundle() {
+  static const SimBundle b;
+  return b;
+}
+
+void BM_SimulateWindow(benchmark::State& state) {
+  const auto& b = bundle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(b.fleet, b.env, b.hazard, {.seed = 7}));
+  }
+}
+BENCHMARK(BM_SimulateWindow)->Unit(benchmark::kMillisecond);
+
+void BM_EnvironmentDailyMean(benchmark::State& state) {
+  const auto& b = bundle();
+  const simdc::Rack& rack = b.fleet.racks().front();
+  util::DayIndex day = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.env.daily_mean(rack, day));
+    day = (day + 1) % b.fleet.spec().num_days;
+  }
+}
+BENCHMARK(BM_EnvironmentDailyMean);
+
+void BM_HazardRackDayRate(benchmark::State& state) {
+  const auto& b = bundle();
+  const simdc::Rack& rack = b.fleet.racks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b.hazard.rack_day_rate(rack, 30, simdc::FaultType::kDiskFailure));
+  }
+}
+BENCHMARK(BM_HazardRackDayRate);
+
+void BM_MuSeriesDaily(benchmark::State& state) {
+  const auto& b = bundle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.metrics.mu_series(
+        0, core::DeviceKind::kServer, core::Granularity::kDaily, true));
+  }
+}
+BENCHMARK(BM_MuSeriesDaily);
+
+void BM_ObservationTable(benchmark::State& state) {
+  const auto& b = bundle();
+  for (auto _ : state) {
+    core::ObservationOptions opt;
+    opt.day_stride = 2;
+    benchmark::DoNotOptimize(core::rack_day_table(b.metrics, b.env, opt));
+  }
+}
+BENCHMARK(BM_ObservationTable)->Unit(benchmark::kMillisecond);
+
+void BM_CartGrow(benchmark::State& state) {
+  const auto& b = bundle();
+  core::ObservationOptions opt;
+  opt.day_stride = 2;
+  const table::Table tbl = core::rack_day_table(b.metrics, b.env, opt);
+  const cart::Dataset data(tbl, core::col::kLambdaHw,
+                           core::static_rack_features(),
+                           cart::Task::kRegression);
+  cart::Config cfg;
+  cfg.cp = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cart::grow(data, cfg));
+  }
+}
+BENCHMARK(BM_CartGrow)->Unit(benchmark::kMillisecond);
+
+void BM_EcdfQuantile(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : sample) v = rng.uniform();
+  const stats::Ecdf ecdf(sample);
+  double q = 0.0;
+  for (auto _ : state) {
+    q += 1e-9;
+    if (q > 1.0) q = 0.0;
+    benchmark::DoNotOptimize(ecdf.quantile(0.95));
+  }
+}
+BENCHMARK(BM_EcdfQuantile)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Table II — classification of failure tickets (% of true positives per DC).
+// Paper reference values are printed alongside for direct comparison.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/core/marginals.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Table II - RMA ticket classification");
+  const bench::Context& ctx = bench::context();
+
+  // Paper's Table II, same row order as simdc::kAllFaultTypes.
+  constexpr double kPaperDc1[] = {31.27, 13.95, 2.89, 10.53, 1.25, 18.42,
+                                  5.29,  1.59,  2.84, 2.52,  9.41};
+  constexpr double kPaperDc2[] = {38.84, 14.56, 3.05, 13.81, 0.19, 11.23,
+                                  1.85,  3.83,  1.21, 0.65,  10.77};
+
+  std::printf("%-10s %-22s | %8s %8s | %8s %8s\n", "Category", "Failure type",
+              "DC1", "DC2", "paper1", "paper2");
+  const auto rows = core::ticket_mix(*ctx.fleet, *ctx.log);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-10s %-22s | %8.2f %8.2f | %8.2f %8.2f\n",
+                rows[i].category.c_str(), rows[i].fault.c_str(), rows[i].dc1_pct,
+                rows[i].dc2_pct, kPaperDc1[i], kPaperDc2[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table IV — relative savings in TCO by using MF instead of SF spare
+// provisioning, for {daily, hourly} x {W1, W6} x {90, 95, 100}% SLAs.
+//
+// Paper values: 0.5-3.8% at 90%, 2.6-11.2% at 95%, 14.6-36.4% at 100%.
+#include <cstdio>
+
+#include "common.hpp"
+#include "rainshine/core/provisioning.hpp"
+
+using namespace rainshine;
+
+int main() {
+  bench::print_context_banner("Table IV - TCO savings of MF over SF");
+  const bench::Context& ctx = bench::context();
+  const tco::CostModel costs;
+
+  struct Cell {
+    core::Granularity g;
+    simdc::WorkloadId wl;
+    const char* label;
+  };
+  const Cell cells[] = {
+      {core::Granularity::kDaily, simdc::WorkloadId::kW1, "Daily-W1"},
+      {core::Granularity::kDaily, simdc::WorkloadId::kW6, "Daily-W6"},
+      {core::Granularity::kHourly, simdc::WorkloadId::kW1, "Hourly-W1"},
+      {core::Granularity::kHourly, simdc::WorkloadId::kW6, "Hourly-W6"},
+  };
+
+  // savings[sla][cell]
+  double savings[3][4] = {};
+  for (std::size_t c = 0; c < 4; ++c) {
+    core::ProvisioningOptions opt;
+    opt.granularity = cells[c].g;
+    const auto study =
+        core::provision_servers(*ctx.metrics, *ctx.env, cells[c].wl, opt);
+    std::size_t total_servers = 0;
+    for (const simdc::Rack* rack : ctx.fleet->racks_of(cells[c].wl)) {
+      total_servers += static_cast<std::size_t>(rack->servers());
+    }
+    for (std::size_t s = 0; s < study.slas.size(); ++s) {
+      tco::SparePlan mf;
+      mf.servers = total_servers;
+      mf.server_spare_fraction = study.mf.overprovision_pct[s] / 100.0;
+      tco::SparePlan sf = mf;
+      sf.server_spare_fraction = study.sf.overprovision_pct[s] / 100.0;
+      savings[s][c] = tco::tco_savings_pct(costs, mf, sf);
+    }
+  }
+
+  constexpr double kPaper[3][4] = {{0.52, 3.77, 5.00, 2.70},
+                                   {2.60, 11.23, 7.23, 8.60},
+                                   {14.60, 35.66, 22.23, 36.37}};
+  std::printf("%-6s |", "SLA");
+  for (const auto& cell : cells) std::printf(" %10s", cell.label);
+  std::printf(" | paper row\n");
+  const char* sla_names[] = {"90%", "95%", "100%"};
+  for (std::size_t s = 0; s < 3; ++s) {
+    std::printf("%-6s |", sla_names[s]);
+    for (std::size_t c = 0; c < 4; ++c) std::printf(" %9.2f%%", savings[s][c]);
+    std::printf(" | %.2f %.2f %.2f %.2f\n", kPaper[s][0], kPaper[s][1],
+                kPaper[s][2], kPaper[s][3]);
+  }
+  return 0;
+}

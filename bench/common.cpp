@@ -1,0 +1,60 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rainshine/stats/descriptive.hpp"
+
+namespace rainshine::bench {
+
+namespace {
+
+long env_or(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atol(v);
+}
+
+}  // namespace
+
+const Context& context() {
+  static const Context ctx = [] {
+    Context c;
+    c.spec = simdc::FleetSpec::paper_default();
+    c.spec.num_days = static_cast<util::DayIndex>(env_or("RAINSHINE_DAYS", 913));
+    c.spec.seed = static_cast<std::uint64_t>(env_or("RAINSHINE_SEED", 2017));
+    c.day_stride = static_cast<std::int32_t>(env_or("RAINSHINE_STRIDE", 2));
+    c.fleet = std::make_unique<simdc::Fleet>(c.spec);
+    c.env = std::make_unique<simdc::EnvironmentModel>(*c.fleet, c.spec.seed);
+    c.hazard = std::make_unique<simdc::HazardModel>(*c.fleet, *c.env);
+    c.log = std::make_unique<simdc::TicketLog>(
+        simulate(*c.fleet, *c.env, *c.hazard, {.seed = c.spec.seed}));
+    c.metrics = std::make_unique<core::FailureMetrics>(*c.fleet, *c.log);
+    return c;
+  }();
+  return ctx;
+}
+
+void print_context_banner(const std::string& experiment) {
+  const Context& c = context();
+  std::printf("### %s\n", experiment.c_str());
+  std::printf("fleet: %zu racks / %zu servers, %d days, seed %llu, %zu tickets\n\n",
+              c.fleet->num_racks(), c.fleet->num_servers(), c.spec.num_days,
+              static_cast<unsigned long long>(c.spec.seed), c.log->size());
+}
+
+void print_normalized(const std::string& title,
+                      std::span<const stats::BinnedRow> rows) {
+  std::printf("%s\n", title.c_str());
+  double peak = 0.0;
+  for (const auto& row : rows) peak = std::max(peak, row.mean);
+  std::printf("%-12s %10s %10s %10s %10s\n", "group", "norm", "mean", "sd", "n");
+  for (const auto& row : rows) {
+    std::printf("%-12s %10.3f %10.4f %10.4f %10zu\n", row.label.c_str(),
+                peak > 0.0 ? row.mean / peak : 0.0, row.mean, row.stddev,
+                row.count);
+  }
+  std::printf("\n");
+}
+
+}  // namespace rainshine::bench

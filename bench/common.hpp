@@ -1,0 +1,41 @@
+// Shared context for the experiment benches: one simulated study window per
+// process, sized by RAINSHINE_DAYS / RAINSHINE_STRIDE environment variables
+// so quick smoke runs and full reproductions use the same binaries.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "rainshine/core/metrics.hpp"
+#include "rainshine/simdc/tickets.hpp"
+#include "rainshine/stats/histogram.hpp"
+
+namespace rainshine::bench {
+
+struct Context {
+  simdc::FleetSpec spec;
+  std::unique_ptr<simdc::Fleet> fleet;
+  std::unique_ptr<simdc::EnvironmentModel> env;
+  std::unique_ptr<simdc::HazardModel> hazard;
+  std::unique_ptr<simdc::TicketLog> log;
+  std::unique_ptr<core::FailureMetrics> metrics;
+  std::int32_t day_stride = 1;  ///< suggested observation stride for analyses
+};
+
+/// Builds (once per process) the paper-scale fleet, simulates the window and
+/// indexes metrics. Honors:
+///   RAINSHINE_DAYS   — window length (default 913)
+///   RAINSHINE_STRIDE — observation-table day stride (default 2)
+///   RAINSHINE_SEED   — simulation seed (default 2017)
+[[nodiscard]] const Context& context();
+
+/// Prints a labelled mean/sd table normalized to its peak mean, the way the
+/// paper plots Figs. 2-9 ("results normalized with respect to their maximum").
+void print_normalized(const std::string& title,
+                      std::span<const stats::BinnedRow> rows);
+
+/// Prints the bench header (fleet size, ticket counts) once.
+void print_context_banner(const std::string& experiment);
+
+}  // namespace rainshine::bench

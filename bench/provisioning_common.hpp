@@ -1,0 +1,28 @@
+// Shared printer for the Q1 provisioning benches (Figs. 10-12).
+#pragma once
+
+#include <cstdio>
+
+#include "rainshine/core/provisioning.hpp"
+
+namespace rainshine::bench {
+
+inline void print_provisioning(const core::ServerProvisioningStudy& study) {
+  std::printf("workload %s: %zu clusters found by MF\n",
+              std::string(simdc::to_string(study.workload)).c_str(),
+              study.clusters.size());
+  std::printf("%-8s %10s %10s %10s\n", "SLA", "LB%", "MF%", "SF%");
+  for (std::size_t s = 0; s < study.slas.size(); ++s) {
+    std::printf("%-8.0f %10.2f %10.2f %10.2f\n", study.slas[s] * 100.0,
+                study.lb.overprovision_pct[s], study.mf.overprovision_pct[s],
+                study.sf.overprovision_pct[s]);
+  }
+  std::printf("top cluster factors:");
+  for (std::size_t i = 0; i < study.factors.size() && i < 4; ++i) {
+    std::printf(" %s(%.2f)", study.factors[i].feature.c_str(),
+                study.factors[i].importance);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace rainshine::bench

@@ -1,0 +1,58 @@
+// Quickstart: build the two-DC fleet, simulate 2.5 years of RMA tickets,
+// and print the study's configuration and headline aggregates (the Table
+// I/II/III views of the paper).
+//
+// Run:  ./build/examples/quickstart [days]
+#include <cstdio>
+#include <cstdlib>
+
+#include "rainshine/core/marginals.hpp"
+#include "rainshine/simdc/tickets.hpp"
+
+using namespace rainshine;
+
+int main(int argc, char** argv) {
+  simdc::FleetSpec spec = simdc::FleetSpec::paper_default();
+  if (argc > 1) spec.num_days = std::atoi(argv[1]);
+
+  std::printf("=== rainshine quickstart ===\n\n");
+  std::printf("Table I - DC properties\n");
+  std::printf("%-10s %-12s %-12s %-14s %s\n", "Facility", "Packaging",
+              "Availability", "Cooling", "Racks");
+  const simdc::Fleet fleet(spec);
+  for (const auto& dc : spec.datacenters) {
+    std::printf("%-10s %-12s %d nines      %-14s %d\n",
+                std::string(to_string(dc.id)).c_str(),
+                std::string(to_string(dc.packaging)).c_str(),
+                dc.availability_nines, std::string(to_string(dc.cooling)).c_str(),
+                dc.num_racks());
+  }
+  std::printf("\nFleet: %zu racks, %zu servers, %d days of observation\n\n",
+              fleet.num_racks(), fleet.num_servers(), fleet.spec().num_days);
+
+  const simdc::EnvironmentModel env(fleet, spec.seed);
+  const simdc::HazardModel hazard(fleet, env);
+  std::printf("Simulating RMA ticket stream...\n");
+  const simdc::TicketLog log = simulate(fleet, env, hazard, {.seed = spec.seed});
+  std::printf("Generated %zu tickets (%zu hardware true positives)\n\n",
+              log.size(), log.hardware_true_positives().size());
+
+  std::printf("Table II - Classification of failure tickets (%%)\n");
+  std::printf("%-10s %-22s %8s %8s\n", "Category", "Failure type", "DC1", "DC2");
+  for (const auto& row : core::ticket_mix(fleet, log)) {
+    std::printf("%-10s %-22s %8.2f %8.2f\n", row.category.c_str(),
+                row.fault.c_str(), row.dc1_pct, row.dc2_pct);
+  }
+
+  const core::FailureMetrics metrics(fleet, log);
+  const core::Marginals marginals(metrics, env, /*day_stride=*/2);
+  std::printf("\nFig. 2 preview - mean total failure rate per DC region\n");
+  for (const auto& row : marginals.by_region()) {
+    std::printf("  %-8s mean=%.4f sd=%.4f (n=%zu rack-days)\n", row.label.c_str(),
+                row.mean, row.stddev, row.count);
+  }
+  std::printf("\nNext steps: run the bench binaries (build/bench/bench_*) to\n"
+              "regenerate every table and figure of the paper; see DESIGN.md\n"
+              "for the experiment index.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Learning-ready view of a table::Table.
+//
+// CART consumes features through a uniform numeric matrix; `Dataset`
+// materializes the requested columns once (so split search is cache-friendly
+// column scans), remembers which features are categorical and what their
+// levels are called, and encodes the response — numeric for regression,
+// dictionary codes for classification.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rainshine/table/table.hpp"
+
+namespace rainshine::cart {
+
+enum class Task : std::uint8_t { kRegression, kClassification };
+
+/// Metadata the tree keeps about each feature (enough to print splits and to
+/// re-bind new tables for prediction).
+struct FeatureInfo {
+  std::string name;
+  bool categorical = false;
+  std::vector<std::string> labels;  ///< categorical level names (by code)
+
+  [[nodiscard]] std::size_t cardinality() const noexcept { return labels.size(); }
+};
+
+/// Column-major numeric snapshot of selected table columns.
+class Dataset {
+ public:
+  /// With a response: for fitting. The response must be continuous/ordinal
+  /// for regression, nominal for classification.
+  Dataset(const table::Table& table, const std::string& response,
+          std::vector<std::string> features, Task task);
+
+  /// Without a response: for prediction only. Feature columns must exist
+  /// with the same names; nominal columns are re-encoded against
+  /// `reference` infos so codes line up with the fitted tree.
+  Dataset(const table::Table& table, std::span<const FeatureInfo> reference);
+
+  [[nodiscard]] Task task() const noexcept { return task_; }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return num_rows_; }
+  [[nodiscard]] std::size_t num_features() const noexcept { return features_.size(); }
+  [[nodiscard]] const FeatureInfo& info(std::size_t f) const { return features_.at(f); }
+  [[nodiscard]] const std::vector<FeatureInfo>& infos() const noexcept { return features_; }
+
+  /// Feature value: numeric magnitude, ordinal level, or categorical code.
+  /// NaN = missing.
+  [[nodiscard]] double x(std::size_t row, std::size_t f) const {
+    return columns_[f][row];
+  }
+  [[nodiscard]] bool x_missing(std::size_t row, std::size_t f) const;
+
+  [[nodiscard]] bool has_response() const noexcept { return !y_.empty(); }
+  /// Response: value (regression) or class code (classification).
+  [[nodiscard]] double y(std::size_t row) const { return y_.at(row); }
+  [[nodiscard]] std::span<const double> responses() const noexcept { return y_; }
+
+  /// Classification only: number of classes / their names.
+  [[nodiscard]] std::size_t num_classes() const noexcept { return class_labels_.size(); }
+  [[nodiscard]] const std::vector<std::string>& class_labels() const noexcept {
+    return class_labels_;
+  }
+
+  /// Index of the feature named `name`, if present.
+  [[nodiscard]] std::optional<std::size_t> feature_index(std::string_view name) const;
+
+  /// Materialized copy restricted to `rows` (indices may repeat — bootstrap
+  /// resampling uses this). Preserves feature metadata, task and labels.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> rows) const;
+
+ private:
+  Dataset() = default;  // used by subset()
+
+  Task task_ = Task::kRegression;
+  std::size_t num_rows_ = 0;
+  std::vector<FeatureInfo> features_;
+  std::vector<std::vector<double>> columns_;  ///< [feature][row]
+  std::vector<double> y_;
+  std::vector<std::string> class_labels_;
+};
+
+}  // namespace rainshine::cart

@@ -1,0 +1,56 @@
+// Cost-complexity (weakest-link) pruning and cross-validated cp selection,
+// mirroring rpart's behaviour (the paper fits its CART models with rpart and
+// relies on pruned trees for interpretable cluster structure).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rainshine/cart/tree.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::cart {
+
+/// Collapses every subtree whose weakest-link value g(t) =
+/// (R(t) - R(T_t)) / ((|T_t| - 1) * R(root)) is <= `cp`. cp is on rpart's
+/// relative scale (fraction of root impurity). Returns a new tree.
+[[nodiscard]] Tree prune(const Tree& tree, double cp);
+
+/// The critical cp values of the nested pruning sequence, descending from
+/// the cp that collapses the whole tree down to 0 (the full tree). These are
+/// the only cps at which the pruned tree changes — the natural CV grid.
+[[nodiscard]] std::vector<double> cp_sequence(const Tree& tree);
+
+/// One point of a cp-selection curve.
+struct CvPoint {
+  double cp = 0.0;
+  double mean_error = 0.0;  ///< mean held-out error across folds (SSE per
+                            ///< row for regression, error rate for classification)
+  double std_error = 0.0;   ///< standard error of that mean
+  std::size_t leaves = 0;   ///< leaves of the full-data tree pruned at cp
+};
+
+/// K-fold cross-validation over candidate cps. Rows are shuffled with `rng`
+/// and dealt into `folds` folds; for each fold a tree is grown on the rest
+/// (with `growth` but cp = the smallest candidate) and evaluated pruned at
+/// each cp. Throws if folds < 2 or data smaller than folds.
+[[nodiscard]] std::vector<CvPoint> cross_validate(const Dataset& data,
+                                                  const Config& growth,
+                                                  std::span<const double> cps,
+                                                  std::size_t folds,
+                                                  util::Rng& rng);
+
+/// Convenience pipeline used throughout the decision studies: grow a
+/// generous tree, derive its cp sequence, cross-validate, prune at the cp
+/// with minimal CV error under the 1-SE rule (the largest cp whose error is
+/// within one standard error of the minimum — rpart's recommended pick).
+struct FitResult {
+  Tree tree;
+  double chosen_cp = 0.0;
+  std::vector<CvPoint> cv_curve;
+};
+
+[[nodiscard]] FitResult fit_pruned(const Dataset& data, Config growth,
+                                   std::size_t folds, util::Rng& rng);
+
+}  // namespace rainshine::cart

@@ -1,0 +1,128 @@
+#include "rainshine/cart/dataset.hpp"
+
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::cart {
+
+namespace {
+
+using table::Column;
+using table::ColumnType;
+
+std::vector<double> materialize(const Column& col) {
+  std::vector<double> out(col.size());
+  for (std::size_t r = 0; r < col.size(); ++r) out[r] = col.as_double(r);
+  return out;
+}
+
+/// Re-encodes a nominal column against a reference dictionary so codes match
+/// the dictionary the tree was fitted with; unseen labels become missing.
+std::vector<double> materialize_with_reference(const Column& col,
+                                               const FeatureInfo& ref) {
+  std::vector<double> out(col.size());
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (col.is_missing(r)) {
+      out[r] = std::numeric_limits<double>::quiet_NaN();
+      continue;
+    }
+    const std::string cell = col.cell_to_string(r);
+    double code = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t k = 0; k < ref.labels.size(); ++k) {
+      if (ref.labels[k] == cell) {
+        code = static_cast<double>(k);
+        break;
+      }
+    }
+    out[r] = code;
+  }
+  return out;
+}
+
+FeatureInfo info_for(const std::string& name, const Column& col) {
+  FeatureInfo info;
+  info.name = name;
+  info.categorical = col.type() == ColumnType::kNominal;
+  if (info.categorical) info.labels = col.dictionary();
+  return info;
+}
+
+}  // namespace
+
+Dataset::Dataset(const table::Table& table, const std::string& response,
+                 std::vector<std::string> features, Task task)
+    : task_(task), num_rows_(table.num_rows()) {
+  util::require(!features.empty(), "Dataset needs at least one feature");
+  const Column& y_col = table.column(response);
+  if (task_ == Task::kClassification) {
+    util::require(y_col.type() == ColumnType::kNominal,
+                  "classification response must be nominal");
+    class_labels_ = y_col.dictionary();
+    util::require(class_labels_.size() >= 2,
+                  "classification needs at least two classes");
+  } else {
+    util::require(y_col.type() != ColumnType::kNominal,
+                  "regression response must be numeric");
+  }
+  y_ = materialize(y_col);
+  for (std::size_t r = 0; r < y_.size(); ++r) {
+    util::require(!std::isnan(y_[r]), "response has missing values");
+  }
+
+  for (auto& name : features) {
+    util::require(name != response, "response cannot also be a feature");
+    const Column& col = table.column(name);
+    features_.push_back(info_for(name, col));
+    columns_.push_back(materialize(col));
+  }
+}
+
+Dataset::Dataset(const table::Table& table, std::span<const FeatureInfo> reference)
+    : num_rows_(table.num_rows()) {
+  util::require(!reference.empty(), "Dataset needs at least one feature");
+  for (const FeatureInfo& ref : reference) {
+    const Column& col = table.column(ref.name);
+    util::require((col.type() == ColumnType::kNominal) == ref.categorical,
+                  "feature '" + ref.name + "' type mismatch with fitted tree");
+    features_.push_back(ref);
+    columns_.push_back(ref.categorical ? materialize_with_reference(col, ref)
+                                       : materialize(col));
+  }
+}
+
+bool Dataset::x_missing(std::size_t row, std::size_t f) const {
+  return std::isnan(columns_.at(f).at(row));
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> rows) const {
+  Dataset out;
+  out.task_ = task_;
+  out.num_rows_ = rows.size();
+  out.features_ = features_;
+  out.class_labels_ = class_labels_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& column : columns_) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const std::size_t r : rows) {
+      util::require(r < column.size(), "subset row index out of range");
+      values.push_back(column[r]);
+    }
+    out.columns_.push_back(std::move(values));
+  }
+  if (!y_.empty()) {
+    out.y_.reserve(rows.size());
+    for (const std::size_t r : rows) out.y_.push_back(y_.at(r));
+  }
+  return out;
+}
+
+std::optional<std::size_t> Dataset::feature_index(std::string_view name) const {
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    if (features_[f].name == name) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rainshine::cart

@@ -1,0 +1,172 @@
+#include "rainshine/cart/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::cart {
+
+Forest::Forest(Task task, std::vector<Tree> trees, double oob_error)
+    : task_(task), trees_(std::move(trees)), oob_error_(oob_error) {
+  util::require(!trees_.empty(), "Forest needs at least one tree");
+}
+
+double Forest::predict(const Dataset& data, std::size_t row) const {
+  if (task_ == Task::kRegression) {
+    double sum = 0.0;
+    for (const Tree& tree : trees_) sum += tree.predict(data, row);
+    return sum / static_cast<double>(trees_.size());
+  }
+  std::map<double, int> votes;
+  for (const Tree& tree : trees_) ++votes[tree.predict(data, row)];
+  double best = 0.0;
+  int best_votes = -1;
+  for (const auto& [code, count] : votes) {
+    if (count > best_votes) {
+      best = code;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+std::vector<double> Forest::predict(const Dataset& data) const {
+  std::vector<double> out(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) out[r] = predict(data, r);
+  return out;
+}
+
+std::vector<Importance> Forest::variable_importance() const {
+  std::map<std::string, double> sums;
+  for (const Tree& tree : trees_) {
+    for (const Importance& imp : tree.variable_importance()) {
+      sums[imp.feature] += imp.importance;
+    }
+  }
+  double total = 0.0;
+  for (const auto& [name, value] : sums) total += value;
+  std::vector<Importance> out;
+  for (const auto& [name, value] : sums) {
+    out.push_back({name, total > 0.0 ? value / total : 0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const Importance& a, const Importance& b) {
+    return a.importance > b.importance;
+  });
+  return out;
+}
+
+std::vector<PdPoint> Forest::partial_dependence(const Dataset& data,
+                                                std::string_view feature,
+                                                std::size_t grid_size,
+                                                std::size_t max_background_rows) const {
+  // Average the per-tree curves point-wise; every tree shares feature
+  // metadata, so grids align exactly (the grid depends only on `data`).
+  std::vector<PdPoint> acc = cart::partial_dependence(
+      trees_.front(), data, feature, grid_size, max_background_rows);
+  for (std::size_t t = 1; t < trees_.size(); ++t) {
+    const auto curve = cart::partial_dependence(trees_[t], data, feature,
+                                                grid_size, max_background_rows);
+    util::ensure(curve.size() == acc.size(), "partial-dependence grid mismatch");
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i].yhat += curve[i].yhat;
+  }
+  for (PdPoint& p : acc) p.yhat /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+Forest grow_forest(const Dataset& data, const ForestConfig& config) {
+  util::require(config.num_trees >= 1, "forest needs at least one tree");
+  util::require(config.sample_fraction > 0.0 && config.sample_fraction <= 1.0,
+                "sample_fraction must be in (0, 1]");
+  const std::size_t n = data.num_rows();
+  util::require(n > 0, "cannot grow a forest on empty data");
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.sample_fraction * static_cast<double>(n)));
+
+  const util::Rng root = util::Rng(config.seed).split("forest");
+  std::vector<Tree> trees;
+  trees.reserve(config.num_trees);
+
+  // Out-of-bag accumulation: per row, sum of predictions (regression) or
+  // votes (classification) from trees that did not train on it.
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<int> oob_count(n, 0);
+  std::vector<std::map<double, int>> oob_votes(
+      data.task() == Task::kClassification ? n : 0);
+
+  std::vector<std::uint8_t> in_bag(n, 0);
+  for (std::size_t t = 0; t < config.num_trees; ++t) {
+    util::Rng rng = root.split(t);
+
+    // Bootstrap rows.
+    std::fill(in_bag.begin(), in_bag.end(), 0);
+    std::vector<std::size_t> rows(sample_size);
+    for (auto& r : rows) {
+      r = static_cast<std::size_t>(rng.below(n));
+      in_bag[r] = 1;
+    }
+    const Dataset bag = data.subset(rows);
+
+    // Random feature subspace.
+    Config tree_cfg = config.tree;
+    if (config.features_per_tree > 0 &&
+        config.features_per_tree < data.num_features()) {
+      std::vector<std::size_t> order(data.num_features());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      for (std::size_t i = order.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.below(i));
+        std::swap(order[i - 1], order[j]);
+      }
+      tree_cfg.allowed_features.assign(data.num_features(), 0);
+      for (std::size_t k = 0; k < config.features_per_tree; ++k) {
+        tree_cfg.allowed_features[order[k]] = 1;
+      }
+    }
+
+    Tree tree = grow(bag, tree_cfg);
+
+    // OOB predictions against the ORIGINAL dataset.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (in_bag[r]) continue;
+      const double pred = tree.predict(data, r);
+      ++oob_count[r];
+      if (data.task() == Task::kRegression) {
+        oob_sum[r] += pred;
+      } else {
+        ++oob_votes[r][pred];
+      }
+    }
+    trees.push_back(std::move(tree));
+  }
+
+  // Aggregate OOB error.
+  double err = 0.0;
+  std::size_t covered = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (oob_count[r] == 0) continue;
+    ++covered;
+    if (data.task() == Task::kRegression) {
+      const double d = data.y(r) - oob_sum[r] / oob_count[r];
+      err += d * d;
+    } else {
+      double best = 0.0;
+      int best_votes = -1;
+      for (const auto& [code, count] : oob_votes[r]) {
+        if (count > best_votes) {
+          best = code;
+          best_votes = count;
+        }
+      }
+      err += best == data.y(r) ? 0.0 : 1.0;
+    }
+  }
+  const double oob = covered > 0
+                         ? err / static_cast<double>(covered)
+                         : std::numeric_limits<double>::quiet_NaN();
+  return Forest(data.task(), std::move(trees), oob);
+}
+
+}  // namespace rainshine::cart

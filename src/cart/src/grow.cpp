@@ -1,0 +1,360 @@
+// Tree growth: recursive partitioning with exhaustive split search.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rainshine/cart/tree.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::cart {
+
+namespace {
+
+/// Sufficient statistics for impurity on one side of a candidate split.
+struct RegStats {
+  double n = 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+
+  void add(double y) {
+    n += 1.0;
+    sum += y;
+    sumsq += y * y;
+  }
+  void remove(double y) {
+    n -= 1.0;
+    sum -= y;
+    sumsq -= y * y;
+  }
+  [[nodiscard]] double sse() const {
+    return n > 0.0 ? std::max(0.0, sumsq - sum * sum / n) : 0.0;
+  }
+  [[nodiscard]] double mean() const { return n > 0.0 ? sum / n : 0.0; }
+};
+
+struct ClassStats {
+  std::vector<double> counts;
+  double n = 0.0;
+
+  explicit ClassStats(std::size_t k) : counts(k, 0.0) {}
+  void add(double code) {
+    counts[static_cast<std::size_t>(code)] += 1.0;
+    n += 1.0;
+  }
+  void remove(double code) {
+    counts[static_cast<std::size_t>(code)] -= 1.0;
+    n -= 1.0;
+  }
+  /// n * Gini = n - sum c_k^2 / n.
+  [[nodiscard]] double impurity() const {
+    if (n <= 0.0) return 0.0;
+    double sq = 0.0;
+    for (const double c : counts) sq += c * c;
+    return std::max(0.0, n - sq / n);
+  }
+};
+
+struct BestSplit {
+  bool found = false;
+  std::size_t feature = 0;
+  bool categorical = false;
+  double threshold = 0.0;
+  std::vector<std::uint8_t> go_left;
+  double improve = 0.0;
+};
+
+class Builder {
+ public:
+  Builder(const Dataset& data, const Config& cfg)
+      : data_(data), cfg_(cfg), min_leaf_(static_cast<double>(cfg.min_samples_leaf)) {}
+
+  Tree build() {
+    std::vector<std::uint32_t> rows(data_.num_rows());
+    std::iota(rows.begin(), rows.end(), 0U);
+    root_impurity_ = node_impurity(rows);
+    grow_node(rows, 0, kNoChild);
+    std::vector<std::string> class_labels =
+        data_.task() == Task::kClassification ? data_.class_labels()
+                                              : std::vector<std::string>{};
+    return Tree(data_.task(), data_.infos(), std::move(nodes_),
+                std::move(class_labels));
+  }
+
+ private:
+  const Dataset& data_;
+  const Config& cfg_;
+  double min_leaf_;
+  std::vector<Node> nodes_;
+  double root_impurity_ = 0.0;
+
+  [[nodiscard]] double node_impurity(std::span<const std::uint32_t> rows) const {
+    if (data_.task() == Task::kRegression) {
+      RegStats s;
+      for (const auto r : rows) s.add(data_.y(r));
+      return s.sse();
+    }
+    ClassStats s(data_.num_classes());
+    for (const auto r : rows) s.add(data_.y(r));
+    return s.impurity();
+  }
+
+  void fill_node_stats(Node& node, std::span<const std::uint32_t> rows) const {
+    node.n = rows.size();
+    if (data_.task() == Task::kRegression) {
+      RegStats s;
+      for (const auto r : rows) s.add(data_.y(r));
+      node.prediction = s.mean();
+      node.impurity = s.sse();
+      return;
+    }
+    ClassStats s(data_.num_classes());
+    for (const auto r : rows) s.add(data_.y(r));
+    node.class_counts = s.counts;
+    node.impurity = s.impurity();
+    const auto it = std::max_element(s.counts.begin(), s.counts.end());
+    node.prediction = static_cast<double>(it - s.counts.begin());
+  }
+
+  /// Numeric/ordinal threshold search: sort node rows by x, sweep boundaries.
+  void search_numeric(std::span<const std::uint32_t> rows, std::size_t f,
+                      BestSplit& best) const {
+    std::vector<std::uint32_t> present;
+    present.reserve(rows.size());
+    for (const auto r : rows) {
+      if (!data_.x_missing(r, f)) present.push_back(r);
+    }
+    if (present.size() < 2 * cfg_.min_samples_leaf) return;
+    std::sort(present.begin(), present.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return data_.x(a, f) < data_.x(b, f);
+    });
+
+    if (data_.task() == Task::kRegression) {
+      RegStats left;
+      RegStats right;
+      for (const auto r : present) right.add(data_.y(r));
+      const double parent = right.sse();
+      for (std::size_t i = 0; i + 1 < present.size(); ++i) {
+        const double y = data_.y(present[i]);
+        left.add(y);
+        right.remove(y);
+        const double xa = data_.x(present[i], f);
+        const double xb = data_.x(present[i + 1], f);
+        if (xa == xb) continue;  // can't cut between equal values
+        if (left.n < min_leaf_) continue;
+        if (right.n < min_leaf_) break;
+        const double improve = parent - left.sse() - right.sse();
+        if (improve > best.improve) {
+          best = {true, f, false, 0.5 * (xa + xb), {}, improve};
+        }
+      }
+      return;
+    }
+
+    ClassStats left(data_.num_classes());
+    ClassStats right(data_.num_classes());
+    for (const auto r : present) right.add(data_.y(r));
+    const double parent = right.impurity();
+    for (std::size_t i = 0; i + 1 < present.size(); ++i) {
+      const double y = data_.y(present[i]);
+      left.add(y);
+      right.remove(y);
+      const double xa = data_.x(present[i], f);
+      const double xb = data_.x(present[i + 1], f);
+      if (xa == xb) continue;
+      if (left.n < min_leaf_) continue;
+      if (right.n < min_leaf_) break;
+      const double improve = parent - left.impurity() - right.impurity();
+      if (improve > best.improve) {
+        best = {true, f, false, 0.5 * (xa + xb), {}, improve};
+      }
+    }
+  }
+
+  /// Categorical subset search via Breiman's ordering trick: order levels by
+  /// their response mean (regression) or by the probability of the globally
+  /// most frequent class (classification heuristic), then scan prefix cuts.
+  void search_categorical(std::span<const std::uint32_t> rows, std::size_t f,
+                          BestSplit& best) const {
+    const std::size_t k = data_.info(f).cardinality();
+    if (k < 2) return;
+
+    // Per-level aggregates.
+    std::vector<RegStats> reg(k);
+    std::vector<ClassStats> cls;
+    if (data_.task() == Task::kClassification) {
+      cls.assign(k, ClassStats(data_.num_classes()));
+    }
+    std::size_t present_count = 0;
+    for (const auto r : rows) {
+      if (data_.x_missing(r, f)) continue;
+      const auto code = static_cast<std::size_t>(data_.x(r, f));
+      ++present_count;
+      if (data_.task() == Task::kRegression) {
+        reg[code].add(data_.y(r));
+      } else {
+        cls[code].add(data_.y(r));
+      }
+    }
+    if (present_count < 2 * cfg_.min_samples_leaf) return;
+
+    // Order the occupied levels.
+    std::vector<std::size_t> levels;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double n = data_.task() == Task::kRegression ? reg[c].n : cls[c].n;
+      if (n > 0.0) levels.push_back(c);
+    }
+    if (levels.size() < 2) return;
+    std::size_t ref_class = 0;
+    if (data_.task() == Task::kClassification) {
+      std::vector<double> totals(data_.num_classes(), 0.0);
+      for (const auto& s : cls) {
+        for (std::size_t j = 0; j < totals.size(); ++j) totals[j] += s.counts[j];
+      }
+      ref_class = static_cast<std::size_t>(
+          std::max_element(totals.begin(), totals.end()) - totals.begin());
+    }
+    const auto level_key = [&](std::size_t c) {
+      if (data_.task() == Task::kRegression) return reg[c].mean();
+      return cls[c].n > 0.0 ? cls[c].counts[ref_class] / cls[c].n : 0.0;
+    };
+    std::sort(levels.begin(), levels.end(),
+              [&](std::size_t a, std::size_t b) { return level_key(a) < level_key(b); });
+
+    if (data_.task() == Task::kRegression) {
+      RegStats left;
+      RegStats right;
+      for (const auto c : levels) {
+        right.n += reg[c].n;
+        right.sum += reg[c].sum;
+        right.sumsq += reg[c].sumsq;
+      }
+      const double parent = right.sse();
+      for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+        const std::size_t c = levels[i];
+        left.n += reg[c].n;
+        left.sum += reg[c].sum;
+        left.sumsq += reg[c].sumsq;
+        right.n -= reg[c].n;
+        right.sum -= reg[c].sum;
+        right.sumsq -= reg[c].sumsq;
+        if (left.n < min_leaf_ || right.n < min_leaf_) continue;
+        const double improve = parent - left.sse() - right.sse();
+        if (improve > best.improve) {
+          std::vector<std::uint8_t> mask(k, 0);
+          for (std::size_t j = 0; j <= i; ++j) mask[levels[j]] = 1;
+          best = {true, f, true, 0.0, std::move(mask), improve};
+        }
+      }
+      return;
+    }
+
+    ClassStats left(data_.num_classes());
+    ClassStats right(data_.num_classes());
+    for (const auto c : levels) {
+      for (std::size_t j = 0; j < right.counts.size(); ++j) {
+        right.counts[j] += cls[c].counts[j];
+      }
+      right.n += cls[c].n;
+    }
+    const double parent = right.impurity();
+    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+      const std::size_t c = levels[i];
+      for (std::size_t j = 0; j < left.counts.size(); ++j) {
+        left.counts[j] += cls[c].counts[j];
+        right.counts[j] -= cls[c].counts[j];
+      }
+      left.n += cls[c].n;
+      right.n -= cls[c].n;
+      if (left.n < min_leaf_ || right.n < min_leaf_) continue;
+      const double improve = parent - left.impurity() - right.impurity();
+      if (improve > best.improve) {
+        std::vector<std::uint8_t> mask(k, 0);
+        for (std::size_t j = 0; j <= i; ++j) mask[levels[j]] = 1;
+        best = {true, f, true, 0.0, std::move(mask), improve};
+      }
+    }
+  }
+
+  std::int32_t grow_node(std::span<const std::uint32_t> rows, std::uint32_t depth,
+                         std::int32_t parent) {
+    const auto node_id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<std::size_t>(node_id)].parent = parent;
+    nodes_[static_cast<std::size_t>(node_id)].depth = depth;
+    fill_node_stats(nodes_[static_cast<std::size_t>(node_id)], rows);
+
+    const Node snapshot = nodes_[static_cast<std::size_t>(node_id)];
+    if (rows.size() < cfg_.min_samples_split || depth >= cfg_.max_depth ||
+        snapshot.impurity <= 1e-12) {
+      return node_id;
+    }
+
+    BestSplit best;
+    for (std::size_t f = 0; f < data_.num_features(); ++f) {
+      if (!cfg_.allowed_features.empty() && cfg_.allowed_features[f] == 0) continue;
+      if (data_.info(f).categorical) {
+        search_categorical(rows, f, best);
+      } else {
+        search_numeric(rows, f, best);
+      }
+    }
+    // rpart's rule: the split must improve relative error by at least cp.
+    if (!best.found || best.improve < cfg_.cp * std::max(root_impurity_, 1e-12)) {
+      return node_id;
+    }
+
+    // Partition rows; missing split-feature values follow the bigger child.
+    std::vector<std::uint32_t> left_rows;
+    std::vector<std::uint32_t> right_rows;
+    std::vector<std::uint32_t> missing_rows;
+    for (const auto r : rows) {
+      if (data_.x_missing(r, best.feature)) {
+        missing_rows.push_back(r);
+        continue;
+      }
+      bool goes_left;
+      if (best.categorical) {
+        goes_left = best.go_left[static_cast<std::size_t>(data_.x(r, best.feature))] != 0;
+      } else {
+        goes_left = data_.x(r, best.feature) < best.threshold;
+      }
+      (goes_left ? left_rows : right_rows).push_back(r);
+    }
+    const bool missing_left = left_rows.size() >= right_rows.size();
+    auto& missing_dst = missing_left ? left_rows : right_rows;
+    missing_dst.insert(missing_dst.end(), missing_rows.begin(), missing_rows.end());
+
+    util::ensure(!left_rows.empty() && !right_rows.empty(),
+                 "split produced an empty child");
+
+    {
+      Node& node = nodes_[static_cast<std::size_t>(node_id)];
+      node.feature = best.feature;
+      node.categorical = best.categorical;
+      node.threshold = best.threshold;
+      node.go_left = best.go_left;
+      node.missing_goes_left = missing_left;
+      node.improve = best.improve;
+    }
+    const std::int32_t left_id = grow_node(left_rows, depth + 1, node_id);
+    nodes_[static_cast<std::size_t>(node_id)].left = left_id;
+    const std::int32_t right_id = grow_node(right_rows, depth + 1, node_id);
+    nodes_[static_cast<std::size_t>(node_id)].right = right_id;
+    return node_id;
+  }
+};
+
+}  // namespace
+
+Tree grow(const Dataset& data, const Config& config) {
+  util::require(data.num_rows() > 0, "cannot grow a tree on empty data");
+  util::require(data.has_response(), "growing requires a response column");
+  util::require(config.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  util::require(config.allowed_features.empty() ||
+                    config.allowed_features.size() == data.num_features(),
+                "allowed_features size must match feature count");
+  Builder builder(data, config);
+  return builder.build();
+}
+
+}  // namespace rainshine::cart

@@ -1,0 +1,168 @@
+#include "rainshine/cart/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::cart {
+
+Tree::Tree(Task task, std::vector<FeatureInfo> features, std::vector<Node> nodes,
+           std::vector<std::string> class_labels)
+    : task_(task),
+      features_(std::move(features)),
+      nodes_(std::move(nodes)),
+      class_labels_(std::move(class_labels)) {
+  util::require(!nodes_.empty(), "Tree needs at least a root node");
+}
+
+std::size_t Tree::num_leaves() const noexcept {
+  std::size_t count = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) ++count;
+  }
+  return count;
+}
+
+std::size_t Tree::depth() const noexcept {
+  std::uint32_t d = 0;
+  for (const Node& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+std::size_t Tree::leaf_of_with_override(const Dataset& data, std::size_t row,
+                                        std::size_t override_f,
+                                        double override_x) const {
+  std::size_t id = 0;
+  while (!nodes_[id].is_leaf()) {
+    const Node& node = nodes_[id];
+    const bool overridden = node.feature == override_f;
+    const double x = overridden ? override_x : data.x(row, node.feature);
+    bool goes_left;
+    if (std::isnan(x)) {
+      goes_left = node.missing_goes_left;
+    } else if (node.categorical) {
+      const auto code = static_cast<std::size_t>(x);
+      goes_left = code < node.go_left.size() ? node.go_left[code] != 0
+                                             : node.missing_goes_left;
+    } else {
+      goes_left = x < node.threshold;
+    }
+    id = static_cast<std::size_t>(goes_left ? node.left : node.right);
+  }
+  return id;
+}
+
+std::size_t Tree::leaf_of(const Dataset& data, std::size_t row) const {
+  // An out-of-range override feature index never matches, so the plain walk
+  // reuses the override path without a branch in the hot loop.
+  return leaf_of_with_override(data, row, features_.size(), 0.0);
+}
+
+double Tree::predict(const Dataset& data, std::size_t row) const {
+  return nodes_[leaf_of(data, row)].prediction;
+}
+
+std::vector<double> Tree::predict(const Dataset& data) const {
+  std::vector<double> out(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) out[r] = predict(data, r);
+  return out;
+}
+
+double Tree::relative_error() const {
+  const double root = nodes_.front().impurity;
+  if (root <= 0.0) return 0.0;
+  double leaves = 0.0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) leaves += n.impurity;
+  }
+  return leaves / root;
+}
+
+std::vector<Importance> Tree::variable_importance() const {
+  std::vector<double> raw(features_.size(), 0.0);
+  double total = 0.0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) continue;
+    raw[n.feature] += n.improve;
+    total += n.improve;
+  }
+  std::vector<Importance> out;
+  for (std::size_t f = 0; f < features_.size(); ++f) {
+    if (raw[f] <= 0.0) continue;
+    out.push_back({features_[f].name, total > 0.0 ? raw[f] / total : 0.0});
+  }
+  std::sort(out.begin(), out.end(), [](const Importance& a, const Importance& b) {
+    return a.importance > b.importance;
+  });
+  return out;
+}
+
+std::vector<std::size_t> Tree::leaf_ids() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf()) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Tree::split_description(const Node& node, bool left_side) const {
+  const FeatureInfo& info = features_[node.feature];
+  if (!node.categorical) {
+    return info.name + (left_side ? " < " : " >= ") +
+           util::format_double(node.threshold, 3);
+  }
+  std::vector<std::string> members;
+  for (std::size_t c = 0; c < node.go_left.size(); ++c) {
+    if ((node.go_left[c] != 0) == left_side) {
+      members.push_back(c < info.labels.size() ? info.labels[c]
+                                               : std::to_string(c));
+    }
+  }
+  return info.name + " in {" + util::join(members, ",") + "}";
+}
+
+void Tree::describe(std::ostream& os, std::size_t node_id, int indent) const {
+  const Node& node = nodes_[node_id];
+  for (int i = 0; i < indent; ++i) os << "  ";
+  if (node.is_leaf()) {
+    os << "leaf#" << node_id << " n=" << node.n << " pred=";
+    if (task_ == Task::kClassification) {
+      const auto code = static_cast<std::size_t>(node.prediction);
+      os << (code < class_labels_.size() ? class_labels_[code] : "?");
+    } else {
+      os << util::format_double(node.prediction, 4);
+    }
+    os << "\n";
+    return;
+  }
+  os << "node#" << node_id << " n=" << node.n << " split["
+     << split_description(node, true) << "]\n";
+  describe(os, static_cast<std::size_t>(node.left), indent + 1);
+  describe(os, static_cast<std::size_t>(node.right), indent + 1);
+}
+
+std::string Tree::to_string() const {
+  std::ostringstream os;
+  describe(os, 0, 0);
+  return os.str();
+}
+
+std::string Tree::path_to(std::size_t node_id) const {
+  util::require(node_id < nodes_.size(), "node id out of range");
+  std::vector<std::string> steps;
+  std::size_t id = node_id;
+  while (nodes_[id].parent != kNoChild) {
+    const auto parent = static_cast<std::size_t>(nodes_[id].parent);
+    const bool came_left = nodes_[parent].left == static_cast<std::int32_t>(id);
+    steps.push_back(split_description(nodes_[parent], came_left));
+    id = parent;
+  }
+  std::reverse(steps.begin(), steps.end());
+  return steps.empty() ? "(root)" : util::join(steps, " & ");
+}
+
+}  // namespace rainshine::cart

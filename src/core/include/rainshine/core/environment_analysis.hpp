@@ -1,0 +1,65 @@
+// Q3 — environmental operating ranges (paper §VI, Figs. 16-18).
+//
+// SF view: bin rack-days by their mean operating temperature and report the
+// failure rate per bin, for all failures (Fig. 16 — flat means, wide spread)
+// and for hard-disk failures alone (Fig. 17 — a clear upward trend).
+//
+// MF view: grow a CART tree on disk failures over environment + nuisance
+// factors, then read the environmental structure it discovered: per-DC
+// temperature split points and the temperature x humidity interaction
+// (Fig. 18: in DC1 disk failures jump ~+50% above 78F and a further ~+25%
+// when RH <= 25%; DC2 shows no sensitivity).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rainshine/cart/tree.hpp"
+#include "rainshine/core/observations.hpp"
+#include "rainshine/stats/histogram.hpp"
+
+namespace rainshine::core {
+
+struct EnvironmentOptions {
+  std::int32_t day_stride = 1;
+  /// Fig. 16/17's bin edges (F).
+  std::vector<double> temp_edges = {60, 65, 70, 75};
+  cart::Config tree_config{.min_samples_split = 400, .min_samples_leaf = 150,
+                           .max_depth = 7, .cp = 0.0005};
+};
+
+/// One row of Fig. 18: a (DC, condition) cell with its normalized rate.
+struct EnvCell {
+  std::string dc;
+  std::string condition;  ///< e.g. "T<=78F", "T>78F & RH<=25%", "All"
+  std::size_t n = 0;
+  double mean_rate = 0.0;
+  double stddev = 0.0;
+};
+
+struct EnvironmentStudy {
+  /// Fig. 16: all-failure λ by temperature bin.
+  std::vector<stats::BinnedRow> all_by_temp;
+  /// Fig. 17: disk-failure λ by temperature bin.
+  std::vector<stats::BinnedRow> disk_by_temp;
+  /// Temperature threshold the MF tree chose for disk failures in each DC
+  /// (nullopt if the tree found no temperature split there).
+  std::optional<double> dc1_temp_split;
+  std::optional<double> dc2_temp_split;
+  /// RH threshold found below/after the hot branch in DC1, if any.
+  std::optional<double> dc1_rh_split;
+  /// Fig. 18's cells, evaluated at the discovered (or configured-fallback)
+  /// thresholds: per DC, disk λ for T<=hot, T>hot, T>hot & RH<=dry, All.
+  std::vector<EnvCell> cells;
+  /// Factor ranking of the disk-failure tree.
+  std::vector<cart::Importance> factors;
+  /// Pretty-printed tree for operator inspection.
+  std::string tree_dump;
+};
+
+[[nodiscard]] EnvironmentStudy analyze_environment(
+    const FailureMetrics& metrics, const simdc::EnvironmentModel& env,
+    const EnvironmentOptions& options = {});
+
+}  // namespace rainshine::core

@@ -1,0 +1,54 @@
+// Single-factor marginal characterizations (paper §IV Table II and §V.B
+// Figs. 2-9): the "evidence of multi-factor influence" views. Each function
+// returns labelled mean/sd rows of the failure rate grouped by one factor,
+// normalized the way the paper plots them (callers can normalize to peak
+// with stats::normalize_to_max).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rainshine/core/observations.hpp"
+#include "rainshine/stats/histogram.hpp"
+
+namespace rainshine::core {
+
+/// Table II: percentage of true-positive tickets per fault type, per DC.
+struct TicketMixRow {
+  std::string category;
+  std::string fault;
+  double dc1_pct = 0.0;
+  double dc2_pct = 0.0;
+};
+[[nodiscard]] std::vector<TicketMixRow> ticket_mix(const Fleet& fleet,
+                                                   const TicketLog& log);
+
+/// Convenience bundle: the observation table is expensive to build, so the
+/// figure marginals all read from one instance.
+class Marginals {
+ public:
+  /// Uses total (all-category) λ per rack-day, as §V.B does.
+  Marginals(const FailureMetrics& metrics, const simdc::EnvironmentModel& env,
+            std::int32_t day_stride = 1);
+
+  [[nodiscard]] std::vector<stats::BinnedRow> by_region() const;     // Fig. 2
+  [[nodiscard]] std::vector<stats::BinnedRow> by_weekday() const;    // Fig. 3
+  [[nodiscard]] std::vector<stats::BinnedRow> by_month() const;      // Fig. 4
+  [[nodiscard]] std::vector<stats::BinnedRow> by_humidity() const;   // Fig. 5
+  [[nodiscard]] std::vector<stats::BinnedRow> by_workload() const;   // Fig. 6
+  [[nodiscard]] std::vector<stats::BinnedRow> by_sku() const;        // Fig. 7
+  [[nodiscard]] std::vector<stats::BinnedRow> by_power() const;      // Fig. 8
+  [[nodiscard]] std::vector<stats::BinnedRow> by_age() const;        // Fig. 9
+
+  [[nodiscard]] const table::Table& observations() const noexcept { return tbl_; }
+
+ private:
+  table::Table tbl_;
+
+  [[nodiscard]] std::vector<stats::BinnedRow> by_nominal(
+      const char* key, const std::vector<std::string>& order) const;
+  [[nodiscard]] std::vector<stats::BinnedRow> by_binned(const char* key,
+                                                        stats::Binner binner) const;
+};
+
+}  // namespace rainshine::core

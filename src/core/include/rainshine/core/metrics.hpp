@@ -1,0 +1,102 @@
+// The paper's two failure metrics (§V "Metrics"):
+//
+//   λ — RMA generation rate: tickets opened per unit per period, trackable
+//       at any spatial (DC/rack/component) and temporal granularity.
+//
+//   µ — number of devices concurrently unavailable due to failure during a
+//       period. Unlike λ it captures repair duration and temporal
+//       correlation: one spare covers two failures that do not overlap, so µ
+//       at a finer granularity (hourly vs daily) is smaller whenever
+//       failures multiplex in time — the effect Fig. 12 exploits.
+//
+// `FailureMetrics` indexes a TicketLog once and serves per-rack series of
+// both metrics. Only true-positive tickets count (§IV), and the decision
+// studies restrict to hardware faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rainshine/simdc/tickets.hpp"
+
+namespace rainshine::core {
+
+using simdc::DeviceKind;
+using simdc::FaultType;
+using simdc::Fleet;
+using simdc::Rack;
+using simdc::TicketLog;
+
+enum class Granularity : std::uint8_t { kMonthly, kWeekly, kDaily, kHourly };
+
+/// Hours per period at `g` (months are 30-day provisioning months).
+[[nodiscard]] constexpr std::int64_t hours_per_period(Granularity g) noexcept {
+  switch (g) {
+    case Granularity::kMonthly: return 30 * util::kHoursPerDay;
+    case Granularity::kWeekly: return 7 * util::kHoursPerDay;
+    case Granularity::kDaily: return util::kHoursPerDay;
+    case Granularity::kHourly: return 1;
+  }
+  return util::kHoursPerDay;
+}
+
+/// Periods in the study window at `g` (the last period may be partial).
+[[nodiscard]] std::size_t num_periods(const Fleet& fleet, Granularity g);
+
+class FailureMetrics {
+ public:
+  /// Indexes `log` against `fleet`. False positives are dropped.
+  FailureMetrics(const Fleet& fleet, const TicketLog& log);
+
+  [[nodiscard]] const Fleet& fleet() const noexcept { return *fleet_; }
+
+  // -- λ ----------------------------------------------------------------------
+  /// Tickets of `fault` opened against `rack` on `day`.
+  [[nodiscard]] std::uint32_t count(std::int32_t rack_id, util::DayIndex day,
+                                    FaultType fault) const;
+  /// All hardware tickets opened against `rack` on `day`.
+  [[nodiscard]] std::uint32_t hardware_count(std::int32_t rack_id,
+                                             util::DayIndex day) const;
+  /// All (any category) tickets opened against `rack` on `day`.
+  [[nodiscard]] std::uint32_t total_count(std::int32_t rack_id,
+                                          util::DayIndex day) const;
+
+  // -- µ ----------------------------------------------------------------------
+  /// Number of DISTINCT devices of `kind` belonging to `rack` that were down
+  /// at some point during each period, as a series over the window.
+  ///
+  /// Device attribution follows Q1-B's split: disk faults down a disk, memory
+  /// faults a DIMM, all other hardware faults the server. For
+  /// `DeviceKind::kServer` with `server_level_all = true` (Q1-A's view),
+  /// EVERY hardware fault — including disk and memory — downs its server,
+  /// since without component spares the whole server awaits repair.
+  [[nodiscard]] std::vector<std::uint16_t> mu_series(std::int32_t rack_id,
+                                                     DeviceKind kind, Granularity g,
+                                                     bool server_level_all = false) const;
+
+  /// µ as a fraction of the rack's device count of `kind` (its servers for
+  /// kServer), one value per period — the over-provisioning unit Q1 uses.
+  [[nodiscard]] std::vector<double> mu_fraction_series(std::int32_t rack_id,
+                                                       DeviceKind kind, Granularity g,
+                                                       bool server_level_all = false) const;
+
+ private:
+  const Fleet* fleet_;
+  std::size_t num_days_ = 0;
+  /// Dense per-(rack, day, fault) open counts.
+  std::vector<std::uint16_t> counts_;
+  /// Hardware true-positive tickets grouped by rack.
+  struct Outage {
+    util::HourIndex open = 0;
+    util::HourIndex close = 0;
+    std::int32_t device_key = 0;  ///< unique within (rack, kind)
+    DeviceKind kind = DeviceKind::kServer;
+    std::int16_t server_index = 0;
+  };
+  std::vector<std::vector<Outage>> outages_by_rack_;
+
+  [[nodiscard]] std::size_t count_index(std::int32_t rack_id, util::DayIndex day,
+                                        FaultType fault) const;
+};
+
+}  // namespace rainshine::core

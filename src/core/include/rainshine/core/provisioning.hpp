@@ -1,0 +1,98 @@
+// Q1 — spare-capacity provisioning (paper §VI, Figs. 10-13, Table IV).
+//
+// Three estimators of the spare fraction each rack needs to meet an
+// availability SLA, all driven by the concurrent-failure metric µ:
+//
+//   LB (lower bound)  — clairvoyant: each rack provisioned from its own
+//                       measured µ distribution. Unachievable before
+//                       deployment; the comparison floor.
+//   SF (single factor)— one pooled µ CDF per workload; every rack of the
+//                       workload gets the same conservative fraction.
+//   MF (multi factor) — racks clustered by a CART tree over the static
+//                       factors of Table III; each cluster provisioned from
+//                       its own pooled CDF. New racks can be provisioned by
+//                       the cluster they fall into.
+//
+// The availability SLA (e.g. 95%) is read as: in at least that fraction of
+// periods, spares must cover every concurrently-failed device. 100% means
+// covering the worst period observed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rainshine/cart/tree.hpp"
+#include "rainshine/core/observations.hpp"
+#include "rainshine/tco/cost_model.hpp"
+
+namespace rainshine::core {
+
+struct ProvisioningOptions {
+  Granularity granularity = Granularity::kDaily;
+  std::vector<double> slas = {0.90, 0.95, 1.0};
+  /// CART growth settings for the MF cluster tree. The tree fits one row
+  /// per rack (response = the rack's own tail requirement), so node-size
+  /// floors are rack counts.
+  cart::Config tree_config{.min_samples_split = 10, .min_samples_leaf = 4,
+                           .max_depth = 6, .cp = 0.005};
+};
+
+/// One MF cluster: racks grouped under one tree leaf.
+struct Cluster {
+  std::string rule;  ///< root-to-leaf path, e.g. "dc in {DC1} & age_months < 6"
+  std::vector<std::int32_t> rack_ids;
+  std::size_t servers = 0;
+  /// Spare fraction required per SLA (parallel to options.slas).
+  std::vector<double> requirement;
+  /// Deciles (0%,10%,...,100%) of the cluster's pooled per-period µ
+  /// fraction — the CDF curves of Fig. 11.
+  std::vector<double> mu_fraction_deciles;
+};
+
+/// Results for one approach: overall over-provisioned capacity (percent of
+/// deployed servers) per SLA.
+struct ApproachResult {
+  std::vector<double> overprovision_pct;
+};
+
+struct ServerProvisioningStudy {
+  simdc::WorkloadId workload{};
+  std::vector<double> slas;
+  ApproachResult lb;
+  ApproachResult sf;
+  ApproachResult mf;
+  std::vector<Cluster> clusters;          ///< MF clusters
+  std::vector<double> sf_mu_deciles;      ///< pooled CDF (Fig. 11's SF curve)
+  std::vector<cart::Importance> factors;  ///< cluster-tree factor ranking
+};
+
+/// Q1-A: server-level spares. Every hardware failure pins its server until
+/// repair (no component spares exist in this regime).
+[[nodiscard]] ServerProvisioningStudy provision_servers(
+    const FailureMetrics& metrics, const simdc::EnvironmentModel& env,
+    simdc::WorkloadId workload, const ProvisioningOptions& options = {});
+
+/// Q1-B: component-level spares (Fig. 13). Disk and DIMM failures draw on
+/// rack-level component spare pools; remaining hardware failures still need
+/// server spares. Reported as spare cost (% of the population's server
+/// capex) for each approach at one SLA, against the server-level cost.
+struct ComponentProvisioningStudy {
+  simdc::WorkloadId workload{};
+  double sla = 1.0;
+  /// Per-approach spare cost, % of deployed-server capex.
+  struct Costs {
+    double component_level = 0.0;  ///< disk pool + DIMM pool + server spares for the rest
+    double server_level = 0.0;     ///< everything covered by server spares
+  };
+  Costs lb;
+  Costs sf;
+  Costs mf;
+  std::vector<cart::Importance> factors;  ///< component cluster-tree ranking
+};
+
+[[nodiscard]] ComponentProvisioningStudy provision_components(
+    const FailureMetrics& metrics, const simdc::EnvironmentModel& env,
+    simdc::WorkloadId workload, double sla, const tco::CostModel& costs,
+    const ProvisioningOptions& options = {});
+
+}  // namespace rainshine::core

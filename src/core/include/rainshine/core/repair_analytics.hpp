@@ -1,0 +1,69 @@
+// Repair/downtime analytics — the OpEx side of the paper's "what, when and
+// why" characterization (§II's operational decisions: "is it better to
+// replace or service?", "which vendor's product has lower repair costs?").
+//
+// From the same RMA stream the decision studies consume, these helpers
+// summarize mean-time-to-repair (MTTR), mean-time-between-failures (MTBF)
+// per rack, downtime fractions, and Kaplan-Meier server survival per cohort
+// (SKU / DC / workload), with the window's right-censoring handled properly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rainshine/core/metrics.hpp"
+#include "rainshine/stats/survival.hpp"
+
+namespace rainshine::core {
+
+/// Repair-time summary for one slice of the ticket stream.
+struct RepairSummary {
+  std::string label;
+  std::size_t tickets = 0;
+  double mttr_hours = 0.0;    ///< mean time to repair
+  double median_hours = 0.0;
+  double p95_hours = 0.0;
+};
+
+/// MTTR per fault type over true-positive hardware tickets.
+[[nodiscard]] std::vector<RepairSummary> mttr_by_fault(const Fleet& fleet,
+                                                       const TicketLog& log);
+
+/// MTTR per SKU (vendor serviceability — the paper's "which vendor's
+/// product has lower repair costs?").
+[[nodiscard]] std::vector<RepairSummary> mttr_by_sku(const Fleet& fleet,
+                                                     const TicketLog& log);
+
+/// Rack-level availability summary over the window.
+struct RackAvailability {
+  std::int32_t rack_id = 0;
+  double server_downtime_fraction = 0.0;  ///< server-hours down / server-hours in service
+  /// Rack MTBF: in-service days / hardware tickets. 0 when the rack logged
+  /// no hardware ticket (read as "no failure observed", not "MTBF zero").
+  double mtbf_days = 0.0;
+  std::size_t hardware_tickets = 0;
+};
+
+/// Downtime and MTBF per rack over the observation window.
+[[nodiscard]] std::vector<RackAvailability> rack_availability(
+    const FailureMetrics& metrics, const TicketLog& log);
+
+/// Time-to-first-hardware-failure survival per cohort value (e.g. per SKU):
+/// each server is a subject observed from its rack's commission (or window
+/// start) until its first hardware ticket (event) or the window end
+/// (censored). Returns (label, curve) pairs.
+struct CohortSurvival {
+  std::string label;
+  std::vector<stats::KmPoint> curve;
+  double median_days = 0.0;           ///< NaN if never reaching 50%
+  double rmst_days = 0.0;             ///< restricted mean survival over the window
+  std::size_t servers = 0;
+  std::size_t failures = 0;
+};
+
+enum class Cohort : std::uint8_t { kSku, kDataCenter, kWorkload };
+
+[[nodiscard]] std::vector<CohortSurvival> server_survival_by(
+    const Fleet& fleet, const TicketLog& log, Cohort cohort);
+
+}  // namespace rainshine::core

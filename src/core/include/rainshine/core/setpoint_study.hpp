@@ -1,0 +1,59 @@
+// Q3 closed loop — set-point cost/reliability trade-off.
+//
+// The paper stops at identifying SAFE environmental ranges and notes that
+// "a more extensive analysis (considering cost of environment control) is
+// required to minimize overall TCO" (§VI Q3). This module is that analysis:
+// for a sweep of cooling set-point offsets in one DC it evaluates, under
+// the fitted (here: ground-truth) hazard model,
+//
+//   * the expected hardware failure volume per year (counterfactual
+//     environment -> hazard expectations; no re-simulation noise),
+//   * the resulting repair opex (tco::CostModel::repair_event_cost),
+//   * the cooling energy cost (warmer set points save compressor /
+//     evaporation energy; tco::CoolingModel),
+//
+// and reports the total, exposing the interior optimum an operator should
+// run at.
+#pragma once
+
+#include <vector>
+
+#include "rainshine/core/metrics.hpp"
+#include "rainshine/tco/cost_model.hpp"
+
+namespace rainshine::core {
+
+struct SetpointOptions {
+  simdc::DataCenterId dc = simdc::DataCenterId::kDC1;
+  /// Set-point deltas (F) to evaluate, relative to the current setting.
+  std::vector<double> offsets_f = {-4, -2, 0, 2, 4, 6, 8};
+  /// Day stride for the expectation sums (deterministic thinning).
+  std::int32_t day_stride = 3;
+};
+
+struct SetpointPoint {
+  double offset_f = 0.0;
+  /// Expected hardware failures per year in the studied DC.
+  double hw_failures_per_year = 0.0;
+  double repair_cost_per_year = 0.0;   ///< failures x repair_event_cost
+  double cooling_cost_per_year = 0.0;  ///< tco::CoolingModel at this offset
+  double total_cost_per_year = 0.0;
+};
+
+struct SetpointStudy {
+  simdc::DataCenterId dc{};
+  std::vector<SetpointPoint> points;  ///< in offsets_f order
+  /// Index into `points` of the cost-minimal offset.
+  std::size_t best = 0;
+};
+
+/// Sweeps the offsets. The hazard CONFIG is held fixed (same physics);
+/// only the environment the racks see changes. Deterministic.
+[[nodiscard]] SetpointStudy setpoint_tradeoff(const simdc::Fleet& fleet,
+                                              const simdc::EnvironmentModel& env,
+                                              const simdc::HazardConfig& hazard_config,
+                                              const tco::CostModel& costs,
+                                              const tco::CoolingModel& cooling,
+                                              const SetpointOptions& options = {});
+
+}  // namespace rainshine::core

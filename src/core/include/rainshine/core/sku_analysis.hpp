@@ -1,0 +1,70 @@
+// Q2 — SKU/vendor reliability comparison (paper §VI, Figs. 14-15).
+//
+// Two metrics per SKU at rack-day granularity: peak failure rate µmax (spare
+// capacity → CapEx) and average failure rate λ (service frequency → OpEx).
+// The SF view is a straight per-SKU histogram of those metrics; the MF view
+// normalizes away the other factors (DC, rated power, workload, commission
+// year — the paper's λ ~ SKU, N(DC), N(RatedPower), N(Workload),
+// N(CommissionYear)) via the residualization in cart/partial.hpp, isolating
+// the vendor-quality signal and shrinking the per-SKU spread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rainshine/cart/partial.hpp"
+#include "rainshine/core/observations.hpp"
+#include "rainshine/tco/cost_model.hpp"
+
+namespace rainshine::core {
+
+struct SkuMetrics {
+  std::string sku;
+  std::size_t racks = 0;
+  double mean_lambda = 0.0;    ///< mean hardware tickets per rack-day
+  double lambda_stddev = 0.0;  ///< spread across rack-days
+  double peak_mu = 0.0;        ///< mean over racks of each rack's peak µ
+  double peak_mu_stddev = 0.0;
+};
+
+struct SkuStudy {
+  /// Raw single-factor metrics per SKU (Fig. 14), for the SKUs present.
+  std::vector<SkuMetrics> sf;
+  /// Residualized multi-factor view of the same SKUs (Fig. 15's per-SKU
+  /// normalized λ; label/mean/stddev per level).
+  std::vector<cart::EffectLevel> mf_lambda;
+  /// Residualized view of per-rack peak µ.
+  std::vector<cart::EffectLevel> mf_peak_mu;
+};
+
+struct SkuAnalysisOptions {
+  /// SKUs to report (paper narrows to S1-S4). Empty = all present.
+  std::vector<simdc::SkuId> skus = {simdc::SkuId::kS1, simdc::SkuId::kS2,
+                                    simdc::SkuId::kS3, simdc::SkuId::kS4};
+  std::int32_t day_stride = 1;
+  cart::Config nuisance_tree{.min_samples_split = 200, .min_samples_leaf = 80,
+                             .max_depth = 8, .cp = 0.001};
+};
+
+[[nodiscard]] SkuStudy compare_skus(const FailureMetrics& metrics,
+                                    const simdc::EnvironmentModel& env,
+                                    const SkuAnalysisOptions& options = {});
+
+/// The paper's TCO illustration: savings from procuring `candidate` instead
+/// of `incumbent` under each approach's failure-rate estimates, for a given
+/// price ratio. Rates are per-rack-day hardware tickets; spare fractions
+/// come from the peak metric scaled to the SKU's servers per rack.
+struct SkuTcoScenario {
+  double price_ratio = 1.0;  ///< candidate price / incumbent price
+  double sf_savings_pct = 0.0;
+  double mf_savings_pct = 0.0;
+};
+
+[[nodiscard]] SkuTcoScenario sku_tco_scenario(const SkuStudy& study,
+                                              const std::string& candidate,
+                                              const std::string& incumbent,
+                                              double price_ratio,
+                                              const tco::CostModel& costs,
+                                              double years = 3.0);
+
+}  // namespace rainshine::core

@@ -1,0 +1,167 @@
+#include "rainshine/core/environment_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::core {
+
+namespace {
+
+/// Split found on a feature, together with the DC restriction active on the
+/// path above it.
+struct FoundSplit {
+  std::optional<std::string> dc;  ///< set iff the path pins a single DC
+  double threshold = 0.0;
+  double improve = 0.0;
+  bool under_hot_branch = false;  ///< path already contains temp_f >= t
+};
+
+/// Walks the tree collecting temperature and RH splits with their DC
+/// context. `dc_f`, `temp_f`, `rh_f` are feature indices in the tree.
+void collect_splits(const cart::Tree& tree, std::size_t node_id,
+                    std::optional<std::string> dc_restriction, bool under_hot,
+                    std::size_t dc_f, std::size_t temp_f, std::size_t rh_f,
+                    std::vector<FoundSplit>& temp_splits,
+                    std::vector<FoundSplit>& rh_splits) {
+  const cart::Node& node = tree.nodes()[node_id];
+  if (node.is_leaf()) return;
+
+  if (node.feature == temp_f && !node.categorical) {
+    temp_splits.push_back({dc_restriction, node.threshold, node.improve, under_hot});
+  }
+  if (node.feature == rh_f && !node.categorical) {
+    rh_splits.push_back({dc_restriction, node.threshold, node.improve, under_hot});
+  }
+
+  // Child-side DC restriction: a categorical dc split that isolates exactly
+  // one level pins that side to a DC.
+  const auto child_dc = [&](bool left_side) -> std::optional<std::string> {
+    if (dc_restriction) return dc_restriction;
+    if (node.feature != dc_f || !node.categorical) return std::nullopt;
+    const auto& labels = tree.features()[dc_f].labels;
+    std::optional<std::string> only;
+    int members = 0;
+    for (std::size_t c = 0; c < node.go_left.size(); ++c) {
+      if ((node.go_left[c] != 0) == left_side) {
+        ++members;
+        if (c < labels.size()) only = labels[c];
+      }
+    }
+    return members == 1 ? only : std::nullopt;
+  };
+  const auto child_hot = [&](bool left_side) {
+    // temp_f >= threshold is the RIGHT side of a numeric split.
+    return under_hot || (node.feature == temp_f && !node.categorical && !left_side);
+  };
+
+  collect_splits(tree, static_cast<std::size_t>(node.left), child_dc(true),
+                 child_hot(true), dc_f, temp_f, rh_f, temp_splits, rh_splits);
+  collect_splits(tree, static_cast<std::size_t>(node.right), child_dc(false),
+                 child_hot(false), dc_f, temp_f, rh_f, temp_splits, rh_splits);
+}
+
+std::optional<double> best_threshold(const std::vector<FoundSplit>& splits,
+                                     const std::string& dc, bool want_hot_branch) {
+  const FoundSplit* best = nullptr;
+  for (const FoundSplit& s : splits) {
+    // A split applies to `dc` if its path pins that DC, or pins nothing
+    // (it acts on both DCs).
+    if (s.dc && *s.dc != dc) continue;
+    if (want_hot_branch && !s.under_hot_branch) continue;
+    if (!best || s.improve > best->improve) best = &s;
+  }
+  return best ? std::optional<double>(best->threshold) : std::nullopt;
+}
+
+}  // namespace
+
+EnvironmentStudy analyze_environment(const FailureMetrics& metrics,
+                                     const simdc::EnvironmentModel& env,
+                                     const EnvironmentOptions& options) {
+  ObservationOptions obs;
+  obs.day_stride = options.day_stride;
+  obs.include_mu = false;
+  const table::Table tbl = rack_day_table(metrics, env, obs);
+
+  EnvironmentStudy study;
+
+  // -- SF views (Figs. 16-17) --------------------------------------------------
+  {
+    stats::Binner binner(options.temp_edges, /*open_ended=*/true);
+    stats::BinnedStats all_stats(binner);
+    stats::BinnedStats disk_stats(binner);
+    const table::Column& temp = tbl.column(col::kTempF);
+    const table::Column& all = tbl.column(col::kLambdaAll);
+    const table::Column& disk = tbl.column(col::kLambdaDisk);
+    for (std::size_t r = 0; r < tbl.num_rows(); ++r) {
+      all_stats.add(temp.as_double(r), all.as_double(r));
+      disk_stats.add(temp.as_double(r), disk.as_double(r));
+    }
+    study.all_by_temp = all_stats.rows();
+    study.disk_by_temp = disk_stats.rows();
+  }
+
+  // -- MF tree on disk failures -------------------------------------------------
+  const std::vector<std::string> features = {
+      col::kDc,      col::kTempF,    col::kRh,
+      col::kSku,     col::kWorkload, col::kPowerKw,
+      col::kAgeMonths, col::kCommissionYear};
+  const cart::Dataset data(tbl, col::kLambdaDisk, features, cart::Task::kRegression);
+  const cart::Tree tree = cart::grow(data, options.tree_config);
+  study.factors = tree.variable_importance();
+  study.tree_dump = tree.to_string();
+
+  const std::size_t dc_f = *data.feature_index(col::kDc);
+  const std::size_t temp_f = *data.feature_index(col::kTempF);
+  const std::size_t rh_f = *data.feature_index(col::kRh);
+  std::vector<FoundSplit> temp_splits;
+  std::vector<FoundSplit> rh_splits;
+  collect_splits(tree, 0, std::nullopt, false, dc_f, temp_f, rh_f, temp_splits,
+                 rh_splits);
+  study.dc1_temp_split = best_threshold(temp_splits, "DC1", false);
+  study.dc2_temp_split = best_threshold(temp_splits, "DC2", false);
+  study.dc1_rh_split = best_threshold(rh_splits, "DC1", /*want_hot_branch=*/true);
+
+  // -- Fig. 18 cells at the discovered thresholds -------------------------------
+  const double hot = study.dc1_temp_split.value_or(78.0);
+  const double dry = study.dc1_rh_split.value_or(25.0);
+  const table::Column& dc_col = tbl.column(col::kDc);
+  const table::Column& temp_col = tbl.column(col::kTempF);
+  const table::Column& rh_col = tbl.column(col::kRh);
+  const table::Column& disk_col = tbl.column(col::kLambdaDisk);
+
+  const std::string hot_label = util::format_double(hot, 1);
+  const std::string dry_label = util::format_double(dry, 1);
+  for (const std::string dc : {"DC1", "DC2"}) {
+    const std::int32_t dc_code = dc_col.code_of(dc);
+    struct Cond {
+      std::string name;
+      std::function<bool(double, double)> pred;  // (temp, rh)
+    };
+    const std::vector<Cond> conds = {
+        {"T<=" + hot_label + "F",
+         [&](double t, double /*rh*/) { return t <= hot; }},
+        {"T>" + hot_label + "F", [&](double t, double /*rh*/) { return t > hot; }},
+        {"T>" + hot_label + "F & RH<=" + dry_label + "%",
+         [&](double t, double rh) { return t > hot && rh <= dry; }},
+        {"All", [](double, double) { return true; }},
+    };
+    for (const Cond& cond : conds) {
+      stats::Accumulator acc;
+      for (std::size_t r = 0; r < tbl.num_rows(); ++r) {
+        if (dc_col.nominal_codes()[r] != dc_code) continue;
+        if (!cond.pred(temp_col.as_double(r), rh_col.as_double(r))) continue;
+        acc.add(disk_col.as_double(r));
+      }
+      study.cells.push_back(
+          {dc, cond.name, acc.count(), acc.mean(), acc.sample_stddev()});
+    }
+  }
+  return study;
+}
+
+}  // namespace rainshine::core

@@ -1,0 +1,135 @@
+#include "rainshine/core/metrics.hpp"
+
+#include <algorithm>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+
+std::size_t num_periods(const Fleet& fleet, Granularity g) {
+  const auto hours =
+      static_cast<std::int64_t>(fleet.spec().num_days) * util::kHoursPerDay;
+  const std::int64_t hpp = hours_per_period(g);
+  return static_cast<std::size_t>((hours + hpp - 1) / hpp);
+}
+
+FailureMetrics::FailureMetrics(const Fleet& fleet, const TicketLog& log)
+    : fleet_(&fleet), num_days_(static_cast<std::size_t>(fleet.spec().num_days)) {
+  counts_.assign(fleet.num_racks() * num_days_ * simdc::kNumFaultTypes, 0);
+  outages_by_rack_.resize(fleet.num_racks());
+
+  for (const simdc::Ticket& t : log.tickets()) {
+    if (!t.true_positive) continue;  // engineers filter these out (§IV)
+    const auto day = t.open_day();
+    if (day < 0 || static_cast<std::size_t>(day) >= num_days_) continue;
+    auto& cell = counts_[count_index(t.rack_id, day, t.fault)];
+    if (cell < std::numeric_limits<std::uint16_t>::max()) ++cell;
+
+    if (!simdc::is_hardware(t.fault)) continue;
+    const simdc::DeviceKind kind = simdc::device_kind_of(t.fault);
+    Outage o;
+    o.open = t.open_hour;
+    o.close = t.close_hour;
+    o.kind = kind;
+    o.server_index = t.server_index;
+    // Device key unique within (rack, kind): component outages key on
+    // (server, slot); server outages on the server slot.
+    o.device_key = kind == DeviceKind::kServer
+                       ? t.server_index
+                       : t.server_index * 1024 + t.component_index;
+    outages_by_rack_[static_cast<std::size_t>(t.rack_id)].push_back(o);
+  }
+}
+
+std::size_t FailureMetrics::count_index(std::int32_t rack_id, util::DayIndex day,
+                                        FaultType fault) const {
+  util::require(rack_id >= 0 && static_cast<std::size_t>(rack_id) < fleet_->num_racks(),
+                "rack id out of range");
+  util::require(day >= 0 && static_cast<std::size_t>(day) < num_days_,
+                "day out of range");
+  return (static_cast<std::size_t>(rack_id) * num_days_ +
+          static_cast<std::size_t>(day)) *
+             simdc::kNumFaultTypes +
+         static_cast<std::size_t>(fault);
+}
+
+std::uint32_t FailureMetrics::count(std::int32_t rack_id, util::DayIndex day,
+                                    FaultType fault) const {
+  return counts_[count_index(rack_id, day, fault)];
+}
+
+std::uint32_t FailureMetrics::hardware_count(std::int32_t rack_id,
+                                             util::DayIndex day) const {
+  std::uint32_t total = 0;
+  for (const FaultType f : simdc::kAllFaultTypes) {
+    if (simdc::is_hardware(f)) total += count(rack_id, day, f);
+  }
+  return total;
+}
+
+std::uint32_t FailureMetrics::total_count(std::int32_t rack_id,
+                                          util::DayIndex day) const {
+  std::uint32_t total = 0;
+  for (const FaultType f : simdc::kAllFaultTypes) total += count(rack_id, day, f);
+  return total;
+}
+
+std::vector<std::uint16_t> FailureMetrics::mu_series(std::int32_t rack_id,
+                                                     DeviceKind kind, Granularity g,
+                                                     bool server_level_all) const {
+  util::require(rack_id >= 0 && static_cast<std::size_t>(rack_id) < fleet_->num_racks(),
+                "rack id out of range");
+  util::require(!server_level_all || kind == DeviceKind::kServer,
+                "server_level_all only applies to DeviceKind::kServer");
+  const std::size_t periods = num_periods(*fleet_, g);
+  const std::int64_t hpp = hours_per_period(g);
+  const auto window_end = static_cast<util::HourIndex>(
+      static_cast<std::int64_t>(fleet_->spec().num_days) * util::kHoursPerDay);
+
+  // Gather (period, device) pairs, then count distinct devices per period.
+  std::vector<std::pair<std::uint32_t, std::int32_t>> hits;
+  for (const Outage& o : outages_by_rack_[static_cast<std::size_t>(rack_id)]) {
+    std::int32_t device;
+    if (server_level_all) {
+      device = o.server_index;  // every hardware fault pins its server
+    } else if (o.kind == kind) {
+      device = o.device_key;
+    } else {
+      continue;
+    }
+    const util::HourIndex open = std::max<util::HourIndex>(o.open, 0);
+    const util::HourIndex close = std::min(o.close, window_end);
+    for (util::HourIndex h = open; h < close; h += hpp) {
+      const auto period = static_cast<std::uint32_t>(h / hpp);
+      hits.emplace_back(period, device);
+      // Align subsequent steps to period boundaries.
+      h = static_cast<util::HourIndex>(period) * hpp;
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+
+  std::vector<std::uint16_t> mu(periods, 0);
+  for (const auto& [period, device] : hits) {
+    if (mu[period] < std::numeric_limits<std::uint16_t>::max()) ++mu[period];
+  }
+  return mu;
+}
+
+std::vector<double> FailureMetrics::mu_fraction_series(std::int32_t rack_id,
+                                                       DeviceKind kind, Granularity g,
+                                                       bool server_level_all) const {
+  const std::vector<std::uint16_t> mu = mu_series(rack_id, kind, g, server_level_all);
+  const Rack& rack = fleet_->rack(rack_id);
+  double denom = 0.0;
+  switch (kind) {
+    case DeviceKind::kServer: denom = rack.servers(); break;
+    case DeviceKind::kDisk: denom = rack.disks(); break;
+    case DeviceKind::kDimm: denom = rack.dimms(); break;
+  }
+  std::vector<double> out(mu.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) out[i] = mu[i] / denom;
+  return out;
+}
+
+}  // namespace rainshine::core

@@ -1,0 +1,150 @@
+#include "rainshine/core/observations.hpp"
+
+#include <optional>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+
+namespace {
+
+table::Table build(const FailureMetrics& metrics, const simdc::EnvironmentModel& env,
+                   std::optional<simdc::WorkloadId> workload,
+                   const ObservationOptions& opt) {
+  util::require(opt.day_stride >= 1, "day_stride must be >= 1");
+  util::require(!opt.include_mu || opt.mu_granularity == Granularity::kDaily ||
+                    opt.mu_granularity == Granularity::kHourly,
+                "observation rows are per-day; µ granularity must be daily or hourly");
+  const Fleet& fleet = metrics.fleet();
+  const util::Calendar& cal = fleet.calendar();
+
+  table::TableBuilder b;
+  b.add_nominal(col::kRack)
+      .add_nominal(col::kDc)
+      .add_nominal(col::kRegion)
+      .add_nominal(col::kSku)
+      .add_nominal(col::kWorkload)
+      .add_continuous(col::kPowerKw)
+      .add_continuous(col::kAgeMonths)
+      .add_ordinal(col::kCommissionYear)
+      .add_ordinal(col::kDay)
+      .add_nominal(col::kWeekday)
+      .add_nominal(col::kMonth)
+      .add_ordinal(col::kYear)
+      .add_continuous(col::kTempF)
+      .add_continuous(col::kRh)
+      .add_continuous(col::kLambdaAll)
+      .add_continuous(col::kLambdaHw)
+      .add_continuous(col::kLambdaDisk)
+      .add_continuous(col::kLambdaMem);
+  if (opt.include_mu) {
+    b.add_continuous(col::kMuServer)
+        .add_continuous(col::kMuServerFrac)
+        .add_continuous(col::kMuServerOther)
+        .add_continuous(col::kMuServerOtherFrac)
+        .add_continuous(col::kMuDisk)
+        .add_continuous(col::kMuDiskFrac)
+        .add_continuous(col::kMuDimm)
+        .add_continuous(col::kMuDimmFrac);
+  }
+
+  for (const simdc::Rack& rack : fleet.racks()) {
+    if (workload && rack.workload != *workload) continue;
+
+    // µ series are only materialized when requested; the daily index maps
+    // directly for kDaily, and for kHourly we take the day's peak so the
+    // row stays one-per-day.
+    std::vector<std::uint16_t> mu_server;
+    std::vector<std::uint16_t> mu_server_other;
+    std::vector<std::uint16_t> mu_disk;
+    std::vector<std::uint16_t> mu_dimm;
+    if (opt.include_mu) {
+      mu_server = metrics.mu_series(rack.id, DeviceKind::kServer,
+                                    opt.mu_granularity, /*server_level_all=*/true);
+      mu_server_other =
+          metrics.mu_series(rack.id, DeviceKind::kServer, opt.mu_granularity);
+      mu_disk = metrics.mu_series(rack.id, DeviceKind::kDisk, opt.mu_granularity);
+      mu_dimm = metrics.mu_series(rack.id, DeviceKind::kDimm, opt.mu_granularity);
+    }
+    const auto mu_at = [&](const std::vector<std::uint16_t>& series,
+                           util::DayIndex day) -> double {
+      if (opt.mu_granularity == Granularity::kDaily) {
+        return series[static_cast<std::size_t>(day)];
+      }
+      std::uint16_t peak = 0;
+      const std::size_t base = static_cast<std::size_t>(day) * util::kHoursPerDay;
+      for (std::size_t h = 0; h < util::kHoursPerDay; ++h) {
+        peak = std::max(peak, series[base + h]);
+      }
+      return peak;
+    };
+
+    const std::int32_t commission_year = cal.year_offset(rack.commission_day);
+
+    for (util::DayIndex day = 0; day < fleet.spec().num_days;
+         day += opt.day_stride) {
+      if (opt.skip_pre_commission && day < rack.commission_day) continue;
+      const simdc::Conditions c = env.daily_mean(rack, day);
+
+      b.begin_row();
+      b.set(col::kRack, std::string_view("R" + std::to_string(rack.id)));
+      b.set(col::kDc, simdc::to_string(rack.dc));
+      b.set(col::kRegion, std::string_view(rack.region_label()));
+      b.set(col::kSku, simdc::to_string(rack.sku));
+      b.set(col::kWorkload, simdc::to_string(rack.workload));
+      b.set(col::kPowerKw, rack.rated_power_kw);
+      b.set(col::kAgeMonths, rack.age_months(day));
+      b.set(col::kCommissionYear, commission_year);
+      b.set(col::kDay, day);
+      b.set(col::kWeekday, util::to_string(cal.weekday(day)));
+      b.set(col::kMonth, util::to_string(cal.month(day)));
+      b.set(col::kYear, cal.year_offset(day));
+      b.set(col::kTempF, c.temperature_f);
+      b.set(col::kRh, c.relative_humidity);
+      b.set(col::kLambdaAll, static_cast<double>(metrics.total_count(rack.id, day)));
+      b.set(col::kLambdaHw, static_cast<double>(metrics.hardware_count(rack.id, day)));
+      b.set(col::kLambdaDisk,
+            static_cast<double>(metrics.count(rack.id, day, FaultType::kDiskFailure)));
+      b.set(col::kLambdaMem,
+            static_cast<double>(metrics.count(rack.id, day, FaultType::kMemoryFailure)));
+      if (opt.include_mu) {
+        const double mu_s = mu_at(mu_server, day);
+        const double mu_so = mu_at(mu_server_other, day);
+        const double mu_dk = mu_at(mu_disk, day);
+        const double mu_dm = mu_at(mu_dimm, day);
+        b.set(col::kMuServer, mu_s);
+        b.set(col::kMuServerFrac, mu_s / rack.servers());
+        b.set(col::kMuServerOther, mu_so);
+        b.set(col::kMuServerOtherFrac, mu_so / rack.servers());
+        b.set(col::kMuDisk, mu_dk);
+        b.set(col::kMuDiskFrac, mu_dk / rack.disks());
+        b.set(col::kMuDimm, mu_dm);
+        b.set(col::kMuDimmFrac, mu_dm / rack.dimms());
+      }
+    }
+  }
+  return b.finish();
+}
+
+}  // namespace
+
+table::Table rack_day_table(const FailureMetrics& metrics,
+                            const simdc::EnvironmentModel& env,
+                            const ObservationOptions& options) {
+  return build(metrics, env, std::nullopt, options);
+}
+
+table::Table rack_day_table(const FailureMetrics& metrics,
+                            const simdc::EnvironmentModel& env,
+                            simdc::WorkloadId workload,
+                            const ObservationOptions& options) {
+  return build(metrics, env, workload, options);
+}
+
+std::vector<std::string> static_rack_features() {
+  return {col::kDc,       col::kRegion,        col::kSku,
+          col::kWorkload, col::kPowerKw,       col::kAgeMonths,
+          col::kCommissionYear};
+}
+
+}  // namespace rainshine::core

@@ -1,0 +1,144 @@
+#include "rainshine/core/repair_analytics.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+
+namespace {
+
+RepairSummary summarize(std::string label, std::vector<double>& hours) {
+  RepairSummary s;
+  s.label = std::move(label);
+  s.tickets = hours.size();
+  if (hours.empty()) return s;
+  std::sort(hours.begin(), hours.end());
+  s.mttr_hours = stats::mean(hours);
+  s.median_hours = stats::quantile_sorted(hours, 0.5);
+  s.p95_hours = stats::quantile_sorted(hours, 0.95);
+  return s;
+}
+
+template <typename KeyFn>
+std::vector<RepairSummary> mttr_grouped(const Fleet& fleet, const TicketLog& log,
+                                        KeyFn key_of) {
+  std::map<std::string, std::vector<double>> groups;
+  for (const simdc::Ticket* t : log.hardware_true_positives()) {
+    groups[key_of(*t, fleet)].push_back(t->repair_hours());
+  }
+  std::vector<RepairSummary> out;
+  for (auto& [label, hours] : groups) out.push_back(summarize(label, hours));
+  return out;
+}
+
+}  // namespace
+
+std::vector<RepairSummary> mttr_by_fault(const Fleet& fleet, const TicketLog& log) {
+  return mttr_grouped(fleet, log, [](const simdc::Ticket& t, const Fleet&) {
+    return std::string(to_string(t.fault));
+  });
+}
+
+std::vector<RepairSummary> mttr_by_sku(const Fleet& fleet, const TicketLog& log) {
+  return mttr_grouped(fleet, log, [](const simdc::Ticket& t, const Fleet& f) {
+    return std::string(to_string(f.rack(t.rack_id).sku));
+  });
+}
+
+std::vector<RackAvailability> rack_availability(const FailureMetrics& metrics,
+                                                const TicketLog& log) {
+  const Fleet& fleet = metrics.fleet();
+  const auto window_hours =
+      static_cast<double>(fleet.spec().num_days) * util::kHoursPerDay;
+
+  std::vector<double> down_hours(fleet.num_racks(), 0.0);
+  std::vector<std::size_t> tickets(fleet.num_racks(), 0);
+  for (const simdc::Ticket* t : log.hardware_true_positives()) {
+    const auto open = std::max<util::HourIndex>(t->open_hour, 0);
+    const auto close =
+        std::min(t->close_hour, static_cast<util::HourIndex>(window_hours));
+    if (close > open) {
+      down_hours[static_cast<std::size_t>(t->rack_id)] +=
+          static_cast<double>(close - open);
+    }
+    ++tickets[static_cast<std::size_t>(t->rack_id)];
+  }
+
+  std::vector<RackAvailability> out;
+  out.reserve(fleet.num_racks());
+  for (const simdc::Rack& rack : fleet.racks()) {
+    RackAvailability a;
+    a.rack_id = rack.id;
+    a.hardware_tickets = tickets[static_cast<std::size_t>(rack.id)];
+    const double in_service_days = static_cast<double>(
+        fleet.spec().num_days - std::max(0, rack.commission_day));
+    if (in_service_days > 0.0) {
+      const double server_hours =
+          in_service_days * util::kHoursPerDay * rack.servers();
+      a.server_downtime_fraction =
+          down_hours[static_cast<std::size_t>(rack.id)] / server_hours;
+      if (a.hardware_tickets > 0) {
+        a.mtbf_days = in_service_days / static_cast<double>(a.hardware_tickets);
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<CohortSurvival> server_survival_by(const Fleet& fleet,
+                                               const TicketLog& log,
+                                               Cohort cohort) {
+  const auto label_of = [&](const simdc::Rack& rack) -> std::string {
+    switch (cohort) {
+      case Cohort::kSku: return std::string(to_string(rack.sku));
+      case Cohort::kDataCenter: return std::string(to_string(rack.dc));
+      case Cohort::kWorkload: return std::string(to_string(rack.workload));
+    }
+    return "?";
+  };
+
+  // First hardware-failure day per (rack, server).
+  std::map<std::pair<std::int32_t, std::int16_t>, util::DayIndex> first_failure;
+  for (const simdc::Ticket* t : log.hardware_true_positives()) {
+    const auto key = std::make_pair(t->rack_id, t->server_index);
+    const util::DayIndex day = t->open_day();
+    const auto it = first_failure.find(key);
+    if (it == first_failure.end() || day < it->second) first_failure[key] = day;
+  }
+
+  std::map<std::string, std::vector<stats::SurvivalObservation>> cohorts;
+  for (const simdc::Rack& rack : fleet.racks()) {
+    const util::DayIndex start = std::max(0, rack.commission_day);
+    const double window = static_cast<double>(fleet.spec().num_days - start);
+    if (window <= 0.0) continue;
+    auto& subjects = cohorts[label_of(rack)];
+    for (std::int16_t s = 0; s < rack.servers(); ++s) {
+      const auto it = first_failure.find({rack.id, s});
+      if (it != first_failure.end() && it->second >= start) {
+        subjects.push_back({static_cast<double>(it->second - start), true});
+      } else {
+        subjects.push_back({window, false});  // censored at window end
+      }
+    }
+  }
+
+  std::vector<CohortSurvival> out;
+  for (auto& [label, subjects] : cohorts) {
+    CohortSurvival cs;
+    cs.label = label;
+    cs.servers = subjects.size();
+    for (const auto& s : subjects) cs.failures += s.event ? 1 : 0;
+    cs.curve = stats::kaplan_meier(subjects);
+    cs.median_days = stats::median_survival(cs.curve);
+    cs.rmst_days = stats::restricted_mean_survival(
+        cs.curve, static_cast<double>(fleet.spec().num_days));
+    out.push_back(std::move(cs));
+  }
+  return out;
+}
+
+}  // namespace rainshine::core

@@ -1,0 +1,70 @@
+#include "rainshine/core/setpoint_study.hpp"
+
+#include <algorithm>
+
+#include "rainshine/simdc/hazard.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+
+SetpointStudy setpoint_tradeoff(const simdc::Fleet& fleet,
+                                const simdc::EnvironmentModel& env,
+                                const simdc::HazardConfig& hazard_config,
+                                const tco::CostModel& costs,
+                                const tco::CoolingModel& cooling,
+                                const SetpointOptions& options) {
+  util::require(!options.offsets_f.empty(), "need at least one offset");
+  util::require(options.day_stride >= 1, "day_stride must be >= 1");
+
+  std::size_t dc_servers = 0;
+  for (const simdc::Rack* rack : fleet.racks_of(options.dc)) {
+    dc_servers += static_cast<std::size_t>(rack->servers());
+  }
+  util::require(dc_servers > 0, "studied DC has no servers");
+
+  SetpointStudy study;
+  study.dc = options.dc;
+  for (const double offset : options.offsets_f) {
+    // Counterfactual environment with the same weather but a shifted hall
+    // set point; the hazard PHYSICS is unchanged.
+    const simdc::EnvironmentModel what_if =
+        env.with_setpoint_offset(options.dc, offset);
+    const simdc::HazardModel hazard(fleet, what_if, hazard_config);
+
+    // Expected hardware ticket volume: sum of Poisson intensities over the
+    // DC's strided rack-days, scaled back to the full window and
+    // annualized. Expectations, not draws — the sweep is noise-free.
+    double expected = 0.0;
+    for (const simdc::Rack* rack : fleet.racks_of(options.dc)) {
+      for (util::DayIndex day = 0; day < fleet.spec().num_days;
+           day += options.day_stride) {
+        for (const simdc::FaultType fault : simdc::kAllFaultTypes) {
+          if (!simdc::is_hardware(fault)) continue;
+          expected += hazard.rack_day_rate(*rack, day, fault);
+        }
+      }
+    }
+    SetpointPoint point;
+    point.offset_f = offset;
+    point.hw_failures_per_year =
+        expected * static_cast<double>(options.day_stride) /
+        static_cast<double>(fleet.spec().num_days) * 365.25;
+    point.repair_cost_per_year =
+        point.hw_failures_per_year * costs.repair_event_cost;
+    point.cooling_cost_per_year =
+        tco::cooling_cost_per_year(cooling, dc_servers, offset);
+    point.total_cost_per_year =
+        point.repair_cost_per_year + point.cooling_cost_per_year;
+    study.points.push_back(point);
+  }
+
+  study.best = static_cast<std::size_t>(
+      std::min_element(study.points.begin(), study.points.end(),
+                       [](const SetpointPoint& a, const SetpointPoint& b) {
+                         return a.total_cost_per_year < b.total_cost_per_year;
+                       }) -
+      study.points.begin());
+  return study;
+}
+
+}  // namespace rainshine::core

@@ -1,0 +1,36 @@
+// Ticket-log CSV interchange.
+//
+// The analyses don't care whether tickets came from the simulator or a real
+// RMA export: `write_ticket_csv` dumps a log in a flat, documented schema
+// and `read_ticket_csv` loads one back (validating against a fleet), so an
+// operator can run the Q1-Q3 studies on their own data by matching this
+// schema. Columns:
+//
+//   rack_id, server_index, component_index, fault, true_positive,
+//   burst_id, open_hour, close_hour
+//
+// `fault` uses the Table II description strings ("Disk failure", ...);
+// hours are integers since the observation epoch; component_index is -1
+// for server-level faults; burst_id is -1 for independent tickets (leave
+// it -1 for imported data unless you track correlated events).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rainshine/simdc/tickets.hpp"
+
+namespace rainshine::simdc {
+
+void write_ticket_csv(const TicketLog& log, std::ostream& out);
+void write_ticket_csv_file(const TicketLog& log, const std::string& path);
+
+/// Parses a ticket CSV and validates every row against `fleet` (rack ids in
+/// range, server/component slots within the rack's SKU shape, close after
+/// open). Throws util::precondition_error with a row number on any
+/// malformed record.
+[[nodiscard]] TicketLog read_ticket_csv(std::istream& in, const Fleet& fleet);
+[[nodiscard]] TicketLog read_ticket_csv_file(const std::string& path,
+                                             const Fleet& fleet);
+
+}  // namespace rainshine::simdc

@@ -1,0 +1,73 @@
+// RMA ticket stream: the simulator's observable output and the analyses'
+// sole failure-data input (mirroring §IV "Failure Tickets").
+//
+// A ticket records what the paper's RMA system records: which device failed
+// (rack / server slot / component slot), the fault description (Table II
+// taxonomy), when it opened, when the repair resolved it, whether the
+// investigating engineer confirmed a real fault (true positive), and —
+// purely for ground-truth bookkeeping, never consumed by the analyses — the
+// burst event it belonged to, if any.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rainshine/simdc/hazard.hpp"
+
+namespace rainshine::simdc {
+
+struct Ticket {
+  std::int32_t rack_id = 0;
+  std::int16_t server_index = 0;     ///< slot within the rack
+  std::int16_t component_index = -1; ///< disk/DIMM slot within the server; -1 for server-level faults
+  FaultType fault = FaultType::kOther;
+  bool true_positive = true;   ///< engineer confirmed a real fault
+  std::int32_t burst_id = -1;  ///< ground-truth correlated-event id; -1 = independent
+  util::HourIndex open_hour = 0;
+  util::HourIndex close_hour = 0;  ///< exclusive; device unavailable in [open, close)
+
+  [[nodiscard]] util::DayIndex open_day() const noexcept {
+    return util::Calendar::day_of(open_hour);
+  }
+  [[nodiscard]] double repair_hours() const noexcept {
+    return static_cast<double>(close_hour - open_hour);
+  }
+};
+
+/// The full stream for one simulated study window, sorted by open_hour.
+class TicketLog {
+ public:
+  TicketLog() = default;
+  explicit TicketLog(std::vector<Ticket> tickets);
+
+  [[nodiscard]] std::span<const Ticket> tickets() const noexcept { return tickets_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tickets_.size(); }
+
+  /// True-positive tickets only — what every analysis starts from (§IV).
+  [[nodiscard]] std::vector<const Ticket*> true_positives() const;
+  /// True-positive HARDWARE tickets — the decision studies' working set.
+  [[nodiscard]] std::vector<const Ticket*> hardware_true_positives() const;
+
+  /// Ticket count per fault type over true positives (Table II numerator).
+  [[nodiscard]] std::array<std::size_t, kNumFaultTypes> count_by_fault(
+      DataCenterId dc, const Fleet& fleet) const;
+
+ private:
+  std::vector<Ticket> tickets_;
+};
+
+/// Options for the discrete-event sweep.
+struct SimulationOptions {
+  std::uint64_t seed = 1;  ///< ticket-stream seed (independent of fleet seed)
+};
+
+/// Runs the generative model over the whole window: per rack-day Poisson
+/// draws for every fault type, plus the correlated burst process, with
+/// diurnally weighted open hours and lognormal repair times. Deterministic
+/// for fixed (fleet, environment, hazard, options).
+[[nodiscard]] TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
+                                 const HazardModel& hazard,
+                                 SimulationOptions options = {});
+
+}  // namespace rainshine::simdc

@@ -1,0 +1,123 @@
+// Fleet topology: the spatial hierarchy DC -> region -> row -> rack ->
+// server -> {disks, DIMMs}, with the paper's structural parameters
+// (Table I/III): per-DC rack counts, SKU hardware shapes, rack power ratings
+// 4-15 kW, equipment ages 0-5 years, rack-granularity workload assignment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rainshine/simdc/types.hpp"
+#include "rainshine/util/calendar.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::simdc {
+
+/// Hardware shape of a SKU. Storage SKUs pack ~20 servers and many HDDs;
+/// compute SKUs pack >40 servers and ~4 HDDs (paper §IV).
+struct SkuSpec {
+  SkuId id = SkuId::kS1;
+  int servers_per_rack = 24;
+  int disks_per_server = 4;
+  int dimms_per_server = 8;
+  double rated_power_kw = 8.0;  ///< nominal; per-rack rating is jittered around it
+};
+
+/// Built-in SKU table consistent with the paper's description.
+[[nodiscard]] const std::vector<SkuSpec>& default_sku_specs();
+[[nodiscard]] const SkuSpec& sku_spec(SkuId id);
+
+/// A rack: the provisioning and workload-assignment granularity.
+struct Rack {
+  std::int32_t id = 0;          ///< fleet-wide dense index
+  DataCenterId dc = DataCenterId::kDC1;
+  std::int32_t region = 0;      ///< intra-DC region (Fig. 2's DC1-1..DC2-3)
+  std::int32_t row = 0;         ///< row of racks within the DC
+  std::int32_t pos_in_row = 0;  ///< slot within the row (affects airflow)
+  SkuId sku = SkuId::kS1;
+  WorkloadId workload = WorkloadId::kW1;
+  double rated_power_kw = 8.0;      ///< discrete 4-15 kW rating (Fig. 8)
+  std::int32_t commission_day = 0;  ///< day index when the rack entered service
+                                    ///< (negative = before the observation window)
+
+  [[nodiscard]] int servers() const { return sku_spec(sku).servers_per_rack; }
+  [[nodiscard]] int disks() const {
+    return servers() * sku_spec(sku).disks_per_server;
+  }
+  [[nodiscard]] int dimms() const {
+    return servers() * sku_spec(sku).dimms_per_server;
+  }
+  /// Equipment age in months at `day` (clamped at 0 for pre-commission days).
+  [[nodiscard]] double age_months(util::DayIndex day) const {
+    const double days = static_cast<double>(day - commission_day);
+    return days <= 0.0 ? 0.0 : days / 30.44;
+  }
+  /// "DC1-3"-style region label used in Fig. 2.
+  [[nodiscard]] std::string region_label() const;
+};
+
+/// Static description of one datacenter (Table I + Table III ranges).
+struct DataCenterSpec {
+  DataCenterId id = DataCenterId::kDC1;
+  Cooling cooling = Cooling::kAdiabatic;
+  Packaging packaging = Packaging::kContainer;
+  int availability_nines = 3;
+  int num_regions = 4;
+  int num_rows = 18;
+  int racks_per_row = 18;
+
+  [[nodiscard]] int num_racks() const { return num_rows * racks_per_row; }
+};
+
+/// Fleet-construction parameters.
+struct FleetSpec {
+  std::vector<DataCenterSpec> datacenters;
+  /// Observation epoch and window (paper: >2.5 years from 2012).
+  util::CivilDate epoch{2012, 1, 1};
+  util::DayIndex num_days = 913;  // 2.5 years
+  /// Oldest equipment at the start of the window, in months (Table III: 0-5 y).
+  double max_initial_age_months = 54.0;
+  /// Fraction of racks commissioned during (rather than before) the window;
+  /// these young racks exercise the infant-mortality region of Fig. 9.
+  double in_window_commission_fraction = 0.25;
+  std::uint64_t seed = 2017;
+
+  /// The paper-scale default: DC1 331 racks / 18 rows, DC2 290 racks /
+  /// 32 rows, 2.5 years.
+  [[nodiscard]] static FleetSpec paper_default();
+  /// A miniature fleet for fast unit tests (2 small DCs, ~60 days).
+  [[nodiscard]] static FleetSpec test_default();
+};
+
+/// Immutable built topology.
+class Fleet {
+ public:
+  /// Builds racks deterministically from `spec` (layout, SKU/workload
+  /// assignment, power ratings, commission dates all derive from spec.seed).
+  explicit Fleet(FleetSpec spec);
+
+  [[nodiscard]] const FleetSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const util::Calendar& calendar() const noexcept { return calendar_; }
+  [[nodiscard]] const std::vector<Rack>& racks() const noexcept { return racks_; }
+  [[nodiscard]] const Rack& rack(std::int32_t id) const;
+  [[nodiscard]] std::size_t num_racks() const noexcept { return racks_.size(); }
+  [[nodiscard]] std::size_t num_servers() const noexcept { return num_servers_; }
+
+  /// Racks assigned to `workload`.
+  [[nodiscard]] std::vector<const Rack*> racks_of(WorkloadId workload) const;
+  /// Racks of `sku`.
+  [[nodiscard]] std::vector<const Rack*> racks_of(SkuId sku) const;
+  /// Racks in `dc`.
+  [[nodiscard]] std::vector<const Rack*> racks_of(DataCenterId dc) const;
+
+  [[nodiscard]] const DataCenterSpec& dc_spec(DataCenterId id) const;
+
+ private:
+  FleetSpec spec_;
+  util::Calendar calendar_;
+  std::vector<Rack> racks_;
+  std::size_t num_servers_ = 0;
+};
+
+}  // namespace rainshine::simdc

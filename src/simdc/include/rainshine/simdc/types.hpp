@@ -1,0 +1,182 @@
+// Domain vocabulary for the simulated fleet.
+//
+// Encodes the paper's Table I (DC properties), Table II (ticket taxonomy)
+// and Table III (candidate features) as strong types. SKU and workload
+// identifiers deliberately mirror the paper's anonymized names (S1..S7,
+// W1..W7) so reproduced figures can be read against the originals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace rainshine::simdc {
+
+// -- Datacenters (Table I) -----------------------------------------------------
+
+enum class DataCenterId : std::uint8_t { kDC1 = 0, kDC2 = 1 };
+inline constexpr std::size_t kNumDataCenters = 2;
+
+enum class Cooling : std::uint8_t {
+  kAdiabatic,     ///< DC1: evaporative; efficient but tracks outdoor humidity
+  kChilledWater,  ///< DC2: traditional HVAC; tight climate envelope
+};
+
+enum class Packaging : std::uint8_t { kContainer, kColocation };
+
+// -- Hardware SKUs (Table III: S1&3 storage, S2&4 compute, S5&6 mix, S7 HPC) ---
+
+enum class SkuId : std::uint8_t { kS1 = 0, kS2, kS3, kS4, kS5, kS6, kS7 };
+inline constexpr std::size_t kNumSkus = 7;
+
+enum class SkuClass : std::uint8_t { kStorage, kCompute, kMixed, kHpc };
+
+// -- Workloads (Table III: W1&2 compute, W3 HPC, W4&7 storage-compute,
+//    W5&6 storage-data) --------------------------------------------------------
+
+enum class WorkloadId : std::uint8_t { kW1 = 0, kW2, kW3, kW4, kW5, kW6, kW7 };
+inline constexpr std::size_t kNumWorkloads = 7;
+
+enum class WorkloadClass : std::uint8_t {
+  kCompute,
+  kHpc,
+  kStorageCompute,
+  kStorageData,
+};
+
+// -- Failure taxonomy (Table II) ------------------------------------------------
+
+enum class TicketCategory : std::uint8_t { kHardware, kSoftware, kBoot, kOther };
+
+/// Fine-grained fault types exactly as Table II lists them.
+enum class FaultType : std::uint8_t {
+  // Software
+  kSoftwareTimeout = 0,
+  kDeploymentFailure,
+  kNodeAgentCrash,
+  // Boot
+  kPxeBootFailure,
+  kRebootFailure,
+  // Hardware
+  kDiskFailure,
+  kMemoryFailure,
+  kPowerFailure,
+  kServerFailure,
+  kNetworkFailure,
+  // Other
+  kOther,
+};
+inline constexpr std::size_t kNumFaultTypes = 11;
+
+/// Device kinds that can be the subject of a hardware RMA; component-level
+/// provisioning (Q1-B) distinguishes disks and DIMMs from whole servers.
+enum class DeviceKind : std::uint8_t { kServer, kDisk, kDimm };
+
+[[nodiscard]] std::string_view to_string(DataCenterId id) noexcept;
+[[nodiscard]] std::string_view to_string(Cooling c) noexcept;
+[[nodiscard]] std::string_view to_string(Packaging p) noexcept;
+[[nodiscard]] std::string_view to_string(SkuId id) noexcept;
+[[nodiscard]] std::string_view to_string(SkuClass c) noexcept;
+[[nodiscard]] std::string_view to_string(WorkloadId id) noexcept;
+[[nodiscard]] std::string_view to_string(WorkloadClass c) noexcept;
+[[nodiscard]] std::string_view to_string(TicketCategory c) noexcept;
+[[nodiscard]] std::string_view to_string(FaultType f) noexcept;
+[[nodiscard]] std::string_view to_string(DeviceKind k) noexcept;
+
+/// Coarse ticket category a fault type belongs to (Table II's grouping).
+[[nodiscard]] constexpr TicketCategory category_of(FaultType f) noexcept {
+  switch (f) {
+    case FaultType::kSoftwareTimeout:
+    case FaultType::kDeploymentFailure:
+    case FaultType::kNodeAgentCrash:
+      return TicketCategory::kSoftware;
+    case FaultType::kPxeBootFailure:
+    case FaultType::kRebootFailure:
+      return TicketCategory::kBoot;
+    case FaultType::kDiskFailure:
+    case FaultType::kMemoryFailure:
+    case FaultType::kPowerFailure:
+    case FaultType::kServerFailure:
+    case FaultType::kNetworkFailure:
+      return TicketCategory::kHardware;
+    case FaultType::kOther:
+      return TicketCategory::kOther;
+  }
+  return TicketCategory::kOther;
+}
+
+/// True for the fault types the paper's decision studies use (physical
+/// hardware failures resolved by repair/replacement — §IV).
+[[nodiscard]] constexpr bool is_hardware(FaultType f) noexcept {
+  return category_of(f) == TicketCategory::kHardware;
+}
+
+/// Which device kind a hardware fault takes down. Disk/memory faults down a
+/// component; power/server/network faults down the whole server. Non-
+/// hardware faults also interrupt the server (e.g. during re-image) but are
+/// excluded from the decision studies.
+[[nodiscard]] constexpr DeviceKind device_kind_of(FaultType f) noexcept {
+  switch (f) {
+    case FaultType::kDiskFailure:
+      return DeviceKind::kDisk;
+    case FaultType::kMemoryFailure:
+      return DeviceKind::kDimm;
+    default:
+      return DeviceKind::kServer;
+  }
+}
+
+/// SKU taxonomy per Table III.
+[[nodiscard]] constexpr SkuClass sku_class_of(SkuId id) noexcept {
+  switch (id) {
+    case SkuId::kS1:
+    case SkuId::kS3:
+      return SkuClass::kStorage;
+    case SkuId::kS2:
+    case SkuId::kS4:
+      return SkuClass::kCompute;
+    case SkuId::kS5:
+    case SkuId::kS6:
+      return SkuClass::kMixed;
+    case SkuId::kS7:
+      return SkuClass::kHpc;
+  }
+  return SkuClass::kMixed;
+}
+
+/// Workload taxonomy per Table III.
+[[nodiscard]] constexpr WorkloadClass workload_class_of(WorkloadId id) noexcept {
+  switch (id) {
+    case WorkloadId::kW1:
+    case WorkloadId::kW2:
+      return WorkloadClass::kCompute;
+    case WorkloadId::kW3:
+      return WorkloadClass::kHpc;
+    case WorkloadId::kW4:
+    case WorkloadId::kW7:
+      return WorkloadClass::kStorageCompute;
+    case WorkloadId::kW5:
+    case WorkloadId::kW6:
+      return WorkloadClass::kStorageData;
+  }
+  return WorkloadClass::kCompute;
+}
+
+/// Iteration helpers.
+inline constexpr std::array<FaultType, kNumFaultTypes> kAllFaultTypes = {
+    FaultType::kSoftwareTimeout, FaultType::kDeploymentFailure,
+    FaultType::kNodeAgentCrash,  FaultType::kPxeBootFailure,
+    FaultType::kRebootFailure,   FaultType::kDiskFailure,
+    FaultType::kMemoryFailure,   FaultType::kPowerFailure,
+    FaultType::kServerFailure,   FaultType::kNetworkFailure,
+    FaultType::kOther};
+
+inline constexpr std::array<SkuId, kNumSkus> kAllSkus = {
+    SkuId::kS1, SkuId::kS2, SkuId::kS3, SkuId::kS4,
+    SkuId::kS5, SkuId::kS6, SkuId::kS7};
+
+inline constexpr std::array<WorkloadId, kNumWorkloads> kAllWorkloads = {
+    WorkloadId::kW1, WorkloadId::kW2, WorkloadId::kW3, WorkloadId::kW4,
+    WorkloadId::kW5, WorkloadId::kW6, WorkloadId::kW7};
+
+}  // namespace rainshine::simdc

@@ -1,0 +1,222 @@
+#include "rainshine/simdc/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::simdc {
+
+namespace {
+
+double clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+/// Approximate inverse-normal via a rational fit of the probit function
+/// (Acklam's coefficients, central region is enough for simulation noise).
+double probit(double p) {
+  p = clamp(p, 1e-9, 1.0 - 1e-9);
+  // Beasley-Springer-Moro style central approximation.
+  static constexpr double a[4] = {2.50662823884, -18.61500062529, 41.39119773534,
+                                  -25.44106049637};
+  static constexpr double b[4] = {-8.47351093090, 23.08336743743, -21.06224101826,
+                                  3.13082909833};
+  static constexpr double c[9] = {0.3374754822726147, 0.9761690190917186,
+                                  0.1607979714918209, 0.0276438810333863,
+                                  0.0038405729373609, 0.0003951896511919,
+                                  0.0000321767881768, 0.0000002888167364,
+                                  0.0000003960315187};
+  const double u = p - 0.5;
+  if (std::abs(u) < 0.42) {
+    const double r = u * u;
+    return u * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  }
+  double r = p;
+  if (u > 0.0) r = 1.0 - p;
+  r = std::log(-std::log(r));
+  double x = c[0];
+  double rp = 1.0;
+  for (int i = 1; i < 9; ++i) {
+    rp *= r;
+    x += c[i] * rp;
+  }
+  return u < 0.0 ? -x : x;
+}
+
+/// Maps a (possibly negative) day index to a stable hash key.
+std::uint64_t day_key(rainshine::util::DayIndex day) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(day) + (1LL << 32));
+}
+
+}  // namespace
+
+ClimateSpec EnvironmentModel::climate_preset(Cooling cooling) noexcept {
+  if (cooling == Cooling::kAdiabatic) {
+    // Warm, dry site — the kind where adiabatic cooling pays off (§IV fn. 1).
+    ClimateSpec c;
+    c.mean_temp_f = 64.0;
+    c.seasonal_amplitude_f = 24.0;
+    c.diurnal_amplitude_f = 14.0;
+    c.weather_noise_f = 6.0;
+    c.mean_rh = 38.0;
+    c.seasonal_rh_swing = 22.0;  // bone-dry summers
+    c.weather_noise_rh = 9.0;
+    return c;
+  }
+  // Temperate, humid site for the HVAC-cooled colocation.
+  ClimateSpec c;
+  c.mean_temp_f = 52.0;
+  c.seasonal_amplitude_f = 24.0;
+  c.diurnal_amplitude_f = 8.0;
+  c.weather_noise_f = 7.0;
+  c.mean_rh = 64.0;
+  c.seasonal_rh_swing = 10.0;
+  c.weather_noise_rh = 8.0;
+  return c;
+}
+
+CoolingCoupling EnvironmentModel::coupling_preset(Cooling cooling) noexcept {
+  if (cooling == Cooling::kAdiabatic) {
+    CoolingCoupling k;
+    k.setpoint_f = 72.0;
+    k.temp_coupling = 0.38;  // inlet follows outdoors substantially
+    k.rh_setpoint = 34.0;
+    k.rh_coupling = 0.75;
+    k.rh_offset = 0.0;
+    k.sensor_noise_f = 1.0;
+    k.sensor_noise_rh = 3.0;
+    return k;
+  }
+  CoolingCoupling k;
+  k.setpoint_f = 68.0;
+  k.temp_coupling = 0.06;  // tight HVAC envelope
+  k.rh_setpoint = 46.0;
+  k.rh_coupling = 0.10;
+  k.rh_offset = 0.0;
+  k.sensor_noise_f = 0.7;
+  k.sensor_noise_rh = 2.0;
+  return k;
+}
+
+EnvironmentModel::EnvironmentModel(const Fleet& fleet, std::uint64_t seed)
+    : fleet_(&fleet), seed_(seed) {
+  for (const DataCenterSpec& dc : fleet.spec().datacenters) {
+    const auto idx = static_cast<std::size_t>(dc.id);
+    climate_[idx] = climate_preset(dc.cooling);
+    coupling_[idx] = coupling_preset(dc.cooling);
+  }
+}
+
+EnvironmentModel EnvironmentModel::with_setpoint_offset(DataCenterId dc,
+                                                        double delta_f) const {
+  EnvironmentModel copy = *this;
+  copy.coupling_[static_cast<std::size_t>(dc)].setpoint_f += delta_f;
+  return copy;
+}
+
+double EnvironmentModel::hash_normal(std::uint64_t stream, std::uint64_t a,
+                                     std::uint64_t b) const {
+  std::uint64_t s = seed_ ^ (stream * 0x9e3779b97f4a7c15ULL);
+  s ^= a * 0xbf58476d1ce4e5b9ULL;
+  s ^= b * 0x94d049bb133111ebULL;
+  const std::uint64_t bits = util::splitmix64(s);
+  const double u = (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+  return probit(u);
+}
+
+double EnvironmentModel::outdoor_temperature_f(DataCenterId dc,
+                                               util::HourIndex hour) const {
+  const auto idx = static_cast<std::size_t>(dc);
+  const ClimateSpec& c = climate_[idx];
+  const util::Calendar& cal = fleet_->calendar();
+  const util::DayIndex day = util::Calendar::day_of(hour);
+  const int hod = util::Calendar::hour_of_day(hour);
+
+  const double doy = cal.day_of_year(day);
+  const double season = std::cos(2.0 * std::numbers::pi *
+                                 (doy - c.peak_day_of_year) / 365.25);
+  const double diurnal =
+      std::cos(2.0 * std::numbers::pi * (static_cast<double>(hod) - 15.0) / 24.0);
+  // Day-scale weather deviation shared by the whole site; smoothed over two
+  // adjacent days so consecutive days are correlated.
+  const double w_today = hash_normal(1, idx, day_key(day));
+  const double w_prev = hash_normal(1, idx, day_key(day - 1));
+  const double weather = 0.7 * w_today + 0.3 * w_prev;
+
+  return c.mean_temp_f + c.seasonal_amplitude_f * season +
+         c.diurnal_amplitude_f * diurnal + c.weather_noise_f * weather;
+}
+
+double EnvironmentModel::outdoor_rh(DataCenterId dc, util::HourIndex hour) const {
+  const auto idx = static_cast<std::size_t>(dc);
+  const ClimateSpec& c = climate_[idx];
+  const util::Calendar& cal = fleet_->calendar();
+  const util::DayIndex day = util::Calendar::day_of(hour);
+  const int hod = util::Calendar::hour_of_day(hour);
+
+  const double doy = cal.day_of_year(day);
+  // RH moves opposite the temperature season: dry at peak summer.
+  const double season = std::cos(2.0 * std::numbers::pi *
+                                 (doy - c.peak_day_of_year) / 365.25);
+  const double diurnal =
+      std::cos(2.0 * std::numbers::pi * (static_cast<double>(hod) - 5.0) / 24.0);
+  const double w_today = hash_normal(2, idx, day_key(day));
+  const double w_prev = hash_normal(2, idx, day_key(day - 1));
+  const double weather = 0.7 * w_today + 0.3 * w_prev;
+
+  return clamp(c.mean_rh - c.seasonal_rh_swing * season + 5.0 * diurnal +
+                   c.weather_noise_rh * weather,
+               2.0, 98.0);
+}
+
+Conditions EnvironmentModel::at(const Rack& rack, util::HourIndex hour) const {
+  const auto idx = static_cast<std::size_t>(rack.dc);
+  const ClimateSpec& climate = climate_[idx];
+  const CoolingCoupling& k = coupling_[idx];
+  const auto rack_key = static_cast<std::uint64_t>(rack.id);
+
+  const double t_out = outdoor_temperature_f(rack.dc, hour);
+  const double rh_out = outdoor_rh(rack.dc, hour);
+
+  // Static per-rack offsets: power density heats the inlet; racks at row
+  // ends sit nearer cold-aisle supply; plus small installation variation.
+  const double power_offset = (rack.rated_power_kw - 8.0) * 0.30;
+  const int row_len = fleet_->dc_spec(rack.dc).racks_per_row;
+  const double center =
+      std::abs(static_cast<double>(rack.pos_in_row) - (row_len - 1) / 2.0) /
+      std::max(1.0, (row_len - 1) / 2.0);
+  const double position_offset = (1.0 - center) * 1.2;  // mid-row runs warmer
+  const double install_offset = 1.2 * hash_normal(3, rack_key, 0);
+
+  const auto hour_key = static_cast<std::uint64_t>(hour);
+  Conditions out;
+  out.temperature_f =
+      clamp(k.setpoint_f + k.temp_coupling * (t_out - climate.mean_temp_f) +
+                power_offset + position_offset + install_offset +
+                k.sensor_noise_f * hash_normal(4, rack_key, hour_key),
+            56.0, 90.0);
+  out.relative_humidity =
+      clamp(k.rh_setpoint + k.rh_coupling * (rh_out - climate.mean_rh) + k.rh_offset +
+                k.sensor_noise_rh * hash_normal(5, rack_key, hour_key),
+            5.0, 87.0);
+  return out;
+}
+
+Conditions EnvironmentModel::daily_mean(const Rack& rack, util::DayIndex day) const {
+  // Four representative hours capture the diurnal cycle exactly for a
+  // sinusoid and cheaply average the noise.
+  static constexpr std::array<int, 4> kHours = {3, 9, 15, 21};
+  Conditions acc{0.0, 0.0};
+  for (const int h : kHours) {
+    const Conditions c = at(rack, util::Calendar::first_hour(day) + h);
+    acc.temperature_f += c.temperature_f;
+    acc.relative_humidity += c.relative_humidity;
+  }
+  acc.temperature_f /= kHours.size();
+  acc.relative_humidity /= kHours.size();
+  return acc;
+}
+
+}  // namespace rainshine::simdc

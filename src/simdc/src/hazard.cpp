@@ -1,0 +1,217 @@
+#include "rainshine/simdc/hazard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::simdc {
+
+HazardModel::HazardModel(const Fleet& fleet, const EnvironmentModel& env,
+                         HazardConfig config)
+    : fleet_(&fleet), env_(&env), config_(config) {
+  util::require(config_.bathtub_norm_age_months > 0.0,
+                "bathtub_norm_age_months must be positive");
+  util::require(config_.burst_fraction_min >= 0.0 &&
+                    config_.burst_fraction_max <= 1.0 &&
+                    config_.burst_fraction_min <= config_.burst_fraction_max,
+                "burst fraction clamp range invalid");
+}
+
+double HazardModel::base_rate(FaultType fault) const {
+  switch (fault) {
+    case FaultType::kDiskFailure: return config_.disk_base;
+    case FaultType::kMemoryFailure: return config_.dimm_base;
+    case FaultType::kPowerFailure: return config_.power_base;
+    case FaultType::kServerFailure: return config_.server_base;
+    case FaultType::kNetworkFailure: return config_.network_base;
+    case FaultType::kSoftwareTimeout: return config_.timeout_base;
+    case FaultType::kDeploymentFailure: return config_.deploy_base;
+    case FaultType::kNodeAgentCrash: return config_.crash_base;
+    case FaultType::kPxeBootFailure: return config_.pxe_base;
+    case FaultType::kRebootFailure: return config_.reboot_base;
+    case FaultType::kOther: return config_.other_base;
+  }
+  return 0.0;
+}
+
+int HazardModel::device_count(const Rack& rack, FaultType fault) {
+  switch (device_kind_of(fault)) {
+    case DeviceKind::kDisk: return rack.disks();
+    case DeviceKind::kDimm: return rack.dimms();
+    case DeviceKind::kServer: return rack.servers();
+  }
+  return rack.servers();
+}
+
+double HazardModel::sku_multiplier(SkuId sku, FaultType fault) const {
+  if (!is_hardware(fault)) return 1.0;  // vendor quality shows up in hardware
+  const auto idx = static_cast<std::size_t>(sku);
+  double m = config_.sku_hw[idx];
+  if (fault == FaultType::kDiskFailure) m *= config_.sku_disk[idx];
+  return m;
+}
+
+double HazardModel::workload_multiplier(WorkloadId wl, FaultType fault) const {
+  const auto idx = static_cast<std::size_t>(wl);
+  switch (category_of(fault)) {
+    case TicketCategory::kHardware:
+      return config_.workload_hw[idx];
+    case TicketCategory::kSoftware:
+    case TicketCategory::kBoot:
+      return config_.workload_sw[idx];
+    case TicketCategory::kOther:
+      return 0.5 * (config_.workload_hw[idx] + config_.workload_sw[idx]);
+  }
+  return 1.0;
+}
+
+double HazardModel::region_multiplier(const Rack& rack) const {
+  // Deterministic per-(dc, region) texture in [1-spread, 1+spread]: built
+  // facilities differ slightly even with identical designs (Fig. 2's
+  // intra-DC variation beyond what SKU/workload composition explains).
+  std::uint64_t s = fleet_->spec().seed ^ 0x5eedc0ffeeULL;
+  s ^= (static_cast<std::uint64_t>(rack.dc) << 32) ^
+       static_cast<std::uint64_t>(rack.region);
+  const std::uint64_t bits = util::splitmix64(s);
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + config_.region_spread * (2.0 * u - 1.0);
+}
+
+double HazardModel::dc_multiplier(const Rack& rack, FaultType fault) const {
+  const double region = region_multiplier(rack);
+  if (!is_hardware(fault)) return region;
+  double m = config_.dc_hw[static_cast<std::size_t>(rack.dc)] * region;
+  if (fault == FaultType::kMemoryFailure) {
+    m *= config_.dc_mem[static_cast<std::size_t>(rack.dc)];
+  }
+  return m;
+}
+
+double HazardModel::power_multiplier(double rated_kw) const {
+  const double excess = std::max(0.0, rated_kw - config_.power_knee_kw);
+  return 1.0 + config_.power_slope_per_kw * excess;
+}
+
+double HazardModel::age_multiplier(double age_months) const {
+  const double age = std::max(age_months, config_.min_age_months);
+  return config_.bathtub(age) / config_.bathtub(config_.bathtub_norm_age_months);
+}
+
+double HazardModel::time_multiplier(util::DayIndex day, FaultType fault) const {
+  const util::Calendar& cal = fleet_->calendar();
+  const bool weekday = util::is_weekday(cal.weekday(day));
+  // Normalize so the weekly mean is ~1: 5 weekdays at `w`, 2 at 1.
+  const double w = category_of(fault) == TicketCategory::kHardware
+                       ? config_.weekday_hw
+                       : config_.weekday_sw;
+  const double weekly_mean = (5.0 * w + 2.0) / 7.0;
+  const double dow_mult = (weekday ? w : 1.0) / weekly_mean;
+  const double month_mult =
+      config_.month_mult[static_cast<std::size_t>(cal.month(day)) - 1];
+  return dow_mult * month_mult;
+}
+
+double HazardModel::environment_multiplier(const Rack& rack, Conditions c,
+                                           FaultType fault) const {
+  if (!is_hardware(fault)) return 1.0;
+  if (!config_.env_sensitive[static_cast<std::size_t>(rack.dc)]) return 1.0;
+
+  double m = 1.0;
+  // Standalone low-humidity (ESD) stress on exposed electronics (Fig. 5);
+  // disks are shielded by their enclosures and skip it.
+  if (fault != FaultType::kDiskFailure) {
+    if (c.relative_humidity < config_.very_low_rh_threshold) {
+      m *= config_.very_low_rh_mult;
+    } else if (c.relative_humidity < config_.low_rh_threshold) {
+      m *= config_.low_rh_mult;
+    }
+  }
+
+  if (fault == FaultType::kDiskFailure) {
+    // Smooth trend (Fig. 17) ...
+    m *= std::exp(config_.disk_temp_slope_per_f *
+                  (c.temperature_f - config_.temp_reference_f));
+    // ... plus the planted threshold interaction (Fig. 18).
+    if (c.temperature_f > config_.hot_threshold_f) {
+      m *= config_.hot_mult;
+      if (c.relative_humidity < config_.dry_threshold_rh) {
+        m *= config_.hot_dry_extra_mult;
+      }
+    }
+  }
+  return m;
+}
+
+double HazardModel::rack_day_rate(const Rack& rack, util::DayIndex day,
+                                  FaultType fault) const {
+  if (day < rack.commission_day) return 0.0;  // not yet in service
+  const Conditions c = env_->daily_mean(rack, day);
+  return base_rate(fault) * device_count(rack, fault) *
+         sku_multiplier(rack.sku, fault) *
+         workload_multiplier(rack.workload, fault) * dc_multiplier(rack, fault) *
+         power_multiplier(rack.rated_power_kw) *
+         age_multiplier(rack.age_months(day)) * time_multiplier(day, fault) *
+         environment_multiplier(rack, c, fault);
+}
+
+double HazardModel::burst_rate(const Rack& rack, util::DayIndex day) const {
+  if (day < rack.commission_day) return 0.0;
+  const double power = 1.0 + config_.burst_power_slope_per_kw *
+                                 std::max(0.0, rack.rated_power_kw -
+                                                   config_.power_knee_kw);
+  double m = config_.burst_base_per_rack_day *
+             config_.dc_burst[static_cast<std::size_t>(rack.dc)] * power;
+  if (rack.age_months(day) < config_.burst_infant_age_months) {
+    m *= config_.burst_infant_mult;
+  }
+  return m;
+}
+
+std::pair<double, double> HazardModel::burst_fraction_range(const Rack& rack) const {
+  const double base =
+      config_.burst_fraction_base[static_cast<std::size_t>(rack.sku)] +
+      config_.burst_fraction_per_kw *
+          std::max(0.0, rack.rated_power_kw - config_.burst_fraction_knee_kw);
+  const auto clamp = [&](double v) {
+    return std::min(std::max(v, config_.burst_fraction_min),
+                    config_.burst_fraction_max);
+  };
+  return {clamp(base - config_.burst_fraction_noise),
+          clamp(base + config_.burst_fraction_noise)};
+}
+
+bool HazardModel::bad_vintage(const Rack& rack) const {
+  // Commission-year cohort (the granularity of the observable
+  // commission_year feature); stable across the fleet for a given seed.
+  const auto cohort = static_cast<std::int64_t>(rack.commission_day + 365 * 64) / 365;
+  std::uint64_t s = fleet_->spec().seed ^ 0xbadd1cebadd1ceULL;
+  s ^= static_cast<std::uint64_t>(rack.sku) * 0x9e3779b97f4a7c15ULL;
+  s ^= static_cast<std::uint64_t>(cohort) * 0xbf58476d1ce4e5b9ULL;
+  const double u = static_cast<double>(util::splitmix64(s) >> 11) * 0x1.0p-53;
+  return u < config_.disk_batch_bad_vintage_probability;
+}
+
+double HazardModel::disk_batch_rate(const Rack& rack, util::DayIndex day) const {
+  if (day < rack.commission_day) return 0.0;
+  return config_.disk_batch_base_per_rack_day *
+         config_.dc_disk_batch[static_cast<std::size_t>(rack.dc)] *
+         (bad_vintage(rack) ? config_.disk_batch_bad_vintage_mult : 1.0);
+}
+
+std::pair<double, double> HazardModel::disk_batch_fraction_range(
+    const Rack& rack) const {
+  double base = config_.disk_batch_fraction_mixed;
+  switch (sku_class_of(rack.sku)) {
+    case SkuClass::kCompute: base = config_.disk_batch_fraction_compute; break;
+    case SkuClass::kStorage: base = config_.disk_batch_fraction_storage; break;
+    case SkuClass::kMixed: base = config_.disk_batch_fraction_mixed; break;
+    case SkuClass::kHpc: base = config_.disk_batch_fraction_hpc; break;
+  }
+  const auto clamp = [](double v) { return std::min(std::max(v, 0.02), 0.95); };
+  return {clamp(base - config_.disk_batch_fraction_noise),
+          clamp(base + config_.disk_batch_fraction_noise)};
+}
+
+}  // namespace rainshine::simdc

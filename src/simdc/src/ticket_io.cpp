@@ -1,0 +1,116 @@
+#include "rainshine/simdc/ticket_io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::simdc {
+
+namespace {
+
+constexpr const char* kHeader =
+    "rack_id,server_index,component_index,fault,true_positive,burst_id,"
+    "open_hour,close_hour";
+
+std::optional<FaultType> fault_from_string(std::string_view name) {
+  for (const FaultType f : kAllFaultTypes) {
+    if (to_string(f) == name) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void write_ticket_csv(const TicketLog& log, std::ostream& out) {
+  out << kHeader << '\n';
+  for (const Ticket& t : log.tickets()) {
+    out << t.rack_id << ',' << t.server_index << ',' << t.component_index << ','
+        << to_string(t.fault) << ',' << (t.true_positive ? 1 : 0) << ','
+        << t.burst_id << ',' << t.open_hour << ',' << t.close_hour << '\n';
+  }
+}
+
+void write_ticket_csv_file(const TicketLog& log, const std::string& path) {
+  std::ofstream out(path);
+  util::require(out.good(), "cannot open ticket CSV for writing: " + path);
+  write_ticket_csv(log, out);
+  util::require(out.good(), "I/O error writing ticket CSV: " + path);
+}
+
+TicketLog read_ticket_csv(std::istream& in, const Fleet& fleet) {
+  std::string line;
+  util::require(static_cast<bool>(std::getline(in, line)), "ticket CSV missing header");
+  util::require(util::trim(line) == kHeader,
+                "ticket CSV header mismatch; expected: " + std::string(kHeader));
+
+  std::vector<Ticket> tickets;
+  std::size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (util::trim(line).empty()) continue;
+    const auto fields = util::split(line, ',');
+    util::require(fields.size() == 8,
+                  "ticket CSV row " + std::to_string(row) + ": expected 8 fields");
+    const auto parse = [&](std::string_view s, const char* what) {
+      long long v = 0;
+      util::require(util::parse_int(s, v), "ticket CSV row " + std::to_string(row) +
+                                               ": bad " + what);
+      return v;
+    };
+
+    Ticket t;
+    t.rack_id = static_cast<std::int32_t>(parse(fields[0], "rack_id"));
+    util::require(t.rack_id >= 0 &&
+                      static_cast<std::size_t>(t.rack_id) < fleet.num_racks(),
+                  "ticket CSV row " + std::to_string(row) + ": rack_id out of range");
+    const Rack& rack = fleet.rack(t.rack_id);
+
+    t.server_index = static_cast<std::int16_t>(parse(fields[1], "server_index"));
+    util::require(t.server_index >= 0 && t.server_index < rack.servers(),
+                  "ticket CSV row " + std::to_string(row) +
+                      ": server_index outside the rack");
+
+    t.component_index = static_cast<std::int16_t>(parse(fields[2], "component_index"));
+
+    const auto fault = fault_from_string(util::trim(fields[3]));
+    util::require(fault.has_value(), "ticket CSV row " + std::to_string(row) +
+                                         ": unknown fault '" +
+                                         std::string(fields[3]) + "'");
+    t.fault = *fault;
+
+    const int slots = device_kind_of(t.fault) == DeviceKind::kDisk
+                          ? sku_spec(rack.sku).disks_per_server
+                      : device_kind_of(t.fault) == DeviceKind::kDimm
+                          ? sku_spec(rack.sku).dimms_per_server
+                          : 0;
+    if (device_kind_of(t.fault) == DeviceKind::kServer) {
+      util::require(t.component_index == -1,
+                    "ticket CSV row " + std::to_string(row) +
+                        ": server-level fault must have component_index -1");
+    } else {
+      util::require(t.component_index >= 0 && t.component_index < slots,
+                    "ticket CSV row " + std::to_string(row) +
+                        ": component_index outside the SKU's slots");
+    }
+
+    t.true_positive = parse(fields[4], "true_positive") != 0;
+    t.burst_id = static_cast<std::int32_t>(parse(fields[5], "burst_id"));
+    t.open_hour = parse(fields[6], "open_hour");
+    t.close_hour = parse(fields[7], "close_hour");
+    util::require(t.close_hour > t.open_hour,
+                  "ticket CSV row " + std::to_string(row) + ": close before open");
+    tickets.push_back(t);
+  }
+  return TicketLog(std::move(tickets));
+}
+
+TicketLog read_ticket_csv_file(const std::string& path, const Fleet& fleet) {
+  std::ifstream in(path);
+  util::require(in.good(), "cannot open ticket CSV: " + path);
+  return read_ticket_csv(in, fleet);
+}
+
+}  // namespace rainshine::simdc

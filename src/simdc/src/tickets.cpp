@@ -1,0 +1,207 @@
+#include "rainshine/simdc/tickets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rainshine/stats/distributions.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::simdc {
+
+TicketLog::TicketLog(std::vector<Ticket> tickets) : tickets_(std::move(tickets)) {
+  std::stable_sort(tickets_.begin(), tickets_.end(),
+                   [](const Ticket& a, const Ticket& b) {
+                     return a.open_hour < b.open_hour;
+                   });
+}
+
+std::vector<const Ticket*> TicketLog::true_positives() const {
+  std::vector<const Ticket*> out;
+  out.reserve(tickets_.size());
+  for (const Ticket& t : tickets_) {
+    if (t.true_positive) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const Ticket*> TicketLog::hardware_true_positives() const {
+  std::vector<const Ticket*> out;
+  for (const Ticket& t : tickets_) {
+    if (t.true_positive && is_hardware(t.fault)) out.push_back(&t);
+  }
+  return out;
+}
+
+std::array<std::size_t, kNumFaultTypes> TicketLog::count_by_fault(
+    DataCenterId dc, const Fleet& fleet) const {
+  std::array<std::size_t, kNumFaultTypes> counts{};
+  for (const Ticket& t : tickets_) {
+    if (!t.true_positive) continue;
+    if (fleet.rack(t.rack_id).dc != dc) continue;
+    ++counts[static_cast<std::size_t>(t.fault)];
+  }
+  return counts;
+}
+
+namespace {
+
+/// Failure onsets skew toward business hours (workload-driven); weights per
+/// hour of day, peaking early afternoon.
+constexpr std::array<double, 24> kDiurnalWeights = {
+    0.5, 0.45, 0.4, 0.4, 0.45, 0.55, 0.7, 0.9, 1.1, 1.3, 1.45, 1.5,
+    1.5, 1.5,  1.45, 1.35, 1.25, 1.15, 1.0, 0.9, 0.8, 0.7, 0.6, 0.55};
+
+int sample_hour_of_day(util::Rng& rng) {
+  return static_cast<int>(stats::sample_categorical(
+      rng, std::span<const double>(kDiurnalWeights)));
+}
+
+double repair_sigma(const HazardConfig& cfg, FaultType fault) {
+  return is_hardware(fault) ? cfg.hw_repair_sigma : cfg.sw_repair_sigma;
+}
+
+double repair_median(const HazardConfig& cfg, FaultType fault) {
+  return is_hardware(fault) ? cfg.hw_repair_median_h : cfg.sw_repair_median_h;
+}
+
+Ticket make_ticket(util::Rng& rng, const HazardConfig& cfg, const Rack& rack,
+                   util::DayIndex day, FaultType fault) {
+  Ticket t;
+  t.rack_id = rack.id;
+  t.server_index = static_cast<std::int16_t>(
+      rng.below(static_cast<std::uint64_t>(rack.servers())));
+  switch (device_kind_of(fault)) {
+    case DeviceKind::kDisk:
+      t.component_index = static_cast<std::int16_t>(
+          rng.below(static_cast<std::uint64_t>(sku_spec(rack.sku).disks_per_server)));
+      break;
+    case DeviceKind::kDimm:
+      t.component_index = static_cast<std::int16_t>(
+          rng.below(static_cast<std::uint64_t>(sku_spec(rack.sku).dimms_per_server)));
+      break;
+    case DeviceKind::kServer:
+      t.component_index = -1;
+      break;
+  }
+  t.fault = fault;
+  t.true_positive = !rng.bernoulli(cfg.false_positive_rate);
+  t.open_hour = util::Calendar::first_hour(day) + sample_hour_of_day(rng);
+  const double mu_log = std::log(repair_median(cfg, fault));
+  const double hours =
+      std::max(0.5, stats::sample_lognormal(rng, mu_log, repair_sigma(cfg, fault)));
+  t.close_hour = t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
+  return t;
+}
+
+}  // namespace
+
+TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
+                   const HazardModel& hazard, SimulationOptions options) {
+  (void)env;  // conditions are consulted through the hazard model
+  const HazardConfig& cfg = hazard.config();
+  const util::Rng root = util::Rng(options.seed).split("ticket-stream");
+
+  std::vector<Ticket> tickets;
+  std::int32_t next_burst_id = 0;
+
+  for (const Rack& rack : fleet.racks()) {
+    util::Rng rack_rng = root.split(static_cast<std::uint64_t>(rack.id));
+    for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
+      util::Rng day_rng = rack_rng.split(static_cast<std::uint64_t>(day));
+
+      // Independent per-fault-type arrivals.
+      for (const FaultType fault : kAllFaultTypes) {
+        const double rate = hazard.rack_day_rate(rack, day, fault);
+        if (rate <= 0.0) continue;
+        const std::uint64_t n = stats::sample_poisson(day_rng, rate);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          tickets.push_back(make_ticket(day_rng, cfg, rack, day, fault));
+        }
+      }
+
+      // Correlated bursts: one event downs a contiguous swath of servers.
+      const std::uint64_t bursts =
+          stats::sample_poisson(day_rng, hazard.burst_rate(rack, day));
+      for (std::uint64_t b = 0; b < bursts; ++b) {
+        const auto [lo, hi] = hazard.burst_fraction_range(rack);
+        const double fraction = day_rng.uniform(lo, hi);
+        const int affected = std::max(
+            1, static_cast<int>(std::lround(fraction * rack.servers())));
+        const int first = static_cast<int>(day_rng.below(
+            static_cast<std::uint64_t>(rack.servers() - affected + 1)));
+        const util::HourIndex onset =
+            util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
+        const double mu_log = std::log(cfg.burst_repair_median_h);
+        const std::int32_t burst_id = next_burst_id++;
+        for (int s = 0; s < affected; ++s) {
+          Ticket t;
+          t.rack_id = rack.id;
+          t.server_index = static_cast<std::int16_t>(first + s);
+          t.component_index = -1;
+          // A cascading power event mostly files power tickets; the odd
+          // chassis doesn't survive it.
+          t.fault = day_rng.bernoulli(0.85) ? FaultType::kPowerFailure
+                                            : FaultType::kServerFailure;
+          t.true_positive = true;  // multi-server events are unambiguous
+          t.burst_id = burst_id;
+          // Onsets cascade across the spread window (see HazardConfig);
+          // each server's repair is its own draw.
+          const double stagger =
+              affected > 1 ? cfg.burst_onset_spread_hours *
+                                 static_cast<double>(s) /
+                                 static_cast<double>(affected - 1)
+                           : 0.0;
+          t.open_hour = onset + static_cast<util::HourIndex>(stagger);
+          const double hours = std::max(
+              1.0,
+              stats::sample_lognormal(day_rng, mu_log, cfg.burst_repair_sigma));
+          t.close_hour = t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
+          tickets.push_back(t);
+        }
+      }
+      // Disk-batch events: one drive dies on a swath of servers (see
+      // HazardConfig's bad-vintage commentary).
+      const std::uint64_t batches =
+          stats::sample_poisson(day_rng, hazard.disk_batch_rate(rack, day));
+      for (std::uint64_t b = 0; b < batches; ++b) {
+        const auto [lo, hi] = hazard.disk_batch_fraction_range(rack);
+        const double fraction = day_rng.uniform(lo, hi);
+        const int affected = std::max(
+            1, static_cast<int>(std::lround(fraction * rack.servers())));
+        const int first = static_cast<int>(day_rng.below(
+            static_cast<std::uint64_t>(rack.servers() - affected + 1)));
+        const util::HourIndex onset =
+            util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
+        const double mu_log = std::log(cfg.disk_batch_repair_median_h);
+        const std::int32_t burst_id = next_burst_id++;
+        // The batch occupies the same physical slot across the rack.
+        const auto slot = static_cast<std::int16_t>(day_rng.below(
+            static_cast<std::uint64_t>(sku_spec(rack.sku).disks_per_server)));
+        for (int s = 0; s < affected; ++s) {
+          Ticket t;
+          t.rack_id = rack.id;
+          t.server_index = static_cast<std::int16_t>(first + s);
+          t.component_index = slot;
+          t.fault = FaultType::kDiskFailure;
+          t.true_positive = true;
+          t.burst_id = burst_id;
+          const double stagger =
+              affected > 1 ? cfg.burst_onset_spread_hours *
+                                 static_cast<double>(s) /
+                                 static_cast<double>(affected - 1)
+                           : 0.0;
+          t.open_hour = onset + static_cast<util::HourIndex>(stagger);
+          const double hours = std::max(
+              1.0, stats::sample_lognormal(day_rng, mu_log,
+                                           cfg.disk_batch_repair_sigma));
+          t.close_hour =
+              t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
+          tickets.push_back(t);
+        }
+      }
+    }
+  }
+  return TicketLog(std::move(tickets));
+}
+
+}  // namespace rainshine::simdc

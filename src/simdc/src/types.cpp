@@ -1,0 +1,85 @@
+#include "rainshine/simdc/types.hpp"
+
+namespace rainshine::simdc {
+
+std::string_view to_string(DataCenterId id) noexcept {
+  return id == DataCenterId::kDC1 ? "DC1" : "DC2";
+}
+
+std::string_view to_string(Cooling c) noexcept {
+  return c == Cooling::kAdiabatic ? "Adiabatic" : "ChilledWater";
+}
+
+std::string_view to_string(Packaging p) noexcept {
+  return p == Packaging::kContainer ? "Container" : "Colocation";
+}
+
+std::string_view to_string(SkuId id) noexcept {
+  static constexpr std::array<std::string_view, kNumSkus> kNames = {
+      "S1", "S2", "S3", "S4", "S5", "S6", "S7"};
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+std::string_view to_string(SkuClass c) noexcept {
+  switch (c) {
+    case SkuClass::kStorage: return "Storage";
+    case SkuClass::kCompute: return "Compute";
+    case SkuClass::kMixed: return "Mixed";
+    case SkuClass::kHpc: return "HPC";
+  }
+  return "?";
+}
+
+std::string_view to_string(WorkloadId id) noexcept {
+  static constexpr std::array<std::string_view, kNumWorkloads> kNames = {
+      "W1", "W2", "W3", "W4", "W5", "W6", "W7"};
+  return kNames[static_cast<std::size_t>(id)];
+}
+
+std::string_view to_string(WorkloadClass c) noexcept {
+  switch (c) {
+    case WorkloadClass::kCompute: return "Compute";
+    case WorkloadClass::kHpc: return "HPC";
+    case WorkloadClass::kStorageCompute: return "StorageCompute";
+    case WorkloadClass::kStorageData: return "StorageData";
+  }
+  return "?";
+}
+
+std::string_view to_string(TicketCategory c) noexcept {
+  switch (c) {
+    case TicketCategory::kHardware: return "Hardware";
+    case TicketCategory::kSoftware: return "Software";
+    case TicketCategory::kBoot: return "Boot";
+    case TicketCategory::kOther: return "Others";
+  }
+  return "?";
+}
+
+std::string_view to_string(FaultType f) noexcept {
+  switch (f) {
+    case FaultType::kSoftwareTimeout: return "Timeout failure";
+    case FaultType::kDeploymentFailure: return "Deployment failure";
+    case FaultType::kNodeAgentCrash: return "Node/Agent crash";
+    case FaultType::kPxeBootFailure: return "PXE boot failure";
+    case FaultType::kRebootFailure: return "Reboot failure";
+    case FaultType::kDiskFailure: return "Disk failure";
+    case FaultType::kMemoryFailure: return "Memory failure";
+    case FaultType::kPowerFailure: return "Power failure";
+    case FaultType::kServerFailure: return "Server failure";
+    case FaultType::kNetworkFailure: return "Network failure";
+    case FaultType::kOther: return "Others";
+  }
+  return "?";
+}
+
+std::string_view to_string(DeviceKind k) noexcept {
+  switch (k) {
+    case DeviceKind::kServer: return "Server";
+    case DeviceKind::kDisk: return "Disk";
+    case DeviceKind::kDimm: return "DIMM";
+  }
+  return "?";
+}
+
+}  // namespace rainshine::simdc

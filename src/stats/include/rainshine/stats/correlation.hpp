@@ -1,0 +1,22 @@
+// Correlation measures used by the single-factor baselines and by the
+// simulator's self-checks (e.g. verifying planted factor-failure
+// correlations survive generation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rainshine::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 when either sample has zero variance. Throws on length
+/// mismatch or fewer than 2 observations.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over mid-ranks; ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Mid-ranks of a sample (1-based; ties share the average rank).
+[[nodiscard]] std::vector<double> ranks(std::span<const double> values);
+
+}  // namespace rainshine::stats

@@ -1,0 +1,105 @@
+// Descriptive statistics: online accumulators, quantiles, summaries.
+//
+// Every figure in the paper reports means with standard deviations of a
+// failure metric over some grouping; `Accumulator` (Welford) and `Summary`
+// are the workhorses for that.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rainshine::stats {
+
+/// Numerically stable online mean/variance accumulator (Welford's method).
+/// Value type; combine two with `merge` (Chan et al. parallel formula).
+class Accumulator {
+ public:
+  constexpr Accumulator() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator's observations into this one.
+  constexpr void merge(const Accumulator& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    mean_ = (n1 * mean_ + n2 * other.mean_) / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    sum_ += other.sum_;
+  }
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr double sum() const noexcept { return sum_; }
+  [[nodiscard]] constexpr double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); 0 for fewer than 2 observations.
+  [[nodiscard]] constexpr double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Sample variance (divide by n-1); 0 for fewer than 2 observations.
+  [[nodiscard]] constexpr double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sample_stddev() const noexcept;
+  [[nodiscard]] constexpr double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] constexpr double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `values` (empty input yields a zeroed Summary).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+[[nodiscard]] double sample_stddev(std::span<const double> values) noexcept;
+
+/// Linear-interpolation quantile (R type 7) of UNSORTED data, q in [0, 1].
+/// Throws util::precondition_error on empty input or q outside [0, 1].
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Quantile of data the caller guarantees is ascending-sorted.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Normalizes values to their maximum (the paper normalizes every reported
+/// metric to its peak — see §V footnote 2). All-zero input is returned
+/// unchanged.
+[[nodiscard]] std::vector<double> normalize_to_max(std::span<const double> values);
+
+}  // namespace rainshine::stats

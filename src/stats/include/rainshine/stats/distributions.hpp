@@ -1,0 +1,72 @@
+// Sampling distributions and hazard curves for the fleet simulator.
+//
+// The simulator draws failure events from per-device Bernoulli/Poisson
+// processes whose rates are shaped by a multi-factor hazard model; device
+// lifetimes follow Weibull "bathtub" components; repair times are lognormal.
+// All samplers take a util::Rng so output is deterministic per stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::stats {
+
+/// Standard normal draw (Box-Muller, one value per call).
+[[nodiscard]] double sample_normal(util::Rng& rng) noexcept;
+
+/// Normal with mean mu and standard deviation sigma (sigma >= 0).
+[[nodiscard]] double sample_normal(util::Rng& rng, double mu, double sigma) noexcept;
+
+/// Exponential with rate lambda > 0. Throws on non-positive rate.
+[[nodiscard]] double sample_exponential(util::Rng& rng, double lambda);
+
+/// Poisson with mean lambda >= 0. Inversion for small lambda, normal
+/// approximation (rounded, clamped at 0) for lambda > 64 — adequate for
+/// simulation-scale counts. Throws on negative lambda.
+[[nodiscard]] std::uint64_t sample_poisson(util::Rng& rng, double lambda);
+
+/// Weibull with shape k > 0, scale s > 0.
+[[nodiscard]] double sample_weibull(util::Rng& rng, double shape, double scale);
+
+/// Lognormal: exp(Normal(mu_log, sigma_log)).
+[[nodiscard]] double sample_lognormal(util::Rng& rng, double mu_log, double sigma_log) noexcept;
+
+/// Draws an index from unnormalized non-negative weights (at least one must
+/// be positive). Throws otherwise.
+[[nodiscard]] std::size_t sample_categorical(util::Rng& rng, std::span<const double> weights);
+
+/// Weibull hazard function h(t) = (k/s) * (t/s)^(k-1), t >= 0.
+[[nodiscard]] double weibull_hazard(double t, double shape, double scale);
+
+/// Bathtub hazard curve: infant-mortality Weibull (shape < 1) + constant
+/// useful-life floor + wear-out Weibull (shape > 1). The paper's age data
+/// (Fig. 9) shows the front edge of this curve — elevated failures in young
+/// equipment — and its Q1 analysis cites "very old or very young require
+/// more spares".
+struct BathtubHazard {
+  double infant_scale = 6.0;    ///< months; controls how fast infant risk decays
+  double infant_shape = 0.5;    ///< < 1: decreasing hazard
+  double infant_weight = 1.0;   ///< multiplier on the infant component
+  double floor_rate = 0.1;      ///< constant useful-life hazard
+  double wearout_scale = 60.0;  ///< months; onset of wear-out
+  double wearout_shape = 4.0;   ///< > 1: increasing hazard
+  double wearout_weight = 1.0;
+
+  /// Hazard at age t (same time unit as the scales; we use months).
+  [[nodiscard]] double operator()(double t_months) const;
+};
+
+/// Fisher-Yates shuffle in place.
+template <typename T>
+void shuffle(util::Rng& rng, std::vector<T>& values) noexcept {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace rainshine::stats

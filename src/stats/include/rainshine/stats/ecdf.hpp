@@ -1,0 +1,42 @@
+// Empirical cumulative distribution functions.
+//
+// Spare-capacity provisioning (paper §VI Q1, Figs. 1/10/11/12) works from the
+// CDF of the concurrent-failure metric µ: the spares needed for an
+// availability SLA of p are the (p)-quantile of that distribution. `Ecdf`
+// provides both directions — P(X <= x) and quantiles — over a frozen sample.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rainshine::stats {
+
+/// Immutable empirical CDF over a sample.
+class Ecdf {
+ public:
+  /// Builds from an unsorted sample. Throws on empty input.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// P(X <= x) under the empirical distribution.
+  [[nodiscard]] double operator()(double x) const noexcept;
+
+  /// Smallest sample value v with P(X <= v) >= q, q in [0, 1]. This is the
+  /// provisioning quantile: the value that covers fraction q of observed
+  /// periods. Throws if q outside [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const noexcept { return sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.back(); }
+
+  /// The sorted sample (ascending), e.g. for plotting CDF curves.
+  [[nodiscard]] std::span<const double> sorted_sample() const noexcept { return sorted_; }
+
+  /// Evaluates the CDF at `points`, returning matching probabilities.
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace rainshine::stats

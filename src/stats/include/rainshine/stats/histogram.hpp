@@ -1,0 +1,77 @@
+// Binned aggregation.
+//
+// Figures 3-9 and 16-17 of the paper are all "mean (and sd) of failure rate
+// by bucket of some factor" plots. `Binner` maps a continuous value to a
+// bucket; `BinnedStats` accumulates a metric per bucket and reports labelled
+// mean/sd rows ready for printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rainshine/stats/descriptive.hpp"
+
+namespace rainshine::stats {
+
+/// Maps continuous values into labelled, contiguous half-open intervals
+/// [e0,e1), [e1,e2), ... with open-ended "<e0" and ">=eN" catch-alls
+/// optionally enabled. Value type.
+class Binner {
+ public:
+  /// Interior edges must be strictly increasing and non-empty. With
+  /// `open_ended`, values below the first / at-or-above the last edge fall
+  /// into dedicated "<lo" / ">hi"-style buckets (the paper's "<20", ">70"
+  /// humidity buckets in Fig. 5); otherwise such values clamp to the
+  /// first/last interval.
+  Binner(std::vector<double> edges, bool open_ended);
+
+  [[nodiscard]] std::size_t num_bins() const noexcept;
+  [[nodiscard]] std::size_t bin_of(double value) const noexcept;
+  [[nodiscard]] std::string label(std::size_t bin) const;
+
+  /// Convenience: equal-width bins across [lo, hi].
+  [[nodiscard]] static Binner equal_width(double lo, double hi, std::size_t count);
+
+ private:
+  std::vector<double> edges_;
+  bool open_ended_;
+};
+
+/// One output row of a binned-statistics table.
+struct BinnedRow {
+  std::string label;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Accumulates (bin key, metric value) pairs and emits a row per bin.
+class BinnedStats {
+ public:
+  explicit BinnedStats(Binner binner);
+
+  void add(double key, double metric);
+  [[nodiscard]] std::vector<BinnedRow> rows() const;
+  [[nodiscard]] const Binner& binner() const noexcept { return binner_; }
+
+ private:
+  Binner binner_;
+  std::vector<Accumulator> accs_;
+};
+
+/// Same idea keyed by a pre-labelled category (workload, SKU, weekday...).
+class CategoricalStats {
+ public:
+  /// Fixes the category set and row order up front.
+  explicit CategoricalStats(std::vector<std::string> labels);
+
+  /// Adds an observation for category index `key` (must be < labels.size()).
+  void add(std::size_t key, double metric);
+  [[nodiscard]] std::vector<BinnedRow> rows() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<Accumulator> accs_;
+};
+
+}  // namespace rainshine::stats

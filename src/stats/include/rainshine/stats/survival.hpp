@@ -1,0 +1,54 @@
+// Survival analysis primitives.
+//
+// Reliability field studies summarize "when do things fail" with survival
+// curves and hazard summaries (the paper's §V framing of what/when/why, and
+// its bathtub discussion around Fig. 9). The Kaplan-Meier estimator handles
+// the right-censoring inherent in a fixed observation window: most devices
+// never fail before the study ends, and ignoring them biases lifetime
+// estimates badly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rainshine::stats {
+
+/// One subject's observation: time on test and whether the event (failure)
+/// was observed or the subject was censored at that time.
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = false;  ///< true = failure observed at `time`; false = censored
+};
+
+/// One step of the Kaplan-Meier curve.
+struct KmPoint {
+  double time = 0.0;        ///< event time
+  double survival = 1.0;    ///< S(t) just after this time
+  std::size_t at_risk = 0;  ///< subjects at risk just before this time
+  std::size_t events = 0;   ///< failures at this time
+};
+
+/// Kaplan-Meier product-limit estimate over possibly-censored observations.
+/// Returns one point per distinct event time, in increasing time order.
+/// Throws on empty input or negative times.
+[[nodiscard]] std::vector<KmPoint> kaplan_meier(
+    std::span<const SurvivalObservation> observations);
+
+/// S(t) from a fitted curve (step function; 1.0 before the first event).
+[[nodiscard]] double survival_at(std::span<const KmPoint> curve, double t) noexcept;
+
+/// Median survival time: the first event time where S(t) <= 0.5, or NaN if
+/// the curve never reaches 0.5 (heavy censoring).
+[[nodiscard]] double median_survival(std::span<const KmPoint> curve) noexcept;
+
+/// Restricted mean survival time: the area under S(t) up to `horizon` —
+/// the expected failure-free time within the window, robust under censoring.
+[[nodiscard]] double restricted_mean_survival(std::span<const KmPoint> curve,
+                                              double horizon);
+
+/// Simple exponential-assumption rate estimate: events / total time at risk
+/// (failures per unit time). The classical "1/MTBF" headline number; valid
+/// when the hazard is roughly constant.
+[[nodiscard]] double event_rate(std::span<const SurvivalObservation> observations);
+
+}  // namespace rainshine::stats

@@ -1,0 +1,43 @@
+#include "rainshine/stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+
+ConfidenceInterval bootstrap_ci(std::span<const double> sample,
+                                const Statistic& statistic, util::Rng& rng,
+                                std::size_t replicates, double level) {
+  util::require(!sample.empty(), "bootstrap over empty sample");
+  util::require(replicates > 0, "bootstrap needs at least one replicate");
+  util::require(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> estimates;
+  estimates.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& v : resample) v = sample[rng.below(sample.size())];
+    estimates.push_back(statistic(resample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+
+  const double alpha = 1.0 - level;
+  ConfidenceInterval ci;
+  ci.point = statistic(sample);
+  ci.lo = quantile_sorted(estimates, alpha / 2.0);
+  ci.hi = quantile_sorted(estimates, 1.0 - alpha / 2.0);
+  ci.level = level;
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, util::Rng& rng,
+                                     std::size_t replicates, double level) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean(s); }, rng, replicates,
+      level);
+}
+
+}  // namespace rainshine::stats

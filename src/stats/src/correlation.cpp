@@ -1,0 +1,63 @@
+#include "rainshine/stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  util::require(x.size() == y.size(), "pearson: length mismatch");
+  util::require(x.size() >= 2, "pearson: need at least 2 observations");
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> out(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average the 1-based ranks i+1 .. j+1 across the tie group.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  util::require(x.size() == y.size(), "spearman: length mismatch");
+  const std::vector<double> rx = ranks(x);
+  const std::vector<double> ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace rainshine::stats

@@ -1,0 +1,70 @@
+#include "rainshine/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+double Accumulator::sample_stddev() const noexcept { return std::sqrt(sample_variance()); }
+
+double mean(std::span<const double> values) noexcept {
+  Accumulator acc;
+  for (const double v : values) acc.add(v);
+  return acc.mean();
+}
+
+double sample_stddev(std::span<const double> values) noexcept {
+  Accumulator acc;
+  for (const double v : values) acc.add(v);
+  return acc.sample_stddev();
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  util::require(!sorted.empty(), "quantile of empty sample");
+  util::require(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  Accumulator acc;
+  for (const double v : values) acc.add(v);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.sample_stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  return s;
+}
+
+std::vector<double> normalize_to_max(std::span<const double> values) {
+  std::vector<double> out(values.begin(), values.end());
+  const auto it = std::max_element(out.begin(), out.end());
+  if (it == out.end() || *it <= 0.0) return out;
+  const double peak = *it;
+  for (double& v : out) v /= peak;
+  return out;
+}
+
+}  // namespace rainshine::stats

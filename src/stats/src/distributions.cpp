@@ -1,0 +1,95 @@
+#include "rainshine/stats/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+
+double sample_normal(util::Rng& rng) noexcept {
+  // Box-Muller; discard the second variate to keep the sampler stateless.
+  double u1 = rng.uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_normal(util::Rng& rng, double mu, double sigma) noexcept {
+  return mu + sigma * sample_normal(rng);
+}
+
+double sample_exponential(util::Rng& rng, double lambda) {
+  util::require(lambda > 0.0, "exponential rate must be positive");
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t sample_poisson(util::Rng& rng, double lambda) {
+  util::require(lambda >= 0.0, "Poisson mean must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda <= 64.0) {
+    // Knuth multiplication method.
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double x = sample_normal(rng, lambda, std::sqrt(lambda)) + 0.5;
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+double sample_weibull(util::Rng& rng, double shape, double scale) {
+  util::require(shape > 0.0 && scale > 0.0, "Weibull shape/scale must be positive");
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double sample_lognormal(util::Rng& rng, double mu_log, double sigma_log) noexcept {
+  return std::exp(sample_normal(rng, mu_log, sigma_log));
+}
+
+std::size_t sample_categorical(util::Rng& rng, std::span<const double> weights) {
+  util::require(!weights.empty(), "categorical over empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    util::require(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  util::require(total > 0.0, "categorical weights must not all be zero");
+  const double target = rng.uniform() * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: fall into the last bucket
+}
+
+double weibull_hazard(double t, double shape, double scale) {
+  util::require(shape > 0.0 && scale > 0.0, "Weibull shape/scale must be positive");
+  util::require(t >= 0.0, "hazard time must be non-negative");
+  if (t == 0.0) {
+    // h(0) is 0 for shape > 1, (1/scale) for shape == 1, +inf for shape < 1;
+    // clamp the infant singularity to the value a hair after 0.
+    if (shape < 1.0) t = 1e-6;
+    else if (shape > 1.0) return 0.0;
+  }
+  return (shape / scale) * std::pow(t / scale, shape - 1.0);
+}
+
+double BathtubHazard::operator()(double t_months) const {
+  util::require(t_months >= 0.0, "age must be non-negative");
+  return infant_weight * weibull_hazard(t_months, infant_shape, infant_scale) +
+         floor_rate +
+         wearout_weight * weibull_hazard(t_months, wearout_shape, wearout_scale);
+}
+
+}  // namespace rainshine::stats

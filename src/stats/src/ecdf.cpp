@@ -1,0 +1,36 @@
+#include "rainshine/stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  util::require(!sorted_.empty(), "Ecdf over empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  util::require(q >= 0.0 && q <= 1.0, "Ecdf quantile q outside [0,1]");
+  if (q == 0.0) return sorted_.front();
+  // Smallest index i with (i+1)/n >= q, i.e. i = ceil(q*n) - 1.
+  const auto n = static_cast<double>(sorted_.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<double> Ecdf::evaluate(std::span<const double> points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const double p : points) out.push_back((*this)(p));
+  return out;
+}
+
+}  // namespace rainshine::stats

@@ -1,0 +1,103 @@
+#include "rainshine/stats/histogram.hpp"
+
+#include <algorithm>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::stats {
+
+namespace {
+
+std::string edge_label(double v) {
+  // Render integral edges without a decimal point ("70" not "70.0").
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return util::format_double(v, 1);
+}
+
+}  // namespace
+
+Binner::Binner(std::vector<double> edges, bool open_ended)
+    : edges_(std::move(edges)), open_ended_(open_ended) {
+  util::require(!edges_.empty(), "Binner needs at least one edge");
+  util::require(std::is_sorted(edges_.begin(), edges_.end()) &&
+                    std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+                "Binner edges must be strictly increasing");
+  if (!open_ended_) {
+    util::require(edges_.size() >= 2, "closed Binner needs at least two edges");
+  }
+}
+
+std::size_t Binner::num_bins() const noexcept {
+  // Closed: N edges delimit N-1 intervals. Open-ended: plus "<first" and ">=last".
+  return open_ended_ ? edges_.size() + 1 : edges_.size() - 1;
+}
+
+std::size_t Binner::bin_of(double value) const noexcept {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin());
+  if (open_ended_) return idx;  // 0 = below first edge, edges_.size() = at/above last
+  if (idx == 0) return 0;
+  return std::min(idx - 1, edges_.size() - 2);
+}
+
+std::string Binner::label(std::size_t bin) const {
+  util::require(bin < num_bins(), "Binner::label bin out of range");
+  if (open_ended_) {
+    if (bin == 0) return "<" + edge_label(edges_.front());
+    if (bin == edges_.size()) return ">" + edge_label(edges_.back());
+    return edge_label(edges_[bin - 1]) + "-" + edge_label(edges_[bin]);
+  }
+  return edge_label(edges_[bin]) + "-" + edge_label(edges_[bin + 1]);
+}
+
+Binner Binner::equal_width(double lo, double hi, std::size_t count) {
+  util::require(hi > lo, "equal_width needs hi > lo");
+  util::require(count >= 1, "equal_width needs at least one bin");
+  std::vector<double> edges(count + 1);
+  for (std::size_t i = 0; i <= count; ++i) {
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(count);
+  }
+  return Binner(std::move(edges), /*open_ended=*/false);
+}
+
+BinnedStats::BinnedStats(Binner binner)
+    : binner_(std::move(binner)), accs_(binner_.num_bins()) {}
+
+void BinnedStats::add(double key, double metric) {
+  accs_[binner_.bin_of(key)].add(metric);
+}
+
+std::vector<BinnedRow> BinnedStats::rows() const {
+  std::vector<BinnedRow> out;
+  out.reserve(accs_.size());
+  for (std::size_t i = 0; i < accs_.size(); ++i) {
+    out.push_back({binner_.label(i), accs_[i].count(), accs_[i].mean(),
+                   accs_[i].sample_stddev()});
+  }
+  return out;
+}
+
+CategoricalStats::CategoricalStats(std::vector<std::string> labels)
+    : labels_(std::move(labels)), accs_(labels_.size()) {
+  util::require(!labels_.empty(), "CategoricalStats needs at least one label");
+}
+
+void CategoricalStats::add(std::size_t key, double metric) {
+  util::require(key < accs_.size(), "CategoricalStats key out of range");
+  accs_[key].add(metric);
+}
+
+std::vector<BinnedRow> CategoricalStats::rows() const {
+  std::vector<BinnedRow> out;
+  out.reserve(accs_.size());
+  for (std::size_t i = 0; i < accs_.size(); ++i) {
+    out.push_back({labels_[i], accs_[i].count(), accs_[i].mean(),
+                   accs_[i].sample_stddev()});
+  }
+  return out;
+}
+
+}  // namespace rainshine::stats

@@ -1,0 +1,89 @@
+#include "rainshine/stats/survival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+
+std::vector<KmPoint> kaplan_meier(std::span<const SurvivalObservation> observations) {
+  util::require(!observations.empty(), "Kaplan-Meier over empty sample");
+  std::vector<SurvivalObservation> sorted(observations.begin(), observations.end());
+  for (const auto& o : sorted) {
+    util::require(o.time >= 0.0, "survival times must be non-negative");
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.event > b.event;  // events before censorings at ties
+            });
+
+  std::vector<KmPoint> curve;
+  double survival = 1.0;
+  std::size_t at_risk = sorted.size();
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double t = sorted[i].time;
+    std::size_t events = 0;
+    std::size_t leaving = 0;
+    while (i < sorted.size() && sorted[i].time == t) {
+      if (sorted[i].event) ++events;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0) {
+      survival *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      curve.push_back({t, survival, at_risk, events});
+    }
+    at_risk -= leaving;
+  }
+  return curve;
+}
+
+double survival_at(std::span<const KmPoint> curve, double t) noexcept {
+  double s = 1.0;
+  for (const KmPoint& p : curve) {
+    if (p.time > t) break;
+    s = p.survival;
+  }
+  return s;
+}
+
+double median_survival(std::span<const KmPoint> curve) noexcept {
+  for (const KmPoint& p : curve) {
+    if (p.survival <= 0.5) return p.time;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double restricted_mean_survival(std::span<const KmPoint> curve, double horizon) {
+  util::require(horizon > 0.0, "horizon must be positive");
+  double area = 0.0;
+  double prev_time = 0.0;
+  double prev_survival = 1.0;
+  for (const KmPoint& p : curve) {
+    if (p.time >= horizon) break;
+    area += prev_survival * (p.time - prev_time);
+    prev_time = p.time;
+    prev_survival = p.survival;
+  }
+  area += prev_survival * (horizon - prev_time);
+  return area;
+}
+
+double event_rate(std::span<const SurvivalObservation> observations) {
+  util::require(!observations.empty(), "event_rate over empty sample");
+  double time_at_risk = 0.0;
+  double events = 0.0;
+  for (const auto& o : observations) {
+    util::require(o.time >= 0.0, "survival times must be non-negative");
+    time_at_risk += o.time;
+    events += o.event ? 1.0 : 0.0;
+  }
+  util::require(time_at_risk > 0.0, "no time at risk");
+  return events / time_at_risk;
+}
+
+}  // namespace rainshine::stats

@@ -1,0 +1,39 @@
+// CSV import/export for tables.
+//
+// RMA-style failure logs and sensor dumps arrive as CSV in the field; the
+// library round-trips its tables through the same format so users can bring
+// their own data to the analysis pipelines (or export simulator output to R
+// for cross-checking against rpart).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rainshine/table/table.hpp"
+
+namespace rainshine::table {
+
+/// Per-column type declaration for CSV import.
+struct CsvSchemaEntry {
+  std::string name;
+  ColumnType type = ColumnType::kContinuous;
+};
+
+/// Reads a header-first CSV. If `schema` is empty, types are inferred per
+/// column: all-numeric integral -> ordinal, all-numeric -> continuous,
+/// otherwise nominal; empty cells are missing. If a schema is given, its
+/// names must match the header exactly and cells are parsed per the declared
+/// type (throws util::precondition_error on malformed cells).
+[[nodiscard]] Table read_csv(std::istream& in,
+                             std::span<const CsvSchemaEntry> schema = {});
+
+/// Reads a CSV file from disk. Throws on I/O failure.
+[[nodiscard]] Table read_csv_file(const std::string& path,
+                                  std::span<const CsvSchemaEntry> schema = {});
+
+/// Writes `table` as CSV with a header row. Cells containing commas, quotes
+/// or newlines are quoted per RFC 4180.
+void write_csv(const Table& table, std::ostream& out);
+void write_csv_file(const Table& table, const std::string& path);
+
+}  // namespace rainshine::table

@@ -1,0 +1,45 @@
+// Group-by aggregation over tables.
+//
+// The paper's metrics are all "aggregate metric X at spatial granularity S
+// and temporal granularity T" — i.e. group rows by one or more key columns
+// and reduce a value column within each group. `group_by` produces the group
+// index; `aggregate` reduces with named statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rainshine/table/table.hpp"
+
+namespace rainshine::table {
+
+/// One group: its key rendered per key column, and its member row indices.
+struct Group {
+  std::vector<std::string> key;  ///< one rendered cell per key column
+  std::vector<std::size_t> rows;
+};
+
+/// Partitions rows by the tuple of values in `key_columns`. Groups are
+/// ordered by first appearance; rows with any missing key are grouped under
+/// the missing rendering (""). Throws if a key column is absent.
+[[nodiscard]] std::vector<Group> group_by(const Table& table,
+                                          std::span<const std::string> key_columns);
+
+enum class Reduction : std::uint8_t { kCount, kSum, kMean, kStddev, kMin, kMax, kP95 };
+
+/// One aggregation request: reduce `value_column` with `reduction`, output
+/// column named `output_name`.
+struct Aggregation {
+  std::string value_column;
+  Reduction reduction = Reduction::kMean;
+  std::string output_name;
+};
+
+/// Groups `table` by `key_columns` and applies each aggregation within each
+/// group. The result has one row per group: the key columns (as nominal
+/// re-renderings) followed by one continuous column per aggregation.
+[[nodiscard]] Table aggregate(const Table& table,
+                              std::span<const std::string> key_columns,
+                              std::span<const Aggregation> aggregations);
+
+}  // namespace rainshine::table

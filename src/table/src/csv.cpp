@@ -1,0 +1,169 @@
+#include "rainshine/table/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::table {
+
+namespace {
+
+/// Splits one CSV record honoring RFC 4180 quoting.
+std::vector<std::string> split_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string quote_if_needed(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+ColumnType infer_type(const std::vector<std::string>& cells) {
+  bool all_int = true;
+  bool all_num = true;
+  bool any_value = false;
+  for (const auto& cell : cells) {
+    if (cell.empty()) continue;
+    any_value = true;
+    long long iv = 0;
+    double dv = 0.0;
+    if (!util::parse_int(cell, iv)) all_int = false;
+    if (!util::parse_double(cell, dv)) all_num = false;
+  }
+  if (!any_value || !all_num) return ColumnType::kNominal;
+  return all_int ? ColumnType::kOrdinal : ColumnType::kContinuous;
+}
+
+void push_cell(Column& col, const std::string& cell) {
+  if (cell.empty()) {
+    col.push_missing();
+    return;
+  }
+  switch (col.type()) {
+    case ColumnType::kContinuous: {
+      double v = 0.0;
+      util::require(util::parse_double(cell, v), "bad continuous cell: " + cell);
+      col.push_continuous(v);
+      return;
+    }
+    case ColumnType::kOrdinal: {
+      long long v = 0;
+      util::require(util::parse_int(cell, v), "bad ordinal cell: " + cell);
+      col.push_ordinal(static_cast<std::int32_t>(v));
+      return;
+    }
+    case ColumnType::kNominal:
+      col.push_nominal(cell);
+      return;
+  }
+}
+
+}  // namespace
+
+Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema) {
+  std::string line;
+  util::require(static_cast<bool>(std::getline(in, line)), "CSV missing header");
+  const std::vector<std::string> header = split_record(line);
+
+  if (!schema.empty()) {
+    util::require(schema.size() == header.size(), "CSV schema/header width mismatch");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      util::require(schema[i].name == header[i],
+                    "CSV schema name mismatch at column " + std::to_string(i));
+    }
+  }
+
+  // Buffer all records; we need a full pass for type inference anyway.
+  std::vector<std::vector<std::string>> records;
+  while (std::getline(in, line)) {
+    // An empty line is a record only for single-column tables (one missing
+    // cell); in wider tables it is formatting noise and is skipped.
+    if (line.empty() && header.size() > 1) continue;
+    auto fields = split_record(line);
+    util::require(fields.size() == header.size(),
+                  "CSV record width mismatch at data row " +
+                      std::to_string(records.size() + 1));
+    records.push_back(std::move(fields));
+  }
+
+  Table out;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    ColumnType type;
+    if (!schema.empty()) {
+      type = schema[c].type;
+    } else {
+      std::vector<std::string> cells;
+      cells.reserve(records.size());
+      for (const auto& rec : records) cells.push_back(rec[c]);
+      type = infer_type(cells);
+    }
+    Column col(type);
+    for (const auto& rec : records) push_cell(col, rec[c]);
+    out.add_column(header[c], std::move(col));
+  }
+  return out;
+}
+
+Table read_csv_file(const std::string& path, std::span<const CsvSchemaEntry> schema) {
+  std::ifstream in(path);
+  util::require(in.good(), "cannot open CSV file: " + path);
+  return read_csv(in, schema);
+}
+
+void write_csv(const Table& table, std::ostream& out) {
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) out << ',';
+    out << quote_if_needed(table.column_name(c));
+  }
+  out << '\n';
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out << ',';
+      out << quote_if_needed(table.column_at(c).cell_to_string(r));
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  util::require(out.good(), "cannot open CSV file for writing: " + path);
+  write_csv(table, out);
+  util::require(out.good(), "I/O error writing CSV file: " + path);
+}
+
+}  // namespace rainshine::table

@@ -1,0 +1,78 @@
+#include "rainshine/table/groupby.hpp"
+
+#include <map>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::table {
+
+std::vector<Group> group_by(const Table& table,
+                            std::span<const std::string> key_columns) {
+  util::require(!key_columns.empty(), "group_by needs at least one key column");
+  std::vector<const Column*> keys;
+  keys.reserve(key_columns.size());
+  for (const auto& name : key_columns) keys.push_back(&table.column(name));
+
+  std::vector<Group> groups;
+  std::map<std::vector<std::string>, std::size_t> index;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> key;
+    key.reserve(keys.size());
+    for (const Column* col : keys) key.push_back(col->cell_to_string(r));
+    const auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) groups.push_back(Group{std::move(key), {}});
+    groups[it->second].rows.push_back(r);
+  }
+  return groups;
+}
+
+namespace {
+
+double reduce(const Column& col, const std::vector<std::size_t>& rows, Reduction how) {
+  stats::Accumulator acc;
+  std::vector<double> values;
+  if (how == Reduction::kP95) values.reserve(rows.size());
+  for (const auto r : rows) {
+    if (col.is_missing(r)) continue;
+    const double v = col.as_double(r);
+    acc.add(v);
+    if (how == Reduction::kP95) values.push_back(v);
+  }
+  switch (how) {
+    case Reduction::kCount: return static_cast<double>(acc.count());
+    case Reduction::kSum: return acc.sum();
+    case Reduction::kMean: return acc.mean();
+    case Reduction::kStddev: return acc.sample_stddev();
+    case Reduction::kMin: return acc.min();
+    case Reduction::kMax: return acc.max();
+    case Reduction::kP95:
+      return values.empty() ? 0.0 : stats::quantile(values, 0.95);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Table aggregate(const Table& table, std::span<const std::string> key_columns,
+                std::span<const Aggregation> aggregations) {
+  util::require(!aggregations.empty(), "aggregate needs at least one aggregation");
+  const std::vector<Group> groups = group_by(table, key_columns);
+
+  Table out;
+  for (std::size_t k = 0; k < key_columns.size(); ++k) {
+    Column col(ColumnType::kNominal);
+    for (const auto& g : groups) col.push_nominal(g.key[k]);
+    out.add_column(key_columns[k], std::move(col));
+  }
+  for (const auto& agg : aggregations) {
+    const Column& value_col = table.column(agg.value_column);
+    std::vector<double> values;
+    values.reserve(groups.size());
+    for (const auto& g : groups) values.push_back(reduce(value_col, g.rows, agg.reduction));
+    out.add_column(agg.output_name, Column::continuous(std::move(values)));
+  }
+  return out;
+}
+
+}  // namespace rainshine::table

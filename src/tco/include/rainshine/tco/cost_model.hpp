@@ -1,0 +1,97 @@
+// Cost and TCO model.
+//
+// The paper prices decisions with two published inputs:
+//   * relative unit costs server : hard-disk : memory-DIMM = 100 : 2 : 10
+//     (from a commercial server-cost estimator [4], at 16 GB DIMM / 1 TB HDD
+//     spare granularity), and
+//   * a Kontorinis et al. [24]-style TCO split, in which servers are roughly
+//     half of datacenter TCO and the rest is facility capex/opex.
+//
+// All costs here are in "server-cost units" (1 server = 100). The model is
+// deliberately linear — exactly the arithmetic the paper's Table IV, Fig. 13
+// and Q2 scenarios perform.
+#pragma once
+
+#include <cstddef>
+
+namespace rainshine::tco {
+
+struct CostModel {
+  double server_cost = 100.0;
+  double disk_cost = 2.0;
+  double dimm_cost = 10.0;
+  /// TCO per deployed server, as a multiple of server cost: hardware plus
+  /// its share of facility capex and power/cooling opex over the
+  /// amortization window (Kontorinis et al. put servers at ~45-55% of TCO,
+  /// so TCO ~= 2x the server outlay).
+  double tco_per_server_factor = 2.0;
+  /// Cost of one maintenance/repair event (truck roll + part + labor), in
+  /// the same units.
+  double repair_event_cost = 8.0;
+};
+
+/// Capacity-level inputs of a spare-provisioning policy for one population.
+struct SparePlan {
+  double server_spare_fraction = 0.0;  ///< spare servers / deployed servers
+  double disk_spare_fraction = 0.0;    ///< spare disks / deployed disks
+  double dimm_spare_fraction = 0.0;
+  std::size_t servers = 0;  ///< deployed servers in the population
+  std::size_t disks = 0;
+  std::size_t dimms = 0;
+};
+
+/// Capital cost of the plan's spares (server-cost units).
+[[nodiscard]] double spare_capex(const CostModel& model, const SparePlan& plan);
+
+/// Spare capex as a percentage of the population's server capex — the
+/// normalization of Fig. 13's y-axis.
+[[nodiscard]] double spare_cost_pct_of_capacity(const CostModel& model,
+                                                const SparePlan& plan);
+
+/// Relative TCO savings of plan `a` over plan `b` for the same population:
+/// (capex_b - capex_a) / TCO, in percent. Positive = `a` cheaper. This is
+/// Table IV's "relative savings in TCO by using MF over SF" with a = MF.
+[[nodiscard]] double tco_savings_pct(const CostModel& model, const SparePlan& a,
+                                     const SparePlan& b);
+
+/// Q2 vendor-choice scenario: total cost of owning `servers` servers of a
+/// SKU for `years`, given its price multiplier (relative to the reference
+/// SKU), the spare fraction its PEAK failure rate demands, and the yearly
+/// repair events per server its AVERAGE failure rate implies.
+struct SkuScenario {
+  double price_multiplier = 1.0;
+  double spare_fraction = 0.0;
+  double repairs_per_server_year = 0.0;
+};
+
+[[nodiscard]] double sku_total_cost(const CostModel& model, const SkuScenario& sku,
+                                    std::size_t servers, double years);
+
+/// Percentage savings of choosing `candidate` over `incumbent` (positive =
+/// candidate cheaper), normalized by the incumbent's total cost.
+[[nodiscard]] double sku_savings_pct(const CostModel& model,
+                                     const SkuScenario& candidate,
+                                     const SkuScenario& incumbent,
+                                     std::size_t servers, double years);
+
+/// Cooling-energy cost model for the Q3 set-point trade-off. Industry rule
+/// of thumb: each degree Fahrenheit of set-point RAISE saves roughly 2-5%
+/// of cooling energy (compressors/evaporators work against a smaller
+/// delta-T). Modeled as exponential decay per degree, floored so savings
+/// saturate (economizers can't go below fan power).
+struct CoolingModel {
+  /// Yearly cooling cost per server at the current set point, in the same
+  /// server-cost units as CostModel (PUE-overhead share of the power bill).
+  double cost_per_server_year = 12.0;
+  /// Fractional energy saving per +1F of set point.
+  double saving_per_degree_f = 0.035;
+  /// Fraction of the cooling bill that cannot be saved (fans, pumps).
+  double irreducible_fraction = 0.35;
+};
+
+/// Yearly cooling cost for `servers` at a set point `offset_f` above the
+/// current one (negative = colder = more expensive).
+[[nodiscard]] double cooling_cost_per_year(const CoolingModel& model,
+                                           std::size_t servers, double offset_f);
+
+}  // namespace rainshine::tco

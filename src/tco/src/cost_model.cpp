@@ -1,0 +1,69 @@
+#include "rainshine/tco/cost_model.hpp"
+
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::tco {
+
+double spare_capex(const CostModel& model, const SparePlan& plan) {
+  util::require(plan.server_spare_fraction >= 0.0 && plan.disk_spare_fraction >= 0.0 &&
+                    plan.dimm_spare_fraction >= 0.0,
+                "spare fractions must be non-negative");
+  return model.server_cost * plan.server_spare_fraction *
+             static_cast<double>(plan.servers) +
+         model.disk_cost * plan.disk_spare_fraction * static_cast<double>(plan.disks) +
+         model.dimm_cost * plan.dimm_spare_fraction * static_cast<double>(plan.dimms);
+}
+
+double spare_cost_pct_of_capacity(const CostModel& model, const SparePlan& plan) {
+  util::require(plan.servers > 0, "population must have servers");
+  const double capacity_capex =
+      model.server_cost * static_cast<double>(plan.servers);
+  return 100.0 * spare_capex(model, plan) / capacity_capex;
+}
+
+double tco_savings_pct(const CostModel& model, const SparePlan& a, const SparePlan& b) {
+  util::require(a.servers == b.servers, "plans must cover the same population");
+  util::require(a.servers > 0, "population must have servers");
+  const double tco = model.server_cost * model.tco_per_server_factor *
+                     static_cast<double>(a.servers);
+  return 100.0 * (spare_capex(model, b) - spare_capex(model, a)) / tco;
+}
+
+double sku_total_cost(const CostModel& model, const SkuScenario& sku,
+                      std::size_t servers, double years) {
+  util::require(servers > 0, "need at least one server");
+  util::require(years > 0.0, "ownership period must be positive");
+  const double n = static_cast<double>(servers);
+  const double unit = model.server_cost * sku.price_multiplier;
+  const double capex = unit * n * (1.0 + sku.spare_fraction);
+  const double opex = model.repair_event_cost * sku.repairs_per_server_year * n * years;
+  // Facility share of TCO is SKU-independent; include it so savings are
+  // expressed against total cost of ownership, as the paper does.
+  const double facility = model.server_cost * (model.tco_per_server_factor - 1.0) * n;
+  return capex + opex + facility;
+}
+
+double sku_savings_pct(const CostModel& model, const SkuScenario& candidate,
+                       const SkuScenario& incumbent, std::size_t servers,
+                       double years) {
+  const double cand = sku_total_cost(model, candidate, servers, years);
+  const double inc = sku_total_cost(model, incumbent, servers, years);
+  return 100.0 * (inc - cand) / inc;
+}
+
+double cooling_cost_per_year(const CoolingModel& model, std::size_t servers,
+                             double offset_f) {
+  util::require(servers > 0, "need at least one server");
+  util::require(model.irreducible_fraction >= 0.0 &&
+                    model.irreducible_fraction <= 1.0,
+                "irreducible_fraction outside [0,1]");
+  const double variable = 1.0 - model.irreducible_fraction;
+  // Exponential decay of the variable share per degree of raise.
+  const double factor = model.irreducible_fraction +
+                        variable * std::exp(-model.saving_per_degree_f * offset_f);
+  return model.cost_per_server_year * static_cast<double>(servers) * factor;
+}
+
+}  // namespace rainshine::tco

@@ -1,0 +1,188 @@
+// Simulation calendar.
+//
+// The study window spans 2.5 years sampled at hourly resolution. All
+// simulator and analysis code addresses time as an integral number of hours
+// (`HourIndex`) or days (`DayIndex`) since the observation epoch, and this
+// header provides the civil-calendar decoding (day-of-week, month, season,
+// year) those indices map to. The arithmetic uses Howard Hinnant's proleptic
+// Gregorian algorithms, so it is exact for any epoch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rainshine::util {
+
+/// Days since the simulation epoch (non-negative within a study window).
+using DayIndex = std::int32_t;
+/// Hours since the simulation epoch.
+using HourIndex = std::int64_t;
+
+inline constexpr int kHoursPerDay = 24;
+
+/// A civil (proleptic Gregorian) calendar date.
+struct CivilDate {
+  std::int32_t year = 1970;
+  std::int32_t month = 1;  ///< 1..12
+  std::int32_t day = 1;    ///< 1..31
+
+  friend constexpr bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Day of week with the paper's Sun..Sat presentation order (Fig. 3).
+enum class Weekday : std::uint8_t {
+  kSunday = 0,
+  kMonday,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+};
+
+/// Month of year, 1-based to match CivilDate::month (Fig. 4 ordering).
+enum class Month : std::uint8_t {
+  kJanuary = 1,
+  kFebruary,
+  kMarch,
+  kApril,
+  kMay,
+  kJune,
+  kJuly,
+  kAugust,
+  kSeptember,
+  kOctober,
+  kNovember,
+  kDecember,
+};
+
+/// Northern-hemisphere meteorological season; the environment simulator uses
+/// it to shape outdoor temperature and humidity.
+enum class Season : std::uint8_t { kWinter = 0, kSpring, kSummer, kAutumn };
+
+/// Days from 1970-01-01 to `date` (negative before the Unix epoch).
+[[nodiscard]] constexpr std::int64_t days_from_civil(CivilDate date) noexcept {
+  auto y = static_cast<std::int64_t>(date.year);
+  const auto m = static_cast<std::uint32_t>(date.month);
+  const auto d = static_cast<std::uint32_t>(date.day);
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<std::uint32_t>(y - era * 400);              // [0, 399]
+  const std::uint32_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;  // [0, 365]
+  const std::uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+[[nodiscard]] constexpr CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<std::uint32_t>(z - era * 146097);           // [0, 146096]
+  const std::uint32_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const std::uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);       // [0, 365]
+  const std::uint32_t mp = (5 * doy + 2) / 153;                            // [0, 11]
+  const std::uint32_t d = doy - (153 * mp + 2) / 5 + 1;                    // [1, 31]
+  const std::uint32_t m = mp < 10 ? mp + 3 : mp - 9;                       // [1, 12]
+  return CivilDate{static_cast<std::int32_t>(y + (m <= 2)),
+                   static_cast<std::int32_t>(m), static_cast<std::int32_t>(d)};
+}
+
+/// A fixed observation window anchored at an epoch date, addressed in days
+/// and hours. Immutable value type.
+class Calendar {
+ public:
+  /// Window of `num_days` days starting at `epoch` (day 0).
+  constexpr Calendar(CivilDate epoch, DayIndex num_days)
+      : epoch_days_(days_from_civil(epoch)), num_days_(num_days) {}
+
+  [[nodiscard]] constexpr DayIndex num_days() const noexcept { return num_days_; }
+  [[nodiscard]] constexpr HourIndex num_hours() const noexcept {
+    return static_cast<HourIndex>(num_days_) * kHoursPerDay;
+  }
+
+  [[nodiscard]] constexpr CivilDate date(DayIndex day) const noexcept {
+    return civil_from_days(epoch_days_ + day);
+  }
+
+  [[nodiscard]] constexpr Weekday weekday(DayIndex day) const noexcept {
+    // 1970-01-01 was a Thursday (weekday 4 with Sunday = 0).
+    const std::int64_t z = epoch_days_ + day;
+    return static_cast<Weekday>(((z % 7) + 7 + 4) % 7);
+  }
+
+  [[nodiscard]] constexpr Month month(DayIndex day) const noexcept {
+    return static_cast<Month>(date(day).month);
+  }
+
+  /// Calendar year offset from the epoch year (0 for the first year, etc.).
+  /// Matches the paper's "Year 0-2" ordinal feature (Table III).
+  [[nodiscard]] constexpr std::int32_t year_offset(DayIndex day) const noexcept {
+    return date(day).year - civil_from_days(epoch_days_).year;
+  }
+
+  /// ISO-8601-ish week-of-year in [1, 53]: day-of-year / 7 + 1.
+  [[nodiscard]] constexpr std::int32_t week_of_year(DayIndex day) const noexcept {
+    return day_of_year(day) / 7 + 1;
+  }
+
+  /// Zero-based day of year in [0, 365].
+  [[nodiscard]] constexpr std::int32_t day_of_year(DayIndex day) const noexcept {
+    const CivilDate d = date(day);
+    const std::int64_t jan1 = days_from_civil(CivilDate{d.year, 1, 1});
+    return static_cast<std::int32_t>(epoch_days_ + day - jan1);
+  }
+
+  [[nodiscard]] constexpr Season season(DayIndex day) const noexcept {
+    switch (month(day)) {
+      case Month::kDecember:
+      case Month::kJanuary:
+      case Month::kFebruary:
+        return Season::kWinter;
+      case Month::kMarch:
+      case Month::kApril:
+      case Month::kMay:
+        return Season::kSpring;
+      case Month::kJune:
+      case Month::kJuly:
+      case Month::kAugust:
+        return Season::kSummer;
+      default:
+        return Season::kAutumn;
+    }
+  }
+
+  [[nodiscard]] static constexpr DayIndex day_of(HourIndex hour) noexcept {
+    return static_cast<DayIndex>(hour / kHoursPerDay);
+  }
+  [[nodiscard]] static constexpr int hour_of_day(HourIndex hour) noexcept {
+    return static_cast<int>(hour % kHoursPerDay);
+  }
+  [[nodiscard]] static constexpr HourIndex first_hour(DayIndex day) noexcept {
+    return static_cast<HourIndex>(day) * kHoursPerDay;
+  }
+
+  friend constexpr bool operator==(const Calendar&, const Calendar&) = default;
+
+ private:
+  std::int64_t epoch_days_;
+  DayIndex num_days_;
+};
+
+/// Three-letter English weekday name ("Sun".."Sat").
+[[nodiscard]] std::string_view to_string(Weekday w) noexcept;
+/// Three-letter English month name ("Jan".."Dec").
+[[nodiscard]] std::string_view to_string(Month m) noexcept;
+[[nodiscard]] std::string_view to_string(Season s) noexcept;
+/// "YYYY-MM-DD".
+[[nodiscard]] std::string to_string(CivilDate d);
+
+/// True for Monday..Friday; the paper's day-of-week effect (Fig. 3) raises
+/// failure rates on weekdays.
+[[nodiscard]] constexpr bool is_weekday(Weekday w) noexcept {
+  return w != Weekday::kSaturday && w != Weekday::kSunday;
+}
+
+}  // namespace rainshine::util

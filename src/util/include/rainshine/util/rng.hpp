@@ -1,0 +1,125 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of the simulator draws from an `Rng` derived by
+// *splitting* a parent generator with a stable key (e.g. one stream per
+// device, per fault type). Splitting — rather than sharing one sequential
+// stream — makes simulation output invariant to iteration order and lets
+// tests reproduce any single device's trace in isolation.
+//
+// The core generator is xoshiro256++ seeded through SplitMix64, the
+// combination recommended by the xoshiro authors. It is not cryptographic;
+// it is fast, well-distributed and has a 2^256-1 period, which is what a
+// simulation needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace rainshine::util {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for hashing split keys.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a string, for deriving split keys from names.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256++ with deterministic seeding and key-based splitting.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit constexpr Rng(std::uint64_t seed = 0) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent generator from this one and `key` WITHOUT
+  /// advancing this generator. Identical (parent state, key) pairs always
+  /// produce identical children.
+  [[nodiscard]] constexpr Rng split(std::uint64_t key) const noexcept {
+    std::uint64_t sm = state_[0] ^ rotl(state_[2], 29) ^ (key * 0x9e3779b97f4a7c15ULL);
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  /// Name-keyed split, for readable stream derivation:
+  /// `rng.split("disk-hazard")`.
+  [[nodiscard]] constexpr Rng split(std::string_view key) const noexcept {
+    return split(fnv1a(key));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection-free
+  /// approximation, which is unbiased enough for simulation with n << 2^64.
+  [[nodiscard]] constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t x = operator()();
+    // Multiply-high of two 64-bit values via 32-bit limbs (portable, no
+    // __int128 so the header stays strictly ISO C++20 under -Wpedantic).
+    const std::uint64_t x_lo = x & 0xffffffffULL;
+    const std::uint64_t x_hi = x >> 32;
+    const std::uint64_t n_lo = n & 0xffffffffULL;
+    const std::uint64_t n_hi = n >> 32;
+    const std::uint64_t mid1 = x_hi * n_lo + ((x_lo * n_lo) >> 32);
+    const std::uint64_t mid2 = x_lo * n_hi + (mid1 & 0xffffffffULL);
+    return x_hi * n_hi + (mid1 >> 32) + (mid2 >> 32);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  [[nodiscard]] constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  friend constexpr bool operator==(const Rng&, const Rng&) = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rainshine::util

@@ -1,0 +1,28 @@
+// Small string utilities shared across modules (CSV I/O, report printing).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rainshine::util {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Joins `parts` with `delim` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Formats `value` with `decimals` digits after the point (locale-free).
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// True if `s` parses completely as a floating-point number.
+[[nodiscard]] bool parse_double(std::string_view s, double& out) noexcept;
+
+/// True if `s` parses completely as a signed 64-bit integer.
+[[nodiscard]] bool parse_int(std::string_view s, long long& out) noexcept;
+
+}  // namespace rainshine::util

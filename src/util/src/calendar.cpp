@@ -1,0 +1,33 @@
+#include "rainshine/util/calendar.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace rainshine::util {
+
+std::string_view to_string(Weekday w) noexcept {
+  static constexpr std::array<std::string_view, 7> kNames = {
+      "Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+  return kNames[static_cast<std::size_t>(w)];
+}
+
+std::string_view to_string(Month m) noexcept {
+  static constexpr std::array<std::string_view, 12> kNames = {
+      "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  return kNames[static_cast<std::size_t>(m) - 1];
+}
+
+std::string_view to_string(Season s) noexcept {
+  static constexpr std::array<std::string_view, 4> kNames = {
+      "Winter", "Spring", "Summer", "Autumn"};
+  return kNames[static_cast<std::size_t>(s)];
+}
+
+std::string to_string(CivilDate d) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+}  // namespace rainshine::util

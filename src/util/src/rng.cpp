@@ -1,0 +1,12 @@
+// rng.hpp is header-only; this translation unit exists to give the library a
+// home for the header's ODR-used entities and to compile the header
+// standalone under the project's warning set.
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::util {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+static_assert(fnv1a("") == 0xcbf29ce484222325ULL);
+
+}  // namespace rainshine::util

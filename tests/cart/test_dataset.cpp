@@ -1,0 +1,112 @@
+#include "rainshine/cart/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/cart/tree.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::cart {
+namespace {
+
+using table::Column;
+using table::Table;
+
+Table train_table() {
+  Table t;
+  t.add_column("color",
+               Column::nominal(std::vector<std::string>{"red", "blue", "red",
+                                                        "green", "blue", "red"}));
+  t.add_column("size", Column::continuous({1, 2, 3, 4, 5, 6}));
+  t.add_column("y", Column::continuous({1, 9, 1, 5, 9, 1}));
+  return t;
+}
+
+TEST(Dataset, MaterializesTypesAndResponse) {
+  const Table t = train_table();
+  const Dataset data(t, "y", {"color", "size"}, Task::kRegression);
+  EXPECT_EQ(data.num_rows(), 6U);
+  EXPECT_EQ(data.num_features(), 2U);
+  EXPECT_TRUE(data.info(0).categorical);
+  EXPECT_FALSE(data.info(1).categorical);
+  EXPECT_EQ(data.info(0).labels.size(), 3U);
+  EXPECT_DOUBLE_EQ(data.x(0, 0), 0.0);  // "red" = code 0
+  EXPECT_DOUBLE_EQ(data.x(1, 0), 1.0);  // "blue" = code 1
+  EXPECT_DOUBLE_EQ(data.y(1), 9.0);
+  EXPECT_EQ(*data.feature_index("size"), 1U);
+  EXPECT_FALSE(data.feature_index("nope").has_value());
+}
+
+TEST(Dataset, ReferenceReencodingAlignsCodes) {
+  const Table train = train_table();
+  const Dataset fit(train, "y", {"color", "size"}, Task::kRegression);
+
+  // New table whose dictionary order DIFFERS ("blue" first) and which
+  // contains an unseen label.
+  Table fresh;
+  fresh.add_column("color", Column::nominal(std::vector<std::string>{
+                                "blue", "red", "violet"}));
+  fresh.add_column("size", Column::continuous({1, 2, 3}));
+  const Dataset bound(fresh, fit.infos());
+
+  // Codes must follow the TRAINING dictionary, not the new table's.
+  EXPECT_DOUBLE_EQ(bound.x(0, 0), 1.0);  // blue
+  EXPECT_DOUBLE_EQ(bound.x(1, 0), 0.0);  // red
+  // Unseen labels become missing.
+  EXPECT_TRUE(bound.x_missing(2, 0));
+  EXPECT_FALSE(bound.has_response());
+}
+
+TEST(Dataset, ReferenceReencodingRejectsTypeMismatch) {
+  const Table train = train_table();
+  const Dataset fit(train, "y", {"color", "size"}, Task::kRegression);
+  Table wrong;
+  wrong.add_column("color", Column::continuous({1, 2}));  // was nominal
+  wrong.add_column("size", Column::continuous({1, 2}));
+  EXPECT_THROW(Dataset(wrong, fit.infos()), util::precondition_error);
+}
+
+TEST(Dataset, PredictionThroughReboundTableUsesTrainingSemantics) {
+  // Fit on the training dictionary, predict through a differently-ordered
+  // table: leaves must match what the raw codes would give.
+  const Table train = train_table();
+  const Dataset fit(train, "y", {"color", "size"}, Task::kRegression);
+  Config cfg;
+  cfg.min_samples_split = 2;
+  cfg.min_samples_leaf = 1;
+  cfg.cp = 0.0;
+  const Tree tree = grow(fit, cfg);
+
+  Table fresh;
+  fresh.add_column("color",
+                   Column::nominal(std::vector<std::string>{"blue", "red"}));
+  fresh.add_column("size", Column::continuous({2, 1}));
+  const Dataset bound(fresh, tree.features());
+  // Training rows ("blue", 2) -> 9 and ("red", 1) -> 1.
+  EXPECT_NEAR(tree.predict(bound, 0), 9.0, 1e-9);
+  EXPECT_NEAR(tree.predict(bound, 1), 1.0, 1e-9);
+}
+
+TEST(Dataset, RejectsMissingResponseValues) {
+  Table t;
+  Column y(table::ColumnType::kContinuous);
+  y.push_continuous(1.0);
+  y.push_missing();
+  t.add_column("x", Column::continuous({1.0, 2.0}));
+  t.add_column("y", std::move(y));
+  EXPECT_THROW(Dataset(t, "y", {"x"}, Task::kRegression), util::precondition_error);
+}
+
+TEST(Dataset, ClassificationNeedsTwoClasses) {
+  Table t;
+  t.add_column("x", Column::continuous({1.0, 2.0}));
+  t.add_column("label",
+               Column::nominal(std::vector<std::string>{"only", "only"}));
+  EXPECT_THROW(Dataset(t, "label", {"x"}, Task::kClassification),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::cart

@@ -1,0 +1,171 @@
+#include "rainshine/cart/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::cart {
+namespace {
+
+using table::Column;
+using table::Table;
+
+/// Smooth nonlinear target: y = sin(x) * 5 + noise over [0, 6].
+Table wave_data(std::size_t n, util::Rng& rng) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 6.0);
+    y[i] = 5.0 * std::sin(x[i]) + rng.uniform(-0.5, 0.5);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  return t;
+}
+
+TEST(Forest, DeterministicForSeed) {
+  util::Rng rng(1);
+  const Table t = wave_data(400, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  ForestConfig cfg;
+  cfg.num_trees = 10;
+  const Forest a = grow_forest(data, cfg);
+  const Forest b = grow_forest(data, cfg);
+  for (std::size_t r = 0; r < data.num_rows(); r += 17) {
+    EXPECT_DOUBLE_EQ(a.predict(data, r), b.predict(data, r));
+  }
+  EXPECT_DOUBLE_EQ(a.oob_error(), b.oob_error());
+}
+
+TEST(Forest, TracksSmoothFunctionBetterThanStump) {
+  util::Rng rng(2);
+  const Table t = wave_data(1500, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  ForestConfig cfg;
+  cfg.num_trees = 30;
+  const Forest forest = grow_forest(data, cfg);
+  // Fresh evaluation grid.
+  double max_err = 0.0;
+  util::Rng eval_rng(3);
+  const Table eval = wave_data(200, eval_rng);
+  const Dataset eval_data(eval, "y", {"x"}, Task::kRegression);
+  for (std::size_t r = 0; r < eval_data.num_rows(); ++r) {
+    const double truth = 5.0 * std::sin(eval_data.x(r, 0));
+    max_err = std::max(max_err, std::abs(forest.predict(eval_data, r) - truth));
+  }
+  EXPECT_LT(max_err, 2.0);
+}
+
+TEST(Forest, OobErrorIsHonest) {
+  util::Rng rng(4);
+  const Table t = wave_data(800, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  ForestConfig cfg;
+  cfg.num_trees = 25;
+  const Forest forest = grow_forest(data, cfg);
+  // OOB MSE should be near the irreducible noise variance (uniform(-.5,.5)
+  // has variance 1/12 ~ 0.083) and well below the response variance (~12.5).
+  EXPECT_GT(forest.oob_error(), 0.02);
+  EXPECT_LT(forest.oob_error(), 1.5);
+}
+
+TEST(Forest, StabilizesPartialDependence) {
+  // Compare PD curve jitter: ensemble curves vary less run-to-run than a
+  // single deep tree's.
+  util::Rng rng(5);
+  const Table t = wave_data(600, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  ForestConfig cfg;
+  cfg.num_trees = 20;
+  const Forest forest = grow_forest(data, cfg);
+  const auto pd = forest.partial_dependence(data, "x", 12);
+  ASSERT_GE(pd.size(), 6U);
+  // PD must track sin(x): high near pi/2, low near 3pi/2.
+  for (const auto& p : pd) {
+    EXPECT_NEAR(p.yhat, 5.0 * std::sin(p.x), 1.6);
+  }
+}
+
+TEST(Forest, ClassificationVoting) {
+  util::Rng rng(6);
+  Table t;
+  std::vector<double> x(600);
+  Column label(table::ColumnType::kNominal);
+  for (std::size_t i = 0; i < 600; ++i) {
+    x[i] = rng.uniform(0, 10);
+    label.push_nominal(x[i] < 4.0 ? "low" : "high");
+  }
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("label", std::move(label));
+  const Dataset data(t, "label", {"x"}, Task::kClassification);
+  ForestConfig cfg;
+  cfg.num_trees = 15;
+  const Forest forest = grow_forest(data, cfg);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (forest.predict(data, r) == data.y(r)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 600.0, 0.97);
+  EXPECT_LT(forest.oob_error(), 0.05);  // error rate
+}
+
+TEST(Forest, FeatureSubspaceSpreadsImportance) {
+  // Two copies of the SAME informative signal: a single tree credits one of
+  // them exclusively; random-subspace trees must credit both.
+  util::Rng rng(7);
+  std::vector<double> x1(800);
+  std::vector<double> x2(800);
+  std::vector<double> y(800);
+  for (std::size_t i = 0; i < 800; ++i) {
+    x1[i] = rng.uniform(0, 1);
+    x2[i] = x1[i] + rng.uniform(-0.01, 0.01);  // near-duplicate
+    y[i] = (x1[i] > 0.5 ? 10.0 : 0.0) + rng.uniform(-0.3, 0.3);
+  }
+  Table t;
+  t.add_column("x1", Column::continuous(std::move(x1)));
+  t.add_column("x2", Column::continuous(std::move(x2)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const Dataset data(t, "y", {"x1", "x2"}, Task::kRegression);
+  ForestConfig cfg;
+  cfg.num_trees = 30;
+  cfg.features_per_tree = 1;
+  const Forest forest = grow_forest(data, cfg);
+  const auto imp = forest.variable_importance();
+  ASSERT_EQ(imp.size(), 2U);
+  // Both near-duplicates earn substantial credit.
+  EXPECT_GT(imp[1].importance, 0.25);
+}
+
+TEST(Forest, ValidatesConfig) {
+  util::Rng rng(8);
+  const Table t = wave_data(50, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  ForestConfig zero;
+  zero.num_trees = 0;
+  EXPECT_THROW(grow_forest(data, zero), util::precondition_error);
+  ForestConfig bad_fraction;
+  bad_fraction.sample_fraction = 0.0;
+  EXPECT_THROW(grow_forest(data, bad_fraction), util::precondition_error);
+}
+
+TEST(DatasetSubset, PreservesMetadataAndAllowsRepeats) {
+  util::Rng rng(9);
+  const Table t = wave_data(20, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const std::vector<std::size_t> rows = {3, 3, 7};
+  const Dataset sub = data.subset(rows);
+  EXPECT_EQ(sub.num_rows(), 3U);
+  EXPECT_DOUBLE_EQ(sub.x(0, 0), data.x(3, 0));
+  EXPECT_DOUBLE_EQ(sub.x(1, 0), data.x(3, 0));
+  EXPECT_DOUBLE_EQ(sub.y(2), data.y(7));
+  EXPECT_EQ(sub.infos().size(), data.infos().size());
+  const std::vector<std::size_t> bad = {99};
+  EXPECT_THROW(data.subset(bad), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::cart

@@ -1,0 +1,147 @@
+#include "rainshine/cart/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::cart {
+namespace {
+
+using table::Column;
+using table::Table;
+
+/// Three-level staircase with noise: pruning should keep the two strong
+/// splits and drop noise splits as cp rises.
+Table staircase(std::size_t n, double noise, util::Rng& rng) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 9.0);
+    const double level = x[i] < 3.0 ? 0.0 : (x[i] < 6.0 ? 10.0 : 30.0);
+    y[i] = level + rng.uniform(-noise, noise);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  return t;
+}
+
+Tree grow_full(const Dataset& data) {
+  Config cfg;
+  cfg.cp = 0.0;
+  cfg.min_samples_leaf = 5;
+  cfg.min_samples_split = 10;
+  return grow(data, cfg);
+}
+
+TEST(Prune, LeavesDecreaseMonotonicallyInCp) {
+  util::Rng rng(1);
+  const Table t = staircase(600, 2.0, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree full = grow_full(data);
+  std::size_t prev = full.num_leaves() + 1;
+  for (const double cp : {0.0, 0.0001, 0.001, 0.01, 0.1, 1.0}) {
+    const Tree pruned = prune(full, cp);
+    EXPECT_LE(pruned.num_leaves(), prev);
+    prev = pruned.num_leaves();
+  }
+  // cp = 1 collapses everything to the root.
+  EXPECT_EQ(prune(full, 1.0).num_leaves(), 1U);
+}
+
+TEST(Prune, TrainErrorNeverImprovesWithPruning) {
+  util::Rng rng(2);
+  const Table t = staircase(500, 2.0, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree full = grow_full(data);
+  double prev_error = full.relative_error();
+  for (const double cp : {0.001, 0.01, 0.1}) {
+    const double err = prune(full, cp).relative_error();
+    EXPECT_GE(err, prev_error - 1e-12);
+    prev_error = err;
+  }
+}
+
+TEST(Prune, KeepsStrongSplitsDropsWeak) {
+  util::Rng rng(3);
+  const Table t = staircase(800, 3.0, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree full = grow_full(data);
+  EXPECT_GT(full.num_leaves(), 3U);  // noise splits exist
+  // At a moderate cp only the 3 true levels remain.
+  const Tree pruned = prune(full, 0.01);
+  EXPECT_EQ(pruned.num_leaves(), 3U);
+}
+
+TEST(Prune, PreservesPredictions) {
+  util::Rng rng(4);
+  const Table t = staircase(400, 1.0, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree pruned = prune(grow_full(data), 0.01);
+  // Predictions still hit the right staircase level.
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const double x = data.x(r, 0);
+    const double want = x < 3.0 ? 0.0 : (x < 6.0 ? 10.0 : 30.0);
+    EXPECT_NEAR(pruned.predict(data, r), want, 2.0);
+  }
+}
+
+TEST(CpSequence, DescendingAndTerminatesAtZero) {
+  util::Rng rng(5);
+  const Table t = staircase(500, 2.0, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const auto cps = cp_sequence(grow_full(data));
+  ASSERT_GE(cps.size(), 2U);
+  for (std::size_t i = 1; i < cps.size(); ++i) EXPECT_LT(cps[i], cps[i - 1]);
+  EXPECT_DOUBLE_EQ(cps.back(), 0.0);
+}
+
+TEST(CrossValidate, PrefersTrueComplexity) {
+  util::Rng rng(6);
+  const Table t = staircase(600, 2.5, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  util::Rng cv_rng(7);
+  const FitResult fit = fit_pruned(data, Config{}, /*folds=*/5, cv_rng);
+  // The 1-SE tree should have close to the true 3 leaves, certainly not the
+  // dozens of the unpruned tree.
+  EXPECT_GE(fit.tree.num_leaves(), 2U);
+  EXPECT_LE(fit.tree.num_leaves(), 6U);
+  EXPECT_FALSE(fit.cv_curve.empty());
+  for (const CvPoint& p : fit.cv_curve) {
+    EXPECT_GE(p.mean_error, 0.0);
+    EXPECT_GE(p.std_error, 0.0);
+  }
+}
+
+TEST(CrossValidate, PureNoiseCollapsesTowardRoot) {
+  util::Rng rng(8);
+  std::vector<double> x(400);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x[i] = rng.uniform(0, 1);
+    y[i] = rng.uniform(0, 1);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  util::Rng cv_rng(9);
+  const FitResult fit = fit_pruned(data, Config{}, 5, cv_rng);
+  EXPECT_LE(fit.tree.num_leaves(), 2U);
+}
+
+TEST(CrossValidate, ValidatesArguments) {
+  util::Rng rng(10);
+  const Table t = staircase(50, 1.0, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const std::vector<double> cps = {0.01};
+  util::Rng cv_rng(11);
+  EXPECT_THROW(cross_validate(data, Config{}, cps, 1, cv_rng),
+               util::precondition_error);
+  EXPECT_THROW(cross_validate(data, Config{}, {}, 5, cv_rng),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::cart

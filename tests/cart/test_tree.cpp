@@ -1,0 +1,227 @@
+#include "rainshine/cart/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::cart {
+namespace {
+
+using table::Column;
+using table::Table;
+
+/// y = 10 for x < 5, y = 20 for x >= 5, with tiny noise: the optimal first
+/// split is unambiguous.
+Table step_data(std::size_t n, util::Rng& rng) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 10.0);
+    y[i] = (x[i] < 5.0 ? 10.0 : 20.0) + rng.uniform(-0.1, 0.1);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  return t;
+}
+
+TEST(Grow, RecoversNumericStep) {
+  util::Rng rng(1);
+  const Table t = step_data(500, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree tree = grow(data, Config{});
+  ASSERT_GE(tree.nodes().size(), 3U);
+  const Node& root = tree.nodes()[0];
+  ASSERT_FALSE(root.is_leaf());
+  EXPECT_EQ(root.feature, 0U);
+  EXPECT_NEAR(root.threshold, 5.0, 0.2);
+  // Left/right leaf predictions bracket the two levels.
+  EXPECT_NEAR(tree.nodes()[static_cast<std::size_t>(root.left)].prediction, 10.0, 0.5);
+  EXPECT_NEAR(tree.nodes()[static_cast<std::size_t>(root.right)].prediction, 20.0, 0.5);
+}
+
+TEST(Grow, RecoversCategoricalPartition) {
+  util::Rng rng(2);
+  Table t;
+  Column g(table::ColumnType::kNominal);
+  std::vector<double> y;
+  // Levels {a, c} mean 1; {b, d} mean 9. A categorical subset split must
+  // find the non-contiguous grouping.
+  const char* labels[] = {"a", "b", "c", "d"};
+  const double means[] = {1.0, 9.0, 1.0, 9.0};
+  for (int i = 0; i < 400; ++i) {
+    const int level = static_cast<int>(rng.below(4));
+    g.push_nominal(labels[level]);
+    y.push_back(means[level] + rng.uniform(-0.2, 0.2));
+  }
+  t.add_column("g", std::move(g));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const Dataset data(t, "y", {"g"}, Task::kRegression);
+  const Tree tree = grow(data, Config{});
+  const Node& root = tree.nodes()[0];
+  ASSERT_FALSE(root.is_leaf());
+  ASSERT_TRUE(root.categorical);
+  // a (code 0) and c (code 2) must land on the same side.
+  EXPECT_EQ(root.go_left[0], root.go_left[2]);
+  EXPECT_EQ(root.go_left[1], root.go_left[3]);
+  EXPECT_NE(root.go_left[0], root.go_left[1]);
+}
+
+TEST(Grow, RespectsMinLeafAndDepth) {
+  util::Rng rng(3);
+  const Table t = step_data(300, rng);
+  Config cfg;
+  cfg.min_samples_leaf = 40;
+  cfg.max_depth = 2;
+  cfg.cp = 0.0;
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree tree = grow(data, cfg);
+  EXPECT_LE(tree.depth(), 2U);
+  for (const Node& n : tree.nodes()) {
+    if (n.is_leaf()) {
+      EXPECT_GE(n.n, 40U);
+    }
+  }
+}
+
+TEST(Grow, CpStopsUninformativeSplits) {
+  // Pure-noise response: with the default cp the tree should stay tiny.
+  util::Rng rng(4);
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x[i] = rng.uniform(0, 1);
+    y[i] = rng.uniform(0, 1);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree tree = grow(data, Config{.cp = 0.02});
+  EXPECT_LE(tree.num_leaves(), 3U);
+}
+
+TEST(Grow, PredictionIsLeafMean) {
+  util::Rng rng(5);
+  const Table t = step_data(400, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree tree = grow(data, Config{});
+  // Group rows by leaf and verify the leaf prediction equals the group mean.
+  std::map<std::size_t, std::pair<double, std::size_t>> sums;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    const std::size_t leaf = tree.leaf_of(data, r);
+    sums[leaf].first += data.y(r);
+    sums[leaf].second += 1;
+  }
+  for (const auto& [leaf, sum] : sums) {
+    EXPECT_NEAR(tree.nodes()[leaf].prediction,
+                sum.first / static_cast<double>(sum.second), 1e-9);
+    EXPECT_EQ(tree.nodes()[leaf].n, sum.second);
+  }
+}
+
+TEST(Grow, MissingValuesFollowBiggerChild) {
+  util::Rng rng(6);
+  Table t;
+  Column x(table::ColumnType::kContinuous);
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.uniform(0, 10);
+    x.push_continuous(v);
+    y.push_back(v < 5 ? 1.0 : 2.0);
+  }
+  x.push_missing();
+  y.push_back(1.5);
+  t.add_column("x", std::move(x));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree tree = grow(data, Config{});
+  // Prediction for the missing row must come from a real leaf (no throw).
+  const double pred = tree.predict(data, 300);
+  EXPECT_GE(pred, 0.9);
+  EXPECT_LE(pred, 2.1);
+}
+
+TEST(Grow, VariableImportanceRanksInformativeFeature) {
+  util::Rng rng(7);
+  std::vector<double> x1(600);
+  std::vector<double> x2(600);
+  std::vector<double> y(600);
+  for (std::size_t i = 0; i < 600; ++i) {
+    x1[i] = rng.uniform(0, 1);
+    x2[i] = rng.uniform(0, 1);
+    y[i] = (x1[i] > 0.5 ? 10.0 : 0.0) + rng.uniform(-0.5, 0.5);  // only x1 matters
+  }
+  Table t;
+  t.add_column("x1", Column::continuous(std::move(x1)));
+  t.add_column("x2", Column::continuous(std::move(x2)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const Dataset data(t, "y", {"x1", "x2"}, Task::kRegression);
+  const Tree tree = grow(data, Config{});
+  const auto imp = tree.variable_importance();
+  ASSERT_FALSE(imp.empty());
+  EXPECT_EQ(imp[0].feature, "x1");
+  EXPECT_GT(imp[0].importance, 0.9);
+  double total = 0.0;
+  for (const auto& i : imp) total += i.importance;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Tree, DescribesItselfWithFeatureNames) {
+  util::Rng rng(8);
+  const Table t = step_data(200, rng);
+  const Dataset data(t, "y", {"x"}, Task::kRegression);
+  const Tree tree = grow(data, Config{});
+  const std::string dump = tree.to_string();
+  EXPECT_NE(dump.find("x < "), std::string::npos);
+  EXPECT_NE(dump.find("leaf#"), std::string::npos);
+
+  const auto leaves = tree.leaf_ids();
+  ASSERT_FALSE(leaves.empty());
+  const std::string path = tree.path_to(leaves[0]);
+  EXPECT_NE(path.find("x"), std::string::npos);
+  EXPECT_EQ(tree.path_to(0), "(root)");
+}
+
+TEST(Grow, ClassificationGiniSplit) {
+  util::Rng rng(9);
+  Table t;
+  std::vector<double> x(400);
+  Column label(table::ColumnType::kNominal);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x[i] = rng.uniform(0, 10);
+    const bool healthy = x[i] < 6.0;
+    // 5% label noise.
+    const bool flip = rng.bernoulli(0.05);
+    label.push_nominal((healthy != flip) ? "ok" : "failed");
+  }
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("label", std::move(label));
+  const Dataset data(t, "label", {"x"}, Task::kClassification);
+  const Tree tree = grow(data, Config{});
+  ASSERT_FALSE(tree.nodes()[0].is_leaf());
+  EXPECT_NEAR(tree.nodes()[0].threshold, 6.0, 0.5);
+  // Training accuracy should beat the noise floor comfortably.
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (tree.predict(data, r) == data.y(r)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 400.0, 0.9);
+}
+
+TEST(Grow, RejectsBadInput) {
+  Table t;
+  t.add_column("x", Column::continuous({1.0, 2.0}));
+  t.add_column("y", Column::continuous({1.0, 2.0}));
+  EXPECT_THROW(Dataset(t, "y", {}, Task::kRegression), util::precondition_error);
+  EXPECT_THROW(Dataset(t, "y", {"y"}, Task::kRegression), util::precondition_error);
+  // Nominal response required for classification.
+  EXPECT_THROW(Dataset(t, "y", {"x"}, Task::kClassification), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::cart

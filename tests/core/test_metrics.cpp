@@ -1,0 +1,168 @@
+#include "rainshine/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+namespace {
+
+using simdc::FaultType;
+using simdc::FleetSpec;
+using simdc::Ticket;
+
+/// Hand-crafted ticket stream against the deterministic test fleet.
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : fleet_(FleetSpec::test_default()) {}
+
+  static Ticket make(std::int32_t rack, std::int16_t server, FaultType fault,
+                     util::HourIndex open, util::HourIndex close,
+                     std::int16_t component = -1, bool true_positive = true) {
+    Ticket t;
+    t.rack_id = rack;
+    t.server_index = server;
+    t.component_index = component;
+    t.fault = fault;
+    t.true_positive = true_positive;
+    t.open_hour = open;
+    t.close_hour = close;
+    return t;
+  }
+
+  simdc::Fleet fleet_;
+};
+
+TEST_F(MetricsTest, LambdaCountsByFaultAndDay) {
+  const TicketLog log({
+      make(0, 1, FaultType::kDiskFailure, 5, 30, 0),
+      make(0, 2, FaultType::kDiskFailure, 6, 31, 1),
+      make(0, 3, FaultType::kMemoryFailure, 26, 40, 0),
+      make(1, 0, FaultType::kSoftwareTimeout, 5, 8),
+      make(0, 4, FaultType::kDiskFailure, 7, 20, 2, /*true_positive=*/false),
+  });
+  const FailureMetrics m(fleet_, log);
+  EXPECT_EQ(m.count(0, 0, FaultType::kDiskFailure), 2U);  // FP excluded
+  EXPECT_EQ(m.count(0, 1, FaultType::kMemoryFailure), 1U);
+  EXPECT_EQ(m.count(0, 0, FaultType::kMemoryFailure), 0U);
+  EXPECT_EQ(m.hardware_count(0, 0), 2U);
+  EXPECT_EQ(m.total_count(1, 0), 1U);
+  EXPECT_EQ(m.hardware_count(1, 0), 0U);  // software ticket
+  EXPECT_THROW(m.count(-1, 0, FaultType::kDiskFailure), util::precondition_error);
+  EXPECT_THROW(m.count(0, 9999, FaultType::kDiskFailure), util::precondition_error);
+}
+
+TEST_F(MetricsTest, MuCountsDistinctDevices) {
+  // Two tickets on the SAME disk within one day: one distinct device.
+  const TicketLog log({
+      make(0, 1, FaultType::kDiskFailure, 2, 5, 3),
+      make(0, 1, FaultType::kDiskFailure, 8, 12, 3),  // same disk again
+      make(0, 1, FaultType::kDiskFailure, 9, 12, 2),  // other slot
+  });
+  const FailureMetrics m(fleet_, log);
+  const auto disk_mu = m.mu_series(0, DeviceKind::kDisk, Granularity::kDaily);
+  EXPECT_EQ(disk_mu[0], 2U);
+  // Server-level view: all three tickets pin server 1 -> one server.
+  const auto server_mu =
+      m.mu_series(0, DeviceKind::kServer, Granularity::kDaily, true);
+  EXPECT_EQ(server_mu[0], 1U);
+  // Without server_level_all, disk faults are NOT server outages.
+  const auto other_mu = m.mu_series(0, DeviceKind::kServer, Granularity::kDaily);
+  EXPECT_EQ(other_mu[0], 0U);
+}
+
+TEST_F(MetricsTest, MuSpansRepairDuration) {
+  // 60-hour repair spans three days at daily granularity.
+  const TicketLog log({make(0, 2, FaultType::kServerFailure, 12, 72)});
+  const FailureMetrics m(fleet_, log);
+  const auto mu = m.mu_series(0, DeviceKind::kServer, Granularity::kDaily);
+  EXPECT_EQ(mu[0], 1U);
+  EXPECT_EQ(mu[1], 1U);
+  EXPECT_EQ(mu[2], 1U);
+  EXPECT_EQ(mu[3], 0U);
+  // Hourly: down exactly in [12, 72).
+  const auto hourly = m.mu_series(0, DeviceKind::kServer, Granularity::kHourly);
+  EXPECT_EQ(hourly[11], 0U);
+  EXPECT_EQ(hourly[12], 1U);
+  EXPECT_EQ(hourly[71], 1U);
+  EXPECT_EQ(hourly[72], 0U);
+}
+
+TEST_F(MetricsTest, TemporalMultiplexing) {
+  // Two non-overlapping outages on the same day: daily µ = 2, but no hour
+  // sees both — the Fig. 12 effect in miniature.
+  const TicketLog log({
+      make(0, 1, FaultType::kServerFailure, 2, 6),
+      make(0, 2, FaultType::kServerFailure, 10, 14),
+  });
+  const FailureMetrics m(fleet_, log);
+  const auto daily = m.mu_series(0, DeviceKind::kServer, Granularity::kDaily);
+  EXPECT_EQ(daily[0], 2U);
+  const auto hourly = m.mu_series(0, DeviceKind::kServer, Granularity::kHourly);
+  std::uint16_t peak = 0;
+  for (int h = 0; h < 24; ++h) peak = std::max(peak, hourly[static_cast<std::size_t>(h)]);
+  EXPECT_EQ(peak, 1U);
+}
+
+TEST_F(MetricsTest, CoarserGranularityNeverSmaller) {
+  // Property: for any stream, the max µ over the window is non-decreasing as
+  // periods get coarser (a coarser period contains every finer one).
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 40; ++i) {
+    tickets.push_back(make(0, static_cast<std::int16_t>(i % 8),
+                           FaultType::kServerFailure,
+                           i * 37 % (59 * 24), i * 37 % (59 * 24) + 5 + i % 20));
+  }
+  const FailureMetrics m(fleet_, TicketLog(std::move(tickets)));
+  std::uint16_t prev_peak = 0;
+  for (const Granularity g : {Granularity::kHourly, Granularity::kDaily,
+                              Granularity::kWeekly, Granularity::kMonthly}) {
+    const auto mu = m.mu_series(0, DeviceKind::kServer, g, true);
+    std::uint16_t peak = 0;
+    for (const auto v : mu) peak = std::max(peak, v);
+    EXPECT_GE(peak, prev_peak);
+    prev_peak = peak;
+  }
+}
+
+TEST_F(MetricsTest, FractionSeriesDenominators) {
+  const TicketLog log({make(0, 1, FaultType::kDiskFailure, 2, 5, 3)});
+  const FailureMetrics m(fleet_, log);
+  const simdc::Rack& rack = fleet_.rack(0);
+  const auto disk_frac = m.mu_fraction_series(0, DeviceKind::kDisk,
+                                              Granularity::kDaily);
+  EXPECT_DOUBLE_EQ(disk_frac[0], 1.0 / rack.disks());
+  const auto server_frac =
+      m.mu_fraction_series(0, DeviceKind::kServer, Granularity::kDaily, true);
+  EXPECT_DOUBLE_EQ(server_frac[0], 1.0 / rack.servers());
+  for (const double f : server_frac) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST_F(MetricsTest, NumPeriods) {
+  EXPECT_EQ(num_periods(fleet_, Granularity::kDaily), 60U);
+  EXPECT_EQ(num_periods(fleet_, Granularity::kHourly), 1440U);
+  EXPECT_EQ(num_periods(fleet_, Granularity::kWeekly), 9U);   // ceil(60/7)
+  EXPECT_EQ(num_periods(fleet_, Granularity::kMonthly), 2U);  // ceil(60/30)
+}
+
+TEST_F(MetricsTest, ClipsOutOfWindowTickets) {
+  const auto window_end =
+      static_cast<util::HourIndex>(fleet_.spec().num_days) * 24;
+  const TicketLog log({
+      make(0, 1, FaultType::kServerFailure, window_end - 2, window_end + 50),
+      make(0, 2, FaultType::kServerFailure, window_end + 5, window_end + 9),
+  });
+  const FailureMetrics m(fleet_, log);
+  const auto mu = m.mu_series(0, DeviceKind::kServer, Granularity::kDaily);
+  EXPECT_EQ(mu.back(), 1U);  // first ticket clipped to the window
+  // Second ticket is entirely outside and contributes nothing anywhere.
+  std::size_t total = 0;
+  for (const auto v : mu) total += v;
+  EXPECT_EQ(total, 1U);
+}
+
+}  // namespace
+}  // namespace rainshine::core

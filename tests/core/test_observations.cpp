@@ -1,0 +1,134 @@
+#include "rainshine/core/observations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/core/marginals.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+namespace {
+
+class ObservationsTest : public ::testing::Test {
+ protected:
+  ObservationsTest()
+      : fleet_(simdc::FleetSpec::test_default()),
+        env_(fleet_, fleet_.spec().seed),
+        hazard_(fleet_, env_),
+        log_(simulate(fleet_, env_, hazard_, {.seed = 5})),
+        metrics_(fleet_, log_) {}
+
+  simdc::Fleet fleet_;
+  simdc::EnvironmentModel env_;
+  simdc::HazardModel hazard_;
+  simdc::TicketLog log_;
+  FailureMetrics metrics_;
+};
+
+TEST_F(ObservationsTest, SchemaAndRowCount) {
+  ObservationOptions opt;
+  opt.skip_pre_commission = false;
+  const table::Table t = rack_day_table(metrics_, env_, opt);
+  for (const char* name :
+       {col::kRack, col::kDc, col::kRegion, col::kSku, col::kWorkload,
+        col::kPowerKw, col::kAgeMonths, col::kCommissionYear, col::kDay,
+        col::kWeekday, col::kMonth, col::kYear, col::kTempF, col::kRh,
+        col::kLambdaAll, col::kLambdaHw, col::kLambdaDisk, col::kLambdaMem,
+        col::kMuServer, col::kMuServerFrac, col::kMuDisk, col::kMuDimm}) {
+    EXPECT_TRUE(t.has_column(name)) << name;
+  }
+  EXPECT_EQ(t.num_rows(),
+            fleet_.num_racks() * static_cast<std::size_t>(fleet_.spec().num_days));
+}
+
+TEST_F(ObservationsTest, StrideAndCommissionFiltering) {
+  ObservationOptions opt;
+  opt.day_stride = 5;
+  opt.include_mu = false;
+  const table::Table t = rack_day_table(metrics_, env_, opt);
+  std::size_t expected = 0;
+  for (const simdc::Rack& rack : fleet_.racks()) {
+    for (util::DayIndex d = 0; d < fleet_.spec().num_days; d += 5) {
+      if (d >= rack.commission_day) ++expected;
+    }
+  }
+  EXPECT_EQ(t.num_rows(), expected);
+}
+
+TEST_F(ObservationsTest, ValuesMatchSources) {
+  ObservationOptions opt;
+  opt.include_mu = true;
+  const table::Table t = rack_day_table(metrics_, env_, opt);
+  const auto& rack_col = t.column(col::kRack);
+  const auto& day_col = t.column(col::kDay);
+  // Spot-check a scattering of rows against the primary sources.
+  for (std::size_t r = 0; r < t.num_rows(); r += 97) {
+    const std::string rack_label = rack_col.cell_to_string(r);
+    const auto rack_id = static_cast<std::int32_t>(std::stoi(rack_label.substr(1)));
+    const auto day = static_cast<util::DayIndex>(day_col.ordinal_values()[r]);
+    const simdc::Rack& rack = fleet_.rack(rack_id);
+
+    EXPECT_EQ(t.column(col::kSku).cell_to_string(r), to_string(rack.sku));
+    EXPECT_EQ(t.column(col::kDc).cell_to_string(r), to_string(rack.dc));
+    EXPECT_DOUBLE_EQ(t.column(col::kPowerKw).as_double(r), rack.rated_power_kw);
+    EXPECT_DOUBLE_EQ(t.column(col::kLambdaHw).as_double(r),
+                     metrics_.hardware_count(rack_id, day));
+    const simdc::Conditions c = env_.daily_mean(rack, day);
+    EXPECT_DOUBLE_EQ(t.column(col::kTempF).as_double(r), c.temperature_f);
+    EXPECT_DOUBLE_EQ(t.column(col::kRh).as_double(r), c.relative_humidity);
+    const auto mu = metrics_.mu_series(rack_id, DeviceKind::kServer,
+                                       Granularity::kDaily, true);
+    EXPECT_DOUBLE_EQ(t.column(col::kMuServer).as_double(r),
+                     mu[static_cast<std::size_t>(day)]);
+  }
+}
+
+TEST_F(ObservationsTest, WorkloadFilterRestrictsRacks) {
+  ObservationOptions opt;
+  opt.include_mu = false;
+  const table::Table t =
+      rack_day_table(metrics_, env_, simdc::WorkloadId::kW6, opt);
+  if (t.num_rows() == 0) GTEST_SKIP() << "no W6 racks in this test layout";
+  const auto& wl = t.column(col::kWorkload);
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(wl.cell_to_string(r), "W6");
+  }
+}
+
+TEST_F(ObservationsTest, RejectsBadOptions) {
+  ObservationOptions opt;
+  opt.day_stride = 0;
+  EXPECT_THROW(rack_day_table(metrics_, env_, opt), util::precondition_error);
+  ObservationOptions weekly;
+  weekly.mu_granularity = Granularity::kWeekly;
+  EXPECT_THROW(rack_day_table(metrics_, env_, weekly), util::precondition_error);
+}
+
+TEST_F(ObservationsTest, MarginalRowsCoverExpectedGroups) {
+  const Marginals marginals(metrics_, env_, /*day_stride=*/2);
+  EXPECT_EQ(marginals.by_weekday().size(), 7U);
+  EXPECT_EQ(marginals.by_month().size(), 12U);
+  EXPECT_EQ(marginals.by_humidity().size(), 7U);
+  EXPECT_EQ(marginals.by_workload().size(), 7U);
+  EXPECT_EQ(marginals.by_sku().size(), 7U);
+  // Regions present in the test fleet: 2 per DC.
+  EXPECT_EQ(marginals.by_region().size(), 4U);
+  // All row means are non-negative.
+  for (const auto& row : marginals.by_age()) {
+    EXPECT_GE(row.mean, 0.0);
+  }
+}
+
+TEST_F(ObservationsTest, TicketMixSumsTo100PerDc) {
+  const auto rows = ticket_mix(fleet_, log_);
+  double dc1 = 0.0;
+  double dc2 = 0.0;
+  for (const auto& row : rows) {
+    dc1 += row.dc1_pct;
+    dc2 += row.dc2_pct;
+  }
+  EXPECT_NEAR(dc1, 100.0, 1e-6);
+  EXPECT_NEAR(dc2, 100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rainshine::core

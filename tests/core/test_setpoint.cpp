@@ -1,0 +1,116 @@
+#include "rainshine/core/setpoint_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+namespace {
+
+class SetpointTest : public ::testing::Test {
+ protected:
+  static simdc::FleetSpec spec() {
+    simdc::FleetSpec s = simdc::FleetSpec::test_default();
+    s.num_days = 365;  // a full seasonal cycle so hot days exist
+    return s;
+  }
+
+  SetpointTest() : fleet_(spec()), env_(fleet_, fleet_.spec().seed) {}
+
+  simdc::Fleet fleet_;
+  simdc::EnvironmentModel env_;
+  tco::CostModel costs_;
+  tco::CoolingModel cooling_;
+};
+
+TEST_F(SetpointTest, FailuresMonotoneInSetpoint) {
+  SetpointOptions opt;
+  opt.offsets_f = {-4, 0, 4, 8};
+  const auto study =
+      setpoint_tradeoff(fleet_, env_, simdc::HazardConfig{}, costs_, cooling_, opt);
+  ASSERT_EQ(study.points.size(), 4U);
+  for (std::size_t i = 1; i < study.points.size(); ++i) {
+    // Warmer halls never reduce expected hardware failures.
+    EXPECT_GE(study.points[i].hw_failures_per_year,
+              study.points[i - 1].hw_failures_per_year);
+    // And never increase the cooling bill.
+    EXPECT_LE(study.points[i].cooling_cost_per_year,
+              study.points[i - 1].cooling_cost_per_year);
+  }
+}
+
+TEST_F(SetpointTest, ZeroOffsetMatchesBaselineEnvironment) {
+  SetpointOptions opt;
+  opt.offsets_f = {0};
+  const auto study =
+      setpoint_tradeoff(fleet_, env_, simdc::HazardConfig{}, costs_, cooling_, opt);
+
+  // Recompute the expectation directly on the unmodified environment.
+  const simdc::HazardModel hazard(fleet_, env_, simdc::HazardConfig{});
+  double expected = 0.0;
+  for (const simdc::Rack* rack : fleet_.racks_of(opt.dc)) {
+    for (util::DayIndex day = 0; day < fleet_.spec().num_days;
+         day += opt.day_stride) {
+      for (const simdc::FaultType fault : simdc::kAllFaultTypes) {
+        if (simdc::is_hardware(fault)) {
+          expected += hazard.rack_day_rate(*rack, day, fault);
+        }
+      }
+    }
+  }
+  const double per_year = expected * opt.day_stride /
+                          static_cast<double>(fleet_.spec().num_days) * 365.25;
+  EXPECT_NEAR(study.points[0].hw_failures_per_year, per_year, per_year * 1e-9);
+}
+
+TEST_F(SetpointTest, BestIndexIsTheMinimum) {
+  const auto study =
+      setpoint_tradeoff(fleet_, env_, simdc::HazardConfig{}, costs_, cooling_, {});
+  for (const auto& p : study.points) {
+    EXPECT_GE(p.total_cost_per_year,
+              study.points[study.best].total_cost_per_year - 1e-9);
+  }
+}
+
+TEST_F(SetpointTest, Dc2IsEnvironmentInsensitive) {
+  SetpointOptions opt;
+  opt.dc = simdc::DataCenterId::kDC2;
+  opt.offsets_f = {0, 6};
+  const auto study =
+      setpoint_tradeoff(fleet_, env_, simdc::HazardConfig{}, costs_, cooling_, opt);
+  // DC2's hazard carries no environment term, so failures are flat and the
+  // optimum is pure cooling economics (run as warm as the sweep allows).
+  EXPECT_NEAR(study.points[0].hw_failures_per_year,
+              study.points[1].hw_failures_per_year,
+              study.points[0].hw_failures_per_year * 1e-9);
+  EXPECT_EQ(study.best, 1U);
+}
+
+TEST_F(SetpointTest, CoolingModelArithmetic) {
+  tco::CoolingModel m;
+  m.cost_per_server_year = 10.0;
+  m.saving_per_degree_f = 0.05;
+  m.irreducible_fraction = 0.4;
+  EXPECT_DOUBLE_EQ(tco::cooling_cost_per_year(m, 100, 0.0), 1000.0);
+  // Warmer is cheaper, colder dearer; the irreducible floor holds.
+  EXPECT_LT(tco::cooling_cost_per_year(m, 100, 10.0), 1000.0);
+  EXPECT_GT(tco::cooling_cost_per_year(m, 100, -10.0), 1000.0);
+  EXPECT_GT(tco::cooling_cost_per_year(m, 100, 1000.0), 399.9);
+  EXPECT_THROW(tco::cooling_cost_per_year(m, 0, 0.0), util::precondition_error);
+}
+
+TEST_F(SetpointTest, ValidatesOptions) {
+  SetpointOptions no_offsets;
+  no_offsets.offsets_f.clear();
+  EXPECT_THROW(setpoint_tradeoff(fleet_, env_, simdc::HazardConfig{}, costs_,
+                                 cooling_, no_offsets),
+               util::precondition_error);
+  SetpointOptions bad_stride;
+  bad_stride.day_stride = 0;
+  EXPECT_THROW(setpoint_tradeoff(fleet_, env_, simdc::HazardConfig{}, costs_,
+                                 cooling_, bad_stride),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::core

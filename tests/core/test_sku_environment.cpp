@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/core/environment_analysis.hpp"
+#include "rainshine/core/sku_analysis.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::core {
+namespace {
+
+/// Shared mid-size simulation: large enough for the analyses to find the
+/// planted structure, small enough for test runtimes. Built once.
+class StudyFixture : public ::testing::Test {
+ protected:
+  static const StudyFixture*& instance() {
+    static const StudyFixture* ptr = nullptr;
+    return ptr;
+  }
+
+  struct World {
+    simdc::Fleet fleet;
+    simdc::EnvironmentModel env;
+    simdc::HazardModel hazard;
+    simdc::TicketLog log;
+    FailureMetrics metrics;
+
+    World()
+        : fleet(make_spec()),
+          env(fleet, fleet.spec().seed),
+          hazard(fleet, env),
+          log(simulate(fleet, env, hazard, {.seed = fleet.spec().seed})),
+          metrics(fleet, log) {}
+
+    static simdc::FleetSpec make_spec() {
+      simdc::FleetSpec spec = simdc::FleetSpec::paper_default();
+      // Quarter-size fleet, one full year: keeps the planted signals
+      // (seasonal hot-dry spells, vintage cohorts) while fitting in test time.
+      spec.datacenters[0].num_rows = 12;
+      spec.datacenters[0].racks_per_row = 8;
+      spec.datacenters[1].num_rows = 16;
+      spec.datacenters[1].racks_per_row = 6;
+      spec.num_days = 365;
+      spec.seed = 2017;
+      return spec;
+    }
+  };
+
+  static World& world() {
+    static World w;
+    return w;
+  }
+};
+
+TEST_F(StudyFixture, SkuSfOrderingMatchesGroundTruth) {
+  SkuAnalysisOptions opt;
+  opt.day_stride = 2;
+  const SkuStudy study = compare_skus(world().metrics, world().env, opt);
+  ASSERT_GE(study.sf.size(), 3U);
+  const auto find = [&](const char* sku) -> const SkuMetrics* {
+    for (const auto& m : study.sf) {
+      if (m.sku == sku) return &m;
+    }
+    return nullptr;
+  };
+  const SkuMetrics* s2 = find("S2");
+  const SkuMetrics* s4 = find("S4");
+  ASSERT_NE(s2, nullptr);
+  ASSERT_NE(s4, nullptr);
+  // Ground truth: S2 is the least reliable, S4 the most, but the SF gap is
+  // inflated by the W2 confound well past the true 4x.
+  EXPECT_GT(s2->mean_lambda, s4->mean_lambda * 4.5);
+}
+
+TEST_F(StudyFixture, SkuMfShrinksGapTowardTruth) {
+  SkuAnalysisOptions opt;
+  opt.day_stride = 2;
+  const SkuStudy study = compare_skus(world().metrics, world().env, opt);
+  const auto level = [&](const char* sku) -> const cart::EffectLevel& {
+    for (const auto& l : study.mf_lambda) {
+      if (l.label == sku) return l;
+    }
+    throw std::runtime_error("missing level");
+  };
+  const double mf_ratio = level("S2").mean / level("S4").mean;
+  const auto sf = [&](const char* sku) {
+    for (const auto& m : study.sf) {
+      if (m.sku == sku) return m.mean_lambda;
+    }
+    return 0.0;
+  };
+  const double sf_ratio = sf("S2") / sf("S4");
+  // MF lands nearer the planted 4x than SF does, from above.
+  EXPECT_LT(mf_ratio, sf_ratio);
+  EXPECT_GT(mf_ratio, 1.5);
+  EXPECT_LT(std::abs(mf_ratio - 4.0), std::abs(sf_ratio - 4.0));
+}
+
+TEST_F(StudyFixture, SkuTcoScenarioRespondsToPrice) {
+  SkuAnalysisOptions opt;
+  opt.day_stride = 2;
+  const SkuStudy study = compare_skus(world().metrics, world().env, opt);
+  const tco::CostModel costs;
+  const auto cheap = sku_tco_scenario(study, "S4", "S2", 1.0, costs);
+  const auto pricey = sku_tco_scenario(study, "S4", "S2", 1.5, costs);
+  // Savings shrink as the candidate gets more expensive, under both models.
+  EXPECT_GT(cheap.sf_savings_pct, pricey.sf_savings_pct);
+  EXPECT_GT(cheap.mf_savings_pct, pricey.mf_savings_pct);
+  // At equal price the more reliable S4 is a clear win for both approaches.
+  EXPECT_GT(cheap.sf_savings_pct, 0.0);
+  EXPECT_GT(cheap.mf_savings_pct, 0.0);
+  EXPECT_THROW(sku_tco_scenario(study, "S9", "S2", 1.0, costs),
+               util::precondition_error);
+}
+
+TEST_F(StudyFixture, EnvironmentStudyFindsPlantedSplits) {
+  EnvironmentOptions opt;
+  opt.day_stride = 2;
+  const EnvironmentStudy study =
+      analyze_environment(world().metrics, world().env, opt);
+
+  // The MF tree must find DC1's temperature split near the planted 78F.
+  ASSERT_TRUE(study.dc1_temp_split.has_value());
+  EXPECT_NEAR(*study.dc1_temp_split, 78.0, 2.5);
+
+  // Fig. 17's monotone trend: disk rate rises with temperature.
+  ASSERT_GE(study.disk_by_temp.size(), 3U);
+  EXPECT_GT(study.disk_by_temp.back().mean, study.disk_by_temp.front().mean * 1.5);
+
+  // Fig. 18 cells: DC1 hot > DC1 cool; DC2 shows no hot exposure at all.
+  const auto cell = [&](const std::string& dc, const char* needle) {
+    for (const auto& c : study.cells) {
+      if (c.dc == dc && c.condition.find(needle) != std::string::npos) return c;
+    }
+    throw std::runtime_error("missing cell");
+  };
+  const auto dc1_hot = cell("DC1", "T>");
+  const auto dc1_cool = cell("DC1", "T<=");
+  EXPECT_GT(dc1_hot.mean_rate, dc1_cool.mean_rate * 1.3);
+  const auto dc2_hot = cell("DC2", "T>");
+  EXPECT_EQ(dc2_hot.n, 0U);  // DC2's envelope never crosses the threshold
+
+  // Temperature must rank among the top factors of the disk tree.
+  bool temp_in_top3 = false;
+  for (std::size_t i = 0; i < study.factors.size() && i < 3; ++i) {
+    if (study.factors[i].feature == col::kTempF) temp_in_top3 = true;
+  }
+  EXPECT_TRUE(temp_in_top3) << study.tree_dump;
+}
+
+TEST_F(StudyFixture, EnvironmentSfViewIsFlatForAllFailures) {
+  EnvironmentOptions opt;
+  opt.day_stride = 2;
+  const EnvironmentStudy study =
+      analyze_environment(world().metrics, world().env, opt);
+  // Fig. 16: the all-failure means vary much less across temperature bins
+  // than the within-bin spread (temperature alone explains little).
+  double min_mean = 1e300;
+  double max_mean = 0.0;
+  double max_sd = 0.0;
+  for (const auto& row : study.all_by_temp) {
+    if (row.count < 100) continue;
+    min_mean = std::min(min_mean, row.mean);
+    max_mean = std::max(max_mean, row.mean);
+    max_sd = std::max(max_sd, row.stddev);
+  }
+  EXPECT_LT(max_mean - min_mean, 2.0 * max_sd);
+}
+
+}  // namespace
+}  // namespace rainshine::core

@@ -1,0 +1,149 @@
+// End-to-end integration: fleet -> environment -> hazard -> tickets ->
+// metrics -> observation table -> CART -> decision studies, plus CSV
+// round-tripping of the observation table. Exercises the exact composition
+// the benches and examples rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rainshine/cart/prune.hpp"
+#include "rainshine/core/environment_analysis.hpp"
+#include "rainshine/core/marginals.hpp"
+#include "rainshine/core/provisioning.hpp"
+#include "rainshine/core/sku_analysis.hpp"
+#include "rainshine/table/csv.hpp"
+
+namespace rainshine {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static simdc::FleetSpec spec() {
+    simdc::FleetSpec s = simdc::FleetSpec::test_default();
+    s.num_days = 180;
+    return s;
+  }
+
+  PipelineTest()
+      : fleet_(spec()),
+        env_(fleet_, fleet_.spec().seed),
+        hazard_(fleet_, env_),
+        log_(simulate(fleet_, env_, hazard_, {.seed = 21})),
+        metrics_(fleet_, log_) {}
+
+  simdc::Fleet fleet_;
+  simdc::EnvironmentModel env_;
+  simdc::HazardModel hazard_;
+  simdc::TicketLog log_;
+  core::FailureMetrics metrics_;
+};
+
+TEST_F(PipelineTest, ObservationTableRoundTripsThroughCsv) {
+  core::ObservationOptions opt;
+  opt.day_stride = 6;
+  const table::Table t = core::rack_day_table(metrics_, env_, opt);
+  ASSERT_GT(t.num_rows(), 100U);
+
+  std::stringstream buf;
+  write_csv(t, buf);
+  const table::Table back = table::read_csv(buf);
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  ASSERT_EQ(back.num_columns(), t.num_columns());
+  for (std::size_t r = 0; r < t.num_rows(); r += 131) {
+    EXPECT_EQ(back.column(core::col::kSku).cell_to_string(r),
+              t.column(core::col::kSku).cell_to_string(r));
+    EXPECT_NEAR(back.column(core::col::kTempF).as_double(r),
+                t.column(core::col::kTempF).as_double(r), 1e-4);
+    EXPECT_DOUBLE_EQ(back.column(core::col::kLambdaHw).as_double(r),
+                     t.column(core::col::kLambdaHw).as_double(r));
+  }
+}
+
+TEST_F(PipelineTest, CartOnObservationsFitsAndPrunes) {
+  core::ObservationOptions opt;
+  opt.day_stride = 3;
+  const table::Table t = core::rack_day_table(metrics_, env_, opt);
+  const cart::Dataset data(t, core::col::kLambdaHw, core::static_rack_features(),
+                           cart::Task::kRegression);
+  cart::Config cfg;
+  cfg.cp = 1e-4;
+  const cart::Tree full = cart::grow(data, cfg);
+  EXPECT_GT(full.num_leaves(), 1U);
+  const cart::Tree pruned = cart::prune(full, 0.01);
+  EXPECT_LE(pruned.num_leaves(), full.num_leaves());
+  // The fitted tree predicts non-negative rates everywhere.
+  for (std::size_t r = 0; r < data.num_rows(); r += 37) {
+    EXPECT_GE(full.predict(data, r), 0.0);
+  }
+}
+
+TEST_F(PipelineTest, WholeStudySuiteRuns) {
+  // Pick the best-populated workload so every study has data.
+  simdc::WorkloadId wl = simdc::WorkloadId::kW1;
+  std::size_t most = 0;
+  for (const auto w : simdc::kAllWorkloads) {
+    if (fleet_.racks_of(w).size() > most) {
+      most = fleet_.racks_of(w).size();
+      wl = w;
+    }
+  }
+
+  const auto q1 = core::provision_servers(metrics_, env_, wl, {});
+  EXPECT_FALSE(q1.clusters.empty());
+
+  const tco::CostModel costs;
+  const auto q1b = core::provision_components(metrics_, env_, wl, 1.0, costs, {});
+  EXPECT_GT(q1b.sf.server_level, 0.0);
+
+  core::SkuAnalysisOptions sku_opt;
+  sku_opt.day_stride = 3;
+  sku_opt.skus.clear();  // every SKU present in the small fleet
+  const auto q2 = core::compare_skus(metrics_, env_, sku_opt);
+  EXPECT_FALSE(q2.sf.empty());
+  EXPECT_EQ(q2.sf.size(), q2.mf_lambda.size());
+
+  core::EnvironmentOptions env_opt;
+  env_opt.day_stride = 3;
+  const auto q3 = core::analyze_environment(metrics_, env_, env_opt);
+  EXPECT_EQ(q3.cells.size(), 8U);
+  EXPECT_FALSE(q3.tree_dump.empty());
+}
+
+TEST_F(PipelineTest, EndToEndDeterminism) {
+  // The same spec and seeds produce bit-identical analysis inputs.
+  simdc::Fleet fleet2(spec());
+  simdc::EnvironmentModel env2(fleet2, fleet2.spec().seed);
+  simdc::HazardModel hazard2(fleet2, env2);
+  const simdc::TicketLog log2 = simulate(fleet2, env2, hazard2, {.seed = 21});
+  ASSERT_EQ(log2.size(), log_.size());
+
+  const core::FailureMetrics metrics2(fleet2, log2);
+  for (const simdc::Rack& rack : fleet_.racks()) {
+    const auto a = metrics_.mu_series(rack.id, core::DeviceKind::kServer,
+                                      core::Granularity::kDaily, true);
+    const auto b = metrics2.mu_series(rack.id, core::DeviceKind::kServer,
+                                      core::Granularity::kDaily, true);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(PipelineTest, MarginalsAgreeWithDirectCounts) {
+  const core::Marginals marginals(metrics_, env_, 1);
+  // Sum over workload rows of count*mean = total tickets (all true-positive
+  // tickets are attributed to exactly one workload row).
+  double recovered = 0.0;
+  for (const auto& row : marginals.by_workload()) {
+    recovered += row.mean * static_cast<double>(row.count);
+  }
+  double direct = 0.0;
+  for (const simdc::Rack& rack : fleet_.racks()) {
+    for (util::DayIndex d = std::max(0, rack.commission_day);
+         d < fleet_.spec().num_days; ++d) {
+      direct += metrics_.total_count(rack.id, d);
+    }
+  }
+  EXPECT_NEAR(recovered, direct, direct * 1e-9 + 1e-9);
+}
+
+}  // namespace
+}  // namespace rainshine

@@ -1,0 +1,161 @@
+#include "rainshine/simdc/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/stats/descriptive.hpp"
+
+namespace rainshine::simdc {
+namespace {
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  EnvironmentTest() : fleet_(make_spec()), env_(fleet_, 42) {}
+
+  static FleetSpec make_spec() {
+    FleetSpec spec = FleetSpec::test_default();
+    spec.num_days = 730;  // two full seasonal cycles
+    return spec;
+  }
+
+  const Rack& rack_in(DataCenterId dc) const {
+    for (const Rack& r : fleet_.racks()) {
+      if (r.dc == dc) return r;
+    }
+    throw std::runtime_error("no rack");
+  }
+
+  Fleet fleet_;
+  EnvironmentModel env_;
+};
+
+TEST_F(EnvironmentTest, Deterministic) {
+  const Rack& rack = fleet_.racks().front();
+  const EnvironmentModel env2(fleet_, 42);
+  for (util::HourIndex h = 0; h < 500; h += 13) {
+    EXPECT_DOUBLE_EQ(env_.at(rack, h).temperature_f, env2.at(rack, h).temperature_f);
+    EXPECT_DOUBLE_EQ(env_.at(rack, h).relative_humidity,
+                     env2.at(rack, h).relative_humidity);
+  }
+  const EnvironmentModel env3(fleet_, 43);
+  bool differs = false;
+  for (util::HourIndex h = 0; h < 100; ++h) {
+    if (env_.at(rack, h).temperature_f != env3.at(rack, h).temperature_f) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(EnvironmentTest, ReadingsStayInTableIIIRanges) {
+  for (const Rack& rack : fleet_.racks()) {
+    for (util::HourIndex h = 0; h < fleet_.calendar().num_hours(); h += 101) {
+      const Conditions c = env_.at(rack, h);
+      EXPECT_GE(c.temperature_f, 56.0);
+      EXPECT_LE(c.temperature_f, 90.0);
+      EXPECT_GE(c.relative_humidity, 5.0);
+      EXPECT_LE(c.relative_humidity, 87.0);
+    }
+  }
+}
+
+TEST_F(EnvironmentTest, Dc2EnvelopeIsTighterThanDc1) {
+  stats::Accumulator t1;
+  stats::Accumulator t2;
+  const Rack& r1 = rack_in(DataCenterId::kDC1);
+  const Rack& r2 = rack_in(DataCenterId::kDC2);
+  for (util::DayIndex d = 0; d < 730; d += 3) {
+    t1.add(env_.daily_mean(r1, d).temperature_f);
+    t2.add(env_.daily_mean(r2, d).temperature_f);
+  }
+  // Chilled-water DC2 holds a much tighter temperature envelope than the
+  // weather-coupled adiabatic DC1.
+  EXPECT_LT(t2.stddev(), t1.stddev() * 0.6);
+}
+
+TEST_F(EnvironmentTest, Dc1SummerIsHotterAndDrier) {
+  const Rack& r1 = rack_in(DataCenterId::kDC1);
+  stats::Accumulator summer_t;
+  stats::Accumulator winter_t;
+  stats::Accumulator summer_rh;
+  stats::Accumulator winter_rh;
+  for (util::DayIndex d = 0; d < 730; ++d) {
+    const auto c = env_.daily_mean(r1, d);
+    const auto season = fleet_.calendar().season(d);
+    if (season == util::Season::kSummer) {
+      summer_t.add(c.temperature_f);
+      summer_rh.add(c.relative_humidity);
+    } else if (season == util::Season::kWinter) {
+      winter_t.add(c.temperature_f);
+      winter_rh.add(c.relative_humidity);
+    }
+  }
+  EXPECT_GT(summer_t.mean(), winter_t.mean() + 3.0);
+  EXPECT_LT(summer_rh.mean(), winter_rh.mean() - 5.0);
+}
+
+TEST_F(EnvironmentTest, HotDryCoOccursInDc1Summer) {
+  // The planted Q3 condition (T > 78F while RH < 25%) must actually occur in
+  // DC1's data — otherwise Fig. 18 has nothing to find — and must NOT occur
+  // in DC2's tight envelope.
+  int dc1_hits = 0;
+  int dc2_hits = 0;
+  for (const Rack& rack : fleet_.racks()) {
+    for (util::DayIndex d = 0; d < 730; d += 2) {
+      const auto c = env_.daily_mean(rack, d);
+      if (c.temperature_f > 78.0 && c.relative_humidity < 25.0) {
+        (rack.dc == DataCenterId::kDC1 ? dc1_hits : dc2_hits)++;
+      }
+    }
+  }
+  EXPECT_GT(dc1_hits, 50);
+  EXPECT_EQ(dc2_hits, 0);
+}
+
+TEST_F(EnvironmentTest, PowerDensityWarmsInlet) {
+  // Compare two DC1 racks differing strongly in rated power.
+  const Rack* hot = nullptr;
+  const Rack* cool = nullptr;
+  for (const Rack& r : fleet_.racks()) {
+    if (r.dc != DataCenterId::kDC1) continue;
+    if (!hot || r.rated_power_kw > hot->rated_power_kw) hot = &r;
+    if (!cool || r.rated_power_kw < cool->rated_power_kw) cool = &r;
+  }
+  ASSERT_NE(hot, nullptr);
+  ASSERT_NE(cool, nullptr);
+  if (hot->rated_power_kw - cool->rated_power_kw < 4.0) {
+    GTEST_SKIP() << "test fleet lacks power spread";
+  }
+  stats::Accumulator th;
+  stats::Accumulator tc;
+  for (util::DayIndex d = 0; d < 365; d += 5) {
+    th.add(env_.daily_mean(*hot, d).temperature_f);
+    tc.add(env_.daily_mean(*cool, d).temperature_f);
+  }
+  EXPECT_GT(th.mean(), tc.mean());
+}
+
+TEST_F(EnvironmentTest, DailyMeanAveragesHours) {
+  const Rack& rack = fleet_.racks().front();
+  const Conditions mean = env_.daily_mean(rack, 100);
+  // The daily mean must be bracketed by the day's extremes.
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int h = 0; h < 24; ++h) {
+    const double t = env_.at(rack, util::Calendar::first_hour(100) + h).temperature_f;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GE(mean.temperature_f, lo);
+  EXPECT_LE(mean.temperature_f, hi);
+}
+
+TEST_F(EnvironmentTest, OutdoorSeasonalCycle) {
+  const double july = env_.outdoor_temperature_f(DataCenterId::kDC1,
+                                                 util::Calendar::first_hour(200) + 12);
+  const double january = env_.outdoor_temperature_f(DataCenterId::kDC1,
+                                                    util::Calendar::first_hour(15) + 12);
+  EXPECT_GT(july, january + 15.0);
+}
+
+}  // namespace
+}  // namespace rainshine::simdc

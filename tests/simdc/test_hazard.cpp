@@ -1,0 +1,220 @@
+#include "rainshine/simdc/hazard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::simdc {
+namespace {
+
+class HazardTest : public ::testing::Test {
+ protected:
+  HazardTest()
+      : fleet_(FleetSpec::test_default()), env_(fleet_, 1), hazard_(fleet_, env_) {}
+
+  Rack rack_with(SkuId sku, WorkloadId wl, DataCenterId dc, double kw,
+                 std::int32_t commission = -400) const {
+    Rack r = fleet_.racks().front();
+    r.sku = sku;
+    r.workload = wl;
+    r.dc = dc;
+    r.rated_power_kw = kw;
+    r.commission_day = commission;
+    return r;
+  }
+
+  Fleet fleet_;
+  EnvironmentModel env_;
+  HazardModel hazard_;
+};
+
+TEST_F(HazardTest, SkuGroundTruthRatioIsFour) {
+  // The planted Q2 answer: S2's hardware multiplier is 4x S4's.
+  const double s2 = hazard_.sku_multiplier(SkuId::kS2, FaultType::kServerFailure);
+  const double s4 = hazard_.sku_multiplier(SkuId::kS4, FaultType::kServerFailure);
+  EXPECT_DOUBLE_EQ(s2 / s4, 4.0);
+  // Vendor quality does not touch software faults.
+  EXPECT_DOUBLE_EQ(hazard_.sku_multiplier(SkuId::kS2, FaultType::kSoftwareTimeout),
+                   1.0);
+}
+
+TEST_F(HazardTest, WorkloadOrderingMatchesFig6) {
+  const auto m = [&](WorkloadId w) {
+    return hazard_.workload_multiplier(w, FaultType::kDiskFailure);
+  };
+  // W2 highest, W3 (HPC) lowest, storage-data below storage-compute.
+  for (const WorkloadId w : kAllWorkloads) {
+    EXPECT_LE(m(w), m(WorkloadId::kW2));
+    EXPECT_GE(m(w), m(WorkloadId::kW3));
+  }
+  EXPECT_LT(m(WorkloadId::kW5), m(WorkloadId::kW4));
+  EXPECT_LT(m(WorkloadId::kW6), m(WorkloadId::kW7));
+}
+
+TEST_F(HazardTest, EnvironmentInteractionPlantedExactly) {
+  const Rack dc1 = rack_with(SkuId::kS1, WorkloadId::kW6, DataCenterId::kDC1, 6);
+  const Conditions cool{72.0, 40.0};
+  const Conditions hot{80.0, 40.0};
+  const Conditions hot_dry{80.0, 20.0};
+
+  const double base = hazard_.environment_multiplier(dc1, cool, FaultType::kDiskFailure);
+  const double hot_m = hazard_.environment_multiplier(dc1, hot, FaultType::kDiskFailure);
+  const double hot_dry_m =
+      hazard_.environment_multiplier(dc1, hot_dry, FaultType::kDiskFailure);
+
+  // +50% above 78F (on top of the smooth slope), a further +25% below RH 25.
+  const double slope = std::exp(hazard_.config().disk_temp_slope_per_f * 8.0);
+  EXPECT_NEAR(hot_m / base, 1.5 * slope, 1e-9);
+  EXPECT_NEAR(hot_dry_m / hot_m, 1.25, 1e-9);
+
+  // DC2 is environment-insensitive.
+  const Rack dc2 = rack_with(SkuId::kS1, WorkloadId::kW6, DataCenterId::kDC2, 6);
+  EXPECT_DOUBLE_EQ(
+      hazard_.environment_multiplier(dc2, hot_dry, FaultType::kDiskFailure), 1.0);
+
+  // Software faults ignore the environment everywhere.
+  EXPECT_DOUBLE_EQ(
+      hazard_.environment_multiplier(dc1, hot_dry, FaultType::kSoftwareTimeout), 1.0);
+}
+
+TEST_F(HazardTest, LowHumiditySparesDisksHitsElectronics) {
+  const Rack dc1 = rack_with(SkuId::kS1, WorkloadId::kW6, DataCenterId::kDC1, 6);
+  const Conditions dry{70.0, 15.0};
+  const Conditions normal{70.0, 45.0};
+  const double mem_dry =
+      hazard_.environment_multiplier(dc1, dry, FaultType::kMemoryFailure);
+  const double mem_normal =
+      hazard_.environment_multiplier(dc1, normal, FaultType::kMemoryFailure);
+  EXPECT_GT(mem_dry, mem_normal * 1.3);
+  // Disks skip the standalone ESD bump (they carry the hot-dry term instead).
+  const double disk_dry =
+      hazard_.environment_multiplier(dc1, dry, FaultType::kDiskFailure);
+  const double disk_normal =
+      hazard_.environment_multiplier(dc1, normal, FaultType::kDiskFailure);
+  EXPECT_DOUBLE_EQ(disk_dry, disk_normal);
+}
+
+TEST_F(HazardTest, PowerMultiplierHasKnee) {
+  EXPECT_DOUBLE_EQ(hazard_.power_multiplier(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(hazard_.power_multiplier(9.0), 1.0);
+  EXPECT_GT(hazard_.power_multiplier(13.0), 1.2);
+  EXPECT_GT(hazard_.power_multiplier(15.0), hazard_.power_multiplier(13.0));
+}
+
+TEST_F(HazardTest, AgeBathtubClampedAndShaped) {
+  const double infant = hazard_.age_multiplier(0.0);
+  const double young = hazard_.age_multiplier(2.0);
+  const double mid = hazard_.age_multiplier(30.0);
+  EXPECT_GT(infant, young);
+  EXPECT_GT(young, mid);
+  EXPECT_NEAR(mid, 1.0, 1e-9);  // normalized at 30 months
+  // The t->0 Weibull singularity is clamped: brand-new equipment is elevated
+  // but bounded (this guards against the pathological 100x rates).
+  EXPECT_LT(infant, 5.0);
+  EXPECT_DOUBLE_EQ(infant, hazard_.age_multiplier(0.2));  // below the clamp floor
+}
+
+TEST_F(HazardTest, WeekdayEffectAveragesToOne) {
+  // 5 weekday + 2 weekend multipliers must average 1 so the weekly volume
+  // is set by the base rates alone.
+  util::DayIndex monday = 0;
+  while (fleet_.calendar().weekday(monday) != util::Weekday::kMonday) ++monday;
+  double week = 0.0;
+  for (int d = 0; d < 7; ++d) {
+    // Divide out the month term to isolate the day-of-week factor.
+    const double month =
+        hazard_.config().month_mult[static_cast<std::size_t>(
+                                        fleet_.calendar().month(monday + d)) -
+                                    1];
+    week += hazard_.time_multiplier(monday + d, FaultType::kDiskFailure) / month;
+  }
+  EXPECT_NEAR(week / 7.0, 1.0, 1e-9);
+  // Weekdays above weekends.
+  const double mon = hazard_.time_multiplier(monday, FaultType::kSoftwareTimeout);
+  const double sun = hazard_.time_multiplier(monday + 6, FaultType::kSoftwareTimeout);
+  EXPECT_GT(mon, sun);
+}
+
+TEST_F(HazardTest, RatesZeroBeforeCommission) {
+  const Rack young = rack_with(SkuId::kS1, WorkloadId::kW6, DataCenterId::kDC1, 6,
+                               /*commission=*/30);
+  EXPECT_DOUBLE_EQ(hazard_.rack_day_rate(young, 10, FaultType::kDiskFailure), 0.0);
+  EXPECT_GT(hazard_.rack_day_rate(young, 40, FaultType::kDiskFailure), 0.0);
+  EXPECT_DOUBLE_EQ(hazard_.burst_rate(young, 10), 0.0);
+  EXPECT_DOUBLE_EQ(hazard_.disk_batch_rate(young, 10), 0.0);
+}
+
+TEST_F(HazardTest, RateDecomposesIntoFactors) {
+  const Rack rack = rack_with(SkuId::kS2, WorkloadId::kW2, DataCenterId::kDC1, 13);
+  const util::DayIndex day = 45;
+  const Conditions c = env_.daily_mean(rack, day);
+  const double expected =
+      hazard_.base_rate(FaultType::kDiskFailure) *
+      HazardModel::device_count(rack, FaultType::kDiskFailure) *
+      hazard_.sku_multiplier(rack.sku, FaultType::kDiskFailure) *
+      hazard_.workload_multiplier(rack.workload, FaultType::kDiskFailure) *
+      hazard_.dc_multiplier(rack, FaultType::kDiskFailure) *
+      hazard_.power_multiplier(rack.rated_power_kw) *
+      hazard_.age_multiplier(rack.age_months(day)) *
+      hazard_.time_multiplier(day, FaultType::kDiskFailure) *
+      hazard_.environment_multiplier(rack, c, FaultType::kDiskFailure);
+  EXPECT_NEAR(hazard_.rack_day_rate(rack, day, FaultType::kDiskFailure), expected,
+              expected * 1e-12);
+}
+
+TEST_F(HazardTest, BurstSeverityIsFactorDriven) {
+  const Rack low = rack_with(SkuId::kS4, WorkloadId::kW1, DataCenterId::kDC1, 9);
+  const Rack high = rack_with(SkuId::kS3, WorkloadId::kW6, DataCenterId::kDC1, 7);
+  const auto [lo_l, hi_l] = hazard_.burst_fraction_range(low);
+  const auto [lo_h, hi_h] = hazard_.burst_fraction_range(high);
+  EXPECT_LT(hi_l, lo_h);  // storage S3 strictly worse than compute S4
+  // High power rating raises severity.
+  const Rack dense = rack_with(SkuId::kS4, WorkloadId::kW1, DataCenterId::kDC1, 15);
+  EXPECT_GT(hazard_.burst_fraction_range(dense).second, hi_l);
+  // Ranges are valid probabilities.
+  for (const auto& r : {low, high, dense}) {
+    const auto [lo, hi] = hazard_.burst_fraction_range(r);
+    EXPECT_GE(lo, 0.0);
+    EXPECT_LE(hi, 1.0);
+    EXPECT_LE(lo, hi);
+  }
+}
+
+TEST_F(HazardTest, BadVintageIsDeterministicAndCohortWide) {
+  // Same SKU + same commission year => same vintage verdict.
+  const Rack a = rack_with(SkuId::kS2, WorkloadId::kW2, DataCenterId::kDC1, 13, -100);
+  Rack b = a;
+  b.id = a.id + 1;
+  b.commission_day = -120;  // same year cohort
+  EXPECT_EQ(hazard_.bad_vintage(a), hazard_.bad_vintage(b));
+  EXPECT_EQ(hazard_.bad_vintage(a), hazard_.bad_vintage(a));
+  // Bad cohorts have strictly higher batch rates.
+  Rack c = a;
+  bool found_pair = false;
+  for (std::int32_t day = -1500; day < 300 && !found_pair; day += 365) {
+    c.commission_day = day;
+    if (hazard_.bad_vintage(c) != hazard_.bad_vintage(a)) {
+      found_pair = true;
+      const double good_rate =
+          hazard_.disk_batch_rate(hazard_.bad_vintage(a) ? c : a, 290);
+      const double bad_rate =
+          hazard_.disk_batch_rate(hazard_.bad_vintage(a) ? a : c, 290);
+      EXPECT_GT(bad_rate, good_rate * 3.0);
+    }
+  }
+}
+
+TEST_F(HazardTest, ConfigValidation) {
+  HazardConfig bad;
+  bad.bathtub_norm_age_months = 0.0;
+  EXPECT_THROW(HazardModel(fleet_, env_, bad), util::precondition_error);
+  HazardConfig bad2;
+  bad2.burst_fraction_min = 0.9;
+  bad2.burst_fraction_max = 0.1;
+  EXPECT_THROW(HazardModel(fleet_, env_, bad2), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::simdc

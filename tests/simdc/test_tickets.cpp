@@ -1,0 +1,167 @@
+#include "rainshine/simdc/tickets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace rainshine::simdc {
+namespace {
+
+class TicketTest : public ::testing::Test {
+ protected:
+  TicketTest()
+      : fleet_(FleetSpec::test_default()),
+        env_(fleet_, fleet_.spec().seed),
+        hazard_(fleet_, env_),
+        log_(simulate(fleet_, env_, hazard_, {.seed = 99})) {}
+
+  Fleet fleet_;
+  EnvironmentModel env_;
+  HazardModel hazard_;
+  TicketLog log_;
+};
+
+TEST_F(TicketTest, DeterministicForSeed) {
+  const TicketLog again = simulate(fleet_, env_, hazard_, {.seed = 99});
+  ASSERT_EQ(again.size(), log_.size());
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    EXPECT_EQ(log_.tickets()[i].rack_id, again.tickets()[i].rack_id);
+    EXPECT_EQ(log_.tickets()[i].open_hour, again.tickets()[i].open_hour);
+    EXPECT_EQ(log_.tickets()[i].fault, again.tickets()[i].fault);
+  }
+  const TicketLog other = simulate(fleet_, env_, hazard_, {.seed = 100});
+  EXPECT_NE(other.size(), 0U);
+  EXPECT_TRUE(other.size() != log_.size() ||
+              other.tickets()[0].open_hour != log_.tickets()[0].open_hour);
+}
+
+TEST_F(TicketTest, TicketsAreWellFormed) {
+  const auto window_hours =
+      static_cast<util::HourIndex>(fleet_.spec().num_days) * util::kHoursPerDay;
+  for (const Ticket& t : log_.tickets()) {
+    EXPECT_GE(t.rack_id, 0);
+    EXPECT_LT(t.rack_id, static_cast<std::int32_t>(fleet_.num_racks()));
+    const Rack& rack = fleet_.rack(t.rack_id);
+    EXPECT_GE(t.server_index, 0);
+    EXPECT_LT(t.server_index, rack.servers());
+    EXPECT_GE(t.open_hour, 0);
+    // Open within the window plus cascade spread.
+    EXPECT_LT(t.open_hour, window_hours + 24);
+    EXPECT_GT(t.close_hour, t.open_hour);
+    // Component index set exactly for component faults.
+    if (device_kind_of(t.fault) == DeviceKind::kServer) {
+      EXPECT_EQ(t.component_index, -1);
+    } else {
+      EXPECT_GE(t.component_index, 0);
+      const int slots = device_kind_of(t.fault) == DeviceKind::kDisk
+                            ? sku_spec(rack.sku).disks_per_server
+                            : sku_spec(rack.sku).dimms_per_server;
+      EXPECT_LT(t.component_index, slots);
+    }
+    // Tickets only open once the rack is in service.
+    EXPECT_GE(t.open_day(), std::max(0, rack.commission_day));
+  }
+}
+
+TEST_F(TicketTest, SortedByOpenHour) {
+  for (std::size_t i = 1; i < log_.size(); ++i) {
+    EXPECT_LE(log_.tickets()[i - 1].open_hour, log_.tickets()[i].open_hour);
+  }
+}
+
+TEST_F(TicketTest, FalsePositiveRateNearConfig) {
+  std::size_t fp = 0;
+  std::size_t independent = 0;
+  for (const Ticket& t : log_.tickets()) {
+    if (t.burst_id >= 0) continue;  // correlated events are always confirmed
+    ++independent;
+    if (!t.true_positive) ++fp;
+  }
+  ASSERT_GT(independent, 500U);
+  EXPECT_NEAR(static_cast<double>(fp) / static_cast<double>(independent),
+              hazard_.config().false_positive_rate, 0.02);
+  EXPECT_EQ(log_.true_positives().size() + fp, log_.size());
+}
+
+TEST_F(TicketTest, BurstsGroupTicketsWithSharedCause) {
+  std::map<std::int32_t, std::vector<const Ticket*>> bursts;
+  for (const Ticket& t : log_.tickets()) {
+    if (t.burst_id >= 0) bursts[t.burst_id].push_back(&t);
+  }
+  ASSERT_FALSE(bursts.empty());
+  for (const auto& [id, members] : bursts) {
+    // All members hit one rack, distinct servers, clustered in time.
+    for (const Ticket* t : members) {
+      EXPECT_EQ(t->rack_id, members.front()->rack_id);
+      EXPECT_TRUE(t->true_positive);
+      EXPECT_LE(std::abs(t->open_hour - members.front()->open_hour),
+                static_cast<util::HourIndex>(
+                    hazard_.config().burst_onset_spread_hours) + 1);
+    }
+    std::set<std::int16_t> servers;
+    for (const Ticket* t : members) servers.insert(t->server_index);
+    EXPECT_EQ(servers.size(), members.size());
+  }
+}
+
+TEST_F(TicketTest, DiskBatchesFileDiskTicketsOnOneSlot) {
+  std::map<std::int32_t, std::vector<const Ticket*>> groups;
+  for (const Ticket& t : log_.tickets()) {
+    if (t.burst_id >= 0 && t.fault == FaultType::kDiskFailure) {
+      groups[t.burst_id].push_back(&t);
+    }
+  }
+  // The test fleet is small; disk batches are rare but the 60-day window on
+  // 28 racks should produce at least one in most seeds — tolerate none but
+  // validate shape when present.
+  for (const auto& [id, members] : groups) {
+    for (const Ticket* t : members) {
+      EXPECT_EQ(t->component_index, members.front()->component_index);
+      EXPECT_EQ(t->fault, FaultType::kDiskFailure);
+    }
+  }
+}
+
+TEST_F(TicketTest, SoftwareDominatesTicketMix) {
+  // Table II shape: software is the most common category (45-55%), hardware
+  // 20-30%, boot 10-15%.
+  std::array<std::size_t, 4> by_category{};
+  std::size_t total = 0;
+  for (const Ticket& t : log_.tickets()) {
+    if (!t.true_positive) continue;
+    ++by_category[static_cast<std::size_t>(category_of(t.fault))];
+    ++total;
+  }
+  ASSERT_GT(total, 100U);
+  const double software =
+      static_cast<double>(by_category[static_cast<std::size_t>(TicketCategory::kSoftware)]) /
+      static_cast<double>(total);
+  const double hardware =
+      static_cast<double>(by_category[static_cast<std::size_t>(TicketCategory::kHardware)]) /
+      static_cast<double>(total);
+  EXPECT_GT(software, 0.35);
+  EXPECT_LT(software, 0.65);
+  EXPECT_GT(hardware, 0.12);
+  EXPECT_LT(hardware, 0.42);
+  EXPECT_GT(software, hardware);
+}
+
+TEST_F(TicketTest, VolumeTracksExpectation) {
+  // Total tickets should be within a reasonable band of the model's summed
+  // intensities (burst/batch contributions push it above the singles-only
+  // expectation).
+  double expected_singles = 0.0;
+  for (const Rack& rack : fleet_.racks()) {
+    for (util::DayIndex day = 0; day < fleet_.spec().num_days; ++day) {
+      for (const FaultType f : kAllFaultTypes) {
+        expected_singles += hazard_.rack_day_rate(rack, day, f);
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(log_.size()), expected_singles * 0.85);
+  EXPECT_LT(static_cast<double>(log_.size()), expected_singles * 1.6);
+}
+
+}  // namespace
+}  // namespace rainshine::simdc

@@ -1,0 +1,149 @@
+#include "rainshine/simdc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::simdc {
+namespace {
+
+TEST(Types, TaxonomyMatchesTableIII) {
+  EXPECT_EQ(sku_class_of(SkuId::kS1), SkuClass::kStorage);
+  EXPECT_EQ(sku_class_of(SkuId::kS3), SkuClass::kStorage);
+  EXPECT_EQ(sku_class_of(SkuId::kS2), SkuClass::kCompute);
+  EXPECT_EQ(sku_class_of(SkuId::kS4), SkuClass::kCompute);
+  EXPECT_EQ(sku_class_of(SkuId::kS7), SkuClass::kHpc);
+  EXPECT_EQ(workload_class_of(WorkloadId::kW3), WorkloadClass::kHpc);
+  EXPECT_EQ(workload_class_of(WorkloadId::kW6), WorkloadClass::kStorageData);
+  EXPECT_EQ(workload_class_of(WorkloadId::kW7), WorkloadClass::kStorageCompute);
+}
+
+TEST(Types, FaultTaxonomyMatchesTableII) {
+  EXPECT_EQ(category_of(FaultType::kSoftwareTimeout), TicketCategory::kSoftware);
+  EXPECT_EQ(category_of(FaultType::kPxeBootFailure), TicketCategory::kBoot);
+  EXPECT_EQ(category_of(FaultType::kDiskFailure), TicketCategory::kHardware);
+  EXPECT_TRUE(is_hardware(FaultType::kMemoryFailure));
+  EXPECT_FALSE(is_hardware(FaultType::kSoftwareTimeout));
+  EXPECT_EQ(device_kind_of(FaultType::kDiskFailure), DeviceKind::kDisk);
+  EXPECT_EQ(device_kind_of(FaultType::kMemoryFailure), DeviceKind::kDimm);
+  EXPECT_EQ(device_kind_of(FaultType::kPowerFailure), DeviceKind::kServer);
+}
+
+TEST(SkuSpecs, ShapesFollowPaper) {
+  // §IV: compute SKUs >40 servers/rack with ~4 HDDs; storage ~20 servers
+  // with more HDDs per server.
+  for (const SkuId id : {SkuId::kS2, SkuId::kS4}) {
+    EXPECT_GT(sku_spec(id).servers_per_rack, 40);
+    EXPECT_LE(sku_spec(id).disks_per_server, 4);
+  }
+  for (const SkuId id : {SkuId::kS1, SkuId::kS3}) {
+    EXPECT_LE(sku_spec(id).servers_per_rack, 24);
+    EXPECT_GE(sku_spec(id).disks_per_server, 12);
+  }
+}
+
+TEST(Fleet, PaperScaleCounts) {
+  const Fleet fleet(FleetSpec::paper_default());
+  EXPECT_EQ(fleet.racks_of(DataCenterId::kDC1).size(), 324U);  // ~331 per Table III
+  EXPECT_EQ(fleet.racks_of(DataCenterId::kDC2).size(), 288U);  // ~290
+  EXPECT_GT(fleet.num_servers(), 10000U);  // "tens of thousands of servers"
+  EXPECT_EQ(fleet.calendar().num_days(), 913);
+  EXPECT_EQ(fleet.dc_spec(DataCenterId::kDC1).cooling, Cooling::kAdiabatic);
+  EXPECT_EQ(fleet.dc_spec(DataCenterId::kDC2).cooling, Cooling::kChilledWater);
+  EXPECT_EQ(fleet.dc_spec(DataCenterId::kDC1).availability_nines, 3);
+  EXPECT_EQ(fleet.dc_spec(DataCenterId::kDC2).availability_nines, 5);
+}
+
+TEST(Fleet, DeterministicForSeed) {
+  const Fleet a(FleetSpec::test_default());
+  const Fleet b(FleetSpec::test_default());
+  ASSERT_EQ(a.num_racks(), b.num_racks());
+  for (std::size_t i = 0; i < a.num_racks(); ++i) {
+    const Rack& ra = a.racks()[i];
+    const Rack& rb = b.racks()[i];
+    EXPECT_EQ(ra.sku, rb.sku);
+    EXPECT_EQ(ra.workload, rb.workload);
+    EXPECT_EQ(ra.commission_day, rb.commission_day);
+    EXPECT_DOUBLE_EQ(ra.rated_power_kw, rb.rated_power_kw);
+  }
+}
+
+TEST(Fleet, SeedChangesLayout) {
+  FleetSpec spec = FleetSpec::test_default();
+  spec.seed = 12345;
+  const Fleet a(FleetSpec::test_default());
+  const Fleet b(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_racks(); ++i) {
+    if (a.racks()[i].sku != b.racks()[i].sku ||
+        a.racks()[i].commission_day != b.racks()[i].commission_day) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Fleet, RackInvariants) {
+  const Fleet fleet(FleetSpec::paper_default());
+  const std::set<double> power_levels = {4, 6, 7, 8, 9, 12, 13, 15};
+  for (const Rack& rack : fleet.racks()) {
+    EXPECT_TRUE(power_levels.contains(rack.rated_power_kw)) << rack.rated_power_kw;
+    EXPECT_GE(rack.region, 0);
+    EXPECT_LT(rack.region, fleet.dc_spec(rack.dc).num_regions);
+    // Commission between (window start - max age) and 80% of the window.
+    EXPECT_GE(rack.commission_day, -static_cast<std::int32_t>(
+                                       fleet.spec().max_initial_age_months * 31));
+    EXPECT_LE(rack.commission_day, fleet.spec().num_days * 4 / 5);
+    EXPECT_GT(rack.servers(), 0);
+    EXPECT_GT(rack.disks(), 0);
+  }
+}
+
+TEST(Fleet, WorkloadSkuPairingRespectsTaxonomy) {
+  const Fleet fleet(FleetSpec::paper_default());
+  for (const Rack& rack : fleet.racks()) {
+    // HPC workloads only on the HPC SKU, and W2 exclusively on S2 (the
+    // planted Q2 confound).
+    if (rack.workload == WorkloadId::kW3) {
+      EXPECT_EQ(rack.sku, SkuId::kS7);
+    }
+    if (rack.workload == WorkloadId::kW2) {
+      EXPECT_EQ(rack.sku, SkuId::kS2);
+    }
+    // Storage-data workloads never land on compute SKUs.
+    if (workload_class_of(rack.workload) == WorkloadClass::kStorageData) {
+      EXPECT_NE(sku_class_of(rack.sku), SkuClass::kCompute);
+    }
+  }
+}
+
+TEST(Fleet, AgeMonthsClampsPreCommission) {
+  const Fleet fleet(FleetSpec::test_default());
+  const Rack& rack = fleet.racks().front();
+  EXPECT_DOUBLE_EQ(rack.age_months(rack.commission_day), 0.0);
+  EXPECT_DOUBLE_EQ(rack.age_months(rack.commission_day - 100), 0.0);
+  EXPECT_NEAR(rack.age_months(rack.commission_day + 304), 10.0, 0.1);
+}
+
+TEST(Fleet, RegionLabels) {
+  const Fleet fleet(FleetSpec::test_default());
+  const Rack& rack = fleet.racks().front();
+  EXPECT_EQ(rack.region_label().substr(0, 3), "DC1");
+  EXPECT_THROW(fleet.rack(-1), util::precondition_error);
+  EXPECT_THROW(fleet.rack(static_cast<std::int32_t>(fleet.num_racks())),
+               util::precondition_error);
+}
+
+TEST(FleetSpec, RejectsInvalid) {
+  FleetSpec spec = FleetSpec::test_default();
+  spec.num_days = 0;
+  EXPECT_THROW(Fleet{spec}, util::precondition_error);
+  FleetSpec empty;
+  empty.datacenters.clear();
+  EXPECT_THROW(Fleet{empty}, util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::simdc

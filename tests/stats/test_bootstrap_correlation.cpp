@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/stats/bootstrap.hpp"
+#include "rainshine/stats/correlation.hpp"
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  util::Rng rng(1);
+  std::vector<double> sample(400);
+  for (auto& v : sample) v = 10.0 + 3.0 * (rng.uniform() - 0.5);
+  util::Rng boot_rng(2);
+  const ConfidenceInterval ci = bootstrap_mean_ci(sample, boot_rng, 500, 0.95);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+  EXPECT_NEAR(ci.point, 10.0, 0.2);
+}
+
+TEST(Bootstrap, IntervalNarrowsWithMoreData) {
+  util::Rng rng(3);
+  std::vector<double> small(50);
+  std::vector<double> large(5000);
+  for (auto& v : small) v = rng.uniform(0, 10);
+  for (auto& v : large) v = rng.uniform(0, 10);
+  util::Rng b1(4);
+  util::Rng b2(4);
+  const auto ci_small = bootstrap_mean_ci(small, b1, 400);
+  const auto ci_large = bootstrap_mean_ci(large, b2, 400);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, CustomStatisticAndErrors) {
+  util::Rng rng(5);
+  std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto ci = bootstrap_ci(
+      sample, [](std::span<const double> s) { return quantile(s, 0.5); }, rng, 200);
+  EXPECT_GE(ci.point, 5.0);
+  EXPECT_LE(ci.point, 6.0);
+  EXPECT_THROW(bootstrap_mean_ci({}, rng), util::precondition_error);
+  EXPECT_THROW(bootstrap_mean_ci(sample, rng, 0), util::precondition_error);
+  EXPECT_THROW(bootstrap_mean_ci(sample, rng, 10, 1.5), util::precondition_error);
+}
+
+TEST(Pearson, KnownValues) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+  const std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+}
+
+TEST(Pearson, RejectsBadInput) {
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               util::precondition_error);
+  EXPECT_THROW(pearson(std::vector<double>{1, 2}, std::vector<double>{1}),
+               util::precondition_error);
+}
+
+TEST(Ranks, AveragesTies) {
+  const auto r = ranks(std::vector<double>{10.0, 20.0, 20.0, 30.0});
+  ASSERT_EQ(r.size(), 4U);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, CapturesMonotoneNonlinear) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 0.95);  // pearson degraded by nonlinearity
+}
+
+}  // namespace
+}  // namespace rainshine::stats

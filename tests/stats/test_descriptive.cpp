@@ -1,0 +1,139 @@
+#include "rainshine/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+TEST(Accumulator, MatchesClosedForms) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyAndSingle) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0U);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  util::Rng rng(5);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10, 10);
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a;
+  Accumulator empty;
+  a.add(1.0);
+  a.add(3.0);
+  Accumulator b = a;
+  b.merge(empty);
+  EXPECT_EQ(b.count(), 2U);
+  Accumulator c = empty;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2U);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, HandlesUnsortedInput) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), util::precondition_error);
+  EXPECT_THROW(quantile(v, -0.1), util::precondition_error);
+  EXPECT_THROW(quantile(v, 1.1), util::precondition_error);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.7), 1.0);  // single element
+}
+
+TEST(Summarize, FullSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_NEAR(s.stddev, 29.011, 0.01);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(NormalizeToMax, ScalesPeakToOne) {
+  const auto out = normalize_to_max(std::vector<double>{1.0, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizeToMax, AllZeroUnchanged) {
+  const auto out = normalize_to_max(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+/// Property: quantile is monotone in q for arbitrary data.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, NonDecreasingInQ) {
+  util::Rng rng(GetParam());
+  std::vector<double> v(50);
+  for (auto& x : v) x = rng.uniform(-100, 100);
+  double prev = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace rainshine::stats

@@ -1,0 +1,143 @@
+#include "rainshine/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+constexpr int kSamples = 20000;
+
+TEST(Normal, MomentsMatch) {
+  util::Rng rng(1);
+  Accumulator acc;
+  for (int i = 0; i < kSamples; ++i) acc.add(sample_normal(rng, 5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Exponential, MomentsMatch) {
+  util::Rng rng(2);
+  Accumulator acc;
+  for (int i = 0; i < kSamples; ++i) acc.add(sample_exponential(rng, 0.5));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.06);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+  EXPECT_GE(acc.min(), 0.0);
+  EXPECT_THROW(sample_exponential(rng, 0.0), util::precondition_error);
+}
+
+TEST(Lognormal, MedianMatches) {
+  util::Rng rng(3);
+  std::vector<double> v(kSamples);
+  for (auto& x : v) x = sample_lognormal(rng, std::log(24.0), 0.7);
+  EXPECT_NEAR(quantile(v, 0.5), 24.0, 1.0);
+  EXPECT_GT(quantile(v, 0.99), 24.0 * 3.0);  // heavy right tail
+}
+
+/// Poisson moments across the small-lambda (Knuth) and large-lambda (normal
+/// approximation) regimes.
+class PoissonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonSweep, MeanAndVarianceMatch) {
+  const double lambda = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(lambda * 1000) + 7);
+  Accumulator acc;
+  for (int i = 0; i < kSamples; ++i) {
+    acc.add(static_cast<double>(sample_poisson(rng, lambda)));
+  }
+  const double tolerance = 4.0 * std::sqrt(lambda / kSamples) + 0.01;
+  EXPECT_NEAR(acc.mean(), lambda, tolerance);
+  EXPECT_NEAR(acc.variance(), lambda, lambda * 0.1 + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonSweep,
+                         ::testing::Values(0.01, 0.1, 1.0, 5.0, 30.0, 100.0));
+
+TEST(Poisson, ZeroAndNegative) {
+  util::Rng rng(4);
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0U);
+  EXPECT_THROW(sample_poisson(rng, -1.0), util::precondition_error);
+}
+
+/// Weibull mean = scale * Gamma(1 + 1/shape).
+class WeibullSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WeibullSweep, MeanMatchesGammaFormula) {
+  const auto [shape, scale] = GetParam();
+  util::Rng rng(99);
+  Accumulator acc;
+  for (int i = 0; i < kSamples; ++i) acc.add(sample_weibull(rng, shape, scale));
+  const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(acc.mean(), expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, WeibullSweep,
+                         ::testing::Values(std::pair{0.5, 2.0}, std::pair{1.0, 3.0},
+                                           std::pair{2.0, 1.0}, std::pair{4.0, 10.0}));
+
+TEST(WeibullHazard, ShapeControlsMonotonicity) {
+  // shape < 1: decreasing hazard (infant mortality).
+  EXPECT_GT(weibull_hazard(1.0, 0.5, 10.0), weibull_hazard(5.0, 0.5, 10.0));
+  // shape > 1: increasing hazard (wear-out).
+  EXPECT_LT(weibull_hazard(1.0, 3.0, 10.0), weibull_hazard(5.0, 3.0, 10.0));
+  // shape == 1: constant.
+  EXPECT_DOUBLE_EQ(weibull_hazard(1.0, 1.0, 10.0), weibull_hazard(5.0, 1.0, 10.0));
+  EXPECT_THROW(weibull_hazard(-1.0, 1.0, 1.0), util::precondition_error);
+}
+
+TEST(BathtubHazard, HasBathtubShape) {
+  const BathtubHazard h{/*infant_scale=*/5.0, /*infant_shape=*/0.45,
+                        /*infant_weight=*/3.8, /*floor_rate=*/1.0,
+                        /*wearout_scale=*/90.0, /*wearout_shape=*/5.0,
+                        /*wearout_weight=*/0.8};
+  const double young = h(0.5);
+  const double mid = h(30.0);
+  const double old = h(120.0);
+  EXPECT_GT(young, mid);  // infant mortality
+  EXPECT_GT(old, mid);    // wear-out
+  // Monotone decrease through the infant region.
+  EXPECT_GT(h(1.0), h(3.0));
+  EXPECT_GT(h(3.0), h(10.0));
+}
+
+TEST(Categorical, RespectsWeights) {
+  util::Rng rng(6);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[sample_categorical(rng, weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kSamples), 0.6, 0.015);
+}
+
+TEST(Categorical, RejectsDegenerateWeights) {
+  util::Rng rng(7);
+  EXPECT_THROW(sample_categorical(rng, std::vector<double>{}),
+               util::precondition_error);
+  EXPECT_THROW(sample_categorical(rng, std::vector<double>{0.0, 0.0}),
+               util::precondition_error);
+  EXPECT_THROW(sample_categorical(rng, std::vector<double>{1.0, -1.0}),
+               util::precondition_error);
+}
+
+TEST(Shuffle, IsAPermutation) {
+  util::Rng rng(8);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(rng, shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+}  // namespace
+}  // namespace rainshine::stats

@@ -1,0 +1,89 @@
+#include "rainshine/stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+TEST(Ecdf, EvaluatesStepFunction) {
+  const Ecdf ecdf(std::vector<double>{1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(9.0), 1.0);
+}
+
+TEST(Ecdf, QuantileIsSmallestCoveringValue) {
+  const Ecdf ecdf(std::vector<double>{10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.75), 30.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 40.0);
+}
+
+TEST(Ecdf, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), util::precondition_error);
+  const Ecdf ecdf(std::vector<double>{1.0});
+  EXPECT_THROW(ecdf.quantile(-0.01), util::precondition_error);
+  EXPECT_THROW(ecdf.quantile(1.01), util::precondition_error);
+}
+
+TEST(Ecdf, ProvisioningSemantics) {
+  // 95 zero-periods and 5 periods with 3 concurrent failures: a 95% SLA is
+  // met with 0 spares; anything above needs 3.
+  std::vector<double> mu(100, 0.0);
+  for (int i = 0; i < 5; ++i) mu[static_cast<std::size_t>(i)] = 3.0;
+  const Ecdf ecdf(mu);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.96), 3.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 3.0);
+}
+
+TEST(Ecdf, EvaluateBatch) {
+  const Ecdf ecdf(std::vector<double>{1.0, 2.0});
+  const auto probs = ecdf.evaluate(std::vector<double>{0.0, 1.5, 5.0});
+  ASSERT_EQ(probs.size(), 3U);
+  EXPECT_DOUBLE_EQ(probs[0], 0.0);
+  EXPECT_DOUBLE_EQ(probs[1], 0.5);
+  EXPECT_DOUBLE_EQ(probs[2], 1.0);
+}
+
+/// Properties: CDF is monotone; quantile(ecdf(x)) >= is consistent.
+class EcdfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdfProperty, MonotoneAndInverseConsistent) {
+  util::Rng rng(GetParam());
+  std::vector<double> sample(200);
+  for (auto& v : sample) v = rng.uniform(0, 50);
+  const Ecdf ecdf(sample);
+
+  double prev = 0.0;
+  for (double x = -1.0; x <= 51.0; x += 0.7) {
+    const double p = ecdf(x);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // For every q, at least fraction q of the sample is <= quantile(q).
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    EXPECT_GE(ecdf(ecdf.quantile(q)), q - 1e-12);
+  }
+  // Quantiles are attained sample values.
+  for (double q : {0.1, 0.5, 0.9, 1.0}) {
+    const double v = ecdf.quantile(q);
+    EXPECT_GE(v, ecdf.min());
+    EXPECT_LE(v, ecdf.max());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfProperty, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace rainshine::stats

@@ -1,0 +1,94 @@
+#include "rainshine/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+TEST(Binner, OpenEndedBinsAndLabels) {
+  // Fig. 5's humidity bins: <20, 20-30, ..., 60-70, >70.
+  const Binner b({20, 30, 40, 50, 60, 70}, /*open_ended=*/true);
+  EXPECT_EQ(b.num_bins(), 7U);
+  EXPECT_EQ(b.bin_of(5.0), 0U);
+  EXPECT_EQ(b.bin_of(20.0), 1U);  // half-open [20,30)
+  EXPECT_EQ(b.bin_of(29.9), 1U);
+  EXPECT_EQ(b.bin_of(69.9), 5U);
+  EXPECT_EQ(b.bin_of(70.0), 6U);
+  EXPECT_EQ(b.bin_of(95.0), 6U);
+  EXPECT_EQ(b.label(0), "<20");
+  EXPECT_EQ(b.label(1), "20-30");
+  EXPECT_EQ(b.label(6), ">70");
+}
+
+TEST(Binner, ClosedBinsClampOutliers) {
+  const Binner b({0, 10, 20}, /*open_ended=*/false);
+  EXPECT_EQ(b.num_bins(), 2U);
+  EXPECT_EQ(b.bin_of(-5.0), 0U);
+  EXPECT_EQ(b.bin_of(5.0), 0U);
+  EXPECT_EQ(b.bin_of(10.0), 1U);
+  EXPECT_EQ(b.bin_of(25.0), 1U);
+  EXPECT_EQ(b.label(0), "0-10");
+}
+
+TEST(Binner, EqualWidth) {
+  const Binner b = Binner::equal_width(0.0, 100.0, 4);
+  EXPECT_EQ(b.num_bins(), 4U);
+  EXPECT_EQ(b.bin_of(10.0), 0U);
+  EXPECT_EQ(b.bin_of(30.0), 1U);
+  EXPECT_EQ(b.bin_of(99.0), 3U);
+}
+
+TEST(Binner, RejectsBadEdges) {
+  EXPECT_THROW(Binner({}, true), util::precondition_error);
+  EXPECT_THROW(Binner({1, 1, 2}, true), util::precondition_error);
+  EXPECT_THROW(Binner({3, 2}, true), util::precondition_error);
+  EXPECT_THROW(Binner({5}, false), util::precondition_error);
+  EXPECT_NO_THROW(Binner({5}, true));
+}
+
+TEST(BinnedStats, AccumulatesPerBin) {
+  BinnedStats stats(Binner({10.0}, true));
+  stats.add(5.0, 1.0);
+  stats.add(6.0, 3.0);
+  stats.add(15.0, 10.0);
+  const auto rows = stats.rows();
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0].count, 2U);
+  EXPECT_DOUBLE_EQ(rows[0].mean, 2.0);
+  EXPECT_EQ(rows[1].count, 1U);
+  EXPECT_DOUBLE_EQ(rows[1].mean, 10.0);
+}
+
+TEST(CategoricalStats, FixedOrderRows) {
+  CategoricalStats stats({"Mon", "Tue"});
+  stats.add(1, 5.0);
+  stats.add(0, 1.0);
+  stats.add(0, 3.0);
+  const auto rows = stats.rows();
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0].label, "Mon");
+  EXPECT_DOUBLE_EQ(rows[0].mean, 2.0);
+  EXPECT_EQ(rows[1].label, "Tue");
+  EXPECT_DOUBLE_EQ(rows[1].mean, 5.0);
+  EXPECT_THROW(stats.add(2, 1.0), util::precondition_error);
+}
+
+/// Property: every real lands in exactly one valid bin.
+class BinnerProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BinnerProperty, EveryValueHasOneBin) {
+  const Binner open({20, 30, 40}, true);
+  const Binner closed({20, 30, 40}, false);
+  const double v = GetParam();
+  EXPECT_LT(open.bin_of(v), open.num_bins());
+  EXPECT_LT(closed.bin_of(v), closed.num_bins());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, BinnerProperty,
+                         ::testing::Values(-1e9, 0.0, 19.999, 20.0, 25.0, 30.0,
+                                           39.999, 40.0, 1e9));
+
+}  // namespace
+}  // namespace rainshine::stats

@@ -1,0 +1,119 @@
+#include "rainshine/stats/survival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/stats/distributions.hpp"
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+TEST(KaplanMeier, NoCensoringMatchesEmpiricalSurvival) {
+  // Events at 1, 2, 3, 4 with no censoring: S steps down by 1/4 each time.
+  const std::vector<SurvivalObservation> obs = {
+      {1.0, true}, {2.0, true}, {3.0, true}, {4.0, true}};
+  const auto curve = kaplan_meier(obs);
+  ASSERT_EQ(curve.size(), 4U);
+  EXPECT_DOUBLE_EQ(curve[0].survival, 0.75);
+  EXPECT_DOUBLE_EQ(curve[1].survival, 0.50);
+  EXPECT_DOUBLE_EQ(curve[2].survival, 0.25);
+  EXPECT_DOUBLE_EQ(curve[3].survival, 0.00);
+  EXPECT_EQ(curve[0].at_risk, 4U);
+  EXPECT_EQ(curve[3].at_risk, 1U);
+}
+
+TEST(KaplanMeier, TextbookCensoredExample) {
+  // Classic worked example: events at 6 (3 of them), 7, 10, 13, 16, ...
+  // with censorings interleaved (subset of Freireich's 6-MP arm).
+  const std::vector<SurvivalObservation> obs = {
+      {6, true},  {6, true},  {6, true},  {6, false}, {7, true},
+      {9, false}, {10, true}, {10, false}, {11, false}, {13, true}};
+  const auto curve = kaplan_meier(obs);
+  ASSERT_GE(curve.size(), 3U);
+  // S(6) = 1 - 3/10 = 0.7; S(7) = 0.7 * (1 - 1/6) = 0.5833...
+  EXPECT_NEAR(curve[0].survival, 0.7, 1e-12);
+  EXPECT_NEAR(curve[1].survival, 0.7 * 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(curve[0].events, 3U);
+  EXPECT_EQ(curve[1].at_risk, 6U);
+}
+
+TEST(KaplanMeier, CensoringKeepsSurvivalAboveUncensored) {
+  util::Rng rng(1);
+  std::vector<SurvivalObservation> censored;
+  std::vector<SurvivalObservation> uncensored;
+  for (int i = 0; i < 500; ++i) {
+    const double t = sample_exponential(rng, 0.1);
+    uncensored.push_back({t, true});
+    // Right-censor at 10: survivors past 10 are marked censored.
+    censored.push_back(t > 10.0 ? SurvivalObservation{10.0, false}
+                                : SurvivalObservation{t, true});
+  }
+  const auto curve_c = kaplan_meier(censored);
+  const auto curve_u = kaplan_meier(uncensored);
+  // Within the observed range they agree closely.
+  EXPECT_NEAR(survival_at(curve_c, 5.0), survival_at(curve_u, 5.0), 0.02);
+  // Naively treating censored subjects as events would bias S downward;
+  // KM keeps S(10) equal between the two designs.
+  EXPECT_NEAR(survival_at(curve_c, 9.9), survival_at(curve_u, 9.9), 0.02);
+}
+
+TEST(KaplanMeier, AgreesWithExponentialTruth) {
+  util::Rng rng(2);
+  std::vector<SurvivalObservation> obs;
+  const double rate = 0.05;
+  for (int i = 0; i < 4000; ++i) {
+    obs.push_back({sample_exponential(rng, rate), true});
+  }
+  const auto curve = kaplan_meier(obs);
+  for (const double t : {5.0, 10.0, 20.0, 40.0}) {
+    EXPECT_NEAR(survival_at(curve, t), std::exp(-rate * t), 0.03);
+  }
+  EXPECT_NEAR(median_survival(curve), std::log(2.0) / rate, 1.0);
+}
+
+TEST(SurvivalAt, StepFunctionSemantics) {
+  const std::vector<KmPoint> curve = {{2.0, 0.8, 10, 2}, {5.0, 0.4, 8, 4}};
+  EXPECT_DOUBLE_EQ(survival_at(curve, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 1.99), 1.0);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 2.0), 0.8);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 4.0), 0.8);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 5.0), 0.4);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 99.0), 0.4);
+}
+
+TEST(MedianSurvival, NanWhenHeavyCensoring) {
+  const std::vector<KmPoint> shallow = {{2.0, 0.9, 10, 1}};
+  EXPECT_TRUE(std::isnan(median_survival(shallow)));
+  const std::vector<KmPoint> deep = {{2.0, 0.9, 10, 1}, {4.0, 0.45, 9, 5}};
+  EXPECT_DOUBLE_EQ(median_survival(deep), 4.0);
+}
+
+TEST(RestrictedMean, IntegratesStepCurve) {
+  // S = 1 on [0,2), 0.5 on [2,6), horizon 6 -> area = 2 + 0.5*4 = 4.
+  const std::vector<KmPoint> curve = {{2.0, 0.5, 4, 2}};
+  EXPECT_DOUBLE_EQ(restricted_mean_survival(curve, 6.0), 4.0);
+  // Horizon before the first event: area = horizon.
+  EXPECT_DOUBLE_EQ(restricted_mean_survival(curve, 1.0), 1.0);
+  EXPECT_THROW(restricted_mean_survival(curve, 0.0), util::precondition_error);
+}
+
+TEST(EventRate, MatchesExponentialMle) {
+  // 3 events over total exposure 60 -> rate 0.05.
+  const std::vector<SurvivalObservation> obs = {
+      {10, true}, {20, true}, {5, true}, {25, false}};
+  EXPECT_DOUBLE_EQ(event_rate(obs), 3.0 / 60.0);
+  EXPECT_THROW(event_rate({}), util::precondition_error);
+}
+
+TEST(KaplanMeier, RejectsBadInput) {
+  EXPECT_THROW(kaplan_meier({}), util::precondition_error);
+  const std::vector<SurvivalObservation> negative = {{-1.0, true}};
+  EXPECT_THROW(kaplan_meier(negative), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::stats

@@ -1,0 +1,92 @@
+#include "rainshine/table/column.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::table {
+namespace {
+
+TEST(Column, ContinuousBasics) {
+  Column c = Column::continuous({1.5, 2.5});
+  EXPECT_EQ(c.type(), ColumnType::kContinuous);
+  EXPECT_EQ(c.size(), 2U);
+  EXPECT_DOUBLE_EQ(c.as_double(0), 1.5);
+  c.push_continuous(3.0);
+  EXPECT_EQ(c.size(), 3U);
+  EXPECT_THROW(c.push_ordinal(1), util::precondition_error);
+  EXPECT_THROW(c.nominal_codes(), util::precondition_error);
+}
+
+TEST(Column, OrdinalBasics) {
+  Column c = Column::ordinal({3, 1, 2});
+  EXPECT_EQ(c.type(), ColumnType::kOrdinal);
+  EXPECT_DOUBLE_EQ(c.as_double(1), 1.0);
+  EXPECT_EQ(c.cell_to_string(0), "3");
+  EXPECT_THROW(c.continuous_values(), util::precondition_error);
+}
+
+TEST(Column, NominalDictionaryEncoding) {
+  Column c(ColumnType::kNominal);
+  c.push_nominal("red");
+  c.push_nominal("blue");
+  c.push_nominal("red");
+  EXPECT_EQ(c.cardinality(), 2U);
+  EXPECT_EQ(c.nominal_codes()[0], 0);
+  EXPECT_EQ(c.nominal_codes()[1], 1);
+  EXPECT_EQ(c.nominal_codes()[2], 0);
+  EXPECT_EQ(c.label_of(0), "red");
+  EXPECT_EQ(c.code_of("blue"), 1);
+  EXPECT_EQ(c.code_of("green"), kMissingCode);
+  EXPECT_EQ(c.cell_to_string(1), "blue");
+}
+
+TEST(Column, NominalFromCodesValidates) {
+  EXPECT_NO_THROW(Column::nominal({0, 1, kMissingCode}, {"a", "b"}));
+  EXPECT_THROW(Column::nominal({2}, {"a", "b"}), util::precondition_error);
+  EXPECT_THROW(Column::nominal({0}, {"a", "a"}), util::precondition_error);
+}
+
+TEST(Column, MissingValues) {
+  Column cont(ColumnType::kContinuous);
+  cont.push_continuous(1.0);
+  cont.push_missing();
+  EXPECT_FALSE(cont.is_missing(0));
+  EXPECT_TRUE(cont.is_missing(1));
+  EXPECT_TRUE(std::isnan(cont.as_double(1)));
+  EXPECT_EQ(cont.cell_to_string(1), "");
+
+  Column nom(ColumnType::kNominal);
+  nom.push_nominal("x");
+  nom.push_missing();
+  EXPECT_TRUE(nom.is_missing(1));
+  EXPECT_TRUE(std::isnan(nom.as_double(1)));
+
+  Column ord(ColumnType::kOrdinal);
+  ord.push_missing();
+  EXPECT_TRUE(ord.is_missing(0));
+}
+
+TEST(Column, TakePreservesTypeAndDictionary) {
+  Column c(ColumnType::kNominal);
+  for (const char* s : {"a", "b", "c", "a"}) c.push_nominal(s);
+  const std::vector<std::size_t> idx = {3, 1};
+  const Column taken = c.take(idx);
+  EXPECT_EQ(taken.size(), 2U);
+  EXPECT_EQ(taken.cell_to_string(0), "a");
+  EXPECT_EQ(taken.cell_to_string(1), "b");
+  EXPECT_EQ(taken.cardinality(), 3U);  // dictionary intact
+  EXPECT_THROW(c.take(std::vector<std::size_t>{9}), util::precondition_error);
+}
+
+TEST(Column, BoundsChecking) {
+  const Column c = Column::continuous({1.0});
+  EXPECT_THROW(c.as_double(1), util::precondition_error);
+  EXPECT_THROW(c.is_missing(1), util::precondition_error);
+  EXPECT_THROW(c.label_of(5), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::table

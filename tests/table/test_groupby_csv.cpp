@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rainshine/table/csv.hpp"
+#include "rainshine/table/groupby.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::table {
+namespace {
+
+Table make_sample() {
+  Table t;
+  t.add_column("dc", Column::nominal(std::vector<std::string>{"DC1", "DC2", "DC1",
+                                                              "DC2", "DC1"}));
+  t.add_column("sku", Column::nominal(std::vector<std::string>{"S1", "S1", "S2",
+                                                               "S2", "S1"}));
+  t.add_column("rate", Column::continuous({1.0, 2.0, 3.0, 4.0, 5.0}));
+  return t;
+}
+
+TEST(GroupBy, SingleKey) {
+  const Table t = make_sample();
+  const std::vector<std::string> keys = {"dc"};
+  const auto groups = group_by(t, keys);
+  ASSERT_EQ(groups.size(), 2U);
+  EXPECT_EQ(groups[0].key[0], "DC1");
+  EXPECT_EQ(groups[0].rows, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(groups[1].rows, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(GroupBy, CompositeKey) {
+  const Table t = make_sample();
+  const std::vector<std::string> keys = {"dc", "sku"};
+  const auto groups = group_by(t, keys);
+  EXPECT_EQ(groups.size(), 4U);
+}
+
+TEST(Aggregate, ComputesPerGroupStats) {
+  const Table t = make_sample();
+  const std::vector<std::string> keys = {"dc"};
+  const std::vector<Aggregation> aggs = {
+      {"rate", Reduction::kMean, "mean_rate"},
+      {"rate", Reduction::kCount, "n"},
+      {"rate", Reduction::kMax, "max_rate"},
+      {"rate", Reduction::kSum, "sum_rate"},
+  };
+  const Table out = aggregate(t, keys, aggs);
+  ASSERT_EQ(out.num_rows(), 2U);
+  // DC1: rates {1, 3, 5}.
+  EXPECT_DOUBLE_EQ(out.column("mean_rate").as_double(0), 3.0);
+  EXPECT_DOUBLE_EQ(out.column("n").as_double(0), 3.0);
+  EXPECT_DOUBLE_EQ(out.column("max_rate").as_double(0), 5.0);
+  EXPECT_DOUBLE_EQ(out.column("sum_rate").as_double(0), 9.0);
+  // DC2: rates {2, 4}.
+  EXPECT_DOUBLE_EQ(out.column("mean_rate").as_double(1), 3.0);
+  EXPECT_DOUBLE_EQ(out.column("n").as_double(1), 2.0);
+}
+
+TEST(Aggregate, P95AndStddev) {
+  Table t;
+  t.add_column("g", Column::nominal(std::vector<std::string>(100, "all")));
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i + 1;
+  t.add_column("v", Column::continuous(std::move(v)));
+  const std::vector<std::string> keys = {"g"};
+  const std::vector<Aggregation> aggs = {{"v", Reduction::kP95, "p95"},
+                                         {"v", Reduction::kStddev, "sd"}};
+  const Table out = aggregate(t, keys, aggs);
+  EXPECT_NEAR(out.column("p95").as_double(0), 95.05, 1e-9);
+  EXPECT_NEAR(out.column("sd").as_double(0), 29.011, 0.01);
+}
+
+TEST(Csv, RoundTripsTypedTable) {
+  const Table t = make_sample();
+  std::stringstream buf;
+  write_csv(t, buf);
+  const Table back = read_csv(buf);
+  EXPECT_EQ(back.num_rows(), t.num_rows());
+  EXPECT_EQ(back.column("dc").type(), ColumnType::kNominal);
+  EXPECT_EQ(back.column("rate").type(), ColumnType::kContinuous);
+  EXPECT_EQ(back.column("dc").cell_to_string(2), "DC1");
+  EXPECT_DOUBLE_EQ(back.column("rate").as_double(4), 5.0);
+}
+
+TEST(Csv, InfersTypes) {
+  std::stringstream in("a,b,c\n1,1.5,x\n2,2.5,y\n");
+  const Table t = read_csv(in);
+  EXPECT_EQ(t.column("a").type(), ColumnType::kOrdinal);
+  EXPECT_EQ(t.column("b").type(), ColumnType::kContinuous);
+  EXPECT_EQ(t.column("c").type(), ColumnType::kNominal);
+}
+
+TEST(Csv, HandlesQuotingAndMissing) {
+  Table t;
+  Column c(ColumnType::kNominal);
+  c.push_nominal("has,comma");
+  c.push_nominal("has \"quote\"");
+  c.push_missing();
+  t.add_column("messy", std::move(c));
+  std::stringstream buf;
+  write_csv(t, buf);
+  const Table back = read_csv(buf);
+  EXPECT_EQ(back.column("messy").cell_to_string(0), "has,comma");
+  EXPECT_EQ(back.column("messy").cell_to_string(1), "has \"quote\"");
+  EXPECT_TRUE(back.column("messy").is_missing(2));
+}
+
+TEST(Csv, SchemaEnforcement) {
+  std::stringstream in("a,b\n1,2\n");
+  const std::vector<CsvSchemaEntry> good = {{"a", ColumnType::kOrdinal},
+                                            {"b", ColumnType::kContinuous}};
+  EXPECT_NO_THROW(read_csv(in, good));
+
+  std::stringstream in2("a,b\n1,2\n");
+  const std::vector<CsvSchemaEntry> wrong_name = {{"a", ColumnType::kOrdinal},
+                                                  {"z", ColumnType::kContinuous}};
+  EXPECT_THROW(read_csv(in2, wrong_name), util::precondition_error);
+
+  std::stringstream in3("a\nnot_a_number\n");
+  const std::vector<CsvSchemaEntry> wrong_type = {{"a", ColumnType::kContinuous}};
+  EXPECT_THROW(read_csv(in3, wrong_type), util::precondition_error);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::stringstream in("a,b\n1,2\n3\n");
+  EXPECT_THROW(read_csv(in), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::table

@@ -1,0 +1,125 @@
+#include "rainshine/table/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::table {
+namespace {
+
+Table make_sample() {
+  Table t;
+  t.add_column("x", Column::continuous({1.0, 2.0, 3.0, 4.0}));
+  t.add_column("group", Column::nominal(std::vector<std::string>{"a", "b", "a", "b"}));
+  t.add_column("rank", Column::ordinal({4, 3, 2, 1}));
+  return t;
+}
+
+TEST(Table, SchemaAndAccess) {
+  const Table t = make_sample();
+  EXPECT_EQ(t.num_rows(), 4U);
+  EXPECT_EQ(t.num_columns(), 3U);
+  EXPECT_TRUE(t.has_column("x"));
+  EXPECT_FALSE(t.has_column("y"));
+  EXPECT_EQ(t.column("group").type(), ColumnType::kNominal);
+  EXPECT_EQ(t.column_name(2), "rank");
+  EXPECT_THROW(t.column("nope"), util::precondition_error);
+  EXPECT_THROW(t.column_at(5), util::precondition_error);
+}
+
+TEST(Table, RejectsDuplicateAndMismatchedColumns) {
+  Table t;
+  t.add_column("x", Column::continuous({1.0}));
+  EXPECT_THROW(t.add_column("x", Column::continuous({2.0})), util::precondition_error);
+  EXPECT_THROW(t.add_column("y", Column::continuous({1.0, 2.0})),
+               util::precondition_error);
+}
+
+TEST(Table, TakeAndFilter) {
+  const Table t = make_sample();
+  const Table evens = t.filter([&](std::size_t r) {
+    return t.column("x").as_double(r) > 2.0;
+  });
+  EXPECT_EQ(evens.num_rows(), 2U);
+  EXPECT_DOUBLE_EQ(evens.column("x").as_double(0), 3.0);
+
+  const std::vector<std::size_t> idx = {3, 0};
+  const Table taken = t.take(idx);
+  EXPECT_EQ(taken.num_rows(), 2U);
+  EXPECT_EQ(taken.column("group").cell_to_string(0), "b");
+}
+
+TEST(Table, SelectProjectsColumns) {
+  const Table t = make_sample();
+  const std::vector<std::string> cols = {"rank", "x"};
+  const Table p = t.select(cols);
+  EXPECT_EQ(p.num_columns(), 2U);
+  EXPECT_EQ(p.column_name(0), "rank");
+  EXPECT_EQ(p.num_rows(), 4U);
+}
+
+TEST(Table, SortedIndices) {
+  const Table t = make_sample();
+  const auto order = t.sorted_indices("rank");
+  ASSERT_EQ(order.size(), 4U);
+  EXPECT_EQ(order[0], 3U);  // rank 1
+  EXPECT_EQ(order[3], 0U);  // rank 4
+}
+
+TEST(Table, SortedIndicesMissingLast) {
+  Table t;
+  Column c(ColumnType::kContinuous);
+  c.push_continuous(5.0);
+  c.push_missing();
+  c.push_continuous(1.0);
+  t.add_column("v", std::move(c));
+  const auto order = t.sorted_indices("v");
+  EXPECT_EQ(order[0], 2U);
+  EXPECT_EQ(order[1], 0U);
+  EXPECT_EQ(order[2], 1U);  // missing sorts last
+}
+
+TEST(Table, PreviewRendersHeaderAndRows) {
+  const Table t = make_sample();
+  const std::string preview = t.preview(2);
+  EXPECT_NE(preview.find("group"), std::string::npos);
+  EXPECT_NE(preview.find("more rows"), std::string::npos);
+}
+
+TEST(TableBuilder, BuildsRowWise) {
+  TableBuilder b;
+  b.add_continuous("v").add_nominal("k").add_ordinal("o");
+  b.begin_row();
+  b.set("v", 1.5);
+  b.set("k", std::string_view("hi"));
+  b.set("o", std::int32_t{7});
+  b.begin_row();
+  b.set("o", std::int32_t{8});
+  b.set_missing("v");
+  b.set("k", std::string_view("lo"));
+  const Table t = b.finish();
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_TRUE(t.column("v").is_missing(1));
+  EXPECT_EQ(t.column("k").cell_to_string(1), "lo");
+}
+
+TEST(TableBuilder, EnforcesCompleteRows) {
+  TableBuilder b;
+  b.add_continuous("v").add_continuous("w");
+  b.begin_row();
+  b.set("v", 1.0);
+  EXPECT_THROW(b.set("v", 2.0), util::precondition_error);  // set twice
+  EXPECT_THROW(b.begin_row(), util::precondition_error);    // w unset
+}
+
+TEST(TableBuilder, RejectsUnknownColumnAndEmptySchema) {
+  TableBuilder b;
+  b.add_continuous("v");
+  b.begin_row();
+  EXPECT_THROW(b.set("zzz", 1.0), util::precondition_error);
+  TableBuilder empty;
+  EXPECT_THROW(empty.begin_row(), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::table

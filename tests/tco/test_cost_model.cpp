@@ -1,0 +1,88 @@
+#include "rainshine/tco/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::tco {
+namespace {
+
+TEST(SpareCapex, UsesPaperCostRatios) {
+  const CostModel model;  // 100 : 2 : 10
+  SparePlan plan;
+  plan.servers = 100;
+  plan.disks = 400;
+  plan.dimms = 800;
+  plan.server_spare_fraction = 0.10;
+  plan.disk_spare_fraction = 0.05;
+  plan.dimm_spare_fraction = 0.01;
+  // 0.10*100*100 + 0.05*400*2 + 0.01*800*10 = 1000 + 40 + 80.
+  EXPECT_DOUBLE_EQ(spare_capex(model, plan), 1120.0);
+  EXPECT_DOUBLE_EQ(spare_cost_pct_of_capacity(model, plan), 11.2);
+}
+
+TEST(SpareCapex, RejectsNegativeFractions) {
+  const CostModel model;
+  SparePlan plan;
+  plan.servers = 10;
+  plan.server_spare_fraction = -0.1;
+  EXPECT_THROW(spare_capex(model, plan), util::precondition_error);
+}
+
+TEST(TcoSavings, MfVsSfArithmetic) {
+  const CostModel model;
+  SparePlan mf;
+  mf.servers = 1000;
+  mf.server_spare_fraction = 0.10;
+  SparePlan sf = mf;
+  sf.server_spare_fraction = 0.30;
+  // Delta capex = 0.2 * 1000 * 100 = 20000; TCO = 2 * 1000 * 100 = 200000.
+  EXPECT_DOUBLE_EQ(tco_savings_pct(model, mf, sf), 10.0);
+  // Symmetric: choosing the worse plan is a loss.
+  EXPECT_DOUBLE_EQ(tco_savings_pct(model, sf, mf), -10.0);
+  SparePlan other;
+  other.servers = 999;
+  EXPECT_THROW(tco_savings_pct(model, mf, other), util::precondition_error);
+}
+
+TEST(SkuCost, PriceAndReliabilityTradeOff) {
+  const CostModel model;
+  SkuScenario reliable;
+  reliable.price_multiplier = 1.0;
+  reliable.spare_fraction = 0.05;
+  reliable.repairs_per_server_year = 0.5;
+  SkuScenario flaky = reliable;
+  flaky.spare_fraction = 0.25;
+  flaky.repairs_per_server_year = 3.0;
+
+  EXPECT_LT(sku_total_cost(model, reliable, 1000, 3.0),
+            sku_total_cost(model, flaky, 1000, 3.0));
+  EXPECT_GT(sku_savings_pct(model, reliable, flaky, 1000, 3.0), 0.0);
+
+  // A big enough price premium flips the decision — the paper's 1.5x story.
+  SkuScenario pricey = reliable;
+  pricey.price_multiplier = 3.0;
+  EXPECT_LT(sku_savings_pct(model, pricey, flaky, 1000, 3.0), 0.0);
+}
+
+TEST(SkuCost, LongerOwnershipAmplifiesOpex) {
+  const CostModel model;
+  SkuScenario flaky;
+  flaky.repairs_per_server_year = 4.0;
+  const double short_own = sku_total_cost(model, flaky, 100, 1.0);
+  const double long_own = sku_total_cost(model, flaky, 100, 5.0);
+  EXPECT_GT(long_own, short_own);
+  // The difference is exactly 4 years of repairs.
+  EXPECT_DOUBLE_EQ(long_own - short_own,
+                   model.repair_event_cost * 4.0 * 100 * 4.0);
+}
+
+TEST(SkuCost, Validation) {
+  const CostModel model;
+  SkuScenario s;
+  EXPECT_THROW(sku_total_cost(model, s, 0, 1.0), util::precondition_error);
+  EXPECT_THROW(sku_total_cost(model, s, 10, 0.0), util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::tco

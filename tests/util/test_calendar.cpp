@@ -1,0 +1,122 @@
+#include "rainshine/util/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rainshine::util {
+namespace {
+
+TEST(CivilDate, KnownEpochs) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(days_from_civil({1970, 1, 2}), 1);
+  EXPECT_EQ(days_from_civil({1969, 12, 31}), -1);
+  EXPECT_EQ(days_from_civil({2000, 3, 1}), 11017);
+  EXPECT_EQ(days_from_civil({2012, 1, 1}), 15340);
+}
+
+TEST(CivilDate, RoundTripsThroughDayNumber) {
+  for (std::int64_t day = -200000; day <= 200000; day += 37) {
+    const CivilDate date = civil_from_days(day);
+    EXPECT_EQ(days_from_civil(date), day);
+  }
+}
+
+TEST(CivilDate, LeapYearHandling) {
+  // 2012 is a leap year: Feb 29 exists and March 1 follows it.
+  const std::int64_t feb29 = days_from_civil({2012, 2, 29});
+  EXPECT_EQ(civil_from_days(feb29 + 1), (CivilDate{2012, 3, 1}));
+  // 2100 is NOT a leap year.
+  const std::int64_t feb28_2100 = days_from_civil({2100, 2, 28});
+  EXPECT_EQ(civil_from_days(feb28_2100 + 1), (CivilDate{2100, 3, 1}));
+  // 2000 IS a leap year (divisible by 400).
+  const std::int64_t feb28_2000 = days_from_civil({2000, 2, 28});
+  EXPECT_EQ(civil_from_days(feb28_2000 + 1), (CivilDate{2000, 2, 29}));
+}
+
+TEST(Calendar, WeekdayMatchesKnownDates) {
+  // 2012-01-01 was a Sunday.
+  const Calendar cal({2012, 1, 1}, 913);
+  EXPECT_EQ(cal.weekday(0), Weekday::kSunday);
+  EXPECT_EQ(cal.weekday(1), Weekday::kMonday);
+  EXPECT_EQ(cal.weekday(7), Weekday::kSunday);
+  // 2012-12-25 was a Tuesday.
+  const auto christmas =
+      static_cast<DayIndex>(days_from_civil({2012, 12, 25}) - days_from_civil({2012, 1, 1}));
+  EXPECT_EQ(cal.weekday(christmas), Weekday::kTuesday);
+}
+
+TEST(Calendar, WeekdayBeforeEpochIsConsistent) {
+  const Calendar cal({2012, 1, 1}, 10);
+  // 2011-12-31 was a Saturday.
+  EXPECT_EQ(cal.weekday(-1), Weekday::kSaturday);
+  EXPECT_EQ(cal.weekday(-7), Weekday::kSunday);
+}
+
+TEST(Calendar, MonthAndYearOffset) {
+  const Calendar cal({2012, 1, 1}, 913);
+  EXPECT_EQ(cal.month(0), Month::kJanuary);
+  EXPECT_EQ(cal.month(31), Month::kFebruary);
+  EXPECT_EQ(cal.year_offset(0), 0);
+  EXPECT_EQ(cal.year_offset(366), 1);  // 2013-01-01 (2012 is a leap year)
+  EXPECT_EQ(cal.year_offset(365), 0);  // 2012-12-31
+  EXPECT_EQ(cal.year_offset(-1), -1);  // 2011-12-31
+}
+
+TEST(Calendar, DayOfYearAndWeekOfYear) {
+  const Calendar cal({2012, 1, 1}, 913);
+  EXPECT_EQ(cal.day_of_year(0), 0);
+  EXPECT_EQ(cal.day_of_year(365), 365);  // leap year's Dec 31
+  EXPECT_EQ(cal.day_of_year(366), 0);    // 2013-01-01
+  EXPECT_EQ(cal.week_of_year(0), 1);
+  EXPECT_EQ(cal.week_of_year(7), 2);
+}
+
+TEST(Calendar, Seasons) {
+  const Calendar cal({2012, 1, 1}, 913);
+  EXPECT_EQ(cal.season(0), Season::kWinter);                       // Jan
+  EXPECT_EQ(cal.season(100), Season::kSpring);                     // Apr
+  EXPECT_EQ(cal.season(200), Season::kSummer);                     // Jul
+  EXPECT_EQ(cal.season(290), Season::kAutumn);                     // Oct
+  EXPECT_EQ(cal.season(350), Season::kWinter);                     // Dec
+}
+
+TEST(Calendar, HourHelpers) {
+  EXPECT_EQ(Calendar::day_of(0), 0);
+  EXPECT_EQ(Calendar::day_of(23), 0);
+  EXPECT_EQ(Calendar::day_of(24), 1);
+  EXPECT_EQ(Calendar::hour_of_day(25), 1);
+  EXPECT_EQ(Calendar::first_hour(2), 48);
+}
+
+TEST(Calendar, NamesAndFormatting) {
+  EXPECT_EQ(to_string(Weekday::kSunday), "Sun");
+  EXPECT_EQ(to_string(Weekday::kSaturday), "Sat");
+  EXPECT_EQ(to_string(Month::kJanuary), "Jan");
+  EXPECT_EQ(to_string(Month::kDecember), "Dec");
+  EXPECT_EQ(to_string(CivilDate{2012, 3, 7}), "2012-03-07");
+  EXPECT_TRUE(is_weekday(Weekday::kMonday));
+  EXPECT_FALSE(is_weekday(Weekday::kSunday));
+  EXPECT_FALSE(is_weekday(Weekday::kSaturday));
+}
+
+/// Property sweep: every day in a multi-year window decodes to a valid date
+/// whose weekday advances by exactly one per day.
+class CalendarSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalendarSweep, WeekdayAdvancesDaily) {
+  const Calendar cal({2012, 1, 1}, 1500);
+  const DayIndex day = GetParam();
+  const auto today = static_cast<int>(cal.weekday(day));
+  const auto tomorrow = static_cast<int>(cal.weekday(day + 1));
+  EXPECT_EQ((today + 1) % 7, tomorrow);
+  const CivilDate date = cal.date(day);
+  EXPECT_GE(date.month, 1);
+  EXPECT_LE(date.month, 12);
+  EXPECT_GE(date.day, 1);
+  EXPECT_LE(date.day, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossWindow, CalendarSweep,
+                         ::testing::Range(0, 1400, 13));
+
+}  // namespace
+}  // namespace rainshine::util

@@ -1,0 +1,78 @@
+#include "rainshine/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldAndTrailingDelimiter) {
+  EXPECT_EQ(split("abc", ',').size(), 1U);
+  const auto trailing = split("a,", ',');
+  ASSERT_EQ(trailing.size(), 2U);
+  EXPECT_EQ(trailing[1], "");
+}
+
+TEST(Trim, StripsAllAsciiWhitespace) {
+  EXPECT_EQ(trim("  hi \t\r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Join, JoinsWithDelimiter) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(FormatDouble, RespectsDecimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_double(0.5, 3), "0.500");
+}
+
+TEST(ParseDouble, AcceptsAndRejects) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double(" -2.75 ", v));
+  EXPECT_DOUBLE_EQ(v, -2.75);
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+}
+
+TEST(ParseInt, AcceptsAndRejects) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_int("3.5", v));
+  EXPECT_FALSE(parse_int("", v));
+}
+
+TEST(Check, RequireThrowsTypedException) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "nope"), precondition_error);
+  EXPECT_THROW(ensure(false, "bug"), invariant_error);
+  try {
+    require(false, "the message");
+    FAIL();
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rainshine::util
