@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knockout.dir/bench_ablation_knockout.cpp.o"
+  "CMakeFiles/bench_ablation_knockout.dir/bench_ablation_knockout.cpp.o.d"
+  "bench_ablation_knockout"
+  "bench_ablation_knockout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knockout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

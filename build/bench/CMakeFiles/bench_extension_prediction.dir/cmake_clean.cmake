@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_prediction.dir/bench_extension_prediction.cpp.o"
+  "CMakeFiles/bench_extension_prediction.dir/bench_extension_prediction.cpp.o.d"
+  "bench_extension_prediction"
+  "bench_extension_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_setpoint.dir/bench_extension_setpoint.cpp.o"
+  "CMakeFiles/bench_extension_setpoint.dir/bench_extension_setpoint.cpp.o.d"
+  "bench_extension_setpoint"
+  "bench_extension_setpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_setpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_survival.dir/bench_extension_survival.cpp.o"
+  "CMakeFiles/bench_extension_survival.dir/bench_extension_survival.cpp.o.d"
+  "bench_extension_survival"
+  "bench_extension_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_cluster_cdfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_provisioning_hourly.dir/bench_fig12_provisioning_hourly.cpp.o"
+  "CMakeFiles/bench_fig12_provisioning_hourly.dir/bench_fig12_provisioning_hourly.cpp.o.d"
+  "bench_fig12_provisioning_hourly"
+  "bench_fig12_provisioning_hourly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_provisioning_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

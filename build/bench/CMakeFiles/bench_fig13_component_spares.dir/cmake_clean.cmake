@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_component_spares.dir/bench_fig13_component_spares.cpp.o"
+  "CMakeFiles/bench_fig13_component_spares.dir/bench_fig13_component_spares.cpp.o.d"
+  "bench_fig13_component_spares"
+  "bench_fig13_component_spares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_component_spares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

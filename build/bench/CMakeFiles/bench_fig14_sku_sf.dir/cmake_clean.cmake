@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sku_sf.dir/bench_fig14_sku_sf.cpp.o"
+  "CMakeFiles/bench_fig14_sku_sf.dir/bench_fig14_sku_sf.cpp.o.d"
+  "bench_fig14_sku_sf"
+  "bench_fig14_sku_sf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sku_sf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_sku_mf.dir/bench_fig15_sku_mf.cpp.o"
+  "CMakeFiles/bench_fig15_sku_mf.dir/bench_fig15_sku_mf.cpp.o.d"
+  "bench_fig15_sku_mf"
+  "bench_fig15_sku_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sku_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_temp_hdd.dir/bench_fig17_temp_hdd.cpp.o"
+  "CMakeFiles/bench_fig17_temp_hdd.dir/bench_fig17_temp_hdd.cpp.o.d"
+  "bench_fig17_temp_hdd"
+  "bench_fig17_temp_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_temp_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

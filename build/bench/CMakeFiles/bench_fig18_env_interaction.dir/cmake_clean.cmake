@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_env_interaction.dir/bench_fig18_env_interaction.cpp.o"
+  "CMakeFiles/bench_fig18_env_interaction.dir/bench_fig18_env_interaction.cpp.o.d"
+  "bench_fig18_env_interaction"
+  "bench_fig18_env_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_env_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_spatial.cpp" "bench/CMakeFiles/bench_fig2_spatial.dir/bench_fig2_spatial.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_spatial.dir/bench_fig2_spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rainshine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdc/CMakeFiles/rainshine_simdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cart/CMakeFiles/rainshine_cart.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/rainshine_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rainshine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/rainshine_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rainshine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

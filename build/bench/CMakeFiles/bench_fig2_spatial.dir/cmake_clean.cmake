@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_spatial.dir/bench_fig2_spatial.cpp.o"
+  "CMakeFiles/bench_fig2_spatial.dir/bench_fig2_spatial.cpp.o.d"
+  "bench_fig2_spatial"
+  "bench_fig2_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dayofweek.dir/bench_fig3_dayofweek.cpp.o"
+  "CMakeFiles/bench_fig3_dayofweek.dir/bench_fig3_dayofweek.cpp.o.d"
+  "bench_fig3_dayofweek"
+  "bench_fig3_dayofweek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dayofweek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_month.dir/bench_fig4_month.cpp.o"
+  "CMakeFiles/bench_fig4_month.dir/bench_fig4_month.cpp.o.d"
+  "bench_fig4_month"
+  "bench_fig4_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

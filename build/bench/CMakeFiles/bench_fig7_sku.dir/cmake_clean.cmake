@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sku.dir/bench_fig7_sku.cpp.o"
+  "CMakeFiles/bench_fig7_sku.dir/bench_fig7_sku.cpp.o.d"
+  "bench_fig7_sku"
+  "bench_fig7_sku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

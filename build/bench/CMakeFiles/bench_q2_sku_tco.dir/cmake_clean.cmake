@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q2_sku_tco.dir/bench_q2_sku_tco.cpp.o"
+  "CMakeFiles/bench_q2_sku_tco.dir/bench_q2_sku_tco.cpp.o.d"
+  "bench_q2_sku_tco"
+  "bench_q2_sku_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q2_sku_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

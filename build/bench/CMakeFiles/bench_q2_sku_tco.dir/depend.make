@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_q2_sku_tco.
+# This may be replaced when dependencies are built.

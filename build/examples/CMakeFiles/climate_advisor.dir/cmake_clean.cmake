@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_advisor.dir/climate_advisor.cpp.o"
+  "CMakeFiles/climate_advisor.dir/climate_advisor.cpp.o.d"
+  "climate_advisor"
+  "climate_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spare_planner.dir/spare_planner.cpp.o"
+  "CMakeFiles/spare_planner.dir/spare_planner.cpp.o.d"
+  "spare_planner"
+  "spare_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spare_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_scorecard.dir/vendor_scorecard.cpp.o"
+  "CMakeFiles/vendor_scorecard.dir/vendor_scorecard.cpp.o.d"
+  "vendor_scorecard"
+  "vendor_scorecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cart/src/dataset.cpp" "src/cart/CMakeFiles/rainshine_cart.dir/src/dataset.cpp.o" "gcc" "src/cart/CMakeFiles/rainshine_cart.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/cart/src/forest.cpp" "src/cart/CMakeFiles/rainshine_cart.dir/src/forest.cpp.o" "gcc" "src/cart/CMakeFiles/rainshine_cart.dir/src/forest.cpp.o.d"
+  "/root/repo/src/cart/src/grow.cpp" "src/cart/CMakeFiles/rainshine_cart.dir/src/grow.cpp.o" "gcc" "src/cart/CMakeFiles/rainshine_cart.dir/src/grow.cpp.o.d"
+  "/root/repo/src/cart/src/partial.cpp" "src/cart/CMakeFiles/rainshine_cart.dir/src/partial.cpp.o" "gcc" "src/cart/CMakeFiles/rainshine_cart.dir/src/partial.cpp.o.d"
+  "/root/repo/src/cart/src/prune.cpp" "src/cart/CMakeFiles/rainshine_cart.dir/src/prune.cpp.o" "gcc" "src/cart/CMakeFiles/rainshine_cart.dir/src/prune.cpp.o.d"
+  "/root/repo/src/cart/src/tree.cpp" "src/cart/CMakeFiles/rainshine_cart.dir/src/tree.cpp.o" "gcc" "src/cart/CMakeFiles/rainshine_cart.dir/src/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rainshine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rainshine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/rainshine_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_cart.dir/src/dataset.cpp.o"
+  "CMakeFiles/rainshine_cart.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/rainshine_cart.dir/src/forest.cpp.o"
+  "CMakeFiles/rainshine_cart.dir/src/forest.cpp.o.d"
+  "CMakeFiles/rainshine_cart.dir/src/grow.cpp.o"
+  "CMakeFiles/rainshine_cart.dir/src/grow.cpp.o.d"
+  "CMakeFiles/rainshine_cart.dir/src/partial.cpp.o"
+  "CMakeFiles/rainshine_cart.dir/src/partial.cpp.o.d"
+  "CMakeFiles/rainshine_cart.dir/src/prune.cpp.o"
+  "CMakeFiles/rainshine_cart.dir/src/prune.cpp.o.d"
+  "CMakeFiles/rainshine_cart.dir/src/tree.cpp.o"
+  "CMakeFiles/rainshine_cart.dir/src/tree.cpp.o.d"
+  "librainshine_cart.a"
+  "librainshine_cart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/environment_analysis.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/environment_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/environment_analysis.cpp.o.d"
+  "/root/repo/src/core/src/marginals.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/marginals.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/marginals.cpp.o.d"
+  "/root/repo/src/core/src/metrics.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/metrics.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/core/src/observations.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/observations.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/observations.cpp.o.d"
+  "/root/repo/src/core/src/prediction.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/prediction.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/prediction.cpp.o.d"
+  "/root/repo/src/core/src/provisioning.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/provisioning.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/provisioning.cpp.o.d"
+  "/root/repo/src/core/src/repair_analytics.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/repair_analytics.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/repair_analytics.cpp.o.d"
+  "/root/repo/src/core/src/setpoint_study.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/setpoint_study.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/setpoint_study.cpp.o.d"
+  "/root/repo/src/core/src/sku_analysis.cpp" "src/core/CMakeFiles/rainshine_core.dir/src/sku_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rainshine_core.dir/src/sku_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rainshine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rainshine_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/rainshine_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdc/CMakeFiles/rainshine_simdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cart/CMakeFiles/rainshine_cart.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/rainshine_tco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_core.dir/src/environment_analysis.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/environment_analysis.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/marginals.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/marginals.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/metrics.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/observations.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/observations.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/prediction.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/prediction.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/provisioning.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/provisioning.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/repair_analytics.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/repair_analytics.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/setpoint_study.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/setpoint_study.cpp.o.d"
+  "CMakeFiles/rainshine_core.dir/src/sku_analysis.cpp.o"
+  "CMakeFiles/rainshine_core.dir/src/sku_analysis.cpp.o.d"
+  "librainshine_core.a"
+  "librainshine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdc/src/environment.cpp" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/environment.cpp.o" "gcc" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/environment.cpp.o.d"
+  "/root/repo/src/simdc/src/hazard.cpp" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/hazard.cpp.o" "gcc" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/hazard.cpp.o.d"
+  "/root/repo/src/simdc/src/ticket_io.cpp" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/ticket_io.cpp.o" "gcc" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/ticket_io.cpp.o.d"
+  "/root/repo/src/simdc/src/tickets.cpp" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/tickets.cpp.o" "gcc" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/tickets.cpp.o.d"
+  "/root/repo/src/simdc/src/topology.cpp" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/topology.cpp.o" "gcc" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/topology.cpp.o.d"
+  "/root/repo/src/simdc/src/types.cpp" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/types.cpp.o" "gcc" "src/simdc/CMakeFiles/rainshine_simdc.dir/src/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rainshine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rainshine_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

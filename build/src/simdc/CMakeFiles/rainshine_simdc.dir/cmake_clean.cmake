@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_simdc.dir/src/environment.cpp.o"
+  "CMakeFiles/rainshine_simdc.dir/src/environment.cpp.o.d"
+  "CMakeFiles/rainshine_simdc.dir/src/hazard.cpp.o"
+  "CMakeFiles/rainshine_simdc.dir/src/hazard.cpp.o.d"
+  "CMakeFiles/rainshine_simdc.dir/src/ticket_io.cpp.o"
+  "CMakeFiles/rainshine_simdc.dir/src/ticket_io.cpp.o.d"
+  "CMakeFiles/rainshine_simdc.dir/src/tickets.cpp.o"
+  "CMakeFiles/rainshine_simdc.dir/src/tickets.cpp.o.d"
+  "CMakeFiles/rainshine_simdc.dir/src/topology.cpp.o"
+  "CMakeFiles/rainshine_simdc.dir/src/topology.cpp.o.d"
+  "CMakeFiles/rainshine_simdc.dir/src/types.cpp.o"
+  "CMakeFiles/rainshine_simdc.dir/src/types.cpp.o.d"
+  "librainshine_simdc.a"
+  "librainshine_simdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_simdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

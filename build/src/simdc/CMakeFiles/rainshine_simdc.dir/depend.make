@@ -1,0 +1,2 @@
+# Empty dependencies file for rainshine_simdc.
+# This may be replaced when dependencies are built.

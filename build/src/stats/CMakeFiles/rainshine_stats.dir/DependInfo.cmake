@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/bootstrap.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/src/correlation.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/correlation.cpp.o.d"
+  "/root/repo/src/stats/src/descriptive.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/descriptive.cpp.o.d"
+  "/root/repo/src/stats/src/distributions.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/distributions.cpp.o.d"
+  "/root/repo/src/stats/src/ecdf.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/ecdf.cpp.o.d"
+  "/root/repo/src/stats/src/histogram.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/stats/src/survival.cpp" "src/stats/CMakeFiles/rainshine_stats.dir/src/survival.cpp.o" "gcc" "src/stats/CMakeFiles/rainshine_stats.dir/src/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rainshine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_stats.dir/src/bootstrap.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/bootstrap.cpp.o.d"
+  "CMakeFiles/rainshine_stats.dir/src/correlation.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/correlation.cpp.o.d"
+  "CMakeFiles/rainshine_stats.dir/src/descriptive.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/descriptive.cpp.o.d"
+  "CMakeFiles/rainshine_stats.dir/src/distributions.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/distributions.cpp.o.d"
+  "CMakeFiles/rainshine_stats.dir/src/ecdf.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/ecdf.cpp.o.d"
+  "CMakeFiles/rainshine_stats.dir/src/histogram.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/rainshine_stats.dir/src/survival.cpp.o"
+  "CMakeFiles/rainshine_stats.dir/src/survival.cpp.o.d"
+  "librainshine_stats.a"
+  "librainshine_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

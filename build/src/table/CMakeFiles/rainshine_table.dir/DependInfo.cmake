@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/src/column.cpp" "src/table/CMakeFiles/rainshine_table.dir/src/column.cpp.o" "gcc" "src/table/CMakeFiles/rainshine_table.dir/src/column.cpp.o.d"
+  "/root/repo/src/table/src/csv.cpp" "src/table/CMakeFiles/rainshine_table.dir/src/csv.cpp.o" "gcc" "src/table/CMakeFiles/rainshine_table.dir/src/csv.cpp.o.d"
+  "/root/repo/src/table/src/groupby.cpp" "src/table/CMakeFiles/rainshine_table.dir/src/groupby.cpp.o" "gcc" "src/table/CMakeFiles/rainshine_table.dir/src/groupby.cpp.o.d"
+  "/root/repo/src/table/src/table.cpp" "src/table/CMakeFiles/rainshine_table.dir/src/table.cpp.o" "gcc" "src/table/CMakeFiles/rainshine_table.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rainshine_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rainshine_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

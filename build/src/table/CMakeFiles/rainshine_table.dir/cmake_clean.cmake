@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_table.dir/src/column.cpp.o"
+  "CMakeFiles/rainshine_table.dir/src/column.cpp.o.d"
+  "CMakeFiles/rainshine_table.dir/src/csv.cpp.o"
+  "CMakeFiles/rainshine_table.dir/src/csv.cpp.o.d"
+  "CMakeFiles/rainshine_table.dir/src/groupby.cpp.o"
+  "CMakeFiles/rainshine_table.dir/src/groupby.cpp.o.d"
+  "CMakeFiles/rainshine_table.dir/src/table.cpp.o"
+  "CMakeFiles/rainshine_table.dir/src/table.cpp.o.d"
+  "librainshine_table.a"
+  "librainshine_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

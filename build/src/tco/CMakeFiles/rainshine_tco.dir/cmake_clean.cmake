@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_tco.dir/src/cost_model.cpp.o"
+  "CMakeFiles/rainshine_tco.dir/src/cost_model.cpp.o.d"
+  "librainshine_tco.a"
+  "librainshine_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

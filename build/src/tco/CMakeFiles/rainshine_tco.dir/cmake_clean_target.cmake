@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librainshine_tco.a"
+)

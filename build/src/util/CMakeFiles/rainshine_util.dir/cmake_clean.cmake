@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainshine_util.dir/src/calendar.cpp.o"
+  "CMakeFiles/rainshine_util.dir/src/calendar.cpp.o.d"
+  "CMakeFiles/rainshine_util.dir/src/rng.cpp.o"
+  "CMakeFiles/rainshine_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/rainshine_util.dir/src/strings.cpp.o"
+  "CMakeFiles/rainshine_util.dir/src/strings.cpp.o.d"
+  "librainshine_util.a"
+  "librainshine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainshine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

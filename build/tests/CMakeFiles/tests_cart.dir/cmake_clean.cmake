@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_cart.dir/cart/test_dataset.cpp.o"
+  "CMakeFiles/tests_cart.dir/cart/test_dataset.cpp.o.d"
+  "CMakeFiles/tests_cart.dir/cart/test_forest.cpp.o"
+  "CMakeFiles/tests_cart.dir/cart/test_forest.cpp.o.d"
+  "CMakeFiles/tests_cart.dir/cart/test_partial.cpp.o"
+  "CMakeFiles/tests_cart.dir/cart/test_partial.cpp.o.d"
+  "CMakeFiles/tests_cart.dir/cart/test_prune.cpp.o"
+  "CMakeFiles/tests_cart.dir/cart/test_prune.cpp.o.d"
+  "CMakeFiles/tests_cart.dir/cart/test_tree.cpp.o"
+  "CMakeFiles/tests_cart.dir/cart/test_tree.cpp.o.d"
+  "tests_cart"
+  "tests_cart.pdb"
+  "tests_cart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_observations.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_observations.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_provisioning.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_provisioning.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_repair_prediction.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_repair_prediction.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_setpoint.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_setpoint.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_sku_environment.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_sku_environment.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/test_world_shapes.cpp.o"
+  "CMakeFiles/tests_core.dir/core/test_world_shapes.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

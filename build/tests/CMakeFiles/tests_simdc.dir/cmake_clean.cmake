@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_simdc.dir/simdc/test_environment.cpp.o"
+  "CMakeFiles/tests_simdc.dir/simdc/test_environment.cpp.o.d"
+  "CMakeFiles/tests_simdc.dir/simdc/test_hazard.cpp.o"
+  "CMakeFiles/tests_simdc.dir/simdc/test_hazard.cpp.o.d"
+  "CMakeFiles/tests_simdc.dir/simdc/test_ticket_io.cpp.o"
+  "CMakeFiles/tests_simdc.dir/simdc/test_ticket_io.cpp.o.d"
+  "CMakeFiles/tests_simdc.dir/simdc/test_tickets.cpp.o"
+  "CMakeFiles/tests_simdc.dir/simdc/test_tickets.cpp.o.d"
+  "CMakeFiles/tests_simdc.dir/simdc/test_topology.cpp.o"
+  "CMakeFiles/tests_simdc.dir/simdc/test_topology.cpp.o.d"
+  "tests_simdc"
+  "tests_simdc.pdb"
+  "tests_simdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_simdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_stats.dir/stats/test_bootstrap_correlation.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_bootstrap_correlation.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_distributions.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_distributions.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_ecdf.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_ecdf.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/tests_stats.dir/stats/test_survival.cpp.o"
+  "CMakeFiles/tests_stats.dir/stats/test_survival.cpp.o.d"
+  "tests_stats"
+  "tests_stats.pdb"
+  "tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

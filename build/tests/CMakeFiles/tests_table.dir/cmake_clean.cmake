@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_table.dir/table/test_column.cpp.o"
+  "CMakeFiles/tests_table.dir/table/test_column.cpp.o.d"
+  "CMakeFiles/tests_table.dir/table/test_groupby_csv.cpp.o"
+  "CMakeFiles/tests_table.dir/table/test_groupby_csv.cpp.o.d"
+  "CMakeFiles/tests_table.dir/table/test_table.cpp.o"
+  "CMakeFiles/tests_table.dir/table/test_table.cpp.o.d"
+  "tests_table"
+  "tests_table.pdb"
+  "tests_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

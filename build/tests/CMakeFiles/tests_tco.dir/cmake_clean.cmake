@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_tco.dir/tco/test_cost_model.cpp.o"
+  "CMakeFiles/tests_tco.dir/tco/test_cost_model.cpp.o.d"
+  "tests_tco"
+  "tests_tco.pdb"
+  "tests_tco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
