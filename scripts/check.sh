@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite.
+#
+#   scripts/check.sh               # plain RelWithDebInfo build + ctest
+#   scripts/check.sh --sanitize    # additionally an ASan+UBSan build + ctest
+#
+# Extra arguments after the flags are forwarded to ctest (e.g. -R Ingest).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitize=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  sanitize=1
+  shift
+fi
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${ctest_args[@]}"
+}
+
+ctest_args=("$@")
+
+echo "== tier-1: build + ctest =="
+run_suite build
+
+if [[ "$sanitize" == 1 ]]; then
+  echo "== sanitizers: ASan+UBSan build + ctest =="
+  run_suite build-asan -DRAINSHINE_SANITIZE=ON
+fi
+
+echo "OK"

@@ -17,6 +17,15 @@ namespace rainshine::cart {
 
 enum class Task : std::uint8_t { kRegression, kClassification };
 
+/// What to do with rows whose RESPONSE cell is missing. Feature cells may
+/// always be missing — splits route them deterministically (fitting sends
+/// them with the bigger child; prediction follows the recorded side) — but a
+/// missing response carries no signal to fit against.
+enum class MissingResponse : std::uint8_t {
+  kThrow,     ///< refuse the table (the historical behavior)
+  kDropRows,  ///< silently drop those rows from the fitting view
+};
+
 /// Metadata the tree keeps about each feature (enough to print splits and to
 /// re-bind new tables for prediction).
 struct FeatureInfo {
@@ -31,9 +40,12 @@ struct FeatureInfo {
 class Dataset {
  public:
   /// With a response: for fitting. The response must be continuous/ordinal
-  /// for regression, nominal for classification.
+  /// for regression, nominal for classification. Rows with a missing
+  /// response are handled per `missing` (throw by default; quarantining
+  /// pipelines pass kDropRows to fit on whatever rows survived ingest).
   Dataset(const table::Table& table, const std::string& response,
-          std::vector<std::string> features, Task task);
+          std::vector<std::string> features, Task task,
+          MissingResponse missing = MissingResponse::kThrow);
 
   /// Without a response: for prediction only. Feature columns must exist
   /// with the same names; nominal columns are re-encoded against

@@ -51,7 +51,8 @@ FeatureInfo info_for(const std::string& name, const Column& col) {
 }  // namespace
 
 Dataset::Dataset(const table::Table& table, const std::string& response,
-                 std::vector<std::string> features, Task task)
+                 std::vector<std::string> features, Task task,
+                 MissingResponse missing)
     : task_(task), num_rows_(table.num_rows()) {
   util::require(!features.empty(), "Dataset needs at least one feature");
   const Column& y_col = table.column(response);
@@ -66,8 +67,19 @@ Dataset::Dataset(const table::Table& table, const std::string& response,
                   "regression response must be numeric");
   }
   y_ = materialize(y_col);
+
+  std::vector<std::size_t> keep;  // only filled when dropping rows
+  std::size_t missing_y = 0;
   for (std::size_t r = 0; r < y_.size(); ++r) {
-    util::require(!std::isnan(y_[r]), "response has missing values");
+    if (!std::isnan(y_[r])) {
+      if (missing == MissingResponse::kDropRows) keep.push_back(r);
+      continue;
+    }
+    ++missing_y;
+    util::require(missing == MissingResponse::kDropRows,
+                  "response '" + response + "' is missing at row " +
+                      std::to_string(r + 1) +
+                      " (pass MissingResponse::kDropRows to skip such rows)");
   }
 
   for (auto& name : features) {
@@ -75,6 +87,20 @@ Dataset::Dataset(const table::Table& table, const std::string& response,
     const Column& col = table.column(name);
     features_.push_back(info_for(name, col));
     columns_.push_back(materialize(col));
+  }
+
+  if (missing == MissingResponse::kDropRows && missing_y > 0) {
+    num_rows_ = keep.size();
+    std::vector<double> y_kept;
+    y_kept.reserve(keep.size());
+    for (const std::size_t r : keep) y_kept.push_back(y_[r]);
+    y_ = std::move(y_kept);
+    for (auto& column : columns_) {
+      std::vector<double> kept;
+      kept.reserve(keep.size());
+      for (const std::size_t r : keep) kept.push_back(column[r]);
+      column = std::move(kept);
+    }
   }
 }
 

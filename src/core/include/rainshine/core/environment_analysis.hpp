@@ -17,6 +17,7 @@
 
 #include "rainshine/cart/tree.hpp"
 #include "rainshine/core/observations.hpp"
+#include "rainshine/ingest/report.hpp"
 #include "rainshine/stats/histogram.hpp"
 
 namespace rainshine::core {
@@ -27,6 +28,9 @@ struct EnvironmentOptions {
   std::vector<double> temp_edges = {60, 65, 70, 75};
   cart::Config tree_config{.min_samples_split = 400, .min_samples_leaf = 150,
                            .max_depth = 7, .cp = 0.0005};
+  /// Ingest-quality gate for the TicketLog behind the metrics (quarantined
+  /// disk tickets bias the safe-range thresholds optimistic).
+  ingest::QualityGate quality;
 };
 
 /// One row of Fig. 18: a (DC, condition) cell with its normalized rate.
@@ -56,6 +60,8 @@ struct EnvironmentStudy {
   std::vector<cart::Importance> factors;
   /// Pretty-printed tree for operator inspection.
   std::string tree_dump;
+  /// Data-quality warnings from the options' ingest gate (empty = clean).
+  std::vector<std::string> warnings;
 };
 
 [[nodiscard]] EnvironmentStudy analyze_environment(

@@ -23,6 +23,7 @@
 
 #include "rainshine/cart/tree.hpp"
 #include "rainshine/core/observations.hpp"
+#include "rainshine/ingest/report.hpp"
 #include "rainshine/tco/cost_model.hpp"
 
 namespace rainshine::core {
@@ -35,6 +36,10 @@ struct ProvisioningOptions {
   /// floors are rack counts.
   cart::Config tree_config{.min_samples_split = 10, .min_samples_leaf = 4,
                            .max_depth = 6, .cp = 0.005};
+  /// When the driving TicketLog came through a recoverable ingest, attach
+  /// the pass's report here; the study emits warnings if the quarantined
+  /// mass exceeds the gate's threshold (spares would be under-sized).
+  ingest::QualityGate quality;
 };
 
 /// One MF cluster: racks grouped under one tree leaf.
@@ -64,6 +69,8 @@ struct ServerProvisioningStudy {
   std::vector<Cluster> clusters;          ///< MF clusters
   std::vector<double> sf_mu_deciles;      ///< pooled CDF (Fig. 11's SF curve)
   std::vector<cart::Importance> factors;  ///< cluster-tree factor ranking
+  /// Data-quality warnings from the options' ingest gate (empty = clean).
+  std::vector<std::string> warnings;
 };
 
 /// Q1-A: server-level spares. Every hardware failure pins its server until
@@ -88,6 +95,8 @@ struct ComponentProvisioningStudy {
   Costs sf;
   Costs mf;
   std::vector<cart::Importance> factors;  ///< component cluster-tree ranking
+  /// Data-quality warnings from the options' ingest gate (empty = clean).
+  std::vector<std::string> warnings;
 };
 
 [[nodiscard]] ComponentProvisioningStudy provision_components(

@@ -16,9 +16,11 @@
 // run at.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "rainshine/core/metrics.hpp"
+#include "rainshine/ingest/report.hpp"
 #include "rainshine/tco/cost_model.hpp"
 
 namespace rainshine::core {
@@ -29,6 +31,10 @@ struct SetpointOptions {
   std::vector<double> offsets_f = {-4, -2, 0, 2, 4, 6, 8};
   /// Day stride for the expectation sums (deterministic thinning).
   std::int32_t day_stride = 3;
+  /// Ingest-quality gate: when the hazard the operator fitted (or validated)
+  /// came from quarantined ticket data, the set-point optimum inherits that
+  /// uncertainty, so the study surfaces it.
+  ingest::QualityGate quality;
 };
 
 struct SetpointPoint {
@@ -45,6 +51,8 @@ struct SetpointStudy {
   std::vector<SetpointPoint> points;  ///< in offsets_f order
   /// Index into `points` of the cost-minimal offset.
   std::size_t best = 0;
+  /// Data-quality warnings from the options' ingest gate (empty = clean).
+  std::vector<std::string> warnings;
 };
 
 /// Sweeps the offsets. The hazard CONFIG is held fixed (same physics);

@@ -14,6 +14,7 @@
 
 #include "rainshine/cart/partial.hpp"
 #include "rainshine/core/observations.hpp"
+#include "rainshine/ingest/report.hpp"
 #include "rainshine/tco/cost_model.hpp"
 
 namespace rainshine::core {
@@ -35,6 +36,8 @@ struct SkuStudy {
   std::vector<cart::EffectLevel> mf_lambda;
   /// Residualized view of per-rack peak µ.
   std::vector<cart::EffectLevel> mf_peak_mu;
+  /// Data-quality warnings from the options' ingest gate (empty = clean).
+  std::vector<std::string> warnings;
 };
 
 struct SkuAnalysisOptions {
@@ -44,6 +47,9 @@ struct SkuAnalysisOptions {
   std::int32_t day_stride = 1;
   cart::Config nuisance_tree{.min_samples_split = 200, .min_samples_leaf = 80,
                              .max_depth = 8, .cp = 0.001};
+  /// Ingest-quality gate for the TicketLog behind `metrics` (a vendor ranked
+  /// on heavily quarantined data deserves a health warning).
+  ingest::QualityGate quality;
 };
 
 [[nodiscard]] SkuStudy compare_skus(const FailureMetrics& metrics,

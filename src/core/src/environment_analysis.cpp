@@ -88,6 +88,7 @@ EnvironmentStudy analyze_environment(const FailureMetrics& metrics,
   const table::Table tbl = rack_day_table(metrics, env, obs);
 
   EnvironmentStudy study;
+  study.warnings = ingest::quality_warnings(options.quality);
 
   // -- SF views (Figs. 16-17) --------------------------------------------------
   {

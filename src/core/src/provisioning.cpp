@@ -239,6 +239,7 @@ ServerProvisioningStudy provision_servers(const FailureMetrics& metrics,
   ServerProvisioningStudy study;
   study.workload = workload;
   study.slas = options.slas;
+  study.warnings = ingest::quality_warnings(options.quality);
   study.lb.overprovision_pct = overall_per_sla(racks, reqs.lb);
   study.sf.overprovision_pct = overall_per_sla(racks, reqs.sf);
   study.mf.overprovision_pct = overall_per_sla(racks, reqs.mf);
@@ -349,6 +350,7 @@ ComponentProvisioningStudy provision_components(const FailureMetrics& metrics,
   ComponentProvisioningStudy study;
   study.workload = workload;
   study.sla = sla;
+  study.warnings = ingest::quality_warnings(options.quality);
   study.lb = make_costs(r_server.lb[0], r_other.lb[0], r_disk.lb[0], r_dimm.lb[0]);
   study.sf = make_costs(r_server.sf[0], r_other.sf[0], r_disk.sf[0], r_dimm.sf[0]);
   study.mf = make_costs(r_server.mf[0], r_other.mf[0], r_disk.mf[0], r_dimm.mf[0]);

@@ -24,6 +24,7 @@ SetpointStudy setpoint_tradeoff(const simdc::Fleet& fleet,
 
   SetpointStudy study;
   study.dc = options.dc;
+  study.warnings = ingest::quality_warnings(options.quality);
   for (const double offset : options.offsets_f) {
     // Counterfactual environment with the same weather but a shifted hall
     // set point; the hazard PHYSICS is unchanged.

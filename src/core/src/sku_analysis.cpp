@@ -98,6 +98,7 @@ SkuStudy compare_skus(const FailureMetrics& metrics,
                       const simdc::EnvironmentModel& env,
                       const SkuAnalysisOptions& options) {
   SkuStudy study;
+  study.warnings = ingest::quality_warnings(options.quality);
   const std::vector<RackSummary> summaries = summarize_racks(metrics);
 
   // -- SF view (Fig. 14): straight per-SKU histograms -------------------------

@@ -1,0 +1,101 @@
+// Seeded corruption injection for fault-testing the ingest pipeline.
+//
+// Real RMA exports and telemetry dumps are dirty in characteristic ways —
+// operators drop rows when exports page, ticketing systems double-file
+// records, busted NTP skews open/close clocks, rack relabeling orphans ids,
+// sensors glitch out of their physical range, and ETL truncates or blanks
+// fields. `Corruptor` reproduces each of those fault models against a clean
+// ticket CSV (or a telemetry table) under a deterministic seeded RNG, and
+// reports exactly how many rows it damaged per class, so tests can assert
+// that quarantining ingest catches precisely the injected damage and that
+// the Q1-Q3 studies degrade gracefully as the corruption rate rises.
+//
+// Each data row suffers at most one fault (a single categorical draw across
+// the class rates), which keeps "injected count per class" well-defined and
+// exactly matchable against IngestReport tallies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rainshine/table/table.hpp"
+
+namespace rainshine::ingest {
+
+/// Per-row probabilities of each fault class. Rates must sum to <= 1; the
+/// remainder is the probability a row survives untouched.
+struct CorruptionSpec {
+  double drop_rate = 0.0;          ///< row silently lost
+  double duplicate_rate = 0.0;     ///< row filed twice
+  double clock_skew_rate = 0.0;    ///< open/close hours swapped (close < open)
+  double rack_swap_rate = 0.0;     ///< rack id relabeled to a nonexistent rack
+  double truncate_rate = 0.0;      ///< line cut mid-record (fewer fields)
+  double missing_cell_rate = 0.0;  ///< one required cell blanked
+  double out_of_range_rate = 0.0;  ///< sensor reading outside physical range
+                                   ///< (telemetry tables only)
+  std::uint64_t seed = 1;
+
+  /// Spreads `total_rate` evenly over the six ticket-CSV fault classes
+  /// (everything except out_of_range, which only applies to telemetry).
+  [[nodiscard]] static CorruptionSpec uniform(double total_rate, std::uint64_t seed);
+
+  [[nodiscard]] double total_rate() const noexcept {
+    return drop_rate + duplicate_rate + clock_skew_rate + rack_swap_rate +
+           truncate_rate + missing_cell_rate + out_of_range_rate;
+  }
+};
+
+/// How many rows each fault class actually hit (ground truth for tests).
+struct CorruptionCounts {
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t clock_skewed = 0;
+  std::size_t rack_swapped = 0;
+  std::size_t truncated = 0;
+  std::size_t missing_cells = 0;
+  std::size_t out_of_range = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return dropped + duplicated + clock_skewed + rack_swapped + truncated +
+           missing_cells + out_of_range;
+  }
+};
+
+struct CorruptedCsv {
+  std::string text;
+  CorruptionCounts counts;
+};
+
+struct CorruptedTable {
+  table::Table table;
+  CorruptionCounts counts;
+};
+
+class Corruptor {
+ public:
+  /// Throws util::precondition_error if the spec's rates are negative or sum
+  /// beyond 1.
+  explicit Corruptor(CorruptionSpec spec);
+
+  [[nodiscard]] const CorruptionSpec& spec() const noexcept { return spec_; }
+
+  /// Applies the ticket fault models (drop, duplicate, clock skew, rack
+  /// swap, truncate, missing cell) to a ticket CSV in the ticket_io schema.
+  /// Deterministic in (spec.seed, input); the RNG stream is split per row so
+  /// the damage at row i is independent of the rows around it.
+  [[nodiscard]] CorruptedCsv corrupt_ticket_csv(const std::string& csv) const;
+
+  /// Applies the telemetry fault models (out-of-range readings via
+  /// out_of_range_rate, blanked cells via missing_cell_rate) to the named
+  /// continuous column of `t`. Out-of-range cells are written just beyond
+  /// [plausible_lo, plausible_hi] so a range check must catch them.
+  [[nodiscard]] CorruptedTable corrupt_readings(const table::Table& t,
+                                                const std::string& column,
+                                                double plausible_lo,
+                                                double plausible_hi) const;
+
+ private:
+  CorruptionSpec spec_;
+};
+
+}  // namespace rainshine::ingest

@@ -1,0 +1,193 @@
+// Dirty-data ingest vocabulary: error policies, per-row reason codes and the
+// IngestReport that recoverable readers fill in.
+//
+// The paper's premise is that production reliability data is *cloudy* — RMA
+// exports carry mislabeled racks, skewed clocks, truncated lines and missing
+// cells. A reader that dies on the first malformed record (the historical
+// behavior, preserved as kStrict) cannot ingest 2.5 years of real tickets.
+// The recoverable policies keep the pipeline alive and make the damage
+// *observable*: every rejected row lands in an IngestReport with a typed
+// reason, and the decision studies (core/) compare the quarantined mass
+// against a threshold before trusting their own output.
+//
+// This header is intentionally free of link-time dependencies (everything is
+// inline) so the low-level readers in table/ and simdc/ can consume it
+// without a library cycle against rainshine::ingest (which holds the
+// corruption injector and links against both).
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rainshine::ingest {
+
+/// What a reader does with a malformed record.
+enum class ErrorPolicy : std::uint8_t {
+  kStrict,      ///< throw util::precondition_error on the first bad record
+  kQuarantine,  ///< collect bad records into an IngestReport and continue
+  kRepair,      ///< apply documented fixups first, then quarantine the rest
+};
+
+/// Why a record was quarantined (or what a repair fixed).
+enum class ReasonCode : std::uint8_t {
+  kWidthMismatch = 0,    ///< wrong field count (truncated / ragged line)
+  kMissingCell,          ///< required cell is empty
+  kBadNumber,            ///< cell does not parse as its declared type
+  kUnknownFault,         ///< fault string outside the Table II taxonomy
+  kRackOutOfRange,       ///< rack id names no rack in the fleet
+  kServerOutOfRange,     ///< server slot outside the rack
+  kComponentOutOfRange,  ///< disk/DIMM slot outside the SKU's shape
+  kNonPositiveDuration,  ///< close_hour <= open_hour (clock skew)
+  kDuplicateRow,         ///< exact duplicate of an earlier record
+};
+inline constexpr std::size_t kNumReasonCodes = 9;
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorPolicy p) noexcept {
+  switch (p) {
+    case ErrorPolicy::kStrict: return "strict";
+    case ErrorPolicy::kQuarantine: return "quarantine";
+    case ErrorPolicy::kRepair: return "repair";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ReasonCode r) noexcept {
+  switch (r) {
+    case ReasonCode::kWidthMismatch: return "width-mismatch";
+    case ReasonCode::kMissingCell: return "missing-cell";
+    case ReasonCode::kBadNumber: return "bad-number";
+    case ReasonCode::kUnknownFault: return "unknown-fault";
+    case ReasonCode::kRackOutOfRange: return "rack-out-of-range";
+    case ReasonCode::kServerOutOfRange: return "server-out-of-range";
+    case ReasonCode::kComponentOutOfRange: return "component-out-of-range";
+    case ReasonCode::kNonPositiveDuration: return "non-positive-duration";
+    case ReasonCode::kDuplicateRow: return "duplicate-row";
+  }
+  return "?";
+}
+
+/// One rejected (or repaired) record. `row` is the 1-based physical line in
+/// the source stream, counting the header as row 1, matching the numbers in
+/// strict-mode exception messages.
+struct QuarantinedRow {
+  std::size_t row = 0;
+  std::string column;  ///< offending column name; empty for whole-row faults
+  ReasonCode reason = ReasonCode::kWidthMismatch;
+  std::string detail;  ///< human-readable specifics ("close 5 <= open 9")
+};
+
+/// Tally of one recoverable ingest pass. Readers call `saw_row` for every
+/// data record encountered, then exactly one of `accept` / `quarantine` /
+/// `repair` (a repaired row was also accepted: repairs do not re-count it).
+class IngestReport {
+ public:
+  void saw_row() noexcept { ++rows_seen_; }
+  void accept() noexcept { ++rows_ingested_; }
+
+  void quarantine(QuarantinedRow row) {
+    ++quarantined_by_reason_[static_cast<std::size_t>(row.reason)];
+    ++rows_quarantined_;
+    if (quarantined_.size() < max_examples_) quarantined_.push_back(std::move(row));
+  }
+
+  /// Records a fixup: the row stays in the output, annotated here. Dedup is
+  /// the exception — the duplicate copy is dropped, but that is the repair.
+  void repair(QuarantinedRow row) {
+    ++repaired_by_reason_[static_cast<std::size_t>(row.reason)];
+    ++rows_repaired_;
+    if (repaired_.size() < max_examples_) repaired_.push_back(std::move(row));
+  }
+
+  [[nodiscard]] std::size_t rows_seen() const noexcept { return rows_seen_; }
+  [[nodiscard]] std::size_t rows_ingested() const noexcept { return rows_ingested_; }
+  [[nodiscard]] std::size_t rows_quarantined() const noexcept { return rows_quarantined_; }
+  [[nodiscard]] std::size_t rows_repaired() const noexcept { return rows_repaired_; }
+
+  [[nodiscard]] std::size_t quarantined_with(ReasonCode r) const noexcept {
+    return quarantined_by_reason_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] std::size_t repaired_with(ReasonCode r) const noexcept {
+    return repaired_by_reason_[static_cast<std::size_t>(r)];
+  }
+
+  /// Quarantined mass as a fraction of rows seen (0 when nothing was read).
+  [[nodiscard]] double quarantine_fraction() const noexcept {
+    return rows_seen_ == 0 ? 0.0
+                           : static_cast<double>(rows_quarantined_) /
+                                 static_cast<double>(rows_seen_);
+  }
+
+  /// First `max_examples` offenders, for diagnostics.
+  [[nodiscard]] const std::vector<QuarantinedRow>& quarantined_examples() const noexcept {
+    return quarantined_;
+  }
+  [[nodiscard]] const std::vector<QuarantinedRow>& repaired_examples() const noexcept {
+    return repaired_;
+  }
+
+  /// Caps the retained example lists (counters are never capped).
+  void set_max_examples(std::size_t n) noexcept { max_examples_ = n; }
+
+  /// One-paragraph human summary, e.g. for study warnings and bench output.
+  [[nodiscard]] std::string summary() const {
+    std::string out = std::to_string(rows_ingested_) + "/" +
+                      std::to_string(rows_seen_) + " rows ingested, " +
+                      std::to_string(rows_quarantined_) + " quarantined, " +
+                      std::to_string(rows_repaired_) + " repaired";
+    bool first = true;
+    for (std::size_t r = 0; r < kNumReasonCodes; ++r) {
+      const std::size_t q = quarantined_by_reason_[r];
+      const std::size_t f = repaired_by_reason_[r];
+      if (q == 0 && f == 0) continue;
+      out += first ? " (" : ", ";
+      first = false;
+      out += std::string(to_string(static_cast<ReasonCode>(r))) + ": " +
+             std::to_string(q + f);
+    }
+    if (!first) out += ")";
+    return out;
+  }
+
+ private:
+  std::size_t rows_seen_ = 0;
+  std::size_t rows_ingested_ = 0;
+  std::size_t rows_quarantined_ = 0;
+  std::size_t rows_repaired_ = 0;
+  std::size_t quarantined_by_reason_[kNumReasonCodes] = {};
+  std::size_t repaired_by_reason_[kNumReasonCodes] = {};
+  std::size_t max_examples_ = 32;
+  std::vector<QuarantinedRow> quarantined_;
+  std::vector<QuarantinedRow> repaired_;
+};
+
+/// Data-quality gate the decision studies consult before trusting a result.
+/// Attach the report from the ingest pass to the study's options; the study
+/// appends warnings to its result when the quarantined mass crosses the
+/// threshold (default 5% — the level at which the degradation suite shows
+/// Q1-Q3 answers start moving).
+struct QualityGate {
+  const IngestReport* report = nullptr;
+  double warn_quarantine_fraction = 0.05;
+};
+
+/// Warnings a study should surface for `gate` (empty when clean or unset).
+[[nodiscard]] inline std::vector<std::string> quality_warnings(const QualityGate& gate) {
+  std::vector<std::string> out;
+  if (gate.report == nullptr) return out;
+  const double frac = gate.report->quarantine_fraction();
+  if (frac > gate.warn_quarantine_fraction) {
+    char pct[64];
+    std::snprintf(pct, sizeof(pct), "%.1f%% > %.1f%% threshold", 100.0 * frac,
+                  100.0 * gate.warn_quarantine_fraction);
+    out.push_back(
+        "ingest quarantined " + std::to_string(gate.report->rows_quarantined()) +
+        " of " + std::to_string(gate.report->rows_seen()) + " rows (" + pct +
+        "); failure rates may be understated — " + gate.report->summary());
+  }
+  return out;
+}
+
+}  // namespace rainshine::ingest

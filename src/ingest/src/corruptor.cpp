@@ -1,0 +1,234 @@
+#include "rainshine/ingest/corruptor.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::ingest {
+
+namespace {
+
+/// Fault classes a ticket-CSV row can draw, in cumulative-rate order.
+enum class TicketFault : std::uint8_t {
+  kNone,
+  kDrop,
+  kDuplicate,
+  kClockSkew,
+  kRackSwap,
+  kTruncate,
+  kMissingCell,
+};
+
+/// Rack ids are rewritten by adding this offset, which exceeds any plausible
+/// fleet size, so the damaged id is guaranteed out of range (a relabeled
+/// rack whose id the fleet no longer knows).
+constexpr long long kRackRelabelOffset = 1'000'000;
+
+/// Ticket CSV schema positions (see simdc/ticket_io.hpp).
+constexpr std::size_t kRackField = 0;
+constexpr std::size_t kOpenField = 6;
+constexpr std::size_t kCloseField = 7;
+constexpr std::size_t kNumTicketFields = 8;
+
+/// Numeric fields eligible for blanking under kMissingCell. The fault string
+/// (field 3) is excluded so each injected class maps to exactly one
+/// quarantine reason (a blank fault would read as unknown-fault).
+constexpr std::size_t kBlankableFields[] = {0, 1, 2, 4, 5, 6, 7};
+
+TicketFault draw_fault(const CorruptionSpec& spec, util::Rng& rng) {
+  const double u = rng.uniform();
+  double edge = spec.drop_rate;
+  if (u < edge) return TicketFault::kDrop;
+  edge += spec.duplicate_rate;
+  if (u < edge) return TicketFault::kDuplicate;
+  edge += spec.clock_skew_rate;
+  if (u < edge) return TicketFault::kClockSkew;
+  edge += spec.rack_swap_rate;
+  if (u < edge) return TicketFault::kRackSwap;
+  edge += spec.truncate_rate;
+  if (u < edge) return TicketFault::kTruncate;
+  edge += spec.missing_cell_rate;
+  if (u < edge) return TicketFault::kMissingCell;
+  return TicketFault::kNone;
+}
+
+std::string join_fields(const std::vector<std::string_view>& fields,
+                        std::size_t count) {
+  std::string out;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i) out += ',';
+    out += fields[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+CorruptionSpec CorruptionSpec::uniform(double total_rate, std::uint64_t seed) {
+  util::require(total_rate >= 0.0 && total_rate <= 1.0,
+                "corruption total_rate must be in [0, 1]");
+  const double each = total_rate / 6.0;
+  CorruptionSpec spec;
+  spec.drop_rate = each;
+  spec.duplicate_rate = each;
+  spec.clock_skew_rate = each;
+  spec.rack_swap_rate = each;
+  spec.truncate_rate = each;
+  spec.missing_cell_rate = each;
+  spec.seed = seed;
+  return spec;
+}
+
+Corruptor::Corruptor(CorruptionSpec spec) : spec_(spec) {
+  const auto nonneg = [](double r) { return r >= 0.0; };
+  util::require(nonneg(spec.drop_rate) && nonneg(spec.duplicate_rate) &&
+                    nonneg(spec.clock_skew_rate) && nonneg(spec.rack_swap_rate) &&
+                    nonneg(spec.truncate_rate) && nonneg(spec.missing_cell_rate) &&
+                    nonneg(spec.out_of_range_rate),
+                "corruption rates must be non-negative");
+  util::require(spec.total_rate() <= 1.0 + 1e-12,
+                "corruption rates must sum to at most 1");
+}
+
+CorruptedCsv Corruptor::corrupt_ticket_csv(const std::string& csv) const {
+  const util::Rng root(spec_.seed);
+  CorruptedCsv out;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  std::size_t data_row = 0;
+  while (std::getline(in, line)) {
+    if (first) {  // header passes through untouched
+      out.text += line;
+      out.text += '\n';
+      first = false;
+      continue;
+    }
+    if (util::trim(line).empty()) continue;
+    util::Rng rng = root.split(data_row++);
+    switch (draw_fault(spec_, rng)) {
+      case TicketFault::kNone:
+        out.text += line;
+        out.text += '\n';
+        break;
+      case TicketFault::kDrop:
+        ++out.counts.dropped;
+        break;
+      case TicketFault::kDuplicate:
+        out.text += line;
+        out.text += '\n';
+        out.text += line;
+        out.text += '\n';
+        ++out.counts.duplicated;
+        break;
+      case TicketFault::kClockSkew: {
+        auto fields = util::split(util::trim(line), ',');
+        if (fields.size() != kNumTicketFields) {
+          out.text += line;  // not schema-shaped; leave it alone
+          out.text += '\n';
+          break;
+        }
+        std::swap(fields[kOpenField], fields[kCloseField]);
+        out.text += join_fields(fields, fields.size());
+        out.text += '\n';
+        ++out.counts.clock_skewed;
+        break;
+      }
+      case TicketFault::kRackSwap: {
+        auto fields = util::split(util::trim(line), ',');
+        long long rack = 0;
+        if (fields.size() != kNumTicketFields ||
+            !util::parse_int(fields[kRackField], rack)) {
+          out.text += line;
+          out.text += '\n';
+          break;
+        }
+        const std::string relabeled = std::to_string(rack + kRackRelabelOffset);
+        std::vector<std::string_view> patched(fields.begin(), fields.end());
+        patched[kRackField] = relabeled;
+        out.text += join_fields(patched, patched.size());
+        out.text += '\n';
+        ++out.counts.rack_swapped;
+        break;
+      }
+      case TicketFault::kTruncate: {
+        const auto fields = util::split(util::trim(line), ',');
+        if (fields.size() < 2) {
+          out.text += line;
+          out.text += '\n';
+          break;
+        }
+        const std::size_t keep = 1 + rng.below(fields.size() - 1);
+        std::vector<std::string_view> head(fields.begin(),
+                                           fields.begin() +
+                                               static_cast<std::ptrdiff_t>(keep));
+        out.text += join_fields(head, head.size());
+        out.text += '\n';
+        ++out.counts.truncated;
+        break;
+      }
+      case TicketFault::kMissingCell: {
+        auto fields = util::split(util::trim(line), ',');
+        if (fields.size() != kNumTicketFields) {
+          out.text += line;
+          out.text += '\n';
+          break;
+        }
+        const std::size_t which =
+            kBlankableFields[rng.below(std::size(kBlankableFields))];
+        fields[which] = std::string_view{};
+        out.text += join_fields(fields, fields.size());
+        out.text += '\n';
+        ++out.counts.missing_cells;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+CorruptedTable Corruptor::corrupt_readings(const table::Table& t,
+                                           const std::string& column,
+                                           double plausible_lo,
+                                           double plausible_hi) const {
+  util::require(plausible_lo < plausible_hi,
+                "corrupt_readings needs plausible_lo < plausible_hi");
+  const table::Column& src = t.column(column);
+  util::require(src.type() == table::ColumnType::kContinuous,
+                "corrupt_readings targets a continuous column: " + column);
+  const auto values = src.continuous_values();
+  std::vector<double> damaged(values.begin(), values.end());
+
+  const util::Rng root(spec_.seed);
+  CorruptedTable out;
+  const double spread = plausible_hi - plausible_lo;
+  for (std::size_t r = 0; r < damaged.size(); ++r) {
+    util::Rng rng = root.split(r);
+    const double u = rng.uniform();
+    if (u < spec_.out_of_range_rate) {
+      // Push the reading beyond whichever bound is nearer, by 1-2 spans —
+      // far enough that any sane physical-range check must reject it.
+      const bool high = rng.bernoulli(0.5);
+      const double excursion = spread * (1.0 + rng.uniform());
+      damaged[r] = high ? plausible_hi + excursion : plausible_lo - excursion;
+      ++out.counts.out_of_range;
+    } else if (u < spec_.out_of_range_rate + spec_.missing_cell_rate) {
+      damaged[r] = std::numeric_limits<double>::quiet_NaN();
+      ++out.counts.missing_cells;
+    }
+  }
+
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    const std::string& name = t.column_name(c);
+    out.table.add_column(name, name == column
+                                   ? table::Column::continuous(std::move(damaged))
+                                   : t.column_at(c));
+  }
+  return out;
+}
+
+}  // namespace rainshine::ingest

@@ -4,11 +4,20 @@
 // library round-trips its tables through the same format so users can bring
 // their own data to the analysis pipelines (or export simulator output to R
 // for cross-checking against rpart).
+//
+// Field data is dirty (the paper's "cloudy" premise), so import is governed
+// by an ingest::ErrorPolicy: kStrict dies on the first malformed record
+// (the historical behavior and still the default), kQuarantine collects bad
+// records into an ingest::IngestReport and keeps going, kRepair additionally
+// coerces cells that fail their declared type to missing (recorded as
+// repairs) before quarantining what remains. Ragged rows are quarantined
+// under every recoverable policy — their field alignment is unknowable.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "rainshine/ingest/report.hpp"
 #include "rainshine/table/table.hpp"
 
 namespace rainshine::table {
@@ -19,15 +28,32 @@ struct CsvSchemaEntry {
   ColumnType type = ColumnType::kContinuous;
 };
 
+/// Import controls beyond the schema.
+struct CsvReadOptions {
+  ingest::ErrorPolicy policy = ingest::ErrorPolicy::kStrict;
+};
+
 /// Reads a header-first CSV. If `schema` is empty, types are inferred per
 /// column: all-numeric integral -> ordinal, all-numeric -> continuous,
 /// otherwise nominal; empty cells are missing. If a schema is given, its
 /// names must match the header exactly and cells are parsed per the declared
-/// type (throws util::precondition_error on malformed cells).
+/// type. Under kStrict any malformed record throws util::precondition_error
+/// whose message carries the 1-based row (header = row 1) and, for cell
+/// errors, the column name; under kQuarantine/kRepair malformed records are
+/// recorded in `report` (if non-null) and skipped or fixed up instead.
+/// A leading UTF-8 BOM and CR line endings are tolerated under all policies.
+[[nodiscard]] Table read_csv(std::istream& in,
+                             std::span<const CsvSchemaEntry> schema,
+                             const CsvReadOptions& options,
+                             ingest::IngestReport* report = nullptr);
 [[nodiscard]] Table read_csv(std::istream& in,
                              std::span<const CsvSchemaEntry> schema = {});
 
-/// Reads a CSV file from disk. Throws on I/O failure.
+/// Reads a CSV file from disk. Throws on I/O failure regardless of policy.
+[[nodiscard]] Table read_csv_file(const std::string& path,
+                                  std::span<const CsvSchemaEntry> schema,
+                                  const CsvReadOptions& options,
+                                  ingest::IngestReport* report = nullptr);
 [[nodiscard]] Table read_csv_file(const std::string& path,
                                   std::span<const CsvSchemaEntry> schema = {});
 

@@ -10,6 +10,10 @@ namespace rainshine::table {
 
 namespace {
 
+using ingest::ErrorPolicy;
+using ingest::IngestReport;
+using ingest::ReasonCode;
+
 /// Splits one CSV record honoring RFC 4180 quoting.
 std::vector<std::string> split_record(const std::string& line) {
   std::vector<std::string> fields;
@@ -68,6 +72,27 @@ ColumnType infer_type(const std::vector<std::string>& cells) {
   return all_int ? ColumnType::kOrdinal : ColumnType::kContinuous;
 }
 
+/// Strips a UTF-8 byte-order mark (common in spreadsheet exports).
+void strip_bom(std::string& line) {
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+}
+
+/// True when `cell` parses as `type` (empty cells are missing, always fine).
+bool cell_parses(const std::string& cell, ColumnType type) {
+  if (cell.empty()) return true;
+  long long iv = 0;
+  double dv = 0.0;
+  switch (type) {
+    case ColumnType::kContinuous: return util::parse_double(cell, dv);
+    case ColumnType::kOrdinal: return util::parse_int(cell, iv);
+    case ColumnType::kNominal: return true;
+  }
+  return true;
+}
+
 void push_cell(Column& col, const std::string& cell) {
   if (cell.empty()) {
     col.push_missing();
@@ -76,13 +101,14 @@ void push_cell(Column& col, const std::string& cell) {
   switch (col.type()) {
     case ColumnType::kContinuous: {
       double v = 0.0;
-      util::require(util::parse_double(cell, v), "bad continuous cell: " + cell);
+      util::ensure(util::parse_double(cell, v),
+                   "unvalidated continuous cell: " + cell);
       col.push_continuous(v);
       return;
     }
     case ColumnType::kOrdinal: {
       long long v = 0;
-      util::require(util::parse_int(cell, v), "bad ordinal cell: " + cell);
+      util::ensure(util::parse_int(cell, v), "unvalidated ordinal cell: " + cell);
       col.push_ordinal(static_cast<std::int32_t>(v));
       return;
     }
@@ -94,29 +120,75 @@ void push_cell(Column& col, const std::string& cell) {
 
 }  // namespace
 
-Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema) {
+Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema,
+               const CsvReadOptions& options, IngestReport* report) {
+  const ErrorPolicy policy = options.policy;
   std::string line;
-  util::require(static_cast<bool>(std::getline(in, line)), "CSV missing header");
+  util::require(static_cast<bool>(std::getline(in, line)),
+                "CSV row 1: missing header");
+  strip_bom(line);
   const std::vector<std::string> header = split_record(line);
 
   if (!schema.empty()) {
-    util::require(schema.size() == header.size(), "CSV schema/header width mismatch");
+    util::require(schema.size() == header.size(),
+                  "CSV row 1: schema declares " + std::to_string(schema.size()) +
+                      " columns, header has " + std::to_string(header.size()));
     for (std::size_t i = 0; i < header.size(); ++i) {
       util::require(schema[i].name == header[i],
-                    "CSV schema name mismatch at column " + std::to_string(i));
+                    "CSV row 1, column '" + header[i] +
+                        "': schema expects column '" + schema[i].name + "'");
     }
   }
 
   // Buffer all records; we need a full pass for type inference anyway.
   std::vector<std::vector<std::string>> records;
+  std::size_t row = 1;  // header
   while (std::getline(in, line)) {
+    ++row;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     // An empty line is a record only for single-column tables (one missing
     // cell); in wider tables it is formatting noise and is skipped.
     if (line.empty() && header.size() > 1) continue;
+    if (report != nullptr) report->saw_row();
     auto fields = split_record(line);
-    util::require(fields.size() == header.size(),
-                  "CSV record width mismatch at data row " +
-                      std::to_string(records.size() + 1));
+    if (fields.size() != header.size()) {
+      const std::string detail = "expected " + std::to_string(header.size()) +
+                                 " fields, got " + std::to_string(fields.size());
+      util::require(policy != ErrorPolicy::kStrict,
+                    "CSV row " + std::to_string(row) + ": " + detail);
+      if (report != nullptr) {
+        report->quarantine({row, "", ReasonCode::kWidthMismatch, detail});
+      }
+      continue;
+    }
+    // With a declared schema, reject or repair cells that fail their type
+    // before any column is built, so surviving columns stay row-aligned.
+    bool rejected = false;
+    for (std::size_t c = 0; c < schema.size() && !rejected; ++c) {
+      if (cell_parses(fields[c], schema[c].type)) continue;
+      const std::string detail = "bad " + std::string(to_string(schema[c].type)) +
+                                 " cell '" + fields[c] + "'";
+      switch (policy) {
+        case ErrorPolicy::kStrict:
+          throw util::precondition_error("CSV row " + std::to_string(row) +
+                                         ", column '" + schema[c].name +
+                                         "': " + detail);
+        case ErrorPolicy::kQuarantine:
+          if (report != nullptr) {
+            report->quarantine({row, schema[c].name, ReasonCode::kBadNumber, detail});
+          }
+          rejected = true;
+          break;
+        case ErrorPolicy::kRepair:
+          fields[c].clear();  // documented fixup: unparseable -> missing
+          if (report != nullptr) {
+            report->repair({row, schema[c].name, ReasonCode::kBadNumber, detail});
+          }
+          break;
+      }
+    }
+    if (rejected) continue;
+    if (report != nullptr) report->accept();
     records.push_back(std::move(fields));
   }
 
@@ -138,10 +210,19 @@ Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema) {
   return out;
 }
 
-Table read_csv_file(const std::string& path, std::span<const CsvSchemaEntry> schema) {
+Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema) {
+  return read_csv(in, schema, CsvReadOptions{}, nullptr);
+}
+
+Table read_csv_file(const std::string& path, std::span<const CsvSchemaEntry> schema,
+                    const CsvReadOptions& options, IngestReport* report) {
   std::ifstream in(path);
   util::require(in.good(), "cannot open CSV file: " + path);
-  return read_csv(in, schema);
+  return read_csv(in, schema, options, report);
+}
+
+Table read_csv_file(const std::string& path, std::span<const CsvSchemaEntry> schema) {
+  return read_csv_file(path, schema, CsvReadOptions{}, nullptr);
 }
 
 void write_csv(const Table& table, std::ostream& out) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "rainshine/cart/tree.hpp"
@@ -97,6 +98,70 @@ TEST(Dataset, RejectsMissingResponseValues) {
   t.add_column("x", Column::continuous({1.0, 2.0}));
   t.add_column("y", std::move(y));
   EXPECT_THROW(Dataset(t, "y", {"x"}, Task::kRegression), util::precondition_error);
+}
+
+TEST(Dataset, DropRowsSkipsMissingResponses) {
+  // Quarantining pipelines hand the tree whatever rows survived ingest;
+  // kDropRows silently removes rows whose response is missing and keeps the
+  // feature columns aligned with the survivors.
+  Table t;
+  Column y(table::ColumnType::kContinuous);
+  y.push_continuous(1.0);
+  y.push_missing();
+  y.push_continuous(3.0);
+  t.add_column("x", Column::continuous({10.0, 20.0, 30.0}));
+  t.add_column("color", Column::nominal(
+                            std::vector<std::string>{"red", "blue", "green"}));
+  t.add_column("y", std::move(y));
+  const Dataset data(t, "y", {"x", "color"}, Task::kRegression,
+                     MissingResponse::kDropRows);
+  ASSERT_EQ(data.num_rows(), 2U);
+  EXPECT_DOUBLE_EQ(data.y(0), 1.0);
+  EXPECT_DOUBLE_EQ(data.y(1), 3.0);
+  EXPECT_DOUBLE_EQ(data.x(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(data.x(1, 0), 30.0);  // row 1 is gone, features realigned
+  const auto& labels = data.info(1).labels;
+  EXPECT_DOUBLE_EQ(data.x(1, 1),
+                   static_cast<double>(std::find(labels.begin(), labels.end(),
+                                                 "green") -
+                                       labels.begin()));
+}
+
+TEST(Dataset, DropRowsWithNothingMissingIsIdentity) {
+  const Table t = train_table();
+  const Dataset strict(t, "y", {"color", "size"}, Task::kRegression);
+  const Dataset lenient(t, "y", {"color", "size"}, Task::kRegression,
+                        MissingResponse::kDropRows);
+  ASSERT_EQ(lenient.num_rows(), strict.num_rows());
+  for (std::size_t r = 0; r < strict.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(lenient.y(r), strict.y(r));
+    EXPECT_DOUBLE_EQ(lenient.x(r, 0), strict.x(r, 0));
+    EXPECT_DOUBLE_EQ(lenient.x(r, 1), strict.x(r, 1));
+  }
+}
+
+TEST(Dataset, MissingFeaturesRouteDeterministicallyAtPredictTime) {
+  // Feature cells (unlike responses) may be missing on both sides of the
+  // fit/predict boundary: prediction follows the recorded child.
+  const Table train = train_table();
+  const Dataset fit(train, "y", {"color", "size"}, Task::kRegression);
+  Config cfg;
+  cfg.min_samples_split = 2;
+  cfg.min_samples_leaf = 1;
+  cfg.cp = 0.0;
+  const Tree tree = grow(fit, cfg);
+
+  Table fresh;
+  Column size(table::ColumnType::kContinuous);
+  size.push_missing();
+  fresh.add_column("color",
+                   Column::nominal(std::vector<std::string>{"red"}));
+  fresh.add_column("size", std::move(size));
+  const Dataset bound(fresh, tree.features());
+  const double a = tree.predict(bound, 0);
+  const double b = tree.predict(bound, 0);
+  EXPECT_EQ(a, b);           // deterministic routing
+  EXPECT_FALSE(std::isnan(a));  // lands in a real leaf
 }
 
 TEST(Dataset, ClassificationNeedsTwoClasses) {

@@ -1,0 +1,191 @@
+#include "rainshine/ingest/corruptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::ingest {
+namespace {
+
+/// A syntactically clean ticket CSV with easily countable rows.
+std::string sample_csv(std::size_t rows) {
+  std::string out =
+      "rack_id,server_index,component_index,fault,true_positive,burst_id,"
+      "open_hour,close_hour\n";
+  for (std::size_t i = 0; i < rows; ++i) {
+    out += std::to_string(i % 4) + ",0,-1,Power failure,1,-1," +
+           std::to_string(10 + i) + "," + std::to_string(20 + i) + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> data_lines(const std::string& csv) {
+  std::vector<std::string> lines;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Corruptor, RejectsBadSpecs) {
+  CorruptionSpec negative;
+  negative.drop_rate = -0.1;
+  EXPECT_THROW(Corruptor{negative}, util::precondition_error);
+  CorruptionSpec over;
+  over.drop_rate = 0.6;
+  over.duplicate_rate = 0.6;
+  EXPECT_THROW(Corruptor{over}, util::precondition_error);
+  EXPECT_THROW(CorruptionSpec::uniform(1.5, 1), util::precondition_error);
+}
+
+TEST(Corruptor, UniformSpreadsRateOverTicketClasses) {
+  const CorruptionSpec spec = CorruptionSpec::uniform(0.12, 9);
+  EXPECT_NEAR(spec.total_rate(), 0.12, 1e-12);
+  EXPECT_NEAR(spec.drop_rate, 0.02, 1e-12);
+  EXPECT_NEAR(spec.missing_cell_rate, 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(spec.out_of_range_rate, 0.0);  // telemetry-only class
+  EXPECT_EQ(spec.seed, 9U);
+}
+
+TEST(Corruptor, IsDeterministicInSeedAndInput) {
+  const std::string csv = sample_csv(500);
+  const Corruptor a(CorruptionSpec::uniform(0.10, 42));
+  const Corruptor b(CorruptionSpec::uniform(0.10, 42));
+  const Corruptor c(CorruptionSpec::uniform(0.10, 43));
+  const CorruptedCsv out_a = a.corrupt_ticket_csv(csv);
+  const CorruptedCsv out_b = b.corrupt_ticket_csv(csv);
+  const CorruptedCsv out_c = c.corrupt_ticket_csv(csv);
+  EXPECT_EQ(out_a.text, out_b.text);
+  EXPECT_EQ(out_a.counts.total(), out_b.counts.total());
+  EXPECT_NE(out_a.text, out_c.text);  // different seed, different damage
+}
+
+TEST(Corruptor, CountsAccountForEveryLine) {
+  const std::string csv = sample_csv(1000);
+  const Corruptor corruptor(CorruptionSpec::uniform(0.10, 7));
+  const CorruptedCsv out = corruptor.corrupt_ticket_csv(csv);
+  const CorruptionCounts& counts = out.counts;
+
+  // Every fault class should fire at least once at 1000 rows and ~1.7% each.
+  EXPECT_GT(counts.dropped, 0U);
+  EXPECT_GT(counts.duplicated, 0U);
+  EXPECT_GT(counts.clock_skewed, 0U);
+  EXPECT_GT(counts.rack_swapped, 0U);
+  EXPECT_GT(counts.truncated, 0U);
+  EXPECT_GT(counts.missing_cells, 0U);
+  EXPECT_EQ(counts.out_of_range, 0U);
+
+  // Total damage lands near the configured 10% of rows.
+  EXPECT_NEAR(static_cast<double>(counts.total()), 100.0, 40.0);
+
+  // Line accounting: dropped rows vanish, duplicates appear twice.
+  const auto lines = data_lines(out.text);
+  EXPECT_EQ(lines.size(), 1000U - counts.dropped + counts.duplicated);
+}
+
+TEST(Corruptor, DamageMatchesClassSemantics) {
+  const std::string csv = sample_csv(800);
+  const Corruptor corruptor(CorruptionSpec::uniform(0.12, 11));
+  const CorruptedCsv out = corruptor.corrupt_ticket_csv(csv);
+
+  std::size_t short_lines = 0;
+  std::size_t skewed = 0;
+  std::size_t big_racks = 0;
+  std::size_t blank_cells = 0;
+  for (const std::string& line : data_lines(out.text)) {
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 8) {
+      ++short_lines;
+      continue;
+    }
+    long long open = 0;
+    long long close = 0;
+    long long rack = 0;
+    bool blank = false;
+    for (const auto f : fields) {
+      if (f.empty()) blank = true;
+    }
+    if (blank) {
+      ++blank_cells;
+      continue;
+    }
+    ASSERT_TRUE(util::parse_int(fields[0], rack));
+    ASSERT_TRUE(util::parse_int(fields[6], open));
+    ASSERT_TRUE(util::parse_int(fields[7], close));
+    if (close < open) ++skewed;
+    if (rack >= 1'000'000) ++big_racks;
+  }
+  EXPECT_EQ(short_lines, out.counts.truncated);
+  EXPECT_EQ(skewed, out.counts.clock_skewed);
+  EXPECT_EQ(big_racks, out.counts.rack_swapped);
+  EXPECT_EQ(blank_cells, out.counts.missing_cells);
+}
+
+TEST(Corruptor, ZeroRateIsIdentity) {
+  const std::string csv = sample_csv(50);
+  const Corruptor corruptor(CorruptionSpec{});
+  const CorruptedCsv out = corruptor.corrupt_ticket_csv(csv);
+  EXPECT_EQ(out.text, csv);
+  EXPECT_EQ(out.counts.total(), 0U);
+}
+
+TEST(Corruptor, CorruptReadingsHitsOnlyTheTargetColumn) {
+  table::Table t;
+  std::vector<double> temps;
+  for (int i = 0; i < 2000; ++i) temps.push_back(60.0 + (i % 30));
+  t.add_column("temp_f", table::Column::continuous(std::move(temps)));
+  t.add_column("rh", table::Column::continuous(std::vector<double>(2000, 40.0)));
+
+  CorruptionSpec spec;
+  spec.out_of_range_rate = 0.05;
+  spec.missing_cell_rate = 0.05;
+  spec.seed = 3;
+  const Corruptor corruptor(spec);
+  const CorruptedTable out = corruptor.corrupt_readings(t, "temp_f", 40.0, 100.0);
+
+  EXPECT_GT(out.counts.out_of_range, 0U);
+  EXPECT_GT(out.counts.missing_cells, 0U);
+  std::size_t outside = 0;
+  std::size_t missing = 0;
+  const table::Column& damaged = out.table.column("temp_f");
+  for (std::size_t r = 0; r < 2000; ++r) {
+    const double v = damaged.as_double(r);
+    if (std::isnan(v)) {
+      ++missing;
+    } else if (v < 40.0 || v > 100.0) {
+      ++outside;
+      // Excursions are written beyond the plausible band by 1-2 spans.
+      EXPECT_TRUE(v <= 40.0 - 60.0 || v >= 100.0 + 60.0) << v;
+    }
+    EXPECT_DOUBLE_EQ(out.table.column("rh").as_double(r), 40.0);
+  }
+  EXPECT_EQ(outside, out.counts.out_of_range);
+  EXPECT_EQ(missing, out.counts.missing_cells);
+}
+
+TEST(Corruptor, CorruptReadingsRejectsNonContinuousTargets) {
+  table::Table t;
+  t.add_column("dc", table::Column::nominal(
+                         std::vector<std::string>{"DC1", "DC2"}));
+  const Corruptor corruptor(CorruptionSpec{});
+  EXPECT_THROW(corruptor.corrupt_readings(t, "dc", 0.0, 1.0),
+               util::precondition_error);
+  table::Table ok;
+  ok.add_column("v", table::Column::continuous({1.0}));
+  EXPECT_THROW(corruptor.corrupt_readings(ok, "v", 2.0, 1.0),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::ingest

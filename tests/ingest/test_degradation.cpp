@@ -1,0 +1,342 @@
+// Degradation acceptance suite: with 5% injected corruption the recoverable
+// policies must (a) account for exactly the injected damage in the
+// IngestReport and (b) leave the Q1-Q3 study answers essentially unchanged —
+// spare counts within one spare, SKU rankings intact, the discovered safe
+// temperature range intact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rainshine/core/environment_analysis.hpp"
+#include "rainshine/core/provisioning.hpp"
+#include "rainshine/core/sku_analysis.hpp"
+#include "rainshine/ingest/corruptor.hpp"
+#include "rainshine/simdc/ticket_io.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::ingest {
+namespace {
+
+constexpr double kCorruption = 0.05;
+constexpr std::uint64_t kSeed = 42;
+
+std::vector<std::string> data_lines(const std::string& csv) {
+  std::vector<std::string> lines;
+  std::istringstream in(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    const std::string_view t = util::trim(line);
+    if (!t.empty()) lines.emplace_back(t);
+  }
+  return lines;
+}
+
+/// Small fleet shared by the report-accounting and Q1 tests (matches the
+/// provisioning test fixture: 240 days so tail statistics exist).
+struct SmallWorld {
+  simdc::Fleet fleet;
+  simdc::EnvironmentModel env;
+  simdc::HazardModel hazard;
+  simdc::TicketLog log;
+  std::string clean_csv;
+  CorruptedCsv dirty;
+
+  SmallWorld()
+      : fleet(spec()),
+        env(fleet, fleet.spec().seed),
+        hazard(fleet, env),
+        log(simulate(fleet, env, hazard, {.seed = 3})) {
+    std::ostringstream buf;
+    write_ticket_csv(log, buf);
+    clean_csv = buf.str();
+    dirty = Corruptor(CorruptionSpec::uniform(kCorruption, kSeed))
+                .corrupt_ticket_csv(clean_csv);
+  }
+
+  static simdc::FleetSpec spec() {
+    simdc::FleetSpec s = simdc::FleetSpec::test_default();
+    s.num_days = 240;
+    return s;
+  }
+
+  simdc::TicketLog read(ErrorPolicy policy, IngestReport* report) const {
+    std::istringstream in(dirty.text);
+    return simdc::read_ticket_csv(in, fleet, {.policy = policy}, report);
+  }
+
+  simdc::WorkloadId populous_workload() const {
+    simdc::WorkloadId best = simdc::WorkloadId::kW1;
+    std::size_t most = 0;
+    for (const auto wl : simdc::kAllWorkloads) {
+      const auto racks = fleet.racks_of(wl).size();
+      if (racks > most) {
+        most = racks;
+        best = wl;
+      }
+    }
+    return best;
+  }
+};
+
+const SmallWorld& small_world() {
+  static const SmallWorld w;
+  return w;
+}
+
+TEST(DegradationReport, QuarantineCountsEqualInjectedCounts) {
+  const SmallWorld& w = small_world();
+  const CorruptionCounts& injected = w.dirty.counts;
+  ASSERT_GT(injected.total(), 0U);
+
+  IngestReport report;
+  const simdc::TicketLog log = w.read(ErrorPolicy::kQuarantine, &report);
+
+  // Exact per-class accounting: each surviving damaged row is quarantined
+  // under precisely the reason its fault model maps to.
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kNonPositiveDuration),
+            injected.clock_skewed);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kRackOutOfRange),
+            injected.rack_swapped);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch),
+            injected.truncated);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kMissingCell),
+            injected.missing_cells);
+  EXPECT_EQ(report.rows_quarantined(),
+            injected.clock_skewed + injected.rack_swapped + injected.truncated +
+                injected.missing_cells);
+
+  // Whole-stream accounting: drops vanish, duplicates appear twice, and both
+  // copies of a duplicate are legal rows (kQuarantine has no dedup).
+  const std::size_t clean_rows = data_lines(w.clean_csv).size();
+  EXPECT_EQ(report.rows_seen(),
+            clean_rows - injected.dropped + injected.duplicated);
+  EXPECT_EQ(report.rows_ingested(),
+            report.rows_seen() - report.rows_quarantined());
+  EXPECT_EQ(log.size(), report.rows_ingested());
+}
+
+TEST(DegradationReport, RepairAccountsForEveryDamagedLine) {
+  const SmallWorld& w = small_world();
+  IngestReport report;
+  const simdc::TicketLog log = w.read(ErrorPolicy::kRepair, &report);
+
+  // Replay the corrupted text to derive the exact expected tallies (repeat
+  // occurrences dedup first; first occurrences classify by their damage).
+  std::unordered_set<std::string> seen;
+  std::size_t dups = 0;
+  std::size_t width = 0;
+  std::size_t missing = 0;
+  std::size_t rack_oor = 0;
+  std::size_t skewed = 0;
+  for (const std::string& line : data_lines(w.dirty.text)) {
+    if (!seen.insert(line).second) {
+      ++dups;
+      continue;
+    }
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 8) {
+      ++width;
+      continue;
+    }
+    if (std::any_of(fields.begin(), fields.end(),
+                    [](std::string_view f) { return f.empty(); })) {
+      ++missing;
+      continue;
+    }
+    long long rack = 0;
+    long long open = 0;
+    long long close = 0;
+    ASSERT_TRUE(util::parse_int(fields[0], rack)) << line;
+    ASSERT_TRUE(util::parse_int(fields[6], open)) << line;
+    ASSERT_TRUE(util::parse_int(fields[7], close)) << line;
+    if (rack >= static_cast<long long>(w.fleet.num_racks())) ++rack_oor;
+    else if (close < open) ++skewed;
+  }
+  ASSERT_GT(dups, 0U);
+
+  EXPECT_EQ(report.repaired_with(ReasonCode::kDuplicateRow), dups);
+  EXPECT_GE(dups, w.dirty.counts.duplicated);  // + any accidental collisions
+  EXPECT_EQ(report.repaired_with(ReasonCode::kNonPositiveDuration), skewed);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch), width);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kMissingCell), missing);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kRackOutOfRange), rack_oor);
+  EXPECT_EQ(log.size(), report.rows_ingested());
+  // Repair keeps strictly more rows than quarantining (skews are rescued).
+  IngestReport qreport;
+  (void)w.read(ErrorPolicy::kQuarantine, &qreport);
+  EXPECT_GT(report.rows_ingested() + report.repaired_with(ReasonCode::kDuplicateRow),
+            qreport.rows_ingested());
+}
+
+/// Per-rack spare counts implied by a provisioning study: each rack gets
+/// ceil(requirement-of-its-cluster * servers) spares.
+std::map<std::int32_t, long> spares_by_rack(
+    const core::ServerProvisioningStudy& study, const simdc::Fleet& fleet,
+    std::size_t sla_index) {
+  std::map<std::int32_t, long> out;
+  for (const core::Cluster& c : study.clusters) {
+    for (const std::int32_t id : c.rack_ids) {
+      out[id] = static_cast<long>(std::ceil(
+          c.requirement[sla_index] *
+          static_cast<double>(fleet.rack(id).servers())));
+    }
+  }
+  return out;
+}
+
+TEST(DegradationQ1, SpareCountsWithinOneSparePerRack) {
+  const SmallWorld& w = small_world();
+  const auto wl = w.populous_workload();
+  core::ProvisioningOptions opt;
+  opt.slas = {0.95, 1.0};
+
+  const core::FailureMetrics clean_metrics(w.fleet, w.log);
+  const auto clean = core::provision_servers(clean_metrics, w.env, wl, opt);
+
+  for (const ErrorPolicy policy :
+       {ErrorPolicy::kQuarantine, ErrorPolicy::kRepair}) {
+    SCOPED_TRACE(to_string(policy));
+    IngestReport report;
+    const simdc::TicketLog dirty_log = w.read(policy, &report);
+    const core::FailureMetrics dirty_metrics(w.fleet, dirty_log);
+    core::ProvisioningOptions dirty_opt = opt;
+    dirty_opt.quality.report = &report;
+    const auto dirty = core::provision_servers(dirty_metrics, w.env, wl, dirty_opt);
+
+    for (std::size_t s = 0; s < opt.slas.size(); ++s) {
+      const auto clean_spares = spares_by_rack(clean, w.fleet, s);
+      const auto dirty_spares = spares_by_rack(dirty, w.fleet, s);
+      ASSERT_EQ(clean_spares.size(), dirty_spares.size());
+      for (const auto& [rack, n] : clean_spares) {
+        EXPECT_LE(std::abs(n - dirty_spares.at(rack)), 1)
+            << "rack " << rack << " sla " << opt.slas[s] << ": clean " << n
+            << " dirty " << dirty_spares.at(rack);
+      }
+    }
+  }
+}
+
+TEST(DegradationQ1, StudiesSurfaceQualityWarnings) {
+  const SmallWorld& w = small_world();
+  IngestReport report;
+  const simdc::TicketLog dirty_log = w.read(ErrorPolicy::kQuarantine, &report);
+  const core::FailureMetrics metrics(w.fleet, dirty_log);
+
+  // At 5% total corruption roughly 4 of 6 fault classes quarantine, so the
+  // quarantined mass sits near 3% — under the default 5% gate, over a 1% one.
+  ASSERT_GT(report.quarantine_fraction(), 0.01);
+  ASSERT_LT(report.quarantine_fraction(), 0.05);
+
+  core::ProvisioningOptions quiet;
+  quiet.quality.report = &report;
+  const auto no_warning =
+      core::provision_servers(metrics, w.env, w.populous_workload(), quiet);
+  EXPECT_TRUE(no_warning.warnings.empty());
+
+  core::ProvisioningOptions strict_gate;
+  strict_gate.quality.report = &report;
+  strict_gate.quality.warn_quarantine_fraction = 0.01;
+  const auto warned =
+      core::provision_servers(metrics, w.env, w.populous_workload(), strict_gate);
+  ASSERT_EQ(warned.warnings.size(), 1U);
+  EXPECT_NE(warned.warnings[0].find("quarantined"), std::string::npos);
+}
+
+/// Mid-size world with the planted Q2/Q3 signals (quarter-size paper fleet,
+/// one year — the same shape the core study tests use).
+struct StudyWorld {
+  simdc::Fleet fleet;
+  simdc::EnvironmentModel env;
+  simdc::HazardModel hazard;
+  simdc::TicketLog log;
+  std::string clean_csv;
+  CorruptedCsv dirty;
+
+  StudyWorld()
+      : fleet(spec()),
+        env(fleet, fleet.spec().seed),
+        hazard(fleet, env),
+        log(simulate(fleet, env, hazard, {.seed = fleet.spec().seed})) {
+    std::ostringstream buf;
+    write_ticket_csv(log, buf);
+    clean_csv = buf.str();
+    dirty = Corruptor(CorruptionSpec::uniform(kCorruption, kSeed))
+                .corrupt_ticket_csv(clean_csv);
+  }
+
+  static simdc::FleetSpec spec() {
+    simdc::FleetSpec s = simdc::FleetSpec::paper_default();
+    s.datacenters[0].num_rows = 12;
+    s.datacenters[0].racks_per_row = 8;
+    s.datacenters[1].num_rows = 16;
+    s.datacenters[1].racks_per_row = 6;
+    s.num_days = 365;
+    s.seed = 2017;
+    return s;
+  }
+
+  simdc::TicketLog read(ErrorPolicy policy, IngestReport* report) const {
+    std::istringstream in(dirty.text);
+    return simdc::read_ticket_csv(in, fleet, {.policy = policy}, report);
+  }
+};
+
+std::vector<std::string> sku_ranking(const core::SkuStudy& study) {
+  std::vector<const core::SkuMetrics*> by_rate;
+  for (const auto& m : study.sf) by_rate.push_back(&m);
+  std::sort(by_rate.begin(), by_rate.end(),
+            [](const auto* a, const auto* b) {
+              return a->mean_lambda > b->mean_lambda;
+            });
+  std::vector<std::string> labels;
+  for (const auto* m : by_rate) labels.push_back(m->sku);
+  return labels;
+}
+
+TEST(DegradationQ2Q3, RankingsAndSafeRangeSurviveCorruption) {
+  const StudyWorld w;
+  core::SkuAnalysisOptions sku_opt;
+  sku_opt.day_stride = 2;
+  core::EnvironmentOptions env_opt;
+  env_opt.day_stride = 2;
+
+  const core::FailureMetrics clean_metrics(w.fleet, w.log);
+  const auto clean_skus = core::compare_skus(clean_metrics, w.env, sku_opt);
+  const auto clean_env = core::analyze_environment(clean_metrics, w.env, env_opt);
+  const auto clean_rank = sku_ranking(clean_skus);
+  ASSERT_GE(clean_rank.size(), 3U);
+  ASSERT_TRUE(clean_env.dc1_temp_split.has_value());
+
+  for (const ErrorPolicy policy :
+       {ErrorPolicy::kQuarantine, ErrorPolicy::kRepair}) {
+    SCOPED_TRACE(to_string(policy));
+    IngestReport report;
+    const simdc::TicketLog dirty_log = w.read(policy, &report);
+    ASSERT_GT(report.rows_quarantined(), 0U);
+    const core::FailureMetrics dirty_metrics(w.fleet, dirty_log);
+
+    // Q2: the SKU reliability ranking is unchanged at 5% corruption.
+    const auto dirty_skus = core::compare_skus(dirty_metrics, w.env, sku_opt);
+    EXPECT_EQ(sku_ranking(dirty_skus), clean_rank);
+
+    // Q3: the data-driven safe temperature range (DC1's discovered split,
+    // which feeds the setpoint decision) is unchanged.
+    const auto dirty_env =
+        core::analyze_environment(dirty_metrics, w.env, env_opt);
+    ASSERT_TRUE(dirty_env.dc1_temp_split.has_value());
+    EXPECT_NEAR(*dirty_env.dc1_temp_split, *clean_env.dc1_temp_split, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rainshine::ingest

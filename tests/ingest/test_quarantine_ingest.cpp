@@ -1,0 +1,299 @@
+// Malformed-input matrix for the recoverable ingest paths: every fault shape
+// must throw a row/column-bearing precondition_error under kStrict and land
+// in the IngestReport with the right reason code under kQuarantine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rainshine/ingest/report.hpp"
+#include "rainshine/simdc/ticket_io.hpp"
+#include "rainshine/table/csv.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::ingest {
+namespace {
+
+constexpr const char* kTicketHeader =
+    "rack_id,server_index,component_index,fault,true_positive,burst_id,"
+    "open_hour,close_hour\n";
+
+class QuarantineIngestTest : public ::testing::Test {
+ protected:
+  QuarantineIngestTest() : fleet_(simdc::FleetSpec::test_default()) {}
+
+  /// Message of the strict-mode throw for a single-row ticket CSV.
+  std::string strict_message(const std::string& row) const {
+    std::stringstream in(std::string(kTicketHeader) + row + "\n");
+    try {
+      (void)simdc::read_ticket_csv(in, fleet_);
+    } catch (const util::precondition_error& e) {
+      return e.what();
+    }
+    return "";
+  }
+
+  /// Quarantine record produced for a single-row ticket CSV.
+  IngestReport quarantine(const std::string& row,
+                          ErrorPolicy policy = ErrorPolicy::kQuarantine,
+                          std::size_t* kept = nullptr) const {
+    std::stringstream in(std::string(kTicketHeader) + row + "\n");
+    IngestReport report;
+    const simdc::TicketLog log =
+        simdc::read_ticket_csv(in, fleet_, {.policy = policy}, &report);
+    if (kept != nullptr) *kept = log.size();
+    return report;
+  }
+
+  simdc::Fleet fleet_;
+};
+
+struct MalformedCase {
+  const char* name;
+  const char* row;
+  ReasonCode reason;
+  const char* column;  ///< expected in the strict message; "" = whole-row
+};
+
+TEST_F(QuarantineIngestTest, MalformedTicketRowsMatrix) {
+  const MalformedCase cases[] = {
+      {"truncated line", "0,1", ReasonCode::kWidthMismatch, ""},
+      {"over-wide line", "0,1,2,Disk failure,1,-1,10,34,99",
+       ReasonCode::kWidthMismatch, ""},
+      {"missing open_hour", "0,0,-1,Power failure,1,-1,,12",
+       ReasonCode::kMissingCell, "open_hour"},
+      {"missing rack_id", ",0,-1,Power failure,1,-1,1,2",
+       ReasonCode::kMissingCell, "rack_id"},
+      {"non-numeric server", "0,abc,-1,Power failure,1,-1,1,2",
+       ReasonCode::kBadNumber, "server_index"},
+      {"non-numeric hours", "0,0,-1,Power failure,1,-1,noon,2",
+       ReasonCode::kBadNumber, "open_hour"},
+      {"rack out of range", "9999,0,-1,Disk failure,1,-1,1,2",
+       ReasonCode::kRackOutOfRange, "rack_id"},
+      {"negative rack", "-3,0,-1,Disk failure,1,-1,1,2",
+       ReasonCode::kRackOutOfRange, "rack_id"},
+      {"server out of range", "0,9999,-1,Power failure,1,-1,1,2",
+       ReasonCode::kServerOutOfRange, "server_index"},
+      {"disk slot out of range", "0,0,99,Disk failure,1,-1,1,2",
+       ReasonCode::kComponentOutOfRange, "component_index"},
+      {"server fault with slot", "0,0,0,Power failure,1,-1,1,2",
+       ReasonCode::kComponentOutOfRange, "component_index"},
+      {"unknown fault", "0,0,-1,Gremlins,1,-1,1,2", ReasonCode::kUnknownFault,
+       "fault"},
+      {"clock skew", "0,0,-1,Power failure,1,-1,9,5",
+       ReasonCode::kNonPositiveDuration, "close_hour"},
+      {"zero duration", "0,0,-1,Power failure,1,-1,5,5",
+       ReasonCode::kNonPositiveDuration, "close_hour"},
+  };
+
+  for (const MalformedCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    // kStrict: throws, naming the 1-based row and the offending column.
+    const std::string msg = strict_message(c.row);
+    ASSERT_FALSE(msg.empty()) << "expected a strict throw";
+    EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+    if (c.column[0] != '\0') {
+      EXPECT_NE(msg.find("column '" + std::string(c.column) + "'"),
+                std::string::npos)
+          << msg;
+    }
+    // kQuarantine: the row is skipped and lands in the report, typed.
+    std::size_t kept = 99;
+    const IngestReport report = quarantine(c.row, ErrorPolicy::kQuarantine, &kept);
+    EXPECT_EQ(kept, 0U);
+    EXPECT_EQ(report.rows_seen(), 1U);
+    EXPECT_EQ(report.rows_quarantined(), 1U);
+    EXPECT_EQ(report.quarantined_with(c.reason), 1U)
+        << "reason " << to_string(c.reason) << " got " << report.summary();
+    ASSERT_EQ(report.quarantined_examples().size(), 1U);
+    EXPECT_EQ(report.quarantined_examples()[0].row, 2U);
+    EXPECT_EQ(report.quarantined_examples()[0].column, c.column);
+  }
+}
+
+TEST_F(QuarantineIngestTest, RepairSwapsSkewedClocks) {
+  std::stringstream in(std::string(kTicketHeader) +
+                       "0,0,-1,Power failure,1,-1,9,5\n");
+  IngestReport report;
+  const simdc::TicketLog log = simdc::read_ticket_csv(
+      in, fleet_, {.policy = ErrorPolicy::kRepair}, &report);
+  ASSERT_EQ(log.size(), 1U);
+  EXPECT_EQ(log.tickets()[0].open_hour, 5);
+  EXPECT_EQ(log.tickets()[0].close_hour, 9);
+  EXPECT_EQ(report.rows_repaired(), 1U);
+  EXPECT_EQ(report.repaired_with(ReasonCode::kNonPositiveDuration), 1U);
+  EXPECT_EQ(report.rows_quarantined(), 0U);
+}
+
+TEST_F(QuarantineIngestTest, RepairCannotFixZeroDuration) {
+  // close == open carries no orientation to restore; it stays quarantined.
+  std::size_t kept = 99;
+  const IngestReport report =
+      quarantine("0,0,-1,Power failure,1,-1,5,5", ErrorPolicy::kRepair, &kept);
+  EXPECT_EQ(kept, 0U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kNonPositiveDuration), 1U);
+  EXPECT_EQ(report.rows_repaired(), 0U);
+}
+
+TEST_F(QuarantineIngestTest, RepairDropsExactDuplicates) {
+  const std::string row = "0,1,2,Disk failure,1,-1,10,34\n";
+  std::stringstream in(std::string(kTicketHeader) + row + row + row +
+                       "1,0,-1,Power failure,0,-1,5,9\n");
+  IngestReport report;
+  const simdc::TicketLog log = simdc::read_ticket_csv(
+      in, fleet_, {.policy = ErrorPolicy::kRepair}, &report);
+  EXPECT_EQ(log.size(), 2U);
+  EXPECT_EQ(report.rows_seen(), 4U);
+  EXPECT_EQ(report.repaired_with(ReasonCode::kDuplicateRow), 2U);
+
+  // kQuarantine has no dedup fixup: both copies are legal rows and survive.
+  std::stringstream again(std::string(kTicketHeader) + row + row);
+  IngestReport qreport;
+  const simdc::TicketLog qlog = simdc::read_ticket_csv(
+      again, fleet_, {.policy = ErrorPolicy::kQuarantine}, &qreport);
+  EXPECT_EQ(qlog.size(), 2U);
+  EXPECT_EQ(qreport.rows_quarantined(), 0U);
+}
+
+TEST_F(QuarantineIngestTest, ToleratesBomAndCrlf) {
+  const std::string csv = "\xEF\xBB\xBF" + std::string(kTicketHeader) +
+                          "0,1,2,Disk failure,1,-1,10,34\r\n"
+                          "1,0,-1,Power failure,0,-1,5,9\r\n";
+  for (const ErrorPolicy policy :
+       {ErrorPolicy::kStrict, ErrorPolicy::kQuarantine, ErrorPolicy::kRepair}) {
+    SCOPED_TRACE(to_string(policy));
+    std::stringstream in(csv);
+    IngestReport report;
+    const simdc::TicketLog log =
+        simdc::read_ticket_csv(in, fleet_, {.policy = policy}, &report);
+    EXPECT_EQ(log.size(), 2U);
+    EXPECT_EQ(report.rows_quarantined(), 0U);
+  }
+}
+
+TEST_F(QuarantineIngestTest, HeaderProblemsAlwaysThrow) {
+  for (const ErrorPolicy policy :
+       {ErrorPolicy::kStrict, ErrorPolicy::kQuarantine, ErrorPolicy::kRepair}) {
+    std::stringstream bad("not,the,header\n0,1,2,Disk failure,1,-1,10,34\n");
+    EXPECT_THROW((void)simdc::read_ticket_csv(bad, fleet_, {.policy = policy}),
+                 util::precondition_error);
+    std::stringstream empty("");
+    EXPECT_THROW((void)simdc::read_ticket_csv(empty, fleet_, {.policy = policy}),
+                 util::precondition_error);
+  }
+}
+
+TEST_F(QuarantineIngestTest, MixedFileKeepsGoodRowsInOrder) {
+  std::stringstream in(std::string(kTicketHeader) +
+                       "0,1,2,Disk failure,1,-1,10,34\n"
+                       "0,1\n"
+                       "9999,0,-1,Disk failure,1,-1,1,2\n"
+                       "1,0,-1,Power failure,0,-1,5,9\n"
+                       "0,0,-1,Gremlins,1,-1,1,2\n");
+  IngestReport report;
+  const simdc::TicketLog log = simdc::read_ticket_csv(
+      in, fleet_, {.policy = ErrorPolicy::kQuarantine}, &report);
+  ASSERT_EQ(log.size(), 2U);
+  EXPECT_EQ(report.rows_seen(), 5U);
+  EXPECT_EQ(report.rows_ingested(), 2U);
+  EXPECT_EQ(report.rows_quarantined(), 3U);
+  // Examples carry the physical line numbers (header = row 1).
+  ASSERT_EQ(report.quarantined_examples().size(), 3U);
+  EXPECT_EQ(report.quarantined_examples()[0].row, 3U);
+  EXPECT_EQ(report.quarantined_examples()[1].row, 4U);
+  EXPECT_EQ(report.quarantined_examples()[2].row, 6U);
+}
+
+// ---------------------------------------------------------------------------
+// Generic table CSV (table::read_csv) under the same policies.
+// ---------------------------------------------------------------------------
+
+const std::vector<table::CsvSchemaEntry>& abc_schema() {
+  static const std::vector<table::CsvSchemaEntry> schema = {
+      {"a", table::ColumnType::kContinuous},
+      {"b", table::ColumnType::kOrdinal},
+      {"c", table::ColumnType::kNominal}};
+  return schema;
+}
+
+TEST(QuarantineCsv, StrictNamesRowAndColumn) {
+  {
+    std::stringstream in("a,b,c\n1.5,2,x\nnope,3,y\n");
+    try {
+      (void)table::read_csv(in, abc_schema());
+      FAIL() << "expected precondition_error";
+    } catch (const util::precondition_error& e) {
+      EXPECT_NE(std::string(e.what()).find("row 3, column 'a'"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::stringstream in("a,b,c\n1.5,2\n");
+    try {
+      (void)table::read_csv(in, abc_schema());
+      FAIL() << "expected precondition_error";
+    } catch (const util::precondition_error& e) {
+      EXPECT_NE(std::string(e.what()).find("row 2: expected 3 fields, got 2"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(QuarantineCsv, QuarantineSkipsBadRows) {
+  std::stringstream in(
+      "a,b,c\n"
+      "1.5,2,x\n"
+      "nope,3,y\n"     // bad continuous cell
+      "2.5,zzz,w\n"    // bad ordinal cell
+      "3.5,4\n"        // ragged
+      "4.5,5,z\n");
+  IngestReport report;
+  const table::Table t = table::read_csv(
+      in, abc_schema(), {.policy = ErrorPolicy::kQuarantine}, &report);
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_EQ(report.rows_seen(), 5U);
+  EXPECT_EQ(report.rows_quarantined(), 3U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kBadNumber), 2U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch), 1U);
+  EXPECT_DOUBLE_EQ(t.column("a").as_double(1), 4.5);
+}
+
+TEST(QuarantineCsv, RepairCoercesBadCellsToMissing) {
+  std::stringstream in(
+      "a,b,c\n"
+      "1.5,2,x\n"
+      "nope,3,y\n"
+      "3.5,4\n");  // ragged rows stay quarantined: alignment is unknowable
+  IngestReport report;
+  const table::Table t = table::read_csv(
+      in, abc_schema(), {.policy = ErrorPolicy::kRepair}, &report);
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_TRUE(t.column("a").is_missing(1));
+  EXPECT_DOUBLE_EQ(t.column("b").as_double(1), 3.0);
+  EXPECT_EQ(report.rows_repaired(), 1U);
+  EXPECT_EQ(report.repaired_with(ReasonCode::kBadNumber), 1U);
+  EXPECT_EQ(report.rows_quarantined(), 1U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch), 1U);
+}
+
+TEST(QuarantineCsv, ToleratesBomAndCrlf) {
+  std::stringstream in("\xEF\xBB\xBF" "a,b,c\r\n1.5,2,x\r\n2.5,3,y\r\n");
+  IngestReport report;
+  const table::Table t = table::read_csv(
+      in, abc_schema(), {.policy = ErrorPolicy::kQuarantine}, &report);
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_EQ(report.rows_quarantined(), 0U);
+}
+
+TEST(QuarantineCsv, InferencePathQuarantinesRaggedRows) {
+  std::stringstream in("a,b\n1,2\n3\n4,5\n");
+  IngestReport report;
+  const table::Table t =
+      table::read_csv(in, {}, {.policy = ErrorPolicy::kQuarantine}, &report);
+  EXPECT_EQ(t.num_rows(), 2U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch), 1U);
+}
+
+}  // namespace
+}  // namespace rainshine::ingest

@@ -1,0 +1,97 @@
+#include "rainshine/ingest/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rainshine::ingest {
+namespace {
+
+TEST(IngestReport, TalliesAcceptQuarantineRepair) {
+  IngestReport report;
+  report.saw_row();
+  report.accept();
+  report.saw_row();
+  report.quarantine({3, "rack_id", ReasonCode::kRackOutOfRange, "rack 999"});
+  report.saw_row();
+  report.repair({4, "close_hour", ReasonCode::kNonPositiveDuration, "swapped"});
+  report.accept();
+
+  EXPECT_EQ(report.rows_seen(), 3U);
+  EXPECT_EQ(report.rows_ingested(), 2U);
+  EXPECT_EQ(report.rows_quarantined(), 1U);
+  EXPECT_EQ(report.rows_repaired(), 1U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kRackOutOfRange), 1U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch), 0U);
+  EXPECT_EQ(report.repaired_with(ReasonCode::kNonPositiveDuration), 1U);
+  EXPECT_NEAR(report.quarantine_fraction(), 1.0 / 3.0, 1e-12);
+
+  ASSERT_EQ(report.quarantined_examples().size(), 1U);
+  EXPECT_EQ(report.quarantined_examples()[0].row, 3U);
+  EXPECT_EQ(report.quarantined_examples()[0].column, "rack_id");
+  ASSERT_EQ(report.repaired_examples().size(), 1U);
+  EXPECT_EQ(report.repaired_examples()[0].reason,
+            ReasonCode::kNonPositiveDuration);
+}
+
+TEST(IngestReport, EmptyReportIsClean) {
+  const IngestReport report;
+  EXPECT_EQ(report.rows_seen(), 0U);
+  EXPECT_DOUBLE_EQ(report.quarantine_fraction(), 0.0);
+  EXPECT_EQ(report.summary(), "0/0 rows ingested, 0 quarantined, 0 repaired");
+}
+
+TEST(IngestReport, ExampleListsAreCappedButCountersAreNot) {
+  IngestReport report;
+  report.set_max_examples(2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    report.saw_row();
+    report.quarantine({i + 2, "", ReasonCode::kWidthMismatch, "short"});
+  }
+  EXPECT_EQ(report.rows_quarantined(), 5U);
+  EXPECT_EQ(report.quarantined_with(ReasonCode::kWidthMismatch), 5U);
+  EXPECT_EQ(report.quarantined_examples().size(), 2U);
+}
+
+TEST(IngestReport, SummaryNamesEachReason) {
+  IngestReport report;
+  report.saw_row();
+  report.quarantine({2, "", ReasonCode::kWidthMismatch, ""});
+  report.saw_row();
+  report.repair({3, "", ReasonCode::kDuplicateRow, ""});
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("width-mismatch: 1"), std::string::npos) << s;
+  EXPECT_NE(s.find("duplicate-row: 1"), std::string::npos) << s;
+}
+
+TEST(QualityGate, WarnsOnlyAboveThreshold) {
+  IngestReport report;
+  for (int i = 0; i < 90; ++i) {
+    report.saw_row();
+    report.accept();
+  }
+  for (int i = 0; i < 10; ++i) {
+    report.saw_row();
+    report.quarantine({2, "", ReasonCode::kMissingCell, ""});
+  }
+  // 10% quarantined: above the default 5% gate, below a 20% gate.
+  EXPECT_FALSE(quality_warnings({&report, 0.05}).empty());
+  EXPECT_TRUE(quality_warnings({&report, 0.20}).empty());
+  // No report attached = nothing to warn about.
+  EXPECT_TRUE(quality_warnings({}).empty());
+
+  const auto warnings = quality_warnings({&report, 0.05});
+  ASSERT_EQ(warnings.size(), 1U);
+  EXPECT_NE(warnings[0].find("quarantined 10 of 100"), std::string::npos)
+      << warnings[0];
+}
+
+TEST(ReasonCode, RoundTripsToStrings) {
+  for (std::size_t r = 0; r < kNumReasonCodes; ++r) {
+    EXPECT_NE(to_string(static_cast<ReasonCode>(r)), "?");
+  }
+  EXPECT_EQ(to_string(ErrorPolicy::kStrict), "strict");
+  EXPECT_EQ(to_string(ErrorPolicy::kQuarantine), "quarantine");
+  EXPECT_EQ(to_string(ErrorPolicy::kRepair), "repair");
+}
+
+}  // namespace
+}  // namespace rainshine::ingest
