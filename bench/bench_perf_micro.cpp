@@ -4,10 +4,13 @@
 // the paper's tables and figures.
 #include <benchmark/benchmark.h>
 
+#include "rainshine/cart/forest.hpp"
 #include "rainshine/cart/prune.hpp"
 #include "rainshine/core/observations.hpp"
 #include "rainshine/simdc/tickets.hpp"
+#include "rainshine/stats/bootstrap.hpp"
 #include "rainshine/stats/ecdf.hpp"
+#include "rainshine/util/parallel.hpp"
 
 using namespace rainshine;
 
@@ -98,6 +101,73 @@ void BM_CartGrow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CartGrow)->Unit(benchmark::kMillisecond);
+
+// ---- Thread-count sweeps over the parallelized hot paths ----------------
+//
+// Arg(n) pins the pool to n threads for the benchmark body and restores
+// automatic detection afterwards; outputs are bit-identical across the
+// sweep (tests/integration/test_determinism.cpp), so these measure pure
+// scheduling. BENCH_parallel.json records the committed baseline.
+
+void thread_sweep(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2);
+  const auto hw = static_cast<long>(rainshine::util::hardware_threads());
+  if (hw > 2) b->Arg(hw);
+}
+
+/// Pins the pool width for one benchmark run.
+struct ThreadPin {
+  explicit ThreadPin(std::int64_t n) {
+    util::set_num_threads(static_cast<std::size_t>(n));
+  }
+  ~ThreadPin() { util::clear_thread_override(); }
+};
+
+const cart::Dataset& forest_dataset() {
+  static const table::Table tbl = [] {
+    const auto& b = bundle();
+    core::ObservationOptions opt;
+    opt.day_stride = 2;
+    return core::rack_day_table(b.metrics, b.env, opt);
+  }();
+  static const cart::Dataset data(tbl, core::col::kLambdaHw,
+                                  core::static_rack_features(),
+                                  cart::Task::kRegression);
+  return data;
+}
+
+void BM_FitForest(benchmark::State& state) {
+  const ThreadPin pin(state.range(0));
+  const cart::Dataset& data = forest_dataset();
+  cart::ForestConfig cfg;
+  cfg.num_trees = 24;
+  cfg.tree.cp = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cart::grow_forest(data, cfg));
+  }
+}
+BENCHMARK(BM_FitForest)->Apply(thread_sweep)->Unit(benchmark::kMillisecond);
+
+void BM_Bootstrap(benchmark::State& state) {
+  const ThreadPin pin(state.range(0));
+  util::Rng data_rng(17);
+  std::vector<double> sample(2000);
+  for (auto& v : sample) v = data_rng.uniform(0.0, 10.0);
+  for (auto _ : state) {
+    util::Rng rng(29);
+    benchmark::DoNotOptimize(stats::bootstrap_mean_ci(sample, rng, 1000));
+  }
+}
+BENCHMARK(BM_Bootstrap)->Apply(thread_sweep)->Unit(benchmark::kMillisecond);
+
+void BM_Simulate(benchmark::State& state) {
+  const ThreadPin pin(state.range(0));
+  const auto& b = bundle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(b.fleet, b.env, b.hazard, {.seed = 7}));
+  }
+}
+BENCHMARK(BM_Simulate)->Apply(thread_sweep)->Unit(benchmark::kMillisecond);
 
 void BM_EcdfQuantile(benchmark::State& state) {
   util::Rng rng(3);

@@ -3,17 +3,24 @@
 #
 #   scripts/check.sh               # plain RelWithDebInfo build + ctest
 #   scripts/check.sh --sanitize    # additionally an ASan+UBSan build + ctest
+#   scripts/check.sh --tsan        # additionally a ThreadSanitizer build + ctest
 #
-# Extra arguments after the flags are forwarded to ctest (e.g. -R Ingest).
+# Flags combine (e.g. `--sanitize --tsan` runs all three suites). Extra
+# arguments after the flags are forwarded to ctest (e.g. -R Ingest).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 sanitize=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  sanitize=1
+tsan=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --sanitize) sanitize=1 ;;
+    --tsan) tsan=1 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 
 run_suite() {
   local build_dir="$1"
@@ -25,12 +32,21 @@ run_suite() {
 
 ctest_args=("$@")
 
+# The parallel layer resolves RAINSHINE_THREADS first, hardware second
+# (src/util/include/rainshine/util/parallel.hpp).
+echo "== threads: ${RAINSHINE_THREADS:-$(nproc)} (RAINSHINE_THREADS=${RAINSHINE_THREADS:-unset}, nproc=$(nproc)) =="
+
 echo "== tier-1: build + ctest =="
 run_suite build
 
 if [[ "$sanitize" == 1 ]]; then
   echo "== sanitizers: ASan+UBSan build + ctest =="
   run_suite build-asan -DRAINSHINE_SANITIZE=ON
+fi
+
+if [[ "$tsan" == 1 ]]; then
+  echo "== sanitizers: TSan build + ctest =="
+  run_suite build-tsan -DRAINSHINE_TSAN=ON
 fi
 
 echo "OK"

@@ -57,12 +57,20 @@ class Forest {
       std::size_t max_background_rows = 10000) const;
 
  private:
+  [[nodiscard]] double predict_row(const Dataset& data, std::size_t row,
+                                   std::vector<int>& votes) const;
+
   Task task_;
   std::vector<Tree> trees_;
   double oob_error_ = 0.0;
+  std::size_t num_classes_ = 0;  ///< classification vote-tally width
 };
 
-/// Grows a bagged forest. Deterministic for a fixed (data, config).
+/// Grows a bagged forest. Deterministic for a fixed (data, config): trees
+/// grow concurrently on the shared pool, but each tree's bootstrap/feature
+/// RNG is derived from (config.seed, tree_index) and the out-of-bag merge
+/// runs serially in tree order, so the result is bit-identical at any
+/// thread count (see util/parallel.hpp).
 [[nodiscard]] Forest grow_forest(const Dataset& data, const ForestConfig& config = {});
 
 }  // namespace rainshine::cart

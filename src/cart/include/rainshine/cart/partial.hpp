@@ -30,11 +30,21 @@ struct PdPoint {
   double yhat = 0.0;  ///< average prediction with the feature forced to x
 };
 
+/// Deterministic uniform-stride subsample of background row indices: at
+/// most `max_rows` indices out of [0, n), evenly spread. Exposed for
+/// testing; partial_dependence uses it to bound its background set.
+/// Throws if n == 0 or max_rows == 0.
+[[nodiscard]] std::vector<std::size_t> pd_background_rows(std::size_t n,
+                                                          std::size_t max_rows);
+
 /// Computes partial dependence of `tree`'s prediction on `feature` over the
 /// background distribution in `data`. For numeric features the grid is
 /// `grid_size` evenly spaced quantiles of the observed values; for
 /// categorical features it is every level. If the background is larger than
-/// `max_background_rows` a deterministic uniform subsample is used.
+/// `max_background_rows` a deterministic uniform subsample is used
+/// (pd_background_rows). Grid points are evaluated on the shared thread
+/// pool; each point's average is a pure read over the fitted tree, so the
+/// curve is identical at any thread count.
 /// Throws if `feature` is not among the tree's features.
 [[nodiscard]] std::vector<PdPoint> partial_dependence(
     const Tree& tree, const Dataset& data, std::string_view feature,

@@ -5,38 +5,67 @@
 #include <limits>
 #include <map>
 #include <numeric>
+#include <utility>
 
 #include "rainshine/util/check.hpp"
+#include "rainshine/util/parallel.hpp"
 
 namespace rainshine::cart {
 
 Forest::Forest(Task task, std::vector<Tree> trees, double oob_error)
     : task_(task), trees_(std::move(trees)), oob_error_(oob_error) {
   util::require(!trees_.empty(), "Forest needs at least one tree");
+  if (task_ == Task::kClassification) {
+    num_classes_ = trees_.front().class_labels().size();
+    // Defensive: a label-less classification tree still predicts codes, so
+    // size the tally from the leaves instead of leaving it empty.
+    for (const Tree& tree : trees_) {
+      for (const Node& node : tree.nodes()) {
+        if (node.is_leaf()) {
+          num_classes_ = std::max(
+              num_classes_, static_cast<std::size_t>(node.prediction) + 1);
+        }
+      }
+    }
+  }
 }
 
-double Forest::predict(const Dataset& data, std::size_t row) const {
+double Forest::predict_row(const Dataset& data, std::size_t row,
+                           std::vector<int>& votes) const {
   if (task_ == Task::kRegression) {
     double sum = 0.0;
     for (const Tree& tree : trees_) sum += tree.predict(data, row);
     return sum / static_cast<double>(trees_.size());
   }
-  std::map<double, int> votes;
-  for (const Tree& tree : trees_) ++votes[tree.predict(data, row)];
-  double best = 0.0;
-  int best_votes = -1;
-  for (const auto& [code, count] : votes) {
-    if (count > best_votes) {
-      best = code;
-      best_votes = count;
-    }
+  // Flat tally indexed by class code; reused across rows by batch callers
+  // (a std::map here allocated a tree node per class on every prediction).
+  votes.assign(num_classes_, 0);
+  for (const Tree& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(data, row))];
   }
-  return best;
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return static_cast<double>(best);
+}
+
+double Forest::predict(const Dataset& data, std::size_t row) const {
+  std::vector<int> votes;
+  return predict_row(data, row, votes);
 }
 
 std::vector<double> Forest::predict(const Dataset& data) const {
   std::vector<double> out(data.num_rows());
-  for (std::size_t r = 0; r < data.num_rows(); ++r) out[r] = predict(data, r);
+  // Pure reads over immutable trees; rows land in their own slots, so any
+  // chunking is trivially deterministic.
+  util::parallel_for(data.num_rows(), 0,
+                     [&](std::size_t begin, std::size_t end) {
+                       std::vector<int> votes;
+                       for (std::size_t r = begin; r < end; ++r) {
+                         out[r] = predict_row(data, r, votes);
+                       }
+                     });
   return out;
 }
 
@@ -63,19 +92,74 @@ std::vector<PdPoint> Forest::partial_dependence(const Dataset& data,
                                                 std::string_view feature,
                                                 std::size_t grid_size,
                                                 std::size_t max_background_rows) const {
-  // Average the per-tree curves point-wise; every tree shares feature
-  // metadata, so grids align exactly (the grid depends only on `data`).
-  std::vector<PdPoint> acc = cart::partial_dependence(
-      trees_.front(), data, feature, grid_size, max_background_rows);
-  for (std::size_t t = 1; t < trees_.size(); ++t) {
-    const auto curve = cart::partial_dependence(trees_[t], data, feature,
-                                                grid_size, max_background_rows);
-    util::ensure(curve.size() == acc.size(), "partial-dependence grid mismatch");
-    for (std::size_t i = 0; i < acc.size(); ++i) acc[i].yhat += curve[i].yhat;
+  // Per-tree curves are independent; compute them on the pool, then average
+  // point-wise serially in tree order so the floating-point accumulation is
+  // bit-identical to a serial run. Every tree shares feature metadata, so
+  // grids align exactly (the grid depends only on `data`).
+  const auto curves = util::parallel_map(trees_.size(), [&](std::size_t t) {
+    return cart::partial_dependence(trees_[t], data, feature, grid_size,
+                                    max_background_rows);
+  });
+  std::vector<PdPoint> acc = curves.front();
+  for (std::size_t t = 1; t < curves.size(); ++t) {
+    util::ensure(curves[t].size() == acc.size(), "partial-dependence grid mismatch");
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i].yhat += curves[t][i].yhat;
   }
   for (PdPoint& p : acc) p.yhat /= static_cast<double>(trees_.size());
   return acc;
 }
+
+namespace {
+
+/// Everything one tree contributes: the tree itself plus its predictions on
+/// the rows it did NOT train on, kept per tree so the out-of-bag merge can
+/// run serially in tree order after the parallel fit.
+struct TreeFit {
+  Tree tree;
+  std::vector<std::pair<std::size_t, double>> oob;  ///< (row, prediction)
+};
+
+TreeFit fit_one_tree(const Dataset& data, const ForestConfig& config,
+                     const util::Rng& root, std::size_t t,
+                     std::size_t sample_size) {
+  const std::size_t n = data.num_rows();
+  util::Rng rng = root.split(t);
+
+  // Bootstrap rows.
+  std::vector<std::uint8_t> in_bag(n, 0);
+  std::vector<std::size_t> rows(sample_size);
+  for (auto& r : rows) {
+    r = static_cast<std::size_t>(rng.below(n));
+    in_bag[r] = 1;
+  }
+  const Dataset bag = data.subset(rows);
+
+  // Random feature subspace.
+  Config tree_cfg = config.tree;
+  if (config.features_per_tree > 0 &&
+      config.features_per_tree < data.num_features()) {
+    std::vector<std::size_t> order(data.num_features());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.below(i));
+      std::swap(order[i - 1], order[j]);
+    }
+    tree_cfg.allowed_features.assign(data.num_features(), 0);
+    for (std::size_t k = 0; k < config.features_per_tree; ++k) {
+      tree_cfg.allowed_features[order[k]] = 1;
+    }
+  }
+
+  TreeFit fit{grow(bag, tree_cfg), {}};
+
+  // OOB predictions against the ORIGINAL dataset.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!in_bag[r]) fit.oob.emplace_back(r, fit.tree.predict(data, r));
+  }
+  return fit;
+}
+
+}  // namespace
 
 Forest grow_forest(const Dataset& data, const ForestConfig& config) {
   util::require(config.num_trees >= 1, "forest needs at least one tree");
@@ -86,52 +170,25 @@ Forest grow_forest(const Dataset& data, const ForestConfig& config) {
   const auto sample_size = std::max<std::size_t>(
       1, static_cast<std::size_t>(config.sample_fraction * static_cast<double>(n)));
 
+  // Each tree's RNG derives from (seed, tree_index) alone, so the fits are
+  // independent of scheduling; one tree per parallel unit.
   const util::Rng root = util::Rng(config.seed).split("forest");
-  std::vector<Tree> trees;
-  trees.reserve(config.num_trees);
+  auto fits = util::parallel_map(config.num_trees, [&](std::size_t t) {
+    return fit_one_tree(data, config, root, t, sample_size);
+  });
 
-  // Out-of-bag accumulation: per row, sum of predictions (regression) or
-  // votes (classification) from trees that did not train on it.
+  // Out-of-bag accumulation, serially in tree order: per row, sum of
+  // predictions (regression) or votes (classification) from trees that did
+  // not train on it. Tree-order accumulation keeps the floating-point sums
+  // bit-identical to a serial fit.
   std::vector<double> oob_sum(n, 0.0);
   std::vector<int> oob_count(n, 0);
   std::vector<std::map<double, int>> oob_votes(
       data.task() == Task::kClassification ? n : 0);
-
-  std::vector<std::uint8_t> in_bag(n, 0);
-  for (std::size_t t = 0; t < config.num_trees; ++t) {
-    util::Rng rng = root.split(t);
-
-    // Bootstrap rows.
-    std::fill(in_bag.begin(), in_bag.end(), 0);
-    std::vector<std::size_t> rows(sample_size);
-    for (auto& r : rows) {
-      r = static_cast<std::size_t>(rng.below(n));
-      in_bag[r] = 1;
-    }
-    const Dataset bag = data.subset(rows);
-
-    // Random feature subspace.
-    Config tree_cfg = config.tree;
-    if (config.features_per_tree > 0 &&
-        config.features_per_tree < data.num_features()) {
-      std::vector<std::size_t> order(data.num_features());
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      for (std::size_t i = order.size(); i > 1; --i) {
-        const auto j = static_cast<std::size_t>(rng.below(i));
-        std::swap(order[i - 1], order[j]);
-      }
-      tree_cfg.allowed_features.assign(data.num_features(), 0);
-      for (std::size_t k = 0; k < config.features_per_tree; ++k) {
-        tree_cfg.allowed_features[order[k]] = 1;
-      }
-    }
-
-    Tree tree = grow(bag, tree_cfg);
-
-    // OOB predictions against the ORIGINAL dataset.
-    for (std::size_t r = 0; r < n; ++r) {
-      if (in_bag[r]) continue;
-      const double pred = tree.predict(data, r);
+  std::vector<Tree> trees;
+  trees.reserve(config.num_trees);
+  for (TreeFit& fit : fits) {
+    for (const auto& [r, pred] : fit.oob) {
       ++oob_count[r];
       if (data.task() == Task::kRegression) {
         oob_sum[r] += pred;
@@ -139,7 +196,7 @@ Forest grow_forest(const Dataset& data, const ForestConfig& config) {
         ++oob_votes[r][pred];
       }
     }
-    trees.push_back(std::move(tree));
+    trees.push_back(std::move(fit.tree));
   }
 
   // Aggregate OOB error.

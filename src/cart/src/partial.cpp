@@ -5,8 +5,23 @@
 
 #include "rainshine/stats/descriptive.hpp"
 #include "rainshine/util/check.hpp"
+#include "rainshine/util/parallel.hpp"
 
 namespace rainshine::cart {
+
+std::vector<std::size_t> pd_background_rows(std::size_t n, std::size_t max_rows) {
+  util::require(n > 0, "pd_background_rows: empty background");
+  util::require(max_rows > 0, "pd_background_rows: max_rows must be positive");
+  // Ceiling division: a floor stride undershot badly (n=1999, max=1000 gave
+  // stride 1 and thus all 1999 rows); the cap below guards the remainder.
+  const std::size_t stride = (n + max_rows - 1) / max_rows;
+  std::vector<std::size_t> rows;
+  rows.reserve(std::min(n, max_rows));
+  for (std::size_t r = 0; r < n && rows.size() < max_rows; r += stride) {
+    rows.push_back(r);
+  }
+  return rows;
+}
 
 std::vector<PdPoint> partial_dependence(const Tree& tree, const Dataset& data,
                                         std::string_view feature,
@@ -18,12 +33,9 @@ std::vector<PdPoint> partial_dependence(const Tree& tree, const Dataset& data,
   const std::size_t f = *f_opt;
   util::require(grid_size >= 2, "partial_dependence: grid_size must be >= 2");
 
-  // Deterministic uniform stride subsample of the background rows.
-  std::vector<std::size_t> rows;
   const std::size_t n = data.num_rows();
   util::require(n > 0, "partial_dependence: empty background");
-  const std::size_t stride = std::max<std::size_t>(1, n / max_background_rows);
-  for (std::size_t r = 0; r < n; r += stride) rows.push_back(r);
+  const std::vector<std::size_t> rows = pd_background_rows(n, max_background_rows);
 
   // Build the grid.
   std::vector<PdPoint> points;
@@ -49,14 +61,19 @@ std::vector<PdPoint> partial_dependence(const Tree& tree, const Dataset& data,
   }
 
   // Average predictions with the feature overridden at each grid point.
+  // Points are independent pure reads; each point's row sum stays serial
+  // and in row order, so the curve is bit-identical at any thread count.
   const auto& nodes = tree.nodes();
-  for (PdPoint& p : points) {
-    double sum = 0.0;
-    for (const std::size_t r : rows) {
-      sum += nodes[tree.leaf_of_with_override(data, r, f, p.x)].prediction;
+  util::parallel_for(points.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      PdPoint& p = points[i];
+      double sum = 0.0;
+      for (const std::size_t r : rows) {
+        sum += nodes[tree.leaf_of_with_override(data, r, f, p.x)].prediction;
+      }
+      p.yhat = sum / static_cast<double>(rows.size());
     }
-    p.yhat = sum / static_cast<double>(rows.size());
-  }
+  });
   return points;
 }
 

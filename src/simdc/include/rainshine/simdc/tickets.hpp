@@ -65,7 +65,11 @@ struct SimulationOptions {
 /// Runs the generative model over the whole window: per rack-day Poisson
 /// draws for every fault type, plus the correlated burst process, with
 /// diurnally weighted open hours and lognormal repair times. Deterministic
-/// for fixed (fleet, environment, hazard, options).
+/// for fixed (fleet, environment, hazard, options): racks are simulated
+/// concurrently on the shared pool, but each rack draws from its own
+/// (seed, rack_id)-derived stream and the per-rack ticket vectors are
+/// merged in rack order (burst ids renumbered by a running offset), so the
+/// TicketLog is byte-identical at any thread count.
 [[nodiscard]] TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
                                  const HazardModel& hazard,
                                  SimulationOptions options = {});

@@ -5,6 +5,7 @@
 
 #include "rainshine/stats/distributions.hpp"
 #include "rainshine/util/check.hpp"
+#include "rainshine/util/parallel.hpp"
 
 namespace rainshine::simdc {
 
@@ -93,18 +94,21 @@ Ticket make_ticket(util::Rng& rng, const HazardConfig& cfg, const Rack& rack,
   return t;
 }
 
-}  // namespace
-
-TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
-                   const HazardModel& hazard, SimulationOptions options) {
-  (void)env;  // conditions are consulted through the hazard model
-  const HazardConfig& cfg = hazard.config();
-  const util::Rng root = util::Rng(options.seed).split("ticket-stream");
-
+/// One rack's full ticket stream with burst ids numbered locally from 0;
+/// the merge renumbers them into the fleet-wide sequence.
+struct RackStream {
   std::vector<Ticket> tickets;
+  std::int32_t num_bursts = 0;
+};
+
+RackStream simulate_rack(const Fleet& fleet, const HazardModel& hazard,
+                         const util::Rng& root, const Rack& rack) {
+  const HazardConfig& cfg = hazard.config();
+  RackStream out;
+  std::vector<Ticket>& tickets = out.tickets;
   std::int32_t next_burst_id = 0;
 
-  for (const Rack& rack : fleet.racks()) {
+  {
     util::Rng rack_rng = root.split(static_cast<std::uint64_t>(rack.id));
     for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
       util::Rng day_rng = rack_rng.split(static_cast<std::uint64_t>(day));
@@ -200,6 +204,38 @@ TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
         }
       }
     }
+  }
+  out.num_bursts = next_burst_id;
+  return out;
+}
+
+}  // namespace
+
+TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
+                   const HazardModel& hazard, SimulationOptions options) {
+  (void)env;  // conditions are consulted through the hazard model
+  const util::Rng root = util::Rng(options.seed).split("ticket-stream");
+
+  // Each rack's hazards draw from its own (seed, rack.id)-derived stream, so
+  // racks can run on the pool in any schedule; merging in rack order with a
+  // running burst-id offset reproduces the serial sweep's TicketLog byte for
+  // byte (serial numbering also exhausts one rack before the next).
+  const auto& racks = fleet.racks();
+  auto streams = util::parallel_map(racks.size(), [&](std::size_t i) {
+    return simulate_rack(fleet, hazard, root, racks[i]);
+  });
+
+  std::size_t total = 0;
+  for (const RackStream& s : streams) total += s.tickets.size();
+  std::vector<Ticket> tickets;
+  tickets.reserve(total);
+  std::int32_t burst_base = 0;
+  for (RackStream& s : streams) {
+    for (Ticket& t : s.tickets) {
+      if (t.burst_id >= 0) t.burst_id += burst_base;
+      tickets.push_back(t);
+    }
+    burst_base += s.num_bursts;
   }
   return TicketLog(std::move(tickets));
 }

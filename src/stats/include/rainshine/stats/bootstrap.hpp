@@ -21,13 +21,21 @@ struct ConfidenceInterval {
   double level = 0.95;
 };
 
-/// Statistic evaluated over a resampled dataset.
+/// Statistic evaluated over a resampled dataset. Replicates run on the
+/// shared thread pool (util/parallel.hpp), so the callable must be pure /
+/// safe to invoke concurrently — every statistic of a fixed sample is.
 using Statistic = std::function<double(std::span<const double>)>;
 
 /// Percentile bootstrap: resamples `sample` with replacement `replicates`
 /// times and returns the [alpha/2, 1-alpha/2] percentile interval of the
 /// statistic, where alpha = 1 - level. Throws on empty sample, level outside
 /// (0,1), or zero replicates.
+///
+/// Replicates are processed in fixed-size chunks, each drawing from its own
+/// RNG stream derived from (one draw of `rng`, chunk_index); the estimates
+/// are therefore bit-identical at any thread count, and successive calls
+/// with the same generator still produce independent intervals (the keying
+/// draw advances `rng` exactly once per call).
 [[nodiscard]] ConfidenceInterval bootstrap_ci(std::span<const double> sample,
                                               const Statistic& statistic,
                                               util::Rng& rng,

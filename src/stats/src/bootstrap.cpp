@@ -5,8 +5,15 @@
 
 #include "rainshine/stats/descriptive.hpp"
 #include "rainshine/util/check.hpp"
+#include "rainshine/util/parallel.hpp"
 
 namespace rainshine::stats {
+
+namespace {
+/// Replicates per derived RNG stream. Fixed — NOT tied to the thread count —
+/// so the estimate vector is identical however chunks are scheduled.
+constexpr std::size_t kReplicatesPerChunk = 16;
+}  // namespace
 
 ConfidenceInterval bootstrap_ci(std::span<const double> sample,
                                 const Statistic& statistic, util::Rng& rng,
@@ -15,13 +22,25 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
   util::require(replicates > 0, "bootstrap needs at least one replicate");
   util::require(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
 
-  std::vector<double> resample(sample.size());
-  std::vector<double> estimates;
-  estimates.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (auto& v : resample) v = sample[rng.below(sample.size())];
-    estimates.push_back(statistic(resample));
-  }
+  // One draw keys this call's replicate streams: successive calls with the
+  // same generator stay independent while each chunk's stream depends only
+  // on (base, chunk_index), never on scheduling.
+  const util::Rng base = rng.split(rng());
+  const std::size_t num_chunks =
+      (replicates + kReplicatesPerChunk - 1) / kReplicatesPerChunk;
+  std::vector<double> estimates(replicates);
+  util::parallel_for(num_chunks, 1, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> resample(sample.size());
+    for (std::size_t c = begin; c < end; ++c) {
+      util::Rng chunk_rng = base.split(c);
+      const std::size_t last =
+          std::min(replicates, (c + 1) * kReplicatesPerChunk);
+      for (std::size_t r = c * kReplicatesPerChunk; r < last; ++r) {
+        for (auto& v : resample) v = sample[chunk_rng.below(sample.size())];
+        estimates[r] = statistic(resample);
+      }
+    }
+  });
   std::sort(estimates.begin(), estimates.end());
 
   const double alpha = 1.0 - level;

@@ -1,0 +1,224 @@
+#include "rainshine/util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace rainshine::util {
+
+namespace {
+
+/// set_num_threads pin; kUnset means "defer to env / hardware".
+constexpr int kUnset = -1;
+std::atomic<int> g_thread_override{kUnset};
+
+std::size_t env_threads() noexcept {
+  const char* value = std::getenv("RAINSHINE_THREADS");
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0) return 0;  // malformed: ignore
+  return parsed <= 1 ? 1 : static_cast<std::size_t>(parsed);
+}
+
+/// True while the current thread is executing inside a parallel region
+/// (either as a pool worker or as the participating caller). Nested
+/// parallel_for calls then run serially inline.
+thread_local bool t_in_parallel_region = false;
+
+/// One job at a time: `run` publishes a chunk function and a chunk count,
+/// then workers and the caller race on an atomic cursor until the range
+/// drains. Determinism never depends on the race — the chunk index fully
+/// defines the work — so the pool needs no per-thread state at all.
+///
+/// Every claimed chunk runs to completion (exceptions are captured, not
+/// cancelled), so `pending_` reaches zero exactly when all chunks have
+/// executed; `run` additionally waits for `active_workers_ == 0` so no
+/// straggler from this job can touch the cursor after the next job resets it.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Executes `fn(c)` for every c in [0, num_chunks) using the caller plus
+  /// at most `threads - 1` pool workers. Serializes concurrent top-level
+  /// callers; rethrows the first chunk exception.
+  void run(std::size_t num_chunks, std::size_t threads,
+           const std::function<void(std::size_t)>& fn) {
+    const std::unique_lock<std::mutex> gate(run_mutex_);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ensure_workers(threads - 1);
+      job_ = &fn;
+      job_chunks_ = num_chunks;
+      job_worker_limit_ = threads - 1;
+      cursor_.store(0, std::memory_order_relaxed);
+      pending_ = num_chunks;
+      error_ = nullptr;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    const std::size_t mine = work(fn, num_chunks);  // caller participates
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_ -= mine;
+    done_cv_.wait(lock, [this] { return pending_ == 0 && active_workers_ == 0; });
+    job_ = nullptr;
+    if (error_ != nullptr) {
+      const std::exception_ptr error = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+ private:
+  Pool() = default;
+
+  /// Drains chunks from the shared cursor; returns how many this thread ran.
+  /// The first exception (across all threads) is kept for `run` to rethrow.
+  std::size_t work(const std::function<void(std::size_t)>& fn,
+                   std::size_t num_chunks) {
+    t_in_parallel_region = true;
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        fn(c);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (error_ == nullptr) error_ = std::current_exception();
+      }
+      ++completed;
+    }
+    t_in_parallel_region = false;
+    return completed;
+  }
+
+  void ensure_workers(std::size_t want) {
+    while (workers_.size() < want) {
+      const std::size_t index = workers_.size();
+      workers_.emplace_back([this, index] { worker_loop(index); });
+    }
+  }
+
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t num_chunks = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        // Workers beyond the job's requested width sit this one out, so a
+        // wide earlier job doesn't inflate a deliberately narrow later one.
+        if (job_ != nullptr && index < job_worker_limit_) {
+          fn = job_;
+          num_chunks = job_chunks_;
+          ++active_workers_;
+        }
+      }
+      if (fn == nullptr) continue;
+      const std::size_t completed = work(*fn, num_chunks);
+      bool all_done = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        pending_ -= completed;
+        --active_workers_;
+        all_done = pending_ == 0 && active_workers_ == 0;
+      }
+      if (all_done) done_cv_.notify_all();
+    }
+  }
+
+  std::mutex run_mutex_;  ///< serializes top-level parallel regions
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  std::size_t job_worker_limit_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t pending_ = 0;        ///< chunks not yet executed
+  std::size_t active_workers_ = 0; ///< workers currently inside work()
+  std::uint64_t epoch_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t default_num_threads() noexcept {
+  const std::size_t env = env_threads();
+  return env > 0 ? env : hardware_threads();
+}
+
+std::size_t num_threads() noexcept {
+  const int pinned = g_thread_override.load(std::memory_order_relaxed);
+  if (pinned != kUnset) return pinned <= 1 ? 1 : static_cast<std::size_t>(pinned);
+  return default_num_threads();
+}
+
+void set_num_threads(std::size_t n) noexcept {
+  // Clamp far above any sane pool width; keeps the int store well-defined.
+  const std::size_t clamped = std::min<std::size_t>(n, 4096);
+  g_thread_override.store(clamped <= 1 ? 1 : static_cast<int>(clamped),
+                          std::memory_order_relaxed);
+}
+
+void clear_thread_override() noexcept {
+  g_thread_override.store(kUnset, std::memory_order_relaxed);
+}
+
+void parallel_for(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t threads = num_threads();
+  if (chunk == 0) chunk = std::max<std::size_t>(1, n / (4 * threads));
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    body(begin, std::min(n, begin + chunk));
+  };
+
+  // Serial fallback: pinned serial, nothing to spread, or a nested call.
+  // Chunk boundaries stay identical to the pooled path by construction.
+  if (threads <= 1 || num_chunks <= 1 || t_in_parallel_region) {
+    for (std::size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+  Pool::instance().run(num_chunks, std::min(threads, num_chunks), run_chunk);
+}
+
+}  // namespace rainshine::util

@@ -184,5 +184,37 @@ TEST(PartialDependence, ValidatesArguments) {
                util::precondition_error);
 }
 
+TEST(PdBackgroundRows, NeverExceedsRequestedCap) {
+  // Regression: floor-division strides selected nearly 2x the cap
+  // (n=1999, max=1000 gave stride 1 and thus all 1999 rows).
+  const auto rows = pd_background_rows(1999, 1000);
+  EXPECT_LE(rows.size(), 1000U);
+  EXPECT_EQ(rows.front(), 0U);
+  EXPECT_LT(rows.back(), 1999U);
+
+  // Sweep odd n/max combinations: the cap must always hold, the subsample
+  // must stay sorted, unique and in range.
+  for (const std::size_t n : {1UL, 2UL, 99UL, 1000UL, 1999UL, 2001UL, 10000UL}) {
+    for (const std::size_t max_rows : {1UL, 3UL, 999UL, 1000UL, 20000UL}) {
+      const auto sel = pd_background_rows(n, max_rows);
+      EXPECT_LE(sel.size(), max_rows) << "n=" << n << " max=" << max_rows;
+      EXPECT_GE(sel.size(), std::min(n, max_rows) / 2)
+          << "subsample surprisingly sparse: n=" << n << " max=" << max_rows;
+      for (std::size_t i = 1; i < sel.size(); ++i) {
+        EXPECT_GT(sel[i], sel[i - 1]);
+      }
+      EXPECT_LT(sel.back(), n);
+    }
+  }
+  EXPECT_THROW(pd_background_rows(0, 10), util::precondition_error);
+  EXPECT_THROW(pd_background_rows(10, 0), util::precondition_error);
+}
+
+TEST(PdBackgroundRows, SmallBackgroundsKeepEveryRow) {
+  const auto rows = pd_background_rows(50, 100);
+  ASSERT_EQ(rows.size(), 50U);
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], i);
+}
+
 }  // namespace
 }  // namespace rainshine::cart

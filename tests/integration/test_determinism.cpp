@@ -1,0 +1,193 @@
+// Thread-count invariance suite.
+//
+// Every parallelized path — forest fitting, bootstrap CIs, fleet simulation,
+// partial dependence — must produce BIT-IDENTICAL output at 1 thread, 2
+// threads, and hardware concurrency, and under RAINSHINE_THREADS control.
+// The guarantee comes from (seed, unit_index) RNG derivation plus serial
+// index-order merges (see util/parallel.hpp); this suite is what enforces
+// it, in both the plain and sanitizer builds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "rainshine/cart/forest.hpp"
+#include "rainshine/simdc/tickets.hpp"
+#include "rainshine/stats/bootstrap.hpp"
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/parallel.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine {
+namespace {
+
+/// Thread counts every invariance check sweeps: serial, two-way, hardware.
+std::vector<std::size_t> sweep_counts() {
+  std::vector<std::size_t> counts = {1, 2, util::hardware_threads()};
+  if (counts[2] <= 2) counts[2] = 4;  // exercise >2 threads even on small hosts
+  return counts;
+}
+
+/// Runs `compute` once per thread count (plus once driven by the
+/// RAINSHINE_THREADS env var) and hands every result to `expect_equal`
+/// against the serial baseline.
+template <typename T>
+void expect_thread_invariant(
+    const std::function<T()>& compute,
+    const std::function<void(const T&, const T&)>& expect_equal) {
+  util::set_num_threads(1);
+  const T baseline = compute();
+  for (const std::size_t threads : sweep_counts()) {
+    util::set_num_threads(threads);
+    expect_equal(baseline, compute());
+  }
+  // Same pin expressed through the environment variable.
+  ASSERT_EQ(setenv("RAINSHINE_THREADS", "3", 1), 0);
+  util::clear_thread_override();
+  ASSERT_EQ(util::num_threads(), 3U);
+  expect_equal(baseline, compute());
+  ASSERT_EQ(unsetenv("RAINSHINE_THREADS"), 0);
+  util::clear_thread_override();
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::clear_thread_override();
+    unsetenv("RAINSHINE_THREADS");
+  }
+};
+
+cart::Dataset wave_dataset(table::Table& storage) {
+  util::Rng rng(11);
+  std::vector<double> x(500);
+  std::vector<double> z(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 6.0);
+    z[i] = rng.uniform(-1.0, 1.0);
+    y[i] = 5.0 * std::sin(x[i]) + 0.5 * z[i] + rng.uniform(-0.3, 0.3);
+  }
+  storage.add_column("x", table::Column::continuous(std::move(x)));
+  storage.add_column("z", table::Column::continuous(std::move(z)));
+  storage.add_column("y", table::Column::continuous(std::move(y)));
+  return cart::Dataset(storage, "y", {"x", "z"}, cart::Task::kRegression);
+}
+
+TEST_F(DeterminismTest, ForestFitIsThreadCountInvariant) {
+  table::Table storage;
+  const cart::Dataset data = wave_dataset(storage);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 12;
+  cfg.features_per_tree = 1;
+
+  struct Fit {
+    std::vector<double> predictions;
+    double oob = 0.0;
+    std::vector<cart::Importance> importance;
+  };
+  expect_thread_invariant<Fit>(
+      [&] {
+        const cart::Forest forest = cart::grow_forest(data, cfg);
+        return Fit{forest.predict(data), forest.oob_error(),
+                   forest.variable_importance()};
+      },
+      [](const Fit& a, const Fit& b) {
+        ASSERT_EQ(a.predictions.size(), b.predictions.size());
+        for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+          ASSERT_EQ(a.predictions[i], b.predictions[i]) << "row " << i;
+        }
+        ASSERT_EQ(a.oob, b.oob);
+        ASSERT_EQ(a.importance.size(), b.importance.size());
+        for (std::size_t i = 0; i < a.importance.size(); ++i) {
+          ASSERT_EQ(a.importance[i].feature, b.importance[i].feature);
+          ASSERT_EQ(a.importance[i].importance, b.importance[i].importance);
+        }
+      });
+}
+
+TEST_F(DeterminismTest, BootstrapCiIsThreadCountInvariant) {
+  util::Rng rng(5);
+  std::vector<double> sample(300);
+  for (auto& v : sample) v = rng.uniform(0.0, 10.0);
+
+  expect_thread_invariant<stats::ConfidenceInterval>(
+      [&] {
+        // Fresh generator per run: the CI must depend only on the seed and
+        // the replicate index, never on the thread count.
+        util::Rng boot(42);
+        return stats::bootstrap_mean_ci(sample, boot, 1000);
+      },
+      [](const stats::ConfidenceInterval& a, const stats::ConfidenceInterval& b) {
+        ASSERT_EQ(a.point, b.point);
+        ASSERT_EQ(a.lo, b.lo);
+        ASSERT_EQ(a.hi, b.hi);
+      });
+}
+
+TEST_F(DeterminismTest, BootstrapConsumesOneParentDrawPerCall) {
+  // Successive calls with one generator must stay independent (the keying
+  // draw advances the parent), and an equally-seeded generator must replay
+  // the same pair of intervals.
+  std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  util::Rng a(7);
+  const auto first_a = stats::bootstrap_mean_ci(sample, a, 200);
+  const auto second_a = stats::bootstrap_mean_ci(sample, a, 200);
+  EXPECT_NE(first_a.lo, second_a.lo);  // different replicate streams
+
+  util::Rng b(7);
+  const auto first_b = stats::bootstrap_mean_ci(sample, b, 200);
+  const auto second_b = stats::bootstrap_mean_ci(sample, b, 200);
+  EXPECT_EQ(first_a.lo, first_b.lo);
+  EXPECT_EQ(second_a.hi, second_b.hi);
+}
+
+TEST_F(DeterminismTest, SimulationTicketLogIsThreadCountInvariant) {
+  simdc::FleetSpec spec = simdc::FleetSpec::test_default();
+  spec.num_days = 60;
+  const simdc::Fleet fleet(spec);
+  const simdc::EnvironmentModel env(fleet, 1);
+  const simdc::HazardModel hazard(fleet, env);
+
+  expect_thread_invariant<simdc::TicketLog>(
+      [&] { return simdc::simulate(fleet, env, hazard, {.seed = 9}); },
+      [](const simdc::TicketLog& a, const simdc::TicketLog& b) {
+        ASSERT_EQ(a.size(), b.size());
+        const auto ta = a.tickets();
+        const auto tb = b.tickets();
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+          ASSERT_EQ(ta[i].rack_id, tb[i].rack_id) << "ticket " << i;
+          ASSERT_EQ(ta[i].server_index, tb[i].server_index) << "ticket " << i;
+          ASSERT_EQ(ta[i].component_index, tb[i].component_index) << "ticket " << i;
+          ASSERT_EQ(ta[i].fault, tb[i].fault) << "ticket " << i;
+          ASSERT_EQ(ta[i].true_positive, tb[i].true_positive) << "ticket " << i;
+          ASSERT_EQ(ta[i].burst_id, tb[i].burst_id) << "ticket " << i;
+          ASSERT_EQ(ta[i].open_hour, tb[i].open_hour) << "ticket " << i;
+          ASSERT_EQ(ta[i].close_hour, tb[i].close_hour) << "ticket " << i;
+        }
+      });
+}
+
+TEST_F(DeterminismTest, PartialDependenceIsThreadCountInvariant) {
+  table::Table storage;
+  const cart::Dataset data = wave_dataset(storage);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 8;
+  util::set_num_threads(1);
+  const cart::Forest forest = cart::grow_forest(data, cfg);
+
+  expect_thread_invariant<std::vector<cart::PdPoint>>(
+      [&] { return forest.partial_dependence(data, "x", 15); },
+      [](const std::vector<cart::PdPoint>& a, const std::vector<cart::PdPoint>& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i].x, b[i].x) << "point " << i;
+          ASSERT_EQ(a[i].yhat, b[i].yhat) << "point " << i;
+        }
+      });
+}
+
+}  // namespace
+}  // namespace rainshine
