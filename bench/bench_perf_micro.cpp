@@ -4,9 +4,12 @@
 // the paper's tables and figures.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "rainshine/cart/forest.hpp"
 #include "rainshine/cart/prune.hpp"
 #include "rainshine/core/observations.hpp"
+#include "rainshine/serve/service.hpp"
 #include "rainshine/simdc/tickets.hpp"
 #include "rainshine/stats/bootstrap.hpp"
 #include "rainshine/stats/ecdf.hpp"
@@ -168,6 +171,75 @@ void BM_Simulate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Simulate)->Apply(thread_sweep)->Unit(benchmark::kMillisecond);
+
+// ---- Model artifact store + prediction service --------------------------
+//
+// Serialization cost scales with node count; scoring cost with batch size.
+// BENCH_serve.json records the committed baseline (1-vCPU container).
+
+const cart::Forest& serve_forest() {
+  static const cart::Forest forest = [] {
+    cart::ForestConfig cfg;
+    cfg.num_trees = 24;
+    cfg.tree.cp = 0.001;
+    return cart::grow_forest(forest_dataset(), cfg);
+  }();
+  return forest;
+}
+
+void BM_SaveForest(benchmark::State& state) {
+  const cart::Forest& forest = serve_forest();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::stringstream buf;
+    serve::save_forest(forest, {.name = "bench"}, buf);
+    bytes = buf.str().size();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["artifact_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SaveForest)->Unit(benchmark::kMicrosecond);
+
+void BM_LoadForest(benchmark::State& state) {
+  const cart::Forest& forest = serve_forest();
+  std::stringstream buf;
+  serve::save_forest(forest, {.name = "bench"}, buf);
+  const std::string bytes = buf.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes, std::ios::binary);
+    benchmark::DoNotOptimize(serve::load_forest(in));
+  }
+}
+BENCHMARK(BM_LoadForest)->Unit(benchmark::kMicrosecond);
+
+void BM_ScoreBatch(benchmark::State& state) {
+  // Batch-size sweep: rows per request through the micro-batching service.
+  const cart::Forest& forest = serve_forest();
+  serve::ModelMetadata meta;
+  meta.name = "bench";
+  meta.task = forest.task();
+  meta.schema = forest.trees().front().features();
+  serve::ModelArtifact art{
+      meta, std::make_shared<const cart::Forest>(forest)};
+
+  const auto& b = bundle();
+  core::ObservationOptions opt;
+  opt.day_stride = 2;
+  const table::Table all_rows = core::rack_day_table(b.metrics, b.env, opt);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> indices(batch);
+  for (std::size_t i = 0; i < batch; ++i) indices[i] = i % all_rows.num_rows();
+  const table::Table rows = all_rows.take(indices);
+
+  serve::PredictionService service(art);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.score(rows));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScoreBatch)->Arg(1)->Arg(16)->Arg(256)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EcdfQuantile(benchmark::State& state) {
   util::Rng rng(3);

@@ -4,6 +4,8 @@
 #   scripts/check.sh               # plain RelWithDebInfo build + ctest
 #   scripts/check.sh --sanitize    # additionally an ASan+UBSan build + ctest
 #   scripts/check.sh --tsan        # additionally a ThreadSanitizer build + ctest
+#   scripts/check.sh --serve-smoke # additionally run the modelc -> score
+#                                  # artifact pipeline end-to-end
 #
 # Flags combine (e.g. `--sanitize --tsan` runs all three suites). Extra
 # arguments after the flags are forwarded to ctest (e.g. -R Ingest).
@@ -13,10 +15,12 @@ cd "$(dirname "$0")/.."
 
 sanitize=0
 tsan=0
+serve_smoke=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
+    --serve-smoke) serve_smoke=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -47,6 +51,23 @@ fi
 if [[ "$tsan" == 1 ]]; then
   echo "== sanitizers: TSan build + ctest =="
   run_suite build-tsan -DRAINSHINE_TSAN=ON
+fi
+
+if [[ "$serve_smoke" == 1 ]]; then
+  echo "== serve smoke: modelc -> score pipeline =="
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "$workdir"' EXIT
+  ./build/tools/rainshine_modelc --demo --days 60 --trees 8 \
+    --output "$workdir/demo.rsf" --export-csv "$workdir/rows.csv"
+  ./build/tools/rainshine_score --model "$workdir/demo.rsf" \
+    --input "$workdir/rows.csv" --output "$workdir/scored.csv" --stats
+  rows=$(($(wc -l < "$workdir/rows.csv") - 1))
+  scored=$(($(wc -l < "$workdir/scored.csv") - 1))
+  if [[ "$rows" != "$scored" ]]; then
+    echo "serve smoke FAILED: scored $scored rows, expected $rows" >&2
+    exit 1
+  fi
+  echo "serve smoke: scored $scored/$rows rows"
 fi
 
 echo "OK"

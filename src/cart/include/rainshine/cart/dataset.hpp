@@ -34,6 +34,8 @@ struct FeatureInfo {
   std::vector<std::string> labels;  ///< categorical level names (by code)
 
   [[nodiscard]] std::size_t cardinality() const noexcept { return labels.size(); }
+
+  friend bool operator==(const FeatureInfo&, const FeatureInfo&) = default;
 };
 
 /// Column-major numeric snapshot of selected table columns.

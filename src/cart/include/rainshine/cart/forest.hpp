@@ -11,6 +11,8 @@
 // a single tree in bench_ablation_forest.
 #pragma once
 
+#include <bit>
+
 #include "rainshine/cart/partial.hpp"
 #include "rainshine/cart/tree.hpp"
 #include "rainshine/util/rng.hpp"
@@ -55,6 +57,16 @@ class Forest {
   [[nodiscard]] std::vector<PdPoint> partial_dependence(
       const Dataset& data, std::string_view feature, std::size_t grid_size = 20,
       std::size_t max_background_rows = 10000) const;
+
+  /// Structural equality for round-trip asserts (serve::save_forest /
+  /// load_forest). oob_error is compared bit-wise so a NaN (no row ever out
+  /// of bag) round-trips as equal.
+  friend bool operator==(const Forest& a, const Forest& b) {
+    return a.task_ == b.task_ &&
+           std::bit_cast<std::uint64_t>(a.oob_error_) ==
+               std::bit_cast<std::uint64_t>(b.oob_error_) &&
+           a.trees_ == b.trees_;
+  }
 
  private:
   [[nodiscard]] double predict_row(const Dataset& data, std::size_t row,

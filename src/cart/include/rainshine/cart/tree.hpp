@@ -64,6 +64,8 @@ struct Node {
   double improve = 0.0;               ///< impurity decrease achieved by this node's split
 
   [[nodiscard]] bool is_leaf() const noexcept { return left == kNoChild; }
+
+  friend bool operator==(const Node&, const Node&) = default;
 };
 
 /// Per-feature importance (sum of split improvements), normalized to sum 1.
@@ -117,6 +119,10 @@ class Tree {
   /// Root-to-node split path, e.g. for explaining a cluster
   /// ("dc=DC1 & power>=12 & age<6").
   [[nodiscard]] std::string path_to(std::size_t node_id) const;
+
+  /// Structural equality (task, feature schema, nodes, labels) — the
+  /// round-trip contract serve::load_forest(save_forest(f)) asserts against.
+  friend bool operator==(const Tree&, const Tree&) = default;
 
  private:
   Task task_;

@@ -1,0 +1,91 @@
+// ModelRegistry: the serving tier's name→version catalogue of loaded models.
+//
+// A scorer process keeps many fitted forests resident (one per metric, per
+// fleet, per experiment arm) and must replace any of them while scoring
+// traffic is in flight. The registry holds `shared_ptr<const ModelArtifact>`
+// values behind a reader/writer lock: `get` hands out a reference the caller
+// owns for as long as it scores, and `put` swaps the map entry atomically —
+// in-flight batches finish on the model they started with, new batches see
+// the new version. Nothing is ever mutated in place.
+//
+// Incoming rows are validated against the artifact's feature schema before
+// they reach a forest (`schema_issues` / `make_scoring_dataset`), so a
+// mis-shaped CSV is a typed, per-column diagnostic instead of a garbage
+// prediction.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rainshine/serve/artifact.hpp"
+#include "rainshine/table/table.hpp"
+
+namespace rainshine::serve {
+
+/// Registry coordinate of one loaded model.
+struct ModelKey {
+  std::string name;
+  std::uint32_t version = 0;
+
+  friend bool operator==(const ModelKey&, const ModelKey&) = default;
+};
+
+/// Outcome of a bulk directory load: how many artifacts registered, and a
+/// (path, reason) list of the ones that did not — mirrors the
+/// ingest::IngestReport stance that damaged inputs are observable, not fatal.
+struct DirectoryLoadReport {
+  std::size_t loaded = 0;
+  std::vector<std::pair<std::string, std::string>> failures;
+};
+
+class ModelRegistry {
+ public:
+  /// Registers (or hot-swaps) `artifact` under its metadata name/version.
+  /// Returns the key it registered under. Thread-safe; readers holding the
+  /// previous version's shared_ptr keep it alive until they drop it.
+  ModelKey put(ModelArtifact artifact);
+
+  /// Latest (highest-version) model under `name`; nullptr when absent.
+  [[nodiscard]] std::shared_ptr<const ModelArtifact> get(std::string_view name) const;
+  /// Exact version; nullptr when absent.
+  [[nodiscard]] std::shared_ptr<const ModelArtifact> get(std::string_view name,
+                                                         std::uint32_t version) const;
+
+  /// Drops one version. True if something was removed.
+  bool erase(std::string_view name, std::uint32_t version);
+
+  /// All registered (name, version) pairs, sorted by name then version.
+  [[nodiscard]] std::vector<ModelKey> list() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Loads every `*.rsf` file directly inside `dir` (sorted by filename, so
+  /// registration order is deterministic). Damaged artifacts are reported,
+  /// not thrown; a missing/unreadable directory throws
+  /// util::precondition_error.
+  DirectoryLoadReport load_directory(const std::string& dir);
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::map<std::uint32_t, std::shared_ptr<const ModelArtifact>>,
+           std::less<>>
+      models_;
+};
+
+/// Human-readable mismatches between `rows` and a fitted feature schema:
+/// missing columns and numeric/categorical type clashes. Empty means the
+/// table is scoreable. (Unseen categorical levels are not an error — the
+/// re-encode maps them to missing and splits route them like fitting did.)
+[[nodiscard]] std::vector<std::string> schema_issues(
+    const table::Table& rows, std::span<const cart::FeatureInfo> schema);
+
+/// Schema-checked scoring view: throws util::precondition_error listing
+/// every issue when `rows` does not satisfy `schema`, otherwise re-encodes
+/// the columns against the fitted dictionaries and returns the Dataset.
+[[nodiscard]] cart::Dataset make_scoring_dataset(
+    const table::Table& rows, std::span<const cart::FeatureInfo> schema);
+
+}  // namespace rainshine::serve

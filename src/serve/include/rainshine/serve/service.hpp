@@ -1,0 +1,156 @@
+// PredictionService: bounded admission, micro-batched scoring.
+//
+// Scoring traffic arrives as many small row groups (a rack's latest
+// telemetry, one experiment arm's day) while the forest prefers large
+// batches — Forest::predict fans rows out across the util::parallel pool, so
+// per-request overhead amortizes with batch size. The service sits between:
+//
+//   submit() ──► bounded admission queue ──► dispatcher thread ──► pool
+//                (backpressure: blocks or      (flushes a batch when
+//                 rejects when max_queue_rows   pending rows reach
+//                 of rows are pending)          max_batch_rows, or the
+//                                               oldest request has waited
+//                                               max_batch_delay)
+//
+// Determinism: a request's rows are scored by Forest::predict over the
+// request's own Dataset, which is bit-identical at any thread count (see
+// util/parallel.hpp) and independent of which batch the request landed in —
+// so service output is byte-identical to calling Forest::predict serially,
+// no matter how requests interleave, batch, or how wide the pool is.
+//
+// Failure isolation: a request whose rows violate the model's schema throws
+// in the submitting thread (never poisoning the queue); a scoring error
+// inside the dispatcher lands in that request's future alone.
+//
+// Counters: per-service (= per-model) admitted/rejected/completed counts,
+// rows, batches by flush cause, queue depth high-water mark and end-to-end
+// latency live in ServiceStats — the serving-side analogue of the λ/µ
+// counters core::metrics keeps for failures — and are readable at any time
+// via stats().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rainshine/serve/artifact.hpp"
+#include "rainshine/serve/registry.hpp"
+#include "rainshine/table/table.hpp"
+
+namespace rainshine::serve {
+
+struct ServiceConfig {
+  /// Flush the pending batch once this many rows are queued.
+  std::size_t max_batch_rows = 256;
+  /// Admission bound: submit() blocks (try_submit() refuses) while this many
+  /// rows are already pending. An oversized single request is admitted when
+  /// the queue is empty, so it can never deadlock.
+  std::size_t max_queue_rows = 4096;
+  /// Flush the pending batch once its oldest request has waited this long,
+  /// even if it is below max_batch_rows.
+  std::chrono::microseconds max_batch_delay{2000};
+};
+
+/// Monotonic counters snapshot. Latencies are measured enqueue → scored, in
+/// microseconds. A request's counters are published before its future
+/// fulfills, so stats() taken after a .get() always includes that request.
+struct ServiceStats {
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_rejected = 0;  ///< try_submit refusals (backpressure)
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;    ///< scoring threw; error in the future
+  std::uint64_t rows_scored = 0;
+  std::uint64_t batches_flushed = 0;
+  std::uint64_t full_flushes = 0;       ///< batch reached max_batch_rows
+  std::uint64_t deadline_flushes = 0;   ///< flushed by max_batch_delay / drain
+  std::uint64_t queue_depth_rows = 0;   ///< pending right now
+  std::uint64_t peak_queue_rows = 0;    ///< high-water mark
+  std::uint64_t total_latency_us = 0;
+  std::uint64_t max_latency_us = 0;
+
+  [[nodiscard]] double mean_latency_us() const noexcept {
+    return requests_completed == 0
+               ? 0.0
+               : static_cast<double>(total_latency_us) /
+                     static_cast<double>(requests_completed);
+  }
+
+  /// One-line human summary for logs and CLI --stats output.
+  [[nodiscard]] std::string summary() const;
+};
+
+class PredictionService {
+ public:
+  /// Serves `artifact.forest`, validating every submitted table against
+  /// `artifact.meta.schema`. The service owns one dispatcher thread.
+  explicit PredictionService(ModelArtifact artifact, ServiceConfig config = {});
+
+  /// Drains every admitted request, then stops the dispatcher.
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Validates `rows` against the model schema (throws
+  /// util::precondition_error on mismatch — in this thread, immediately),
+  /// then blocks until the queue has room and returns a future holding one
+  /// prediction per row (regression values or class codes; see
+  /// class_labels() to render the latter).
+  [[nodiscard]] std::future<std::vector<double>> submit(const table::Table& rows);
+
+  /// Non-blocking admission: nullopt (and a rejected tick) when the queue
+  /// is full. Schema mismatches still throw.
+  [[nodiscard]] std::optional<std::future<std::vector<double>>> try_submit(
+      const table::Table& rows);
+
+  /// submit() + wait: scores `rows` synchronously through the batch path.
+  [[nodiscard]] std::vector<double> score(const table::Table& rows);
+
+  /// Forces everything currently admitted through the scorer and returns
+  /// once those futures are fulfilled.
+  void flush();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ModelMetadata& model() const noexcept { return meta_; }
+
+ private:
+  struct Request {
+    cart::Dataset rows;
+    std::promise<std::vector<double>> result;
+    std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t sequence = 0;
+  };
+
+  std::future<std::vector<double>> enqueue(const table::Table& rows, bool blocking,
+                                           bool& admitted);
+  void run();
+  void score_batch(std::vector<Request> batch, bool deadline_flush);
+
+  ModelMetadata meta_;
+  std::shared_ptr<const cart::Forest> forest_;
+  ServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   ///< dispatcher wakeups
+  std::condition_variable space_free_;   ///< producer backpressure wakeups
+  std::condition_variable drained_;      ///< flush() completion
+  std::deque<Request> pending_;
+  std::size_t pending_rows_ = 0;
+  std::uint64_t next_sequence_ = 0;      ///< last sequence admitted
+  std::uint64_t completed_sequence_ = 0; ///< all requests <= this are done
+  bool stop_ = false;
+  bool flush_requested_ = false;
+  ServiceStats stats_;
+
+  std::thread dispatcher_;  ///< last member: started after state is ready
+};
+
+}  // namespace rainshine::serve

@@ -1,0 +1,122 @@
+#include "rainshine/serve/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::serve {
+
+ModelKey ModelRegistry::put(ModelArtifact artifact) {
+  util::require(artifact.forest != nullptr, "artifact carries no forest");
+  util::require(!artifact.meta.name.empty(), "artifact needs a model name");
+  ModelKey key{artifact.meta.name, artifact.meta.version};
+  auto shared = std::make_shared<const ModelArtifact>(std::move(artifact));
+  {
+    std::unique_lock lock(mutex_);
+    models_[key.name][key.version] = std::move(shared);
+  }
+  return key;
+}
+
+std::shared_ptr<const ModelArtifact> ModelRegistry::get(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) return nullptr;
+  return it->second.rbegin()->second;
+}
+
+std::shared_ptr<const ModelArtifact> ModelRegistry::get(std::string_view name,
+                                                        std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) return nullptr;
+  const auto vit = it->second.find(version);
+  return vit == it->second.end() ? nullptr : vit->second;
+}
+
+bool ModelRegistry::erase(std::string_view name, std::uint32_t version) {
+  std::unique_lock lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) return false;
+  const bool removed = it->second.erase(version) > 0;
+  if (it->second.empty()) models_.erase(it);
+  return removed;
+}
+
+std::vector<ModelKey> ModelRegistry::list() const {
+  std::shared_lock lock(mutex_);
+  std::vector<ModelKey> out;
+  for (const auto& [name, versions] : models_) {
+    for (const auto& [version, model] : versions) out.push_back({name, version});
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, versions] : models_) n += versions.size();
+  return n;
+}
+
+DirectoryLoadReport ModelRegistry::load_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  util::require(fs::is_directory(dir, ec), "not a readable directory: " + dir);
+
+  std::vector<fs::path> artifacts;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == kArtifactExtension) {
+      artifacts.push_back(entry.path());
+    }
+  }
+  std::sort(artifacts.begin(), artifacts.end());
+
+  DirectoryLoadReport report;
+  for (const fs::path& path : artifacts) {
+    try {
+      put(load_forest_file(path.string()));
+      ++report.loaded;
+    } catch (const artifact_error& e) {
+      report.failures.emplace_back(path.string(), e.what());
+    } catch (const util::precondition_error& e) {
+      report.failures.emplace_back(path.string(), e.what());
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> schema_issues(const table::Table& rows,
+                                       std::span<const cart::FeatureInfo> schema) {
+  std::vector<std::string> issues;
+  for (const cart::FeatureInfo& feature : schema) {
+    if (!rows.has_column(feature.name)) {
+      issues.push_back("missing column '" + feature.name + "'");
+      continue;
+    }
+    const bool nominal =
+        rows.column(feature.name).type() == table::ColumnType::kNominal;
+    if (nominal != feature.categorical) {
+      issues.push_back("column '" + feature.name + "' is " +
+                       (nominal ? "categorical" : "numeric") +
+                       " but the model fitted it as " +
+                       (feature.categorical ? "categorical" : "numeric"));
+    }
+  }
+  return issues;
+}
+
+cart::Dataset make_scoring_dataset(const table::Table& rows,
+                                   std::span<const cart::FeatureInfo> schema) {
+  const std::vector<std::string> issues = schema_issues(rows, schema);
+  if (!issues.empty()) {
+    std::string what = "rows do not match the model's feature schema:";
+    for (const std::string& issue : issues) what += "\n  - " + issue;
+    throw util::precondition_error(what);
+  }
+  return cart::Dataset(rows, schema);
+}
+
+}  // namespace rainshine::serve

@@ -1,0 +1,215 @@
+#include "rainshine/serve/service.hpp"
+
+#include <algorithm>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::serve {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+std::string ServiceStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%llu req (%llu rejected, %llu failed), %llu rows in %llu "
+                "batches (%llu full, %llu deadline), peak queue %llu rows, "
+                "latency mean %.1fus max %lluus",
+                static_cast<unsigned long long>(requests_admitted),
+                static_cast<unsigned long long>(requests_rejected),
+                static_cast<unsigned long long>(requests_failed),
+                static_cast<unsigned long long>(rows_scored),
+                static_cast<unsigned long long>(batches_flushed),
+                static_cast<unsigned long long>(full_flushes),
+                static_cast<unsigned long long>(deadline_flushes),
+                static_cast<unsigned long long>(peak_queue_rows),
+                mean_latency_us(),
+                static_cast<unsigned long long>(max_latency_us));
+  return buf;
+}
+
+PredictionService::PredictionService(ModelArtifact artifact, ServiceConfig config)
+    : meta_(std::move(artifact.meta)),
+      forest_(std::move(artifact.forest)),
+      config_(config) {
+  util::require(forest_ != nullptr, "PredictionService needs a forest");
+  util::require(!meta_.schema.empty(), "PredictionService needs a feature schema");
+  util::require(config_.max_batch_rows > 0, "max_batch_rows must be positive");
+  util::require(config_.max_queue_rows >= config_.max_batch_rows,
+                "max_queue_rows must be at least max_batch_rows");
+  dispatcher_ = std::thread([this] { run(); });
+}
+
+PredictionService::~PredictionService() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  space_free_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<std::vector<double>> PredictionService::enqueue(
+    const table::Table& rows, bool blocking, bool& admitted) {
+  // Schema validation and dictionary re-encode happen here, in the caller's
+  // thread: a bad table throws before touching the queue, and the dispatcher
+  // only ever sees scoreable Datasets.
+  Request req{make_scoring_dataset(rows, meta_.schema), {}, {}, 0};
+  const std::size_t n = req.rows.num_rows();
+  std::future<std::vector<double>> future = req.result.get_future();
+
+  std::unique_lock lock(mutex_);
+  const auto has_room = [&] {
+    return pending_rows_ == 0 || pending_rows_ + n <= config_.max_queue_rows;
+  };
+  if (!blocking && !stop_ && !has_room()) {
+    ++stats_.requests_rejected;
+    admitted = false;
+    return future;
+  }
+  if (blocking) {
+    space_free_.wait(lock, [&] { return stop_ || has_room(); });
+  }
+  util::require(!stop_, "PredictionService is shutting down");
+
+  req.enqueued = std::chrono::steady_clock::now();
+  req.sequence = ++next_sequence_;
+  pending_.push_back(std::move(req));
+  pending_rows_ += n;
+  ++stats_.requests_admitted;
+  stats_.queue_depth_rows = pending_rows_;
+  stats_.peak_queue_rows = std::max<std::uint64_t>(stats_.peak_queue_rows,
+                                                   pending_rows_);
+  admitted = true;
+  lock.unlock();
+  work_ready_.notify_all();
+  return future;
+}
+
+std::future<std::vector<double>> PredictionService::submit(const table::Table& rows) {
+  bool admitted = false;
+  return enqueue(rows, /*blocking=*/true, admitted);
+}
+
+std::optional<std::future<std::vector<double>>> PredictionService::try_submit(
+    const table::Table& rows) {
+  bool admitted = false;
+  auto future = enqueue(rows, /*blocking=*/false, admitted);
+  if (!admitted) return std::nullopt;
+  return future;
+}
+
+std::vector<double> PredictionService::score(const table::Table& rows) {
+  return submit(rows).get();
+}
+
+void PredictionService::flush() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t target = next_sequence_;
+  flush_requested_ = true;
+  work_ready_.notify_all();
+  drained_.wait(lock, [&] { return completed_sequence_ >= target; });
+  if (pending_.empty()) flush_requested_ = false;
+}
+
+ServiceStats PredictionService::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void PredictionService::run() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;  // drained; nothing can arrive after stop_
+      continue;
+    }
+    // Micro-batching: sleep until the oldest request's deadline unless the
+    // batch fills (or a flush/stop forces the issue) first.
+    const auto deadline = pending_.front().enqueued + config_.max_batch_delay;
+    work_ready_.wait_until(lock, deadline, [&] {
+      return stop_ || flush_requested_ ||
+             pending_rows_ >= config_.max_batch_rows;
+    });
+    if (pending_.empty()) continue;  // a racing flush drained the queue
+
+    // Full flush: peel off max_batch_rows worth of requests; the remainder
+    // keeps its place in line. Deadline/drain flush: take everything.
+    const bool full = pending_rows_ >= config_.max_batch_rows;
+    std::vector<Request> batch;
+    std::size_t batch_rows = 0;
+    while (!pending_.empty()) {
+      if (full && !batch.empty() && batch_rows >= config_.max_batch_rows) break;
+      batch_rows += pending_.front().rows.num_rows();
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_rows_ -= batch_rows;
+    stats_.queue_depth_rows = pending_rows_;
+    ++stats_.batches_flushed;
+    if (full) {
+      ++stats_.full_flushes;
+    } else {
+      ++stats_.deadline_flushes;
+    }
+    lock.unlock();
+    space_free_.notify_all();
+    score_batch(std::move(batch), !full);
+    lock.lock();
+    if (pending_.empty() && flush_requested_) flush_requested_ = false;
+  }
+}
+
+void PredictionService::score_batch(std::vector<Request> batch,
+                                    bool /*deadline_flush*/) {
+  for (Request& req : batch) {
+    const std::size_t n = req.rows.num_rows();
+    std::vector<double> result;
+    std::exception_ptr error;
+    try {
+      // Forest::predict fans the rows across the shared pool; its output is
+      // bit-identical at any thread count and does not depend on what else
+      // is in the batch, so batching is pure scheduling.
+      result = forest_->predict(req.rows);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const std::uint64_t latency = elapsed_us(req.enqueued);
+    {
+      // Counters first, fulfillment second: a caller who has seen its future
+      // resolve is guaranteed to find its request in the stats() snapshot.
+      std::lock_guard lock(mutex_);
+      if (error == nullptr) {
+        ++stats_.requests_completed;
+        stats_.rows_scored += n;
+        stats_.total_latency_us += latency;
+        stats_.max_latency_us = std::max(stats_.max_latency_us, latency);
+      } else {
+        ++stats_.requests_failed;
+      }
+    }
+    if (error != nullptr) {
+      req.result.set_exception(error);
+    } else {
+      req.result.set_value(std::move(result));
+    }
+    {
+      // The flush() gate advances only after the future is fulfilled, so
+      // flush() keeps its promise that drained futures are ready.
+      std::lock_guard lock(mutex_);
+      completed_sequence_ = req.sequence;
+    }
+    drained_.notify_all();
+  }
+}
+
+}  // namespace rainshine::serve

@@ -41,7 +41,9 @@ struct CsvReadOptions {
 /// whose message carries the 1-based row (header = row 1) and, for cell
 /// errors, the column name; under kQuarantine/kRepair malformed records are
 /// recorded in `report` (if non-null) and skipped or fixed up instead.
-/// A leading UTF-8 BOM and CR line endings are tolerated under all policies.
+/// A leading UTF-8 BOM and CR line endings are tolerated under all policies,
+/// and quoted fields may span physical lines (RFC 4180 embedded newlines) —
+/// whatever write_csv emits, read_csv takes back.
 [[nodiscard]] Table read_csv(std::istream& in,
                              std::span<const CsvSchemaEntry> schema,
                              const CsvReadOptions& options,

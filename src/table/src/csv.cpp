@@ -80,6 +80,32 @@ void strip_bom(std::string& line) {
   }
 }
 
+/// Reads one logical CSV record into `record`, continuing across physical
+/// lines while a quoted field is still open (RFC 4180 allows embedded
+/// newlines inside quotes — write_csv emits them, so read_csv must take them
+/// back). `lines` receives the physical line count consumed (0 at EOF).
+/// Quote parity is what matters: an escaped "" flips the state twice, so the
+/// record ends exactly when every opened quote has closed.
+bool read_record(std::istream& in, std::string& record, std::size_t& lines) {
+  record.clear();
+  lines = 0;
+  std::string line;
+  bool quote_open = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (lines > 1) record += '\n';
+    record += line;
+    for (const char c : line) {
+      if (c == '"') quote_open = !quote_open;
+    }
+    if (!quote_open) return true;
+  }
+  // EOF inside an open quote: surface whatever accumulated; the field-count
+  // check downstream will flag the damage.
+  return lines > 0;
+}
+
 /// True when `cell` parses as `type` (empty cells are missing, always fine).
 bool cell_parses(const std::string& cell, ColumnType type) {
   if (cell.empty()) return true;
@@ -124,10 +150,11 @@ Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema,
                const CsvReadOptions& options, IngestReport* report) {
   const ErrorPolicy policy = options.policy;
   std::string line;
-  util::require(static_cast<bool>(std::getline(in, line)),
-                "CSV row 1: missing header");
+  std::size_t lines_read = 0;
+  util::require(read_record(in, line, lines_read), "CSV row 1: missing header");
   strip_bom(line);
   const std::vector<std::string> header = split_record(line);
+  std::size_t physical_line = lines_read;  // header ends on this line
 
   if (!schema.empty()) {
     util::require(schema.size() == header.size(),
@@ -142,10 +169,12 @@ Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema,
 
   // Buffer all records; we need a full pass for type inference anyway.
   std::vector<std::vector<std::string>> records;
-  std::size_t row = 1;  // header
-  while (std::getline(in, line)) {
-    ++row;
-    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+  while (read_record(in, line, lines_read)) {
+    // `row` is the 1-based physical line the record starts on (header =
+    // row 1), so diagnostics keep pointing at real file lines even when
+    // quoted records span several of them.
+    const std::size_t row = physical_line + 1;
+    physical_line += lines_read;
     // An empty line is a record only for single-column tables (one missing
     // cell); in wider tables it is formatting noise and is skipped.
     if (line.empty() && header.size() > 1) continue;

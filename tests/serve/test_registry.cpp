@@ -1,0 +1,225 @@
+// ModelRegistry: name→version catalogue, atomic hot-swap semantics, bulk
+// directory loading with per-file failure reporting, and the schema
+// validation gate rows pass before reaching a forest.
+#include "rainshine/serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::serve {
+namespace {
+
+using table::Column;
+using table::Table;
+
+Table tiny_table(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<std::string> dc(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 2.0);
+    dc[i] = rng.bernoulli(0.5) ? "DC1" : "DC2";
+    y[i] = x[i] + (dc[i] == "DC1" ? 0.5 : -0.5);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("dc", Column::nominal(dc));
+  t.add_column("y", Column::continuous(std::move(y)));
+  return t;
+}
+
+ModelArtifact tiny_artifact(const std::string& name, std::uint32_t version,
+                            std::uint64_t seed = 5) {
+  const Table t = tiny_table(120, seed);
+  const cart::Dataset data(t, "y", {"x", "dc"}, cart::Task::kRegression);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 3;
+  cfg.seed = seed;
+  cart::Forest forest = cart::grow_forest(data, cfg);
+  ModelMetadata meta;
+  meta.name = name;
+  meta.version = version;
+  meta.task = forest.task();
+  meta.schema = forest.trees().front().features();
+  meta.oob_error = forest.oob_error();
+  return ModelArtifact{std::move(meta),
+                       std::make_shared<const cart::Forest>(std::move(forest))};
+}
+
+TEST(ModelRegistry, PutGetLatestAndExactVersion) {
+  ModelRegistry reg;
+  const ModelKey k1 = reg.put(tiny_artifact("lambda_hw", 1));
+  const ModelKey k3 = reg.put(tiny_artifact("lambda_hw", 3));
+  reg.put(tiny_artifact("mu", 1));
+  EXPECT_EQ(k1, (ModelKey{"lambda_hw", 1}));
+  EXPECT_EQ(k3, (ModelKey{"lambda_hw", 3}));
+  EXPECT_EQ(reg.size(), 3u);
+
+  const auto latest = reg.get("lambda_hw");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->meta.version, 3u);
+  const auto exact = reg.get("lambda_hw", 1);
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->meta.version, 1u);
+  EXPECT_EQ(reg.get("lambda_hw", 2), nullptr);
+  EXPECT_EQ(reg.get("nope"), nullptr);
+
+  const std::vector<ModelKey> keys = reg.list();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], (ModelKey{"lambda_hw", 1}));
+  EXPECT_EQ(keys[1], (ModelKey{"lambda_hw", 3}));
+  EXPECT_EQ(keys[2], (ModelKey{"mu", 1}));
+}
+
+TEST(ModelRegistry, HotSwapKeepsInFlightReadersAlive) {
+  ModelRegistry reg;
+  reg.put(tiny_artifact("m", 1, /*seed=*/41));
+  const auto held = reg.get("m");  // a scorer mid-batch
+  ASSERT_NE(held, nullptr);
+  const cart::Forest* old_forest = held->forest.get();
+
+  reg.put(tiny_artifact("m", 1, /*seed=*/42));  // same version, new bytes
+  const auto fresh = reg.get("m");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh->forest.get(), old_forest);
+  // The held pointer still scores against the model it started with.
+  EXPECT_EQ(held->forest.get(), old_forest);
+  const Table rows = tiny_table(10, 9);
+  const cart::Dataset scoring(rows, held->meta.schema);
+  EXPECT_EQ(held->forest->predict(scoring).size(), 10u);
+}
+
+TEST(ModelRegistry, EraseDropsOnlyThatVersion) {
+  ModelRegistry reg;
+  reg.put(tiny_artifact("m", 1));
+  reg.put(tiny_artifact("m", 2));
+  EXPECT_TRUE(reg.erase("m", 2));
+  EXPECT_FALSE(reg.erase("m", 2));
+  const auto latest = reg.get("m");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->meta.version, 1u);
+  EXPECT_TRUE(reg.erase("m", 1));
+  EXPECT_EQ(reg.get("m"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(ModelRegistry, LoadDirectoryRegistersGoodReportsBad) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "rainshine_registry_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  save_forest_file(*tiny_artifact("a", 1).forest, {.name = "a", .version = 1},
+                   (dir / "a_v1.rsf").string());
+  save_forest_file(*tiny_artifact("b", 2).forest, {.name = "b", .version = 2},
+                   (dir / "b_v2.rsf").string());
+  {  // a damaged artifact and a non-artifact file
+    std::ofstream bad(dir / "broken.rsf", std::ios::binary);
+    bad << "RSF1 but not really";
+  }
+  {
+    std::ofstream other(dir / "notes.txt");
+    other << "ignore me";
+  }
+
+  ModelRegistry reg;
+  const DirectoryLoadReport report = reg.load_directory(dir.string());
+  EXPECT_EQ(report.loaded, 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].first.find("broken.rsf"), std::string::npos);
+  EXPECT_FALSE(report.failures[0].second.empty());
+  EXPECT_NE(reg.get("a", 1), nullptr);
+  EXPECT_NE(reg.get("b", 2), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+
+  EXPECT_THROW((void)reg.load_directory((dir / "missing").string()),
+               util::precondition_error);
+  fs::remove_all(dir);
+}
+
+TEST(ModelRegistry, ConcurrentPutGetSmoke) {
+  // Hammer put/get from several threads; under TSan/ASan this is the
+  // reader-writer-lock correctness probe. Every get must observe a complete
+  // artifact or nullptr, never a torn one.
+  ModelRegistry reg;
+  reg.put(tiny_artifact("hot", 1));
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (unsigned w = 0; w < 2; ++w) {
+    workers.emplace_back([&reg, w] {
+      for (std::uint32_t i = 0; i < 20; ++i) {
+        reg.put(tiny_artifact("hot", 1 + (i % 3), /*seed=*/w * 100 + i));
+      }
+    });
+  }
+  for (unsigned w = 0; w < 2; ++w) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        const auto got = reg.get("hot");
+        if (got != nullptr) {
+          EXPECT_EQ(got->meta.name, "hot");
+          EXPECT_FALSE(got->meta.schema.empty());
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_NE(reg.get("hot"), nullptr);
+}
+
+TEST(SchemaValidation, IssuesListMissingAndMistypedColumns) {
+  const ModelArtifact art = tiny_artifact("m", 1);
+
+  Table ok = tiny_table(5, 3);
+  EXPECT_TRUE(schema_issues(ok, art.meta.schema).empty());
+
+  Table missing;
+  missing.add_column("x", Column::continuous({1.0}));
+  const auto issues1 = schema_issues(missing, art.meta.schema);
+  ASSERT_EQ(issues1.size(), 1u);
+  EXPECT_NE(issues1[0].find("dc"), std::string::npos);
+
+  Table mistyped;
+  mistyped.add_column("x", Column::continuous({1.0}));
+  mistyped.add_column("dc", Column::continuous({0.0}));  // should be nominal
+  const auto issues2 = schema_issues(mistyped, art.meta.schema);
+  ASSERT_EQ(issues2.size(), 1u);
+  EXPECT_NE(issues2[0].find("dc"), std::string::npos);
+}
+
+TEST(SchemaValidation, MakeScoringDatasetThrowsWithEveryIssueListed) {
+  const ModelArtifact art = tiny_artifact("m", 1);
+  Table bad;
+  bad.add_column("dc", Column::continuous({0.0}));
+  try {
+    (void)make_scoring_dataset(bad, art.meta.schema);
+    FAIL() << "expected precondition_error";
+  } catch (const util::precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x"), std::string::npos) << what;
+    EXPECT_NE(what.find("dc"), std::string::npos) << what;
+  }
+}
+
+TEST(SchemaValidation, UnseenCategoricalLevelScoresAsMissing) {
+  const ModelArtifact art = tiny_artifact("m", 1);
+  Table rows;
+  rows.add_column("x", Column::continuous({1.0}));
+  rows.add_column("dc", Column::nominal(std::vector<std::string>{"DC9"}));
+  EXPECT_TRUE(schema_issues(rows, art.meta.schema).empty());
+  const cart::Dataset scoring = make_scoring_dataset(rows, art.meta.schema);
+  const std::vector<double> pred = art.forest->predict(scoring);
+  ASSERT_EQ(pred.size(), 1u);
+  EXPECT_TRUE(std::isfinite(pred[0]));
+}
+
+}  // namespace
+}  // namespace rainshine::serve

@@ -1,0 +1,209 @@
+// rainshine_modelc — fit a forest and emit a versioned .rsf model artifact.
+//
+// Three input modes:
+//
+//   --input data.csv --response COL     fit on any feature CSV (types are
+//       [--features a,b,c]              inferred; task follows the response
+//       [--task regression|class...]    column type unless overridden)
+//
+//   --tickets tickets.csv               fit the paper's λ_hw model from an
+//       [--fleet test|paper]            RMA ticket export (ticket_io schema),
+//       [--days N]                      joined against the named fleet
+//
+//   --demo [--days N]                   simulate a ticket stream on the test
+//                                       fleet first, then fit as --tickets
+//
+// Common fitting/output flags:
+//   --output model.rsf      (required) artifact destination
+//   --name NAME             registry name stored in the artifact
+//   --model-version V       registry version (default 1)
+//   --trees N --cp X --seed S --sample-fraction F --features-per-tree K
+//   --export-csv rows.csv   also write the training table (handy as scoring
+//                           input for rainshine_score; used by
+//                           scripts/check.sh --serve-smoke)
+//
+// Exit codes: 0 fitted and saved, 2 usage error, 3 data error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rainshine/core/observations.hpp"
+#include "rainshine/serve/artifact.hpp"
+#include "rainshine/simdc/ticket_io.hpp"
+#include "rainshine/simdc/tickets.hpp"
+#include "rainshine/table/csv.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+using namespace rainshine;
+
+namespace {
+
+struct Options {
+  std::string input;     // generic CSV mode
+  std::string response;
+  std::vector<std::string> features;
+  std::string task;      // "", "regression", "classification"
+
+  std::string tickets;   // ticket CSV mode
+  bool demo = false;
+  std::string fleet = "test";
+  int days = 120;
+
+  std::string output;
+  std::string export_csv;
+  std::string name = "model";
+  std::uint32_t model_version = 1;
+  cart::ForestConfig config;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--input data.csv --response COL [--features a,b,c] "
+               "[--task regression|classification]\n"
+               "        | --tickets tickets.csv [--fleet test|paper] [--days N]\n"
+               "        | --demo [--days N])\n"
+               "        --output model.rsf [--name NAME] [--model-version V]\n"
+               "        [--trees N] [--cp X] [--seed S] [--sample-fraction F]\n"
+               "        [--features-per-tree K] [--export-csv rows.csv]\n",
+               argv0);
+  std::exit(2);
+}
+
+const char* need_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[0]);
+  return argv[++i];
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--input") opt.input = need_value(argc, argv, i);
+    else if (a == "--response") opt.response = need_value(argc, argv, i);
+    else if (a == "--features") {
+      for (const auto f : util::split(need_value(argc, argv, i), ','))
+        opt.features.emplace_back(util::trim(f));
+    } else if (a == "--task") opt.task = need_value(argc, argv, i);
+    else if (a == "--tickets") opt.tickets = need_value(argc, argv, i);
+    else if (a == "--demo") opt.demo = true;
+    else if (a == "--fleet") opt.fleet = need_value(argc, argv, i);
+    else if (a == "--days") opt.days = std::atoi(need_value(argc, argv, i));
+    else if (a == "--output") opt.output = need_value(argc, argv, i);
+    else if (a == "--export-csv") opt.export_csv = need_value(argc, argv, i);
+    else if (a == "--name") opt.name = need_value(argc, argv, i);
+    else if (a == "--model-version")
+      opt.model_version = static_cast<std::uint32_t>(
+          std::strtoul(need_value(argc, argv, i), nullptr, 10));
+    else if (a == "--trees")
+      opt.config.num_trees = static_cast<std::size_t>(
+          std::strtoul(need_value(argc, argv, i), nullptr, 10));
+    else if (a == "--cp") opt.config.tree.cp = std::atof(need_value(argc, argv, i));
+    else if (a == "--seed")
+      opt.config.seed = std::strtoull(need_value(argc, argv, i), nullptr, 10);
+    else if (a == "--sample-fraction")
+      opt.config.sample_fraction = std::atof(need_value(argc, argv, i));
+    else if (a == "--features-per-tree")
+      opt.config.features_per_tree = static_cast<std::size_t>(
+          std::strtoul(need_value(argc, argv, i), nullptr, 10));
+    else usage(argv[0]);
+  }
+  const int modes = (!opt.input.empty() ? 1 : 0) + (!opt.tickets.empty() ? 1 : 0) +
+                    (opt.demo ? 1 : 0);
+  if (modes != 1 || opt.output.empty()) usage(argv[0]);
+  if (!opt.input.empty() && opt.response.empty()) usage(argv[0]);
+  return opt;
+}
+
+/// The λ_hw observation table the paper's decision studies fit on, built
+/// from a simulated or imported ticket stream.
+table::Table ticket_table(const Options& opt, std::string& response,
+                          std::vector<std::string>& features) {
+  simdc::FleetSpec spec = opt.fleet == "paper" ? simdc::FleetSpec::paper_default()
+                                               : simdc::FleetSpec::test_default();
+  util::require(opt.fleet == "paper" || opt.fleet == "test",
+                "--fleet must be test or paper");
+  if (opt.days > 0) spec.num_days = opt.days;
+  const simdc::Fleet fleet(spec);
+  const simdc::EnvironmentModel env(fleet, spec.seed);
+  const simdc::HazardModel hazard(fleet, env);
+
+  simdc::TicketLog log = [&] {
+    if (opt.demo) return simulate(fleet, env, hazard, {.seed = spec.seed});
+    ingest::IngestReport report;
+    simdc::TicketReadOptions read;
+    read.policy = ingest::ErrorPolicy::kRepair;
+    auto imported = simdc::read_ticket_csv_file(opt.tickets, fleet, read, &report);
+    std::fprintf(stderr, "ingest: %s\n", report.summary().c_str());
+    return imported;
+  }();
+
+  const core::FailureMetrics metrics(fleet, log);
+  core::ObservationOptions obs;
+  obs.day_stride = 2;
+  response = core::col::kLambdaHw;
+  features = core::static_rack_features();
+  return core::rack_day_table(metrics, env, obs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  try {
+    std::string response = opt.response;
+    std::vector<std::string> features = opt.features;
+    table::Table tbl;
+    if (!opt.input.empty()) {
+      tbl = table::read_csv_file(opt.input, {});
+      util::require(tbl.has_column(response),
+                    "response column '" + response + "' not in " + opt.input);
+      if (features.empty()) {
+        for (const std::string& c : tbl.column_names())
+          if (c != response) features.push_back(c);
+      }
+    } else {
+      tbl = ticket_table(opt, response, features);
+    }
+
+    cart::Task task = cart::Task::kRegression;
+    if (opt.task == "classification") task = cart::Task::kClassification;
+    else if (opt.task.empty() &&
+             tbl.column(response).type() == table::ColumnType::kNominal)
+      task = cart::Task::kClassification;
+    else if (!opt.task.empty() && opt.task != "regression")
+      usage(argv[0]);
+
+    const cart::Dataset data(tbl, response, features, task,
+                             cart::MissingResponse::kDropRows);
+    std::fprintf(stderr, "fitting %zu trees on %zu rows x %zu features...\n",
+                 opt.config.num_trees, data.num_rows(), data.num_features());
+    const cart::Forest forest = cart::grow_forest(data, opt.config);
+
+    serve::ModelMetadata meta;
+    meta.name = opt.name;
+    meta.version = opt.model_version;
+    meta.config = opt.config;
+    serve::save_forest_file(forest, meta, opt.output);
+
+    std::fprintf(stderr, "saved %s v%u -> %s (oob_error=%.6g)\n",
+                 opt.name.c_str(), opt.model_version, opt.output.c_str(),
+                 forest.oob_error());
+    for (const auto& imp : forest.variable_importance()) {
+      if (imp.importance < 0.01) continue;
+      std::fprintf(stderr, "  importance %-16s %.3f\n", imp.feature.c_str(),
+                   imp.importance);
+    }
+    if (!opt.export_csv.empty()) {
+      table::write_csv_file(tbl, opt.export_csv);
+      std::fprintf(stderr, "exported training table -> %s\n",
+                   opt.export_csv.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
