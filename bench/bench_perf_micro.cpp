@@ -4,7 +4,11 @@
 // the paper's tables and figures.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "rainshine/cart/forest.hpp"
 #include "rainshine/cart/prune.hpp"
@@ -14,6 +18,7 @@
 #include "rainshine/stats/bootstrap.hpp"
 #include "rainshine/stats/ecdf.hpp"
 #include "rainshine/util/parallel.hpp"
+#include "rainshine/util/rng.hpp"
 
 using namespace rainshine;
 
@@ -88,6 +93,85 @@ void BM_ObservationTable(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObservationTable)->Unit(benchmark::kMillisecond);
+
+// ---- Split-search engine sweeps -----------------------------------------
+//
+// Row-count sweep over synthetic mixed-type data, run through both engines:
+// Args are (rows, engine) with engine 0 = presort (default), 1 = exhaustive
+// (the seed per-node std::sort reference). The two grow bit-identical trees
+// (tests/cart/test_grow_golden.cpp), so the gap is pure split-search cost.
+// BENCH_cart.json records the committed baseline.
+
+const cart::Dataset& synthetic_cart_data(std::size_t rows) {
+  static std::map<std::size_t, std::pair<table::Table, cart::Dataset>> cache;
+  auto it = cache.find(rows);
+  if (it == cache.end()) {
+    util::Rng rng(rows);
+    std::vector<double> x1(rows);
+    std::vector<double> x2(rows);
+    std::vector<double> y(rows);
+    table::Column sku(table::ColumnType::kNominal);
+    const char* labels[] = {"a", "b", "c", "d", "e", "f"};
+    for (std::size_t i = 0; i < rows; ++i) {
+      x1[i] = std::floor(rng.uniform(0.0, 40.0)) / 4.0;  // tied values
+      x2[i] = rng.uniform(-5.0, 5.0);
+      const std::size_t s = static_cast<std::size_t>(rng.below(6));
+      sku.push_nominal(labels[s]);
+      y[i] = 2.0 * x1[i] + std::abs(x2[i]) + (s == 3 ? 5.0 : 0.0) +
+             rng.uniform(-0.5, 0.5);
+    }
+    table::Table t;
+    t.add_column("x1", table::Column::continuous(std::move(x1)));
+    t.add_column("x2", table::Column::continuous(std::move(x2)));
+    t.add_column("sku", std::move(sku));
+    t.add_column("y", table::Column::continuous(std::move(y)));
+    cart::Dataset data(t, "y", {"x1", "x2", "sku"}, cart::Task::kRegression);
+    it = cache.emplace(rows, std::make_pair(std::move(t), std::move(data))).first;
+  }
+  return it->second.second;
+}
+
+cart::Config engine_config(std::int64_t engine_arg) {
+  cart::Config cfg;
+  cfg.cp = 0.0005;
+  cfg.min_samples_split = 6;
+  cfg.min_samples_leaf = 2;
+  cfg.engine = engine_arg == 0 ? cart::SplitEngine::kPresort
+                               : cart::SplitEngine::kExhaustive;
+  return cfg;
+}
+
+void BM_GrowTree(benchmark::State& state) {
+  const cart::Dataset& data =
+      synthetic_cart_data(static_cast<std::size_t>(state.range(0)));
+  const cart::Config cfg = engine_config(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cart::grow(data, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GrowTree)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SplitSearch(benchmark::State& state) {
+  // Root split only (max_depth 0 means the root never splits, so depth 1):
+  // isolates one full exhaustive split search over n rows — presort setup +
+  // one sweep versus per-feature std::sort + sweep.
+  const cart::Dataset& data =
+      synthetic_cart_data(static_cast<std::size_t>(state.range(0)));
+  cart::Config cfg = engine_config(state.range(1));
+  cfg.max_depth = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cart::grow(data, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SplitSearch)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CartGrow(benchmark::State& state) {
   const auto& b = bundle();

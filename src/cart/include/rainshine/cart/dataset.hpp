@@ -7,6 +7,7 @@
 // dictionary codes for classification.
 #pragma once
 
+#include <cmath>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,7 +66,11 @@ class Dataset {
   [[nodiscard]] double x(std::size_t row, std::size_t f) const {
     return columns_[f][row];
   }
-  [[nodiscard]] bool x_missing(std::size_t row, std::size_t f) const;
+  /// Inline on purpose: this sits in the innermost split-search loop, where
+  /// an out-of-line call dominated the NaN test itself.
+  [[nodiscard]] bool x_missing(std::size_t row, std::size_t f) const {
+    return std::isnan(columns_[f][row]);
+  }
 
   [[nodiscard]] bool has_response() const noexcept { return !y_.empty(); }
   /// Response: value (regression) or class code (classification).

@@ -19,12 +19,26 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "rainshine/cart/dataset.hpp"
 
 namespace rainshine::cart {
+
+/// How numeric/ordinal split candidates are enumerated. Both engines share
+/// one sweep over one row sequence contract — rows ascending by (value, row
+/// id), missing compacted to a tail ascending by row id — so they grow
+/// bit-identical trees (asserted by tests/cart/test_grow_golden.cpp).
+enum class SplitEngine : std::uint8_t {
+  /// Sort each feature once per tree, then thread the sorted orders down the
+  /// recursion by stable partitioning (O(d·n) per level). The default.
+  kPresort,
+  /// Re-sort the node's rows per feature at every node (O(d·n log n) per
+  /// level) — the seed implementation, kept as the golden reference.
+  kExhaustive,
+};
 
 /// Growth hyper-parameters (defaults follow rpart's).
 struct Config {
@@ -38,6 +52,7 @@ struct Config {
   /// splits (random-subspace trees in cart/forest.hpp). Must match the
   /// dataset's feature count.
   std::vector<std::uint8_t> allowed_features;
+  SplitEngine engine = SplitEngine::kPresort;
 };
 
 inline constexpr std::int32_t kNoChild = -1;
@@ -137,5 +152,15 @@ class Tree {
 /// Grows a full tree on `data` under `config` (no pruning beyond the cp
 /// stopping rule). Throws on empty data.
 [[nodiscard]] Tree grow(const Dataset& data, const Config& config = {});
+
+/// Weighted growth: `row_weights[r]` is row r's multiplicity in the fitting
+/// view (0 excludes the row). This is the zero-copy bootstrap primitive —
+/// grow_forest passes per-row bag counts over the ORIGINAL dataset instead
+/// of materializing a resampled Dataset copy per tree, and cross-validation
+/// passes 0/1 fold masks. All node counts, leaf-size floors and impurities
+/// treat a weight-w row exactly like w stacked copies. An all-ones weight
+/// vector grows a tree bit-identical to the unweighted overload.
+[[nodiscard]] Tree grow(const Dataset& data, const Config& config,
+                        std::span<const double> row_weights);
 
 }  // namespace rainshine::cart

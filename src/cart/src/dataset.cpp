@@ -117,10 +117,6 @@ Dataset::Dataset(const table::Table& table, std::span<const FeatureInfo> referen
   }
 }
 
-bool Dataset::x_missing(std::size_t row, std::size_t f) const {
-  return std::isnan(columns_.at(f).at(row));
-}
-
 Dataset Dataset::subset(std::span<const std::size_t> rows) const {
   Dataset out;
   out.task_ = task_;

@@ -125,14 +125,14 @@ TreeFit fit_one_tree(const Dataset& data, const ForestConfig& config,
   const std::size_t n = data.num_rows();
   util::Rng rng = root.split(t);
 
-  // Bootstrap rows.
-  std::vector<std::uint8_t> in_bag(n, 0);
-  std::vector<std::size_t> rows(sample_size);
-  for (auto& r : rows) {
-    r = static_cast<std::size_t>(rng.below(n));
-    in_bag[r] = 1;
+  // Bootstrap multiplicities over the ORIGINAL dataset — the zero-copy view
+  // grow() consumes directly, so a B-tree forest touches one column-major
+  // snapshot instead of B+1 (a weight-w row fits exactly like w stacked
+  // copies; weight 0 marks the row out of bag).
+  std::vector<double> bag_weight(n, 0.0);
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    bag_weight[static_cast<std::size_t>(rng.below(n))] += 1.0;
   }
-  const Dataset bag = data.subset(rows);
 
   // Random feature subspace.
   Config tree_cfg = config.tree;
@@ -150,11 +150,11 @@ TreeFit fit_one_tree(const Dataset& data, const ForestConfig& config,
     }
   }
 
-  TreeFit fit{grow(bag, tree_cfg), {}};
+  TreeFit fit{grow(data, tree_cfg, bag_weight), {}};
 
   // OOB predictions against the ORIGINAL dataset.
   for (std::size_t r = 0; r < n; ++r) {
-    if (!in_bag[r]) fit.oob.emplace_back(r, fit.tree.predict(data, r));
+    if (bag_weight[r] == 0.0) fit.oob.emplace_back(r, fit.tree.predict(data, r));
   }
   return fit;
 }
@@ -183,8 +183,11 @@ Forest grow_forest(const Dataset& data, const ForestConfig& config) {
   // bit-identical to a serial fit.
   std::vector<double> oob_sum(n, 0.0);
   std::vector<int> oob_count(n, 0);
-  std::vector<std::map<double, int>> oob_votes(
-      data.task() == Task::kClassification ? n : 0);
+  // Flat n x num_classes tally indexed by class code (a per-row std::map
+  // allocated a tree node per distinct vote; same fix as Forest::predict_row).
+  const std::size_t num_classes =
+      data.task() == Task::kClassification ? data.num_classes() : 0;
+  std::vector<int> oob_votes(n * num_classes, 0);
   std::vector<Tree> trees;
   trees.reserve(config.num_trees);
   for (TreeFit& fit : fits) {
@@ -193,7 +196,7 @@ Forest grow_forest(const Dataset& data, const ForestConfig& config) {
       if (data.task() == Task::kRegression) {
         oob_sum[r] += pred;
       } else {
-        ++oob_votes[r][pred];
+        ++oob_votes[r * num_classes + static_cast<std::size_t>(pred)];
       }
     }
     trees.push_back(std::move(fit.tree));
@@ -209,15 +212,18 @@ Forest grow_forest(const Dataset& data, const ForestConfig& config) {
       const double d = data.y(r) - oob_sum[r] / oob_count[r];
       err += d * d;
     } else {
-      double best = 0.0;
+      // Strict > keeps the lowest class code on ties, as the ordered-map
+      // scan did.
+      std::size_t best = 0;
       int best_votes = -1;
-      for (const auto& [code, count] : oob_votes[r]) {
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const int count = oob_votes[r * num_classes + c];
         if (count > best_votes) {
-          best = code;
+          best = c;
           best_votes = count;
         }
       }
-      err += best == data.y(r) ? 0.0 : 1.0;
+      err += static_cast<double>(best) == data.y(r) ? 0.0 : 1.0;
     }
   }
   const double oob = covered > 0

@@ -1,7 +1,33 @@
-// Tree growth: recursive partitioning with exhaustive split search.
+// Tree growth: recursive partitioning over a weighted row view.
+//
+// Two split-search engines share one arithmetic contract (see DESIGN.md §6d):
+//
+//   * kPresort (default): each numeric feature is sorted ONCE per tree —
+//     rows ascending by (value, row id), missing compacted to an ascending
+//     tail — and the per-feature orders are threaded down the recursion by
+//     stable partitioning, so every node's split search is a single linear
+//     sweep. O(d·n) per tree level.
+//   * kExhaustive: the seed implementation — re-sort the node's rows per
+//     feature at every node. O(d·n log n) per level. Kept as the golden
+//     reference; tests/cart/test_grow_golden.cpp asserts both engines grow
+//     bit-identical trees.
+//
+// Bit-identity holds because both engines feed the SAME sweep the SAME row
+// sequence: the presorted tie-break is (value, row id) and stable partition
+// preserves it, while the exhaustive comparator sorts by (value, row id)
+// directly — a deterministic total order, so the sequences agree element
+// for element and every floating-point accumulation happens in the same
+// order.
+//
+// Rows carry multiplicity weights (empty = all ones): grow_forest fits each
+// bootstrap tree through per-row bag counts over the original dataset
+// instead of materializing a resampled Dataset copy, and cross-validation
+// passes 0/1 fold masks. A weight-w row behaves exactly like w stacked
+// copies in every count, leaf floor and impurity.
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <type_traits>
 
 #include "rainshine/cart/tree.hpp"
 #include "rainshine/util/check.hpp"
@@ -16,17 +42,29 @@ struct RegStats {
   double sum = 0.0;
   double sumsq = 0.0;
 
-  void add(double y) {
-    n += 1.0;
-    sum += y;
-    sumsq += y * y;
+  void add(double y, double wt) {
+    const double wy = wt * y;
+    n += wt;
+    sum += wy;
+    sumsq += wy * y;
   }
-  void remove(double y) {
-    n -= 1.0;
-    sum -= y;
-    sumsq -= y * y;
+  void remove(double y, double wt) {
+    const double wy = wt * y;
+    n -= wt;
+    sum -= wy;
+    sumsq -= wy * y;
   }
-  [[nodiscard]] double sse() const {
+  void merge(const RegStats& o) {
+    n += o.n;
+    sum += o.sum;
+    sumsq += o.sumsq;
+  }
+  void unmerge(const RegStats& o) {
+    n -= o.n;
+    sum -= o.sum;
+    sumsq -= o.sumsq;
+  }
+  [[nodiscard]] double impurity() const {
     return n > 0.0 ? std::max(0.0, sumsq - sum * sum / n) : 0.0;
   }
   [[nodiscard]] double mean() const { return n > 0.0 ? sum / n : 0.0; }
@@ -37,13 +75,21 @@ struct ClassStats {
   double n = 0.0;
 
   explicit ClassStats(std::size_t k) : counts(k, 0.0) {}
-  void add(double code) {
-    counts[static_cast<std::size_t>(code)] += 1.0;
-    n += 1.0;
+  void add(double code, double wt) {
+    counts[static_cast<std::size_t>(code)] += wt;
+    n += wt;
   }
-  void remove(double code) {
-    counts[static_cast<std::size_t>(code)] -= 1.0;
-    n -= 1.0;
+  void remove(double code, double wt) {
+    counts[static_cast<std::size_t>(code)] -= wt;
+    n -= wt;
+  }
+  void merge(const ClassStats& o) {
+    for (std::size_t j = 0; j < counts.size(); ++j) counts[j] += o.counts[j];
+    n += o.n;
+  }
+  void unmerge(const ClassStats& o) {
+    for (std::size_t j = 0; j < counts.size(); ++j) counts[j] -= o.counts[j];
+    n -= o.n;
   }
   /// n * Gini = n - sum c_k^2 / n.
   [[nodiscard]] double impurity() const {
@@ -65,14 +111,38 @@ struct BestSplit {
 
 class Builder {
  public:
-  Builder(const Dataset& data, const Config& cfg)
-      : data_(data), cfg_(cfg), min_leaf_(static_cast<double>(cfg.min_samples_leaf)) {}
+  Builder(const Dataset& data, const Config& cfg, std::span<const double> weights)
+      : data_(data),
+        cfg_(cfg),
+        weights_(weights),
+        min_leaf_(static_cast<double>(cfg.min_samples_leaf)),
+        presort_(cfg.engine == SplitEngine::kPresort) {}
 
   Tree build() {
-    std::vector<std::uint32_t> rows(data_.num_rows());
-    std::iota(rows.begin(), rows.end(), 0U);
-    root_impurity_ = node_impurity(rows);
-    grow_node(rows, 0, kNoChild);
+    const std::size_t n = data_.num_rows();
+    rows_.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (w(static_cast<std::uint32_t>(r)) > 0.0) {
+        rows_.push_back(static_cast<std::uint32_t>(r));
+      }
+    }
+    util::require(!rows_.empty(), "grow: every row weight is zero");
+
+    if (presort_) {
+      side_.assign(n, 0);
+      order_.resize(data_.num_features());
+      for (std::size_t f = 0; f < data_.num_features(); ++f) {
+        if (data_.info(f).categorical || !allowed(f)) continue;
+        order_[f] = rows_;
+        std::sort(order_[f].begin(), order_[f].end(), order_cmp(f));
+      }
+    }
+
+    if (data_.task() == Task::kRegression) {
+      grow_node<RegStats>(0, rows_.size(), 0, kNoChild);
+    } else {
+      grow_node<ClassStats>(0, rows_.size(), 0, kNoChild);
+    }
     std::vector<std::string> class_labels =
         data_.task() == Task::kClassification ? data_.class_labels()
                                               : std::vector<std::string>{};
@@ -83,188 +153,204 @@ class Builder {
  private:
   const Dataset& data_;
   const Config& cfg_;
+  std::span<const double> weights_;
   double min_leaf_;
+  bool presort_;
   std::vector<Node> nodes_;
   double root_impurity_ = 0.0;
 
-  [[nodiscard]] double node_impurity(std::span<const std::uint32_t> rows) const {
-    if (data_.task() == Task::kRegression) {
-      RegStats s;
-      for (const auto r : rows) s.add(data_.y(r));
-      return s.sse();
-    }
-    ClassStats s(data_.num_classes());
-    for (const auto r : rows) s.add(data_.y(r));
-    return s.impurity();
+  /// Active rows (weight > 0), recursed over as [begin, end) segments and
+  /// partitioned in place at each split: non-missing rows first, in parent
+  /// order, then the missing-value rows routed to this child.
+  std::vector<std::uint32_t> rows_;
+  /// kPresort: per numeric feature, the active rows ascending by
+  /// (value, row id) with missing compacted to an ascending tail; segments
+  /// track rows_ and are stably partitioned alongside it.
+  std::vector<std::vector<std::uint32_t>> order_;
+  std::vector<std::uint8_t> side_;  ///< by dataset row: 1 = routed left
+
+  // Partition / per-node scratch, reused across nodes (never live across a
+  // recursive call).
+  std::vector<std::uint32_t> left_buf_;
+  std::vector<std::uint32_t> right_buf_;
+  std::vector<std::uint32_t> miss_buf_;
+  std::vector<std::uint32_t> ord_left_present_;
+  std::vector<std::uint32_t> ord_left_missing_;
+  std::vector<std::uint32_t> ord_right_present_;
+  std::vector<std::uint32_t> ord_right_missing_;
+  std::vector<std::uint32_t> sort_buf_;  ///< kExhaustive per-node order
+
+  [[nodiscard]] double w(std::uint32_t r) const {
+    return weights_.empty() ? 1.0 : weights_[r];
+  }
+  [[nodiscard]] bool allowed(std::size_t f) const {
+    return cfg_.allowed_features.empty() || cfg_.allowed_features[f] != 0;
   }
 
-  void fill_node_stats(Node& node, std::span<const std::uint32_t> rows) const {
-    node.n = rows.size();
-    if (data_.task() == Task::kRegression) {
-      RegStats s;
-      for (const auto r : rows) s.add(data_.y(r));
-      node.prediction = s.mean();
-      node.impurity = s.sse();
-      return;
+  /// Deterministic total order shared by both engines: present rows by
+  /// (value, row id), then missing rows by row id.
+  struct OrderCmp {
+    const Dataset* data;
+    std::size_t f;
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      const double xa = data->x(a, f);
+      const double xb = data->x(b, f);
+      const bool ma = std::isnan(xa);
+      const bool mb = std::isnan(xb);
+      if (ma != mb) return mb;
+      if (!ma && xa != xb) return xa < xb;
+      return a < b;
     }
-    ClassStats s(data_.num_classes());
-    for (const auto r : rows) s.add(data_.y(r));
+  };
+  [[nodiscard]] OrderCmp order_cmp(std::size_t f) const { return {&data_, f}; }
+
+  template <typename S>
+  [[nodiscard]] S make_stats() const {
+    if constexpr (std::is_same_v<S, ClassStats>) {
+      return ClassStats(data_.num_classes());
+    } else {
+      return RegStats{};
+    }
+  }
+
+  template <typename S>
+  [[nodiscard]] S node_stats(std::size_t begin, std::size_t end) const {
+    S s = make_stats<S>();
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = rows_[i];
+      s.add(data_.y(r), w(r));
+    }
+    return s;
+  }
+
+  void fill_node(Node& node, const RegStats& s) const {
+    node.n = static_cast<std::size_t>(std::llround(s.n));
+    node.prediction = s.mean();
+    node.impurity = s.impurity();
+  }
+  void fill_node(Node& node, const ClassStats& s) const {
+    node.n = static_cast<std::size_t>(std::llround(s.n));
     node.class_counts = s.counts;
     node.impurity = s.impurity();
     const auto it = std::max_element(s.counts.begin(), s.counts.end());
     node.prediction = static_cast<double>(it - s.counts.begin());
   }
 
-  /// Numeric/ordinal threshold search: sort node rows by x, sweep boundaries.
-  void search_numeric(std::span<const std::uint32_t> rows, std::size_t f,
-                      BestSplit& best) const {
-    std::vector<std::uint32_t> present;
-    present.reserve(rows.size());
-    for (const auto r : rows) {
-      if (!data_.x_missing(r, f)) present.push_back(r);
+  /// Numeric/ordinal threshold search: one linear sweep over `sorted`
+  /// (present rows ascending by (value, row id), then a missing tail). The
+  /// node's own statistics arrive from the caller — the sweep starts from a
+  /// copy and strips the missing tail instead of re-accumulating the parent
+  /// side from scratch.
+  template <typename S>
+  void sweep_numeric(std::span<const std::uint32_t> sorted, std::size_t f,
+                     const S& parent_stats, BestSplit& best) const {
+    S right = parent_stats;
+    std::size_t e = sorted.size();
+    while (e > 0) {
+      const std::uint32_t r = sorted[e - 1];
+      if (!data_.x_missing(r, f)) break;
+      right.remove(data_.y(r), w(r));
+      --e;
     }
-    if (present.size() < 2 * cfg_.min_samples_leaf) return;
-    std::sort(present.begin(), present.end(), [&](std::uint32_t a, std::uint32_t b) {
-      return data_.x(a, f) < data_.x(b, f);
-    });
-
-    if (data_.task() == Task::kRegression) {
-      RegStats left;
-      RegStats right;
-      for (const auto r : present) right.add(data_.y(r));
-      const double parent = right.sse();
-      for (std::size_t i = 0; i + 1 < present.size(); ++i) {
-        const double y = data_.y(present[i]);
-        left.add(y);
-        right.remove(y);
-        const double xa = data_.x(present[i], f);
-        const double xb = data_.x(present[i + 1], f);
-        if (xa == xb) continue;  // can't cut between equal values
-        if (left.n < min_leaf_) continue;
-        if (right.n < min_leaf_) break;
-        const double improve = parent - left.sse() - right.sse();
-        if (improve > best.improve) {
-          best = {true, f, false, 0.5 * (xa + xb), {}, improve};
-        }
-      }
-      return;
-    }
-
-    ClassStats left(data_.num_classes());
-    ClassStats right(data_.num_classes());
-    for (const auto r : present) right.add(data_.y(r));
+    if (right.n < 2.0 * min_leaf_) return;
     const double parent = right.impurity();
-    for (std::size_t i = 0; i + 1 < present.size(); ++i) {
-      const double y = data_.y(present[i]);
-      left.add(y);
-      right.remove(y);
-      const double xa = data_.x(present[i], f);
-      const double xb = data_.x(present[i + 1], f);
-      if (xa == xb) continue;
+
+    S left = make_stats<S>();
+    double xa = data_.x(sorted[0], f);
+    for (std::size_t i = 0; i + 1 < e; ++i) {
+      const std::uint32_t r = sorted[i];
+      const double yv = data_.y(r);
+      const double wt = w(r);
+      left.add(yv, wt);
+      right.remove(yv, wt);
+      const double xb = data_.x(sorted[i + 1], f);
+      const double cut_lo = xa;
+      xa = xb;
+      if (cut_lo == xb) continue;  // can't cut between equal values
       if (left.n < min_leaf_) continue;
       if (right.n < min_leaf_) break;
       const double improve = parent - left.impurity() - right.impurity();
       if (improve > best.improve) {
-        best = {true, f, false, 0.5 * (xa + xb), {}, improve};
+        best = {true, f, false, 0.5 * (cut_lo + xb), {}, improve};
       }
     }
+  }
+
+  template <typename S>
+  void search_numeric(std::size_t begin, std::size_t end, std::size_t f,
+                      const S& parent_stats, BestSplit& best) {
+    if (presort_) {
+      sweep_numeric<S>(
+          std::span<const std::uint32_t>(order_[f]).subspan(begin, end - begin),
+          f, parent_stats, best);
+      return;
+    }
+    sort_buf_.assign(rows_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     rows_.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(sort_buf_.begin(), sort_buf_.end(), order_cmp(f));
+    sweep_numeric<S>(sort_buf_, f, parent_stats, best);
   }
 
   /// Categorical subset search via Breiman's ordering trick: order levels by
   /// their response mean (regression) or by the probability of the globally
   /// most frequent class (classification heuristic), then scan prefix cuts.
-  void search_categorical(std::span<const std::uint32_t> rows, std::size_t f,
+  /// Ties order by level code so the scan is engine-independent.
+  template <typename S>
+  void search_categorical(std::size_t begin, std::size_t end, std::size_t f,
                           BestSplit& best) const {
     const std::size_t k = data_.info(f).cardinality();
     if (k < 2) return;
 
-    // Per-level aggregates.
-    std::vector<RegStats> reg(k);
-    std::vector<ClassStats> cls;
-    if (data_.task() == Task::kClassification) {
-      cls.assign(k, ClassStats(data_.num_classes()));
-    }
-    std::size_t present_count = 0;
-    for (const auto r : rows) {
+    // Per-level aggregates, accumulated in node-row order.
+    std::vector<S> per_level(k, make_stats<S>());
+    double present_w = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = rows_[i];
       if (data_.x_missing(r, f)) continue;
       const auto code = static_cast<std::size_t>(data_.x(r, f));
-      ++present_count;
-      if (data_.task() == Task::kRegression) {
-        reg[code].add(data_.y(r));
-      } else {
-        cls[code].add(data_.y(r));
-      }
+      present_w += w(r);
+      per_level[code].add(data_.y(r), w(r));
     }
-    if (present_count < 2 * cfg_.min_samples_leaf) return;
+    if (present_w < 2.0 * min_leaf_) return;
 
     // Order the occupied levels.
     std::vector<std::size_t> levels;
     for (std::size_t c = 0; c < k; ++c) {
-      const double n = data_.task() == Task::kRegression ? reg[c].n : cls[c].n;
-      if (n > 0.0) levels.push_back(c);
+      if (per_level[c].n > 0.0) levels.push_back(c);
     }
     if (levels.size() < 2) return;
     std::size_t ref_class = 0;
-    if (data_.task() == Task::kClassification) {
+    if constexpr (std::is_same_v<S, ClassStats>) {
       std::vector<double> totals(data_.num_classes(), 0.0);
-      for (const auto& s : cls) {
+      for (const auto& s : per_level) {
         for (std::size_t j = 0; j < totals.size(); ++j) totals[j] += s.counts[j];
       }
       ref_class = static_cast<std::size_t>(
           std::max_element(totals.begin(), totals.end()) - totals.begin());
     }
     const auto level_key = [&](std::size_t c) {
-      if (data_.task() == Task::kRegression) return reg[c].mean();
-      return cls[c].n > 0.0 ? cls[c].counts[ref_class] / cls[c].n : 0.0;
+      if constexpr (std::is_same_v<S, ClassStats>) {
+        return per_level[c].n > 0.0 ? per_level[c].counts[ref_class] / per_level[c].n
+                                    : 0.0;
+      } else {
+        return per_level[c].mean();
+      }
     };
-    std::sort(levels.begin(), levels.end(),
-              [&](std::size_t a, std::size_t b) { return level_key(a) < level_key(b); });
+    std::sort(levels.begin(), levels.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = level_key(a);
+      const double kb = level_key(b);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
 
-    if (data_.task() == Task::kRegression) {
-      RegStats left;
-      RegStats right;
-      for (const auto c : levels) {
-        right.n += reg[c].n;
-        right.sum += reg[c].sum;
-        right.sumsq += reg[c].sumsq;
-      }
-      const double parent = right.sse();
-      for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
-        const std::size_t c = levels[i];
-        left.n += reg[c].n;
-        left.sum += reg[c].sum;
-        left.sumsq += reg[c].sumsq;
-        right.n -= reg[c].n;
-        right.sum -= reg[c].sum;
-        right.sumsq -= reg[c].sumsq;
-        if (left.n < min_leaf_ || right.n < min_leaf_) continue;
-        const double improve = parent - left.sse() - right.sse();
-        if (improve > best.improve) {
-          std::vector<std::uint8_t> mask(k, 0);
-          for (std::size_t j = 0; j <= i; ++j) mask[levels[j]] = 1;
-          best = {true, f, true, 0.0, std::move(mask), improve};
-        }
-      }
-      return;
-    }
-
-    ClassStats left(data_.num_classes());
-    ClassStats right(data_.num_classes());
-    for (const auto c : levels) {
-      for (std::size_t j = 0; j < right.counts.size(); ++j) {
-        right.counts[j] += cls[c].counts[j];
-      }
-      right.n += cls[c].n;
-    }
+    S right = make_stats<S>();
+    for (const auto c : levels) right.merge(per_level[c]);
     const double parent = right.impurity();
+    S left = make_stats<S>();
     for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
       const std::size_t c = levels[i];
-      for (std::size_t j = 0; j < left.counts.size(); ++j) {
-        left.counts[j] += cls[c].counts[j];
-        right.counts[j] -= cls[c].counts[j];
-      }
-      left.n += cls[c].n;
-      right.n -= cls[c].n;
+      left.merge(per_level[c]);
+      right.unmerge(per_level[c]);
       if (left.n < min_leaf_ || right.n < min_leaf_) continue;
       const double improve = parent - left.impurity() - right.impurity();
       if (improve > best.improve) {
@@ -275,27 +361,126 @@ class Builder {
     }
   }
 
-  std::int32_t grow_node(std::span<const std::uint32_t> rows, std::uint32_t depth,
+  struct PartitionResult {
+    std::size_t mid;
+    bool missing_left;
+  };
+
+  /// Splits rows_[begin, end) in place: left child rows land in
+  /// [begin, mid), right child rows in [mid, end); each child keeps its
+  /// non-missing rows (in parent order) ahead of the missing rows it
+  /// inherited, matching the exhaustive engine's child construction. When
+  /// presorting, every threaded feature order is stably partitioned in
+  /// lockstep so child segments keep the (value, row id) contract.
+  PartitionResult partition(std::size_t begin, std::size_t end,
+                            const BestSplit& best) {
+    left_buf_.clear();
+    right_buf_.clear();
+    miss_buf_.clear();
+    double left_w = 0.0;
+    double right_w = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = rows_[i];
+      const double xv = data_.x(r, best.feature);
+      if (std::isnan(xv)) {
+        miss_buf_.push_back(r);
+        continue;
+      }
+      const bool goes_left =
+          best.categorical ? best.go_left[static_cast<std::size_t>(xv)] != 0
+                           : xv < best.threshold;
+      if (goes_left) {
+        left_buf_.push_back(r);
+        left_w += w(r);
+      } else {
+        right_buf_.push_back(r);
+        right_w += w(r);
+      }
+    }
+    // Missing split-feature values follow the bigger child (by weight —
+    // identical to the seed's bag-entry count).
+    const bool missing_left = left_w >= right_w;
+    auto& missing_dst = missing_left ? left_buf_ : right_buf_;
+    missing_dst.insert(missing_dst.end(), miss_buf_.begin(), miss_buf_.end());
+
+    util::ensure(!left_buf_.empty() && !right_buf_.empty(),
+                 "split produced an empty child");
+
+    if (presort_) {
+      for (const auto r : left_buf_) side_[r] = 1;
+      for (const auto r : right_buf_) side_[r] = 0;
+    }
+    std::copy(left_buf_.begin(), left_buf_.end(),
+              rows_.begin() + static_cast<std::ptrdiff_t>(begin));
+    const std::size_t mid = begin + left_buf_.size();
+    std::copy(right_buf_.begin(), right_buf_.end(),
+              rows_.begin() + static_cast<std::ptrdiff_t>(mid));
+
+    if (presort_) {
+      for (std::size_t f = 0; f < order_.size(); ++f) {
+        if (!order_[f].empty()) partition_order(order_[f], begin, end, f);
+      }
+    }
+    return {mid, missing_left};
+  }
+
+  /// Stable four-way bucket pass: [left-present, left-missing] then
+  /// [right-present, right-missing], preserving relative order inside each
+  /// bucket — exactly the layout the root sort established.
+  void partition_order(std::vector<std::uint32_t>& ord, std::size_t begin,
+                       std::size_t end, std::size_t f) {
+    ord_left_present_.clear();
+    ord_left_missing_.clear();
+    ord_right_present_.clear();
+    ord_right_missing_.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t r = ord[i];
+      const bool miss = data_.x_missing(r, f);
+      if (side_[r] != 0) {
+        (miss ? ord_left_missing_ : ord_left_present_).push_back(r);
+      } else {
+        (miss ? ord_right_missing_ : ord_right_present_).push_back(r);
+      }
+    }
+    std::size_t i = begin;
+    for (const auto* bucket : {&ord_left_present_, &ord_left_missing_,
+                               &ord_right_present_, &ord_right_missing_}) {
+      i = static_cast<std::size_t>(
+          std::copy(bucket->begin(), bucket->end(),
+                    ord.begin() + static_cast<std::ptrdiff_t>(i)) -
+          ord.begin());
+    }
+  }
+
+  template <typename S>
+  std::int32_t grow_node(std::size_t begin, std::size_t end, std::uint32_t depth,
                          std::int32_t parent) {
     const auto node_id = static_cast<std::int32_t>(nodes_.size());
     nodes_.emplace_back();
     nodes_[static_cast<std::size_t>(node_id)].parent = parent;
     nodes_[static_cast<std::size_t>(node_id)].depth = depth;
-    fill_node_stats(nodes_[static_cast<std::size_t>(node_id)], rows);
 
-    const Node snapshot = nodes_[static_cast<std::size_t>(node_id)];
-    if (rows.size() < cfg_.min_samples_split || depth >= cfg_.max_depth ||
-        snapshot.impurity <= 1e-12) {
+    // One statistics pass per node; the same object seeds every numeric
+    // sweep below instead of being re-derived per feature.
+    const S stats = node_stats<S>(begin, end);
+    fill_node(nodes_[static_cast<std::size_t>(node_id)], stats);
+    if (depth == 0) {
+      root_impurity_ = nodes_[static_cast<std::size_t>(node_id)].impurity;
+    }
+
+    if (stats.n < static_cast<double>(cfg_.min_samples_split) ||
+        depth >= cfg_.max_depth ||
+        nodes_[static_cast<std::size_t>(node_id)].impurity <= 1e-12) {
       return node_id;
     }
 
     BestSplit best;
     for (std::size_t f = 0; f < data_.num_features(); ++f) {
-      if (!cfg_.allowed_features.empty() && cfg_.allowed_features[f] == 0) continue;
+      if (!allowed(f)) continue;
       if (data_.info(f).categorical) {
-        search_categorical(rows, f, best);
+        search_categorical<S>(begin, end, f, best);
       } else {
-        search_numeric(rows, f, best);
+        search_numeric<S>(begin, end, f, stats, best);
       }
     }
     // rpart's rule: the split must improve relative error by at least cp.
@@ -303,42 +488,19 @@ class Builder {
       return node_id;
     }
 
-    // Partition rows; missing split-feature values follow the bigger child.
-    std::vector<std::uint32_t> left_rows;
-    std::vector<std::uint32_t> right_rows;
-    std::vector<std::uint32_t> missing_rows;
-    for (const auto r : rows) {
-      if (data_.x_missing(r, best.feature)) {
-        missing_rows.push_back(r);
-        continue;
-      }
-      bool goes_left;
-      if (best.categorical) {
-        goes_left = best.go_left[static_cast<std::size_t>(data_.x(r, best.feature))] != 0;
-      } else {
-        goes_left = data_.x(r, best.feature) < best.threshold;
-      }
-      (goes_left ? left_rows : right_rows).push_back(r);
-    }
-    const bool missing_left = left_rows.size() >= right_rows.size();
-    auto& missing_dst = missing_left ? left_rows : right_rows;
-    missing_dst.insert(missing_dst.end(), missing_rows.begin(), missing_rows.end());
-
-    util::ensure(!left_rows.empty() && !right_rows.empty(),
-                 "split produced an empty child");
-
+    const PartitionResult part = partition(begin, end, best);
     {
       Node& node = nodes_[static_cast<std::size_t>(node_id)];
       node.feature = best.feature;
       node.categorical = best.categorical;
       node.threshold = best.threshold;
       node.go_left = best.go_left;
-      node.missing_goes_left = missing_left;
+      node.missing_goes_left = part.missing_left;
       node.improve = best.improve;
     }
-    const std::int32_t left_id = grow_node(left_rows, depth + 1, node_id);
+    const std::int32_t left_id = grow_node<S>(begin, part.mid, depth + 1, node_id);
     nodes_[static_cast<std::size_t>(node_id)].left = left_id;
-    const std::int32_t right_id = grow_node(right_rows, depth + 1, node_id);
+    const std::int32_t right_id = grow_node<S>(part.mid, end, depth + 1, node_id);
     nodes_[static_cast<std::size_t>(node_id)].right = right_id;
     return node_id;
   }
@@ -347,13 +509,24 @@ class Builder {
 }  // namespace
 
 Tree grow(const Dataset& data, const Config& config) {
+  return grow(data, config, std::span<const double>{});
+}
+
+Tree grow(const Dataset& data, const Config& config,
+          std::span<const double> row_weights) {
   util::require(data.num_rows() > 0, "cannot grow a tree on empty data");
   util::require(data.has_response(), "growing requires a response column");
   util::require(config.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
   util::require(config.allowed_features.empty() ||
                     config.allowed_features.size() == data.num_features(),
                 "allowed_features size must match feature count");
-  Builder builder(data, config);
+  util::require(row_weights.empty() || row_weights.size() == data.num_rows(),
+                "row_weights size must match the dataset row count");
+  for (const double wt : row_weights) {
+    util::require(wt >= 0.0 && !std::isnan(wt),
+                  "row_weights must be non-negative and not NaN");
+  }
+  Builder builder(data, config, row_weights);
   return builder.build();
 }
 

@@ -173,54 +173,6 @@ double holdout_error(const Tree& tree, const Dataset& data,
   return err / static_cast<double>(std::max<std::size_t>(1, rows.size()));
 }
 
-/// Dataset restricted to a row subset, preserving feature metadata. Built by
-/// round-tripping through a Table is wasteful; instead we copy columns here.
-class SubsetView {
- public:
-  // The split search only needs x/y/missing/info access; rather than
-  // duplicate the Dataset interface we materialize a real Dataset via a
-  // scratch Table copy — subsets are built once per fold, not per node.
-  static Dataset make(const Dataset& data, std::span<const std::size_t> rows) {
-    table::Table t;
-    for (std::size_t f = 0; f < data.num_features(); ++f) {
-      const FeatureInfo& info = data.info(f);
-      if (info.categorical) {
-        std::vector<std::int32_t> codes;
-        codes.reserve(rows.size());
-        for (const std::size_t r : rows) {
-          codes.push_back(data.x_missing(r, f)
-                              ? table::kMissingCode
-                              : static_cast<std::int32_t>(data.x(r, f)));
-        }
-        t.add_column(info.name, table::Column::nominal(std::move(codes), info.labels));
-      } else {
-        std::vector<double> vals;
-        vals.reserve(rows.size());
-        for (const std::size_t r : rows) vals.push_back(data.x(r, f));
-        t.add_column(info.name, table::Column::continuous(std::move(vals)));
-      }
-    }
-    std::vector<std::string> feature_names;
-    for (const auto& info : data.infos()) feature_names.push_back(info.name);
-
-    if (data.task() == Task::kClassification) {
-      std::vector<std::int32_t> codes;
-      codes.reserve(rows.size());
-      for (const std::size_t r : rows) {
-        codes.push_back(static_cast<std::int32_t>(data.y(r)));
-      }
-      t.add_column("__response__",
-                   table::Column::nominal(std::move(codes), data.class_labels()));
-    } else {
-      std::vector<double> vals;
-      vals.reserve(rows.size());
-      for (const std::size_t r : rows) vals.push_back(data.y(r));
-      t.add_column("__response__", table::Column::continuous(std::move(vals)));
-    }
-    return Dataset(t, "__response__", std::move(feature_names), data.task());
-  }
-};
-
 }  // namespace
 
 std::vector<CvPoint> cross_validate(const Dataset& data, const Config& growth,
@@ -244,13 +196,19 @@ std::vector<CvPoint> cross_validate(const Dataset& data, const Config& growth,
   // errors[cp][fold]
   std::vector<std::vector<double>> errors(cps.size(), std::vector<double>(folds, 0.0));
   for (std::size_t fold = 0; fold < folds; ++fold) {
-    std::vector<std::size_t> train;
     std::vector<std::size_t> test;
+    // 0/1 weight mask instead of a per-fold Dataset copy: the weighted grow
+    // overload fits on the original column snapshot, so fold trees share
+    // feature metadata with `data` by construction.
+    std::vector<double> train_weight(data.num_rows(), 0.0);
     for (std::size_t i = 0; i < order.size(); ++i) {
-      (i % folds == fold ? test : train).push_back(order[i]);
+      if (i % folds == fold) {
+        test.push_back(order[i]);
+      } else {
+        train_weight[order[i]] = 1.0;
+      }
     }
-    const Dataset train_data = SubsetView::make(data, train);
-    const Tree full = grow(train_data, fold_cfg);
+    const Tree full = grow(data, fold_cfg, train_weight);
     for (std::size_t c = 0; c < cps.size(); ++c) {
       const Tree pruned = prune(full, cps[c]);
       // Evaluate on the ORIGINAL dataset rows held out from this fold.

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "rainshine/cart/forest.hpp"
@@ -84,17 +85,24 @@ TEST_F(DeterminismTest, ForestFitIsThreadCountInvariant) {
   cfg.features_per_tree = 1;
 
   struct Fit {
+    std::optional<cart::Forest> forest;
     std::vector<double> predictions;
     double oob = 0.0;
     std::vector<cart::Importance> importance;
   };
   expect_thread_invariant<Fit>(
       [&] {
-        const cart::Forest forest = cart::grow_forest(data, cfg);
-        return Fit{forest.predict(data), forest.oob_error(),
-                   forest.variable_importance()};
+        cart::Forest forest = cart::grow_forest(data, cfg);
+        auto predictions = forest.predict(data);
+        auto importance = forest.variable_importance();
+        const double oob = forest.oob_error();
+        return Fit{std::move(forest), std::move(predictions), oob,
+                   std::move(importance)};
       },
       [](const Fit& a, const Fit& b) {
+        // Structural bit-identity of every tree (node stats, thresholds,
+        // improvements), not just of the derived outputs.
+        ASSERT_TRUE(*a.forest == *b.forest);
         ASSERT_EQ(a.predictions.size(), b.predictions.size());
         for (std::size_t i = 0; i < a.predictions.size(); ++i) {
           ASSERT_EQ(a.predictions[i], b.predictions[i]) << "row " << i;
