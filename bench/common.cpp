@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "rainshine/obs/export.hpp"
+#include "rainshine/obs/metrics.hpp"
 #include "rainshine/stats/descriptive.hpp"
 
 namespace rainshine::bench {
@@ -16,6 +19,16 @@ long env_or(const char* name, long fallback) {
 }
 
 }  // namespace
+
+void write_metrics_sidecar() {
+  const char* path = std::getenv("RAINSHINE_METRICS");
+  if (path == nullptr || *path == '\0') return;
+  try {
+    obs::write_file(path, obs::to_json(obs::registry().snapshot()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics sidecar %s failed: %s\n", path, e.what());
+  }
+}
 
 const Context& context() {
   static const Context ctx = [] {

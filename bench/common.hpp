@@ -3,6 +3,7 @@
 // so quick smoke runs and full reproductions use the same binaries.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
@@ -37,5 +38,20 @@ void print_normalized(const std::string& title,
 
 /// Prints the bench header (fleet size, ticket counts) once.
 void print_context_banner(const std::string& experiment);
+
+/// RAINSHINE_METRICS=path makes a bench binary drop a JSON metrics sidecar
+/// (obs::registry() snapshot) at exit. No-op when the variable is unset.
+void write_metrics_sidecar();
+
+namespace detail {
+// Registered from the header, not common.cpp: a bench that never touches
+// the shared Context would otherwise not pull common.o out of the static
+// library, and the hook would silently never install. An inline variable
+// is emitted in the bench's own (always-linked) translation unit.
+inline const bool metrics_sidecar_registered = [] {
+  std::atexit(&write_metrics_sidecar);
+  return true;
+}();
+}  // namespace detail
 
 }  // namespace rainshine::bench

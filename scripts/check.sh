@@ -58,9 +58,11 @@ if [[ "$serve_smoke" == 1 ]]; then
   workdir="$(mktemp -d)"
   trap 'rm -rf "$workdir"' EXIT
   ./build/tools/rainshine_modelc --demo --days 60 --trees 8 \
-    --output "$workdir/demo.rsf" --export-csv "$workdir/rows.csv"
+    --output "$workdir/demo.rsf" --export-csv "$workdir/rows.csv" \
+    --metrics "$workdir/fit_metrics.json"
   ./build/tools/rainshine_score --model "$workdir/demo.rsf" \
-    --input "$workdir/rows.csv" --output "$workdir/scored.csv" --stats
+    --input "$workdir/rows.csv" --output "$workdir/scored.csv" --stats \
+    --metrics "$workdir/score_metrics.json"
   rows=$(($(wc -l < "$workdir/rows.csv") - 1))
   scored=$(($(wc -l < "$workdir/scored.csv") - 1))
   if [[ "$rows" != "$scored" ]]; then
@@ -68,6 +70,27 @@ if [[ "$serve_smoke" == 1 ]]; then
     exit 1
   fi
   echo "serve smoke: scored $scored/$rows rows"
+
+  echo "== metrics smoke: sidecars parse and carry the expected series =="
+  # modelc --demo fits straight from the simulated log (no ingest pass).
+  ./build/tools/rainshine_metrics --check "$workdir/fit_metrics.json" \
+    --require simdc.tickets_generated,cart.trees_grown,cart.split_search_us
+  ./build/tools/rainshine_metrics --check "$workdir/score_metrics.json" \
+    --require serve.requests_completed,serve.rows_scored,serve.latency_us
+  ./build/tools/rainshine_metrics --demo --days 30 --format json \
+    --output "$workdir/demo_metrics.json" --trace "$workdir/spans.csv"
+  ./build/tools/rainshine_metrics --check "$workdir/demo_metrics.json" \
+    --require simdc.tickets_generated,ingest.rows_ingested,cart.trees_grown,serve.rows_scored
+  if [[ "$(head -1 "$workdir/spans.csv")" != "name,thread,depth,start_us,duration_us" ]]; then
+    echo "metrics smoke FAILED: unexpected span CSV header" >&2
+    exit 1
+  fi
+  # The benches' atexit sidecar (no per-bench flag plumbing).
+  RAINSHINE_DAYS=60 RAINSHINE_STRIDE=6 RAINSHINE_METRICS="$workdir/bench_metrics.json" \
+    ./build/bench/bench_table2_ticket_mix >/dev/null
+  ./build/tools/rainshine_metrics --check "$workdir/bench_metrics.json" \
+    --require simdc.tickets_generated,simdc.simulate_us
+  echo "metrics smoke: 4 sidecars validated, $(($(wc -l < "$workdir/spans.csv") - 1)) spans traced"
 fi
 
 echo "OK"

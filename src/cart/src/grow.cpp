@@ -25,11 +25,14 @@
 // passes 0/1 fold masks. A weight-w row behaves exactly like w stacked
 // copies in every count, leaf floor and impurity.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <type_traits>
 
 #include "rainshine/cart/tree.hpp"
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
 #include "rainshine/util/check.hpp"
 
 namespace rainshine::cart {
@@ -119,6 +122,7 @@ class Builder {
         presort_(cfg.engine == SplitEngine::kPresort) {}
 
   Tree build() {
+    const obs::ScopedSpan span("cart.grow");
     const std::size_t n = data_.num_rows();
     rows_.reserve(n);
     for (std::size_t r = 0; r < n; ++r) {
@@ -129,6 +133,7 @@ class Builder {
     util::require(!rows_.empty(), "grow: every row weight is zero");
 
     if (presort_) {
+      obs::ScopedTimer presort_timer(obs::registry().histogram("cart.presort_us"));
       side_.assign(n, 0);
       order_.resize(data_.num_features());
       for (std::size_t f = 0; f < data_.num_features(); ++f) {
@@ -143,6 +148,12 @@ class Builder {
     } else {
       grow_node<ClassStats>(0, rows_.size(), 0, kNoChild);
     }
+    // Split search is interleaved with recursion, so per-node clock deltas
+    // accumulate in split_search_ns_ and publish once per tree here.
+    obs::registry()
+        .histogram("cart.split_search_us")
+        .observe(static_cast<double>(split_search_ns_) * 1e-3);
+    obs::registry().counter("cart.trees_grown").add();
     std::vector<std::string> class_labels =
         data_.task() == Task::kClassification ? data_.class_labels()
                                               : std::vector<std::string>{};
@@ -158,6 +169,7 @@ class Builder {
   bool presort_;
   std::vector<Node> nodes_;
   double root_impurity_ = 0.0;
+  std::int64_t split_search_ns_ = 0;  ///< summed over nodes, published per tree
 
   /// Active rows (weight > 0), recursed over as [begin, end) segments and
   /// partitioned in place at each split: non-missing rows first, in parent
@@ -475,6 +487,7 @@ class Builder {
     }
 
     BestSplit best;
+    const auto search_start = std::chrono::steady_clock::now();
     for (std::size_t f = 0; f < data_.num_features(); ++f) {
       if (!allowed(f)) continue;
       if (data_.info(f).categorical) {
@@ -483,6 +496,9 @@ class Builder {
         search_numeric<S>(begin, end, f, stats, best);
       }
     }
+    split_search_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - search_start)
+                            .count();
     // rpart's rule: the split must improve relative error by at least cp.
     if (!best.found || best.improve < cfg_.cp * std::max(root_impurity_, 1e-12)) {
       return node_id;

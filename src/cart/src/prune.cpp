@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
 #include "rainshine/util/check.hpp"
 
 namespace rainshine::cart {
@@ -102,6 +104,7 @@ Tree rebuild(const Tree& tree, const std::vector<std::uint8_t>& collapsed) {
 
 Tree prune(const Tree& tree, double cp) {
   util::require(cp >= 0.0, "cp must be non-negative");
+  const obs::ScopedTimer timer(obs::registry().histogram("cart.prune_us"));
   const std::vector<Node>& nodes = tree.nodes();
   const double root_impurity = nodes.front().impurity;
   std::vector<std::uint8_t> collapsed(nodes.size(), 0);
@@ -239,6 +242,7 @@ std::vector<CvPoint> cross_validate(const Dataset& data, const Config& growth,
 
 FitResult fit_pruned(const Dataset& data, Config growth, std::size_t folds,
                      util::Rng& rng) {
+  const obs::ScopedSpan span("cart.fit_pruned");
   growth.cp = std::min(growth.cp, 1e-4);  // grow generously, prune back
   const Tree full = grow(data, growth);
   std::vector<double> cps = cp_sequence(full);

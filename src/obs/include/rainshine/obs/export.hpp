@@ -1,0 +1,48 @@
+// Exposition: render a MetricsSnapshot as human text, flat CSV, or a JSON
+// sidecar, plus a minimal JSON validator so shell-level smoke checks
+// (scripts/check.sh, CI) can verify an emitted sidecar without jq/python.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
+
+namespace rainshine::obs {
+
+/// Human-readable dump: one line per counter/gauge, a block per histogram.
+[[nodiscard]] std::string to_text(const MetricsSnapshot& snap);
+
+/// Flat CSV, one metric sample per line:
+///   kind,name,field,value
+/// where histograms expand to count/sum/min/max/mean plus one
+/// `bucket_le_<bound>` line per bucket (the overflow bucket is
+/// `bucket_le_inf`).
+[[nodiscard]] std::string to_csv(const MetricsSnapshot& snap);
+
+/// JSON sidecar, schema "rainshine.metrics.v1":
+///   {"schema":"rainshine.metrics.v1",
+///    "counters":{name:int,...},
+///    "gauges":{name:float,...},
+///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+///                        "bounds":[..],"counts":[..]},...}}
+/// Non-finite doubles are rendered as null (valid JSON; NaN is not).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snap);
+
+/// Spans as CSV: name,thread,depth,start_us,duration_us in completion order.
+[[nodiscard]] std::string spans_to_csv(const std::vector<SpanRecord>& spans);
+
+/// Writes `contents` to `path` atomically enough for a sidecar (temp file in
+/// the same directory, then rename). Throws util::precondition_error on I/O
+/// failure.
+void write_file(const std::string& path, std::string_view contents);
+
+/// Strict-enough JSON well-formedness check (objects, arrays, strings with
+/// escapes, numbers, true/false/null). Returns std::nullopt when `text`
+/// parses, otherwise a message naming the first offending byte offset.
+[[nodiscard]] std::optional<std::string> json_parse_error(std::string_view text);
+
+}  // namespace rainshine::obs

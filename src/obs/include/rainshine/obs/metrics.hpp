@@ -1,0 +1,173 @@
+// Lock-cheap metrics: monotonic counters, gauges, fixed-bucket histograms
+// and the process-wide Registry that owns them.
+//
+// The pipeline's hot layers — the discrete-event simulator, CART fitting,
+// recoverable ingest and the batched PredictionService — each burn seconds
+// of CPU per study run, and until this layer existed the only visibility was
+// whatever counters a component hand-rolled (serve::ServiceStats) or nothing
+// at all. The Registry gives every subsystem one place to publish
+//
+//   * Counter    — monotonic, relaxed-atomic increments (~1 RMW per tick),
+//   * Gauge      — last-written value (queue depths, high-water marks),
+//   * Histogram  — fixed upper-inclusive buckets with EXACT count/sum/min/
+//                  max, guarded by a per-histogram mutex (uncontended lock on
+//                  the observe path; observes happen per request / per tree /
+//                  per rack, never per row),
+//
+// and one place to read them back: Registry::snapshot() returns every metric
+// in name order, each histogram internally consistent (count == Σ buckets,
+// sum exact). Cross-METRIC consistency is the publisher's ordering contract:
+// a component that ticks its counter and observes its histogram in one
+// critical section (as PredictionService does) reads back equal totals.
+//
+// Determinism contract: metrics only *record* — no instrumented code path
+// reads a metric to make a decision, and nothing here touches an Rng — so
+// enabling, disabling or resetting instrumentation cannot perturb any seeded
+// result. tests/integration/test_determinism.cpp pins this.
+//
+// Handles returned by the Registry are stable for the Registry's lifetime:
+// reset() zeroes values but never invalidates a Counter*/Gauge*/Histogram*,
+// so components may cache pointers at construction and tick them forever.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rainshine::obs {
+
+/// Monotonic counter. Relaxed increments: totals are exact once the writing
+/// threads have synchronized with the reader (join, future.get, mutex), which
+/// every publisher in this codebase does before a snapshot is meaningful.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (instantaneous level, e.g. queue depth in rows).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One histogram's state at a point in time. `bounds[i]` is the upper
+/// INCLUSIVE edge of bucket i (v <= bounds[i]); `counts` has one extra
+/// trailing overflow bucket for v > bounds.back(). Invariants: count ==
+/// sum of counts; sum/min/max are exact over the observed values.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;  ///< 0 when count == 0
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket latency/size histogram with exact count and sum. Observe is
+/// a short critical section on a per-histogram mutex — cheap uncontended,
+/// and correct (count == Σ buckets in every snapshot) under any contention.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty; values above
+  /// the last bound land in an implicit overflow bucket.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::span<const double> bounds() const noexcept { return bounds_; }
+  void reset() noexcept;
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1
+};
+
+/// Exponential microsecond buckets, 1us .. 10s — the default for every
+/// latency/duration histogram in the tree.
+[[nodiscard]] std::span<const double> default_latency_buckets_us() noexcept;
+
+/// Power-of-two size buckets, 1 .. 65536 — for batch/row-count histograms.
+[[nodiscard]] std::span<const double> default_size_buckets() noexcept;
+
+/// Everything the Registry knows, in name order per metric kind.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Lookup helpers for tests and tools; throw util::precondition_error when
+  /// the name is absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot& histogram(std::string_view name) const;
+  [[nodiscard]] bool has_counter(std::string_view name) const noexcept;
+};
+
+/// Named metric store. get-or-create is idempotent: the first caller fixes a
+/// histogram's buckets and later callers must agree (or pass empty bounds to
+/// accept whatever exists). All methods are thread-safe.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Empty `upper_bounds` means default_latency_buckets_us() on creation and
+  /// "accept existing buckets" on lookup.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> upper_bounds = {});
+
+  /// Consistent read of every registered metric, names ascending.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value. Handles stay valid; registration survives.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every built-in instrumentation site publishes
+/// to. Tools snapshot it at exit; tests reset() it between scenarios.
+[[nodiscard]] Registry& registry();
+
+}  // namespace rainshine::obs

@@ -1,0 +1,130 @@
+// RAII scoped timers and lightweight span tracing.
+//
+// ScopedTimer is the zero-ceremony way to feed a duration histogram: it
+// reads steady_clock at construction and observes elapsed microseconds into
+// the bound Histogram at destruction (or at an explicit stop()). It never
+// allocates and never throws.
+//
+// Tracer is an opt-in, bounded, in-memory span recorder for answering
+// "where did this run spend its time" without a profiler. Disabled (the
+// default) a ScopedSpan costs one relaxed atomic load and nothing else —
+// cheap enough to leave in every hot phase. Enabled, each completed span
+// appends one fixed-size record to a bounded buffer under a mutex; when the
+// buffer fills, further spans are counted as dropped rather than grown, so
+// tracing can never blow up memory on a long run.
+//
+// Like the metrics registry, tracing only records: no instrumented code path
+// branches on tracer state (beyond skipping the record itself), so enabling
+// tracing cannot perturb any seeded result.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rainshine/obs/metrics.hpp"
+
+namespace rainshine::obs {
+
+/// Observes elapsed wall time, in microseconds, into a Histogram when the
+/// scope ends. `stop()` observes early; the destructor then does nothing.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Observe now instead of at scope exit. Idempotent.
+  void stop() noexcept {
+    if (hist_ == nullptr) return;
+    hist_->observe(elapsed_us());
+    hist_ = nullptr;
+  }
+
+  /// Microseconds since construction (fractional), without observing.
+  [[nodiscard]] double elapsed_us() const noexcept {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(dt).count();
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One completed span. `depth` is the nesting level within the recording
+/// thread (0 = outermost); `thread` is a small dense index assigned in the
+/// order threads first record a span.
+struct SpanRecord {
+  std::string name;
+  double start_us = 0.0;     ///< relative to Tracer::enable()
+  double duration_us = 0.0;
+  std::uint32_t thread = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Bounded in-memory span recorder. All methods are thread-safe.
+class Tracer {
+ public:
+  /// Start recording into a fresh buffer of at most `capacity` spans.
+  /// Clears any previously drained or pending spans.
+  void enable(std::size_t capacity = 4096);
+
+  /// Stop recording. Already-recorded spans stay available to drain().
+  void disable() noexcept;
+
+  /// Acquire load: pairs with the release store in enable() so a thread that
+  /// sees `true` also sees the fresh epoch/buffer.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Remove and return every recorded span, ordered by completion time.
+  [[nodiscard]] std::vector<SpanRecord> drain();
+
+  /// Spans discarded because the buffer was full, since the last enable().
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ScopedSpan;
+  void record(std::string_view name, double start_us, double duration_us,
+              std::uint32_t depth);
+  [[nodiscard]] double now_us() const noexcept;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = 0;
+  std::vector<SpanRecord> spans_;
+  std::uint32_t next_thread_index_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// The process-wide tracer the built-in instrumentation sites record to.
+[[nodiscard]] Tracer& tracer();
+
+/// Records a named span on the global tracer covering this scope's lifetime.
+/// When tracing is disabled this is one relaxed atomic load.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) noexcept;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  std::string_view name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace rainshine::obs

@@ -1,0 +1,329 @@
+#include "rainshine/obs/export.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::obs {
+
+namespace {
+
+// Shortest round-trip decimal form, matching how the rest of the tree
+// serializes doubles (table::write_csv uses the same approach).
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+// JSON has no NaN/Infinity literals; render non-finite samples as null so
+// the sidecar always parses.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string bucket_label(double bound) {
+  return std::isfinite(bound) ? format_double(bound) : "inf";
+}
+
+}  // namespace
+
+std::string to_text(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "gauge " << name << " = " << format_double(value) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "histogram " << name << " count=" << h.count
+        << " sum=" << format_double(h.sum) << " min=" << format_double(h.min)
+        << " max=" << format_double(h.max)
+        << " mean=" << format_double(h.mean()) << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      const std::string le =
+          i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      out << "  le " << le << " : " << h.counts[i] << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_csv(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "gauge," << name << ",value," << format_double(value) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "histogram," << name << ",count," << h.count << "\n";
+    out << "histogram," << name << ",sum," << format_double(h.sum) << "\n";
+    out << "histogram," << name << ",min," << format_double(h.min) << "\n";
+    out << "histogram," << name << ",max," << format_double(h.max) << "\n";
+    out << "histogram," << name << ",mean," << format_double(h.mean()) << "\n";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? bucket_label(h.bounds[i]) : "inf";
+      out << "histogram," << name << ",bucket_le_" << le << ","
+          << h.counts[i] << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  out << "{\"schema\":\"rainshine.metrics.v1\",";
+
+  out << "\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << json_escape(snap.counters[i].first)
+        << "\":" << snap.counters[i].second;
+  }
+  out << "},";
+
+  out << "\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << json_escape(snap.gauges[i].first)
+        << "\":" << json_number(snap.gauges[i].second);
+  }
+  out << "},";
+
+  out << "\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i != 0) out << ",";
+    const auto& [name, h] = snap.histograms[i];
+    out << "\"" << json_escape(name) << "\":{"
+        << "\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+        << ",\"min\":" << json_number(h.min)
+        << ",\"max\":" << json_number(h.max) << ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b != 0) out << ",";
+      out << json_number(h.bounds[b]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out << ",";
+      out << h.counts[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string spans_to_csv(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << "name,thread,depth,start_us,duration_us\n";
+  for (const SpanRecord& s : spans) {
+    out << s.name << "," << s.thread << "," << s.depth << ","
+        << format_double(s.start_us) << "," << format_double(s.duration_us)
+        << "\n";
+  }
+  return out.str();
+}
+
+void write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    util::require(out.good(), "cannot open '" + tmp + "' for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    util::require(out.good(), "write to '" + tmp + "' failed");
+  }
+  util::require(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename '" + tmp + "' to '" + path + "'");
+}
+
+namespace {
+
+// Hand-rolled recursive-descent JSON well-formedness checker. Values only —
+// no duplicate-key or depth policing — which is all the smoke check needs.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  std::optional<std::string> check() {
+    skip_ws();
+    if (!value()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing data");
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<std::string> error_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  bool fail_bool(const std::string& what) {
+    if (!error_) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+  std::optional<std::string> fail(const std::string& what) {
+    fail_bool(what);
+    return error_;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail_bool("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return fail_bool("expected string");
+    ++pos_;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) {
+              return fail_bool("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail_bool("bad escape");
+        }
+      }
+    }
+    return fail_bool("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    double parsed = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, parsed);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail_bool("invalid number");
+    }
+    return true;
+  }
+
+  bool value() {
+    skip_ws();
+    if (eof()) return fail_bool("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // consume '{'
+    skip_ws();
+    if (!eof() && peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail_bool("expected ':'");
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail_bool("unterminated object");
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return fail_bool("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // consume '['
+    skip_ws();
+    if (!eof() && peek() == ']') { ++pos_; return true; }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail_bool("unterminated array");
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return fail_bool("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::string> json_parse_error(std::string_view text) {
+  return JsonChecker(text).check();
+}
+
+}  // namespace rainshine::obs

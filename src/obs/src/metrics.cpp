@@ -1,0 +1,177 @@
+#include "rainshine/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  util::require(!bounds_.empty(), "Histogram needs at least one bucket bound");
+  util::require(std::adjacent_find(bounds_.begin(), bounds_.end(),
+                                   [](double a, double b) { return a >= b; }) ==
+                    bounds_.end(),
+                "Histogram bucket bounds must be strictly increasing");
+}
+
+void Histogram::observe(double value) noexcept {
+  // First bucket whose upper (inclusive) edge admits the value; everything
+  // above the last bound lands in the trailing overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  ++counts_[bucket];
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.counts = counts_;
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+std::span<const double> default_latency_buckets_us() noexcept {
+  static const std::array<double, 22> kBuckets = {
+      1.0,     2.0,     5.0,     10.0,    20.0,    50.0,    100.0,   200.0,
+      500.0,   1e3,     2e3,     5e3,     1e4,     2e4,     5e4,     1e5,
+      2e5,     5e5,     1e6,     2e6,     5e6,     1e7};
+  return kBuckets;
+}
+
+std::span<const double> default_size_buckets() noexcept {
+  static const std::array<double, 17> kBuckets = {
+      1.0,   2.0,   4.0,    8.0,    16.0,   32.0,   64.0,    128.0,  256.0,
+      512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0};
+  return kBuckets;
+}
+
+namespace {
+
+template <typename Pairs>
+auto find_named(const Pairs& pairs, std::string_view name) {
+  return std::find_if(pairs.begin(), pairs.end(),
+                      [&](const auto& kv) { return kv.first == name; });
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = find_named(counters, name);
+  util::require(it != counters.end(),
+                "no counter named '" + std::string(name) + "' in snapshot");
+  return it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = find_named(gauges, name);
+  util::require(it != gauges.end(),
+                "no gauge named '" + std::string(name) + "' in snapshot");
+  return it->second;
+}
+
+const HistogramSnapshot& MetricsSnapshot::histogram(std::string_view name) const {
+  const auto it = find_named(histograms, name);
+  util::require(it != histograms.end(),
+                "no histogram named '" + std::string(name) + "' in snapshot");
+  return it->second;
+}
+
+bool MetricsSnapshot::has_counter(std::string_view name) const noexcept {
+  return find_named(counters, name) != counters.end();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    const std::span<const double> bounds =
+        upper_bounds.empty() ? default_latency_buckets_us() : upper_bounds;
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::vector<double>(bounds.begin(), bounds.end())))
+             .first;
+    return *it->second;
+  }
+  if (!upper_bounds.empty()) {
+    const auto existing = it->second->bounds();
+    util::require(std::equal(existing.begin(), existing.end(),
+                             upper_bounds.begin(), upper_bounds.end()),
+                  "histogram '" + std::string(name) +
+                      "' re-registered with different bucket bounds");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& registry() {
+  // Intentionally immortal (never destroyed): atexit hooks — like the bench
+  // binaries' RAINSHINE_METRICS sidecar writer — must be able to snapshot
+  // the registry no matter how their registration order interleaved with
+  // static initialization. Still reachable through this pointer at exit, so
+  // leak checkers stay quiet.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+}  // namespace rainshine::obs

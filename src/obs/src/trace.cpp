@@ -1,0 +1,86 @@
+#include "rainshine/obs/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rainshine::obs {
+
+namespace {
+
+// Per-thread tracing state: nesting depth plus the dense thread index the
+// Tracer assigned on this thread's first recorded span (UINT32_MAX = none).
+struct ThreadTraceState {
+  std::uint32_t depth = 0;
+  std::uint32_t index = UINT32_MAX;
+};
+
+ThreadTraceState& thread_state() noexcept {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+}  // namespace
+
+void Tracer::enable(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  spans_.clear();
+  spans_.reserve(std::min<std::size_t>(capacity, 4096));
+  next_thread_index_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() noexcept {
+  enabled_.store(false, std::memory_order_release);
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(spans_, {});
+}
+
+double Tracer::now_us() const noexcept {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void Tracer::record(std::string_view name, double start_us, double duration_us,
+                    std::uint32_t depth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ThreadTraceState& state = thread_state();
+  if (state.index == UINT32_MAX) state.index = next_thread_index_++;
+  spans_.push_back(SpanRecord{std::string(name), start_us, duration_us,
+                              state.index, depth});
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) noexcept : name_(name) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  active_ = true;
+  start_us_ = t.now_us();
+  ++thread_state().depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  ThreadTraceState& state = thread_state();
+  const std::uint32_t depth = --state.depth;
+  Tracer& t = tracer();
+  // Record even if tracing was disabled mid-span: the span started while
+  // enabled, and dropping it here would leave enable()'d runs truncated at
+  // an arbitrary point. The buffer cap still bounds memory.
+  t.record(name_, start_us_, t.now_us() - start_us_, depth);
+}
+
+}  // namespace rainshine::obs

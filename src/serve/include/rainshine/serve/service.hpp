@@ -26,7 +26,19 @@
 // rows, batches by flush cause, queue depth high-water mark and end-to-end
 // latency live in ServiceStats — the serving-side analogue of the λ/µ
 // counters core::metrics keeps for failures — and are readable at any time
-// via stats().
+// via stats(). The same events also publish to the process-wide
+// obs::registry() under "serve.*" (counters mirroring ServiceStats, a
+// serve.queue_depth_rows gauge, and serve.latency_us / serve.batch_rows
+// histograms) so a run's metrics sidecar includes serving behaviour without
+// holding a PredictionService handle. Counter ticks and histogram observes
+// for a request happen in one critical section before its future fulfills,
+// so obs snapshots taken after .get() are cross-metric consistent
+// (latency histogram count == serve.requests_completed).
+//
+// Shutdown contract: a request whose submit() began before destruction is
+// either scored by the drain or its future fails with service_stopped_error
+// — it is never abandoned (no broken_promise). The destructor waits for
+// every producer blocked inside submit() to leave before tearing down.
 #pragma once
 
 #include <chrono>
@@ -37,15 +49,26 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "rainshine/obs/metrics.hpp"
 #include "rainshine/serve/artifact.hpp"
 #include "rainshine/serve/registry.hpp"
 #include "rainshine/table/table.hpp"
 
 namespace rainshine::serve {
+
+/// A request hit the service during shutdown: the future of a submit() that
+/// raced destruction carries this instead of a result. Distinct from
+/// util::precondition_error (caller bug) — racing a shutdown is a normal
+/// lifecycle event the caller may want to retry elsewhere.
+class service_stopped_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct ServiceConfig {
   /// Flush the pending batch once this many rows are queued.
@@ -65,14 +88,17 @@ struct ServiceConfig {
 struct ServiceStats {
   std::uint64_t requests_admitted = 0;
   std::uint64_t requests_rejected = 0;  ///< try_submit refusals (backpressure)
+  std::uint64_t requests_stopped = 0;   ///< raced shutdown; service_stopped_error
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_failed = 0;    ///< scoring threw; error in the future
+  std::uint64_t oversize_admitted = 0;  ///< single request > max_queue_rows
   std::uint64_t rows_scored = 0;
   std::uint64_t batches_flushed = 0;
   std::uint64_t full_flushes = 0;       ///< batch reached max_batch_rows
   std::uint64_t deadline_flushes = 0;   ///< flushed by max_batch_delay / drain
   std::uint64_t queue_depth_rows = 0;   ///< pending right now
   std::uint64_t peak_queue_rows = 0;    ///< high-water mark
+  std::uint64_t blocked_submits = 0;    ///< producers parked in submit() now
   std::uint64_t total_latency_us = 0;
   std::uint64_t max_latency_us = 0;
 
@@ -93,7 +119,9 @@ class PredictionService {
   /// `artifact.meta.schema`. The service owns one dispatcher thread.
   explicit PredictionService(ModelArtifact artifact, ServiceConfig config = {});
 
-  /// Drains every admitted request, then stops the dispatcher.
+  /// Drains every admitted request, fails any submit() still blocked on
+  /// backpressure with service_stopped_error, waits for those producers to
+  /// leave the lock, then stops the dispatcher. No future is ever abandoned.
   ~PredictionService();
 
   PredictionService(const PredictionService&) = delete;
@@ -103,11 +131,14 @@ class PredictionService {
   /// util::precondition_error on mismatch — in this thread, immediately),
   /// then blocks until the queue has room and returns a future holding one
   /// prediction per row (regression values or class codes; see
-  /// class_labels() to render the latter).
+  /// class_labels() to render the latter). If the service stops while this
+  /// call is blocked, the returned future fails with service_stopped_error.
   [[nodiscard]] std::future<std::vector<double>> submit(const table::Table& rows);
 
   /// Non-blocking admission: nullopt (and a rejected tick) when the queue
-  /// is full. Schema mismatches still throw.
+  /// is full. Schema mismatches still throw. A call racing shutdown returns
+  /// a future failed with service_stopped_error (not nullopt — the refusal
+  /// is permanent, not backpressure).
   [[nodiscard]] std::optional<std::future<std::vector<double>>> try_submit(
       const table::Table& rows);
 
@@ -129,21 +160,46 @@ class PredictionService {
     std::uint64_t sequence = 0;
   };
 
+  /// Why enqueue() returned: scored-eventually, backpressure refusal, or a
+  /// future pre-failed with service_stopped_error.
+  enum class Admission { kAdmitted, kRejected, kStopped };
+
+  /// Stable handles into obs::registry(), resolved once at construction so
+  /// the hot path never takes the registry's registration lock.
+  struct ObsHandles {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* stopped = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* rows_scored = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* full_flushes = nullptr;
+    obs::Counter* deadline_flushes = nullptr;
+    obs::Counter* oversize = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* latency_us = nullptr;
+    obs::Histogram* batch_rows = nullptr;
+  };
+
   std::future<std::vector<double>> enqueue(const table::Table& rows, bool blocking,
-                                           bool& admitted);
+                                           Admission& outcome);
   void run();
   void score_batch(std::vector<Request> batch, bool deadline_flush);
 
   ModelMetadata meta_;
   std::shared_ptr<const cart::Forest> forest_;
   ServiceConfig config_;
+  ObsHandles obs_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;   ///< dispatcher wakeups
   std::condition_variable space_free_;   ///< producer backpressure wakeups
   std::condition_variable drained_;      ///< flush() completion
+  std::condition_variable idle_;         ///< destructor waits out blocked submits
   std::deque<Request> pending_;
   std::size_t pending_rows_ = 0;
+  std::size_t blocked_enqueues_ = 0;     ///< producers inside space_free_.wait
   std::uint64_t next_sequence_ = 0;      ///< last sequence admitted
   std::uint64_t completed_sequence_ = 0; ///< all requests <= this are done
   bool stop_ = false;

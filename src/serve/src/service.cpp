@@ -44,21 +44,40 @@ PredictionService::PredictionService(ModelArtifact artifact, ServiceConfig confi
   util::require(config_.max_batch_rows > 0, "max_batch_rows must be positive");
   util::require(config_.max_queue_rows >= config_.max_batch_rows,
                 "max_queue_rows must be at least max_batch_rows");
+  obs::Registry& reg = obs::registry();
+  obs_.admitted = &reg.counter("serve.requests_admitted");
+  obs_.rejected = &reg.counter("serve.requests_rejected");
+  obs_.stopped = &reg.counter("serve.requests_stopped");
+  obs_.completed = &reg.counter("serve.requests_completed");
+  obs_.failed = &reg.counter("serve.requests_failed");
+  obs_.rows_scored = &reg.counter("serve.rows_scored");
+  obs_.batches = &reg.counter("serve.batches_flushed");
+  obs_.full_flushes = &reg.counter("serve.full_flushes");
+  obs_.deadline_flushes = &reg.counter("serve.deadline_flushes");
+  obs_.oversize = &reg.counter("serve.oversize_admitted");
+  obs_.queue_depth = &reg.gauge("serve.queue_depth_rows");
+  obs_.latency_us = &reg.histogram("serve.latency_us");
+  obs_.batch_rows =
+      &reg.histogram("serve.batch_rows", obs::default_size_buckets());
   dispatcher_ = std::thread([this] { run(); });
 }
 
 PredictionService::~PredictionService() {
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
     stop_ = true;
+    work_ready_.notify_all();
+    space_free_.notify_all();
+    // Producers blocked in submit() wake, fail their promise with
+    // service_stopped_error, and leave. Wait them out before joining: once
+    // this returns, no producer will touch our members again.
+    idle_.wait(lock, [&] { return blocked_enqueues_ == 0; });
   }
-  work_ready_.notify_all();
-  space_free_.notify_all();
   dispatcher_.join();
 }
 
 std::future<std::vector<double>> PredictionService::enqueue(
-    const table::Table& rows, bool blocking, bool& admitted) {
+    const table::Table& rows, bool blocking, Admission& outcome) {
   // Schema validation and dictionary re-encode happen here, in the caller's
   // thread: a bad table throws before touching the queue, and the dispatcher
   // only ever sees scoreable Datasets.
@@ -72,38 +91,72 @@ std::future<std::vector<double>> PredictionService::enqueue(
   };
   if (!blocking && !stop_ && !has_room()) {
     ++stats_.requests_rejected;
-    admitted = false;
+    obs_.rejected->add();
+    outcome = Admission::kRejected;
     return future;
   }
-  if (blocking) {
+  if (blocking && !stop_) {
+    // Guarded wait: the destructor counts us and will not tear down the
+    // mutex/cv while we are inside (or on our way out of) this block.
+    ++blocked_enqueues_;
+    stats_.blocked_submits = blocked_enqueues_;
     space_free_.wait(lock, [&] { return stop_ || has_room(); });
+    --blocked_enqueues_;
+    stats_.blocked_submits = blocked_enqueues_;
+    if (blocked_enqueues_ == 0) idle_.notify_all();  // under lock: cv outlives us
   }
-  util::require(!stop_, "PredictionService is shutting down");
+  if (stop_) {
+    // Shutdown raced this submission. The promise is still local to this
+    // frame, so fail it with a typed error — the caller's future resolves,
+    // never abandons. Stats tick under the lock we already hold.
+    ++stats_.requests_stopped;
+    obs_.stopped->add();
+    outcome = Admission::kStopped;
+    lock.unlock();
+    req.result.set_exception(std::make_exception_ptr(service_stopped_error(
+        "PredictionService stopped before the request was admitted")));
+    return future;
+  }
 
   req.enqueued = std::chrono::steady_clock::now();
   req.sequence = ++next_sequence_;
   pending_.push_back(std::move(req));
   pending_rows_ += n;
   ++stats_.requests_admitted;
+  obs_.admitted->add();
+  if (n > config_.max_queue_rows) {
+    // Admitted only because the queue was empty; worth counting — one such
+    // request monopolizes the queue until scored.
+    ++stats_.oversize_admitted;
+    obs_.oversize->add();
+  }
   stats_.queue_depth_rows = pending_rows_;
+  obs_.queue_depth->set(static_cast<double>(pending_rows_));
   stats_.peak_queue_rows = std::max<std::uint64_t>(stats_.peak_queue_rows,
                                                    pending_rows_);
-  admitted = true;
-  lock.unlock();
+  outcome = Admission::kAdmitted;
+  // Notify BEFORE releasing the mutex: once a formerly-blocked producer has
+  // decremented blocked_enqueues_, the destructor may tear the service down
+  // the moment we release — a notify after unlock would poke a dead cv.
+  // Holding the lock blocks the destructor (it must acquire mutex_) until
+  // this thread is provably done with the members.
   work_ready_.notify_all();
+  lock.unlock();
   return future;
 }
 
 std::future<std::vector<double>> PredictionService::submit(const table::Table& rows) {
-  bool admitted = false;
-  return enqueue(rows, /*blocking=*/true, admitted);
+  Admission outcome = Admission::kRejected;
+  return enqueue(rows, /*blocking=*/true, outcome);
 }
 
 std::optional<std::future<std::vector<double>>> PredictionService::try_submit(
     const table::Table& rows) {
-  bool admitted = false;
-  auto future = enqueue(rows, /*blocking=*/false, admitted);
-  if (!admitted) return std::nullopt;
+  Admission outcome = Admission::kRejected;
+  auto future = enqueue(rows, /*blocking=*/false, outcome);
+  // Backpressure is the only nullopt: it invites a retry. A stopped service
+  // hands back the pre-failed future — retrying here can never succeed.
+  if (outcome == Admission::kRejected) return std::nullopt;
   return future;
 }
 
@@ -155,11 +208,16 @@ void PredictionService::run() {
     }
     pending_rows_ -= batch_rows;
     stats_.queue_depth_rows = pending_rows_;
+    obs_.queue_depth->set(static_cast<double>(pending_rows_));
     ++stats_.batches_flushed;
+    obs_.batches->add();
+    obs_.batch_rows->observe(static_cast<double>(batch_rows));
     if (full) {
       ++stats_.full_flushes;
+      obs_.full_flushes->add();
     } else {
       ++stats_.deadline_flushes;
+      obs_.deadline_flushes->add();
     }
     lock.unlock();
     space_free_.notify_all();
@@ -186,21 +244,40 @@ void PredictionService::score_batch(std::vector<Request> batch,
     const std::uint64_t latency = elapsed_us(req.enqueued);
     {
       // Counters first, fulfillment second: a caller who has seen its future
-      // resolve is guaranteed to find its request in the stats() snapshot.
+      // resolve is guaranteed to find its request in the stats() snapshot —
+      // and the obs latency histogram observe shares this critical section,
+      // so snapshot consistency (histogram count == completed counter) holds
+      // for the registry too.
       std::lock_guard lock(mutex_);
       if (error == nullptr) {
         ++stats_.requests_completed;
         stats_.rows_scored += n;
         stats_.total_latency_us += latency;
         stats_.max_latency_us = std::max(stats_.max_latency_us, latency);
+        obs_.completed->add();
+        obs_.rows_scored->add(n);
+        obs_.latency_us->observe(static_cast<double>(latency));
       } else {
         ++stats_.requests_failed;
+        obs_.failed->add();
       }
     }
-    if (error != nullptr) {
-      req.result.set_exception(error);
-    } else {
-      req.result.set_value(std::move(result));
+    // Fulfillment must not be able to kill the dispatcher: set_value can
+    // throw (e.g. std::future_error if a promise was somehow satisfied, or
+    // bad_alloc moving the payload). Convert to set_exception; if even that
+    // fails the promise was already satisfied and the caller has a result.
+    try {
+      if (error != nullptr) {
+        req.result.set_exception(error);
+      } else {
+        req.result.set_value(std::move(result));
+      }
+    } catch (...) {
+      try {
+        req.result.set_exception(std::current_exception());
+      } catch (...) {
+        // Promise already satisfied — nothing left to deliver.
+      }
     }
     {
       // The flush() gate advances only after the future is fulfilled, so

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "rainshine/ingest/metrics.hpp"
 #include "rainshine/util/check.hpp"
 #include "rainshine/util/strings.hpp"
 
@@ -149,6 +150,13 @@ void write_ticket_csv_file(const TicketLog& log, const std::string& path) {
 
 TicketLog read_ticket_csv(std::istream& in, const Fleet& fleet,
                           const TicketReadOptions& options, IngestReport* report) {
+  // Accounting always runs — into the caller's report when supplied (delta
+  // published, so a report reused across reads never double-counts), into a
+  // local one otherwise.
+  ingest::IngestReport local_report;
+  ingest::IngestReport* rep = report != nullptr ? report : &local_report;
+  const ingest::IngestReport before = *rep;
+
   const ErrorPolicy policy = options.policy;
   std::string line;
   util::require(static_cast<bool>(std::getline(in, line)),
@@ -159,16 +167,14 @@ TicketLog read_ticket_csv(std::istream& in, const Fleet& fleet,
                     std::string(kHeader));
 
   const auto note_quarantine = [&](std::size_t row, const RowIssue& issue) {
-    if (report == nullptr) return;
-    report->quarantine({row,
-                        issue.column >= 0 ? kColumnNames[issue.column] : "",
-                        issue.reason, issue.detail});
+    rep->quarantine({row,
+                     issue.column >= 0 ? kColumnNames[issue.column] : "",
+                     issue.reason, issue.detail});
   };
   const auto note_repair = [&](std::size_t row, int column, ReasonCode reason,
                                std::string detail) {
-    if (report == nullptr) return;
-    report->repair({row, column >= 0 ? kColumnNames[column] : "", reason,
-                    std::move(detail)});
+    rep->repair({row, column >= 0 ? kColumnNames[column] : "", reason,
+                 std::move(detail)});
   };
 
   std::vector<Ticket> tickets;
@@ -178,7 +184,7 @@ TicketLog read_ticket_csv(std::istream& in, const Fleet& fleet,
     ++row;
     const std::string_view trimmed = util::trim(line);
     if (trimmed.empty()) continue;
-    if (report != nullptr) report->saw_row();
+    rep->saw_row();
 
     if (policy == ErrorPolicy::kRepair &&
         !seen_lines.emplace(trimmed).second) {
@@ -207,9 +213,10 @@ TicketLog read_ticket_csv(std::istream& in, const Fleet& fleet,
       note_quarantine(row, *issue);
       continue;
     }
-    if (report != nullptr) report->accept();
+    rep->accept();
     tickets.push_back(t);
   }
+  ingest::publish_report_delta(before, *rep);
   return TicketLog(std::move(tickets));
 }
 

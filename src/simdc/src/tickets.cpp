@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
 #include "rainshine/stats/distributions.hpp"
 #include "rainshine/util/check.hpp"
 #include "rainshine/util/parallel.hpp"
@@ -103,6 +105,11 @@ struct RackStream {
 
 RackStream simulate_rack(const Fleet& fleet, const HazardModel& hazard,
                          const util::Rng& root, const Rack& rack) {
+  // Per-rack wall time; observed from whichever pool thread runs the rack,
+  // which is why Histogram::observe is thread-safe. Purely recording — the
+  // rack's Rng stream is untouched by instrumentation.
+  const obs::ScopedTimer rack_timer(
+      obs::registry().histogram("simdc.rack_sim_us"));
   const HazardConfig& cfg = hazard.config();
   RackStream out;
   std::vector<Ticket>& tickets = out.tickets;
@@ -214,6 +221,9 @@ RackStream simulate_rack(const Fleet& fleet, const HazardModel& hazard,
 TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
                    const HazardModel& hazard, SimulationOptions options) {
   (void)env;  // conditions are consulted through the hazard model
+  const obs::ScopedSpan span("simdc.simulate");
+  const obs::ScopedTimer sim_timer(
+      obs::registry().histogram("simdc.simulate_us"));
   const util::Rng root = util::Rng(options.seed).split("ticket-stream");
 
   // Each rack's hazards draw from its own (seed, rack.id)-derived stream, so
@@ -237,6 +247,9 @@ TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
     }
     burst_base += s.num_bursts;
   }
+  obs::registry().counter("simdc.tickets_generated").add(total);
+  obs::registry().counter("simdc.bursts").add(
+      static_cast<std::uint64_t>(burst_base));
   return TicketLog(std::move(tickets));
 }
 

@@ -8,10 +8,22 @@
 
 #include <functional>
 #include <span>
+#include <stdexcept>
 
 #include "rainshine/util/rng.hpp"
 
 namespace rainshine::stats {
+
+/// The bootstrap could not produce a statistically meaningful interval:
+/// either the replicate budget cannot resolve the requested tail percentile,
+/// or the statistic returned non-finite estimates (whose percentiles are
+/// undefined — sorting NaNs is not even a valid ordering). Distinct from
+/// util::precondition_error: the arguments are individually valid, the
+/// *combination* (or the data) defeats the method.
+class bootstrap_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A two-sided confidence interval around a point estimate.
 struct ConfidenceInterval {
@@ -28,8 +40,13 @@ using Statistic = std::function<double(std::span<const double>)>;
 
 /// Percentile bootstrap: resamples `sample` with replacement `replicates`
 /// times and returns the [alpha/2, 1-alpha/2] percentile interval of the
-/// statistic, where alpha = 1 - level. Throws on empty sample, level outside
-/// (0,1), or zero replicates.
+/// statistic, where alpha = 1 - level. Throws util::precondition_error on
+/// empty sample, level outside (0,1), or zero replicates; throws
+/// bootstrap_error when replicates < 2/alpha + 1 (too few to resolve the
+/// alpha/2 tail — at the default level 0.95 that means at least 41) or when
+/// any replicate's estimate is non-finite. An interval that is returned
+/// always satisfies lo <= hi; degenerate inputs (single-element or constant
+/// samples) yield the well-defined zero-width interval [v, v].
 ///
 /// Replicates are processed in fixed-size chunks, each drawing from its own
 /// RNG stream derived from (one draw of `rng`, chunk_index); the estimates

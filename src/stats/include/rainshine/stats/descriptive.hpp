@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -90,12 +91,37 @@ struct Summary {
 [[nodiscard]] double mean(std::span<const double> values) noexcept;
 [[nodiscard]] double sample_stddev(std::span<const double> values) noexcept;
 
+/// Which estimator a quantile call uses. The library has exactly two, and
+/// both live here so their edge cases stay reconciled in one place:
+///
+///   * kLinearInterp — R type 7 (h = q·(n−1), interpolate between floor and
+///     ceil). Smooth; the default for summaries and bootstrap percentiles.
+///   * kInverseEcdf — R type 1: the smallest SAMPLE value v with
+///     P(X ≤ v) ≥ q. Always returns an observed value; what Ecdf::quantile
+///     uses for spare-capacity provisioning (you can't provision 2.4 spares).
+///
+/// The two agree exactly at q = 0 (minimum), q = 1 (maximum), on
+/// single-element samples, and on constant samples; between sample points
+/// kLinearInterp interpolates while kInverseEcdf steps up to the next
+/// observed value.
+enum class QuantileMethod : std::uint8_t {
+  kLinearInterp,  ///< R type 7 (continuous)
+  kInverseEcdf,   ///< R type 1 (left-continuous inverse of the ECDF)
+};
+
 /// Linear-interpolation quantile (R type 7) of UNSORTED data, q in [0, 1].
 /// Throws util::precondition_error on empty input or q outside [0, 1].
 [[nodiscard]] double quantile(std::span<const double> values, double q);
 
 /// Quantile of data the caller guarantees is ascending-sorted.
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Same, with an explicit estimator. kInverseEcdf is robust to the
+/// floating-point wobble in q·n: a q that equals k/n up to rounding selects
+/// index k−1 exactly, so Ecdf round-trips quantile(cdf(v)) == v for every
+/// sample value v (the naive ceil(q·n)−1 could land one index high).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q,
+                                     QuantileMethod method);
 
 /// Normalizes values to their maximum (the paper normalizes every reported
 /// metric to its peak — see §V footnote 2). All-zero input is returned

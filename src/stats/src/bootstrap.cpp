@@ -1,6 +1,8 @@
 #include "rainshine/stats/bootstrap.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include "rainshine/stats/descriptive.hpp"
@@ -22,6 +24,22 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
   util::require(replicates > 0, "bootstrap needs at least one replicate");
   util::require(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
 
+  // The alpha/2 tail percentile only moves off the sample extremes once
+  // (alpha/2)·(replicates−1) >= 1; below that the "interval" is just the
+  // min/max of a handful of draws masquerading as a CI. Refuse with a typed
+  // error (before consuming any randomness) rather than hand back a number
+  // that looks authoritative.
+  const double alpha = 1.0 - level;
+  const auto min_replicates =
+      static_cast<std::size_t>(std::ceil(2.0 / alpha)) + 1;
+  if (replicates < min_replicates) {
+    throw bootstrap_error(
+        "bootstrap_ci: " + std::to_string(replicates) +
+        " replicates cannot resolve the " + std::to_string(alpha / 2.0) +
+        " tail percentile; need at least " + std::to_string(min_replicates) +
+        " at confidence level " + std::to_string(level));
+  }
+
   // One draw keys this call's replicate streams: successive calls with the
   // same generator stay independent while each chunk's stream depends only
   // on (base, chunk_index), never on scheduling.
@@ -41,9 +59,20 @@ ConfidenceInterval bootstrap_ci(std::span<const double> sample,
       }
     }
   });
+  // NaN/Inf estimates would make the sort below meaningless (NaN breaks
+  // strict weak ordering — lo > hi becomes possible) — refuse instead.
+  std::size_t non_finite = 0;
+  for (const double e : estimates) {
+    if (!std::isfinite(e)) ++non_finite;
+  }
+  if (non_finite > 0) {
+    throw bootstrap_error("bootstrap_ci: " + std::to_string(non_finite) +
+                          " of " + std::to_string(replicates) +
+                          " replicate estimates are non-finite; percentile "
+                          "interval is undefined");
+  }
   std::sort(estimates.begin(), estimates.end());
 
-  const double alpha = 1.0 - level;
   ConfidenceInterval ci;
   ci.point = statistic(sample);
   ci.lo = quantile_sorted(estimates, alpha / 2.0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "rainshine/util/check.hpp"
 
@@ -23,9 +24,30 @@ double sample_stddev(std::span<const double> values) noexcept {
 }
 
 double quantile_sorted(std::span<const double> sorted, double q) {
+  return quantile_sorted(sorted, q, QuantileMethod::kLinearInterp);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q,
+                       QuantileMethod method) {
   util::require(!sorted.empty(), "quantile of empty sample");
   util::require(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
   if (sorted.size() == 1) return sorted[0];
+
+  if (method == QuantileMethod::kInverseEcdf) {
+    // Smallest index i with (i+1)/n >= q, i.e. i = ceil(q*n) - 1 — but q*n
+    // in floating point can round a hair ABOVE the exact product (e.g.
+    // q = 0.29, n = 100 → 29.000000000000004), which would push ceil one
+    // index too high and break quantile(cdf(v)) == v. A downward relative
+    // nudge of a few ulps absorbs that rounding; for q genuinely between
+    // grid points the nudge is far too small to change the bucket.
+    if (q == 0.0) return sorted.front();
+    const double scaled = q * static_cast<double>(sorted.size()) *
+                          (1.0 - 8.0 * std::numeric_limits<double>::epsilon());
+    if (scaled <= 1.0) return sorted.front();
+    const auto idx = static_cast<std::size_t>(std::ceil(scaled)) - 1;
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
   const double h = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(h);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rainshine/stats/descriptive.hpp"
 #include "rainshine/util/check.hpp"
 
 namespace rainshine::stats {
@@ -18,12 +19,11 @@ double Ecdf::operator()(double x) const noexcept {
 }
 
 double Ecdf::quantile(double q) const {
-  util::require(q >= 0.0 && q <= 1.0, "Ecdf quantile q outside [0,1]");
-  if (q == 0.0) return sorted_.front();
-  // Smallest index i with (i+1)/n >= q, i.e. i = ceil(q*n) - 1.
-  const auto n = static_cast<double>(sorted_.size());
-  const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
-  return sorted_[std::min(idx, sorted_.size() - 1)];
+  // Delegates to the shared inverse-ECDF estimator (R type 1) so the two
+  // quantile implementations in the library cannot drift: it picks the
+  // smallest sample value v with P(X <= v) >= q, with rounding handled so
+  // quantile(operator()(v)) round-trips to v for every sample value.
+  return quantile_sorted(sorted_, q, QuantileMethod::kInverseEcdf);
 }
 
 std::vector<double> Ecdf::evaluate(std::span<const double> points) const {

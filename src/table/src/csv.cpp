@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "rainshine/ingest/metrics.hpp"
 #include "rainshine/util/check.hpp"
 #include "rainshine/util/strings.hpp"
 
@@ -148,6 +149,14 @@ void push_cell(Column& col, const std::string& cell) {
 
 Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema,
                const CsvReadOptions& options, IngestReport* report) {
+  // Accounting always runs — into the caller's report when one is supplied
+  // (snapshotting it first so cross-read reuse publishes only this pass's
+  // delta), or into a local one so metrics don't depend on the caller
+  // wanting a report.
+  ingest::IngestReport local_report;
+  ingest::IngestReport* rep = report != nullptr ? report : &local_report;
+  const ingest::IngestReport before = *rep;
+
   const ErrorPolicy policy = options.policy;
   std::string line;
   std::size_t lines_read = 0;
@@ -178,16 +187,14 @@ Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema,
     // An empty line is a record only for single-column tables (one missing
     // cell); in wider tables it is formatting noise and is skipped.
     if (line.empty() && header.size() > 1) continue;
-    if (report != nullptr) report->saw_row();
+    rep->saw_row();
     auto fields = split_record(line);
     if (fields.size() != header.size()) {
       const std::string detail = "expected " + std::to_string(header.size()) +
                                  " fields, got " + std::to_string(fields.size());
       util::require(policy != ErrorPolicy::kStrict,
                     "CSV row " + std::to_string(row) + ": " + detail);
-      if (report != nullptr) {
-        report->quarantine({row, "", ReasonCode::kWidthMismatch, detail});
-      }
+      rep->quarantine({row, "", ReasonCode::kWidthMismatch, detail});
       continue;
     }
     // With a declared schema, reject or repair cells that fail their type
@@ -203,23 +210,20 @@ Table read_csv(std::istream& in, std::span<const CsvSchemaEntry> schema,
                                          ", column '" + schema[c].name +
                                          "': " + detail);
         case ErrorPolicy::kQuarantine:
-          if (report != nullptr) {
-            report->quarantine({row, schema[c].name, ReasonCode::kBadNumber, detail});
-          }
+          rep->quarantine({row, schema[c].name, ReasonCode::kBadNumber, detail});
           rejected = true;
           break;
         case ErrorPolicy::kRepair:
           fields[c].clear();  // documented fixup: unparseable -> missing
-          if (report != nullptr) {
-            report->repair({row, schema[c].name, ReasonCode::kBadNumber, detail});
-          }
+          rep->repair({row, schema[c].name, ReasonCode::kBadNumber, detail});
           break;
       }
     }
     if (rejected) continue;
-    if (report != nullptr) report->accept();
+    rep->accept();
     records.push_back(std::move(fields));
   }
+  ingest::publish_report_delta(before, *rep);
 
   Table out;
   for (std::size_t c = 0; c < header.size(); ++c) {

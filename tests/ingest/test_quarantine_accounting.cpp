@@ -1,0 +1,299 @@
+// Quarantine accounting audit: under a seeded Corruptor, the IngestReport's
+// per-reason tallies must exactly reconcile with the injector's ground truth
+// and with rows-in minus rows-out, across all three ErrorPolicy modes — and
+// the "ingest.*" counters published to obs::registry() must agree with the
+// report they were derived from.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "rainshine/ingest/corruptor.hpp"
+#include "rainshine/ingest/report.hpp"
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/simdc/ticket_io.hpp"
+#include "rainshine/simdc/tickets.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::ingest {
+namespace {
+
+class QuarantineAccountingTest : public ::testing::Test {
+ protected:
+  QuarantineAccountingTest()
+      : fleet_(simdc::FleetSpec::test_default()),
+        env_(fleet_, 7),
+        hazard_(fleet_, env_) {
+    const simdc::TicketLog log = simulate(fleet_, env_, hazard_, {.seed = 7});
+    std::stringstream out;
+    simdc::write_ticket_csv(log, out);
+    clean_csv_ = out.str();
+    clean_rows_ = log.size();
+  }
+
+  /// Reads a (possibly corrupted) ticket CSV and returns the report;
+  /// `kept` receives the surviving ticket count.
+  IngestReport read(const std::string& csv, ErrorPolicy policy,
+                    std::size_t* kept = nullptr) const {
+    std::stringstream in(csv);
+    IngestReport report;
+    const simdc::TicketLog log =
+        simdc::read_ticket_csv(in, fleet_, {.policy = policy}, &report);
+    if (kept != nullptr) *kept = log.size();
+    return report;
+  }
+
+  /// Sum of quarantined tallies across every reason code — must always
+  /// equal rows_quarantined (no unattributed quarantines).
+  static std::size_t quarantined_total(const IngestReport& r) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < kNumReasonCodes; ++i)
+      total += r.quarantined_with(static_cast<ReasonCode>(i));
+    return total;
+  }
+
+  static std::size_t repaired_total(const IngestReport& r) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < kNumReasonCodes; ++i)
+      total += r.repaired_with(static_cast<ReasonCode>(i));
+    return total;
+  }
+
+  /// Second-and-later filings of byte-identical data lines — exactly the set
+  /// kRepair's dedup fixup drops as kDuplicateRow. This can exceed the
+  /// injector's `duplicated` count: two independently corrupted rows can
+  /// coincidentally collide (e.g. both truncated to the same one-field
+  /// prefix), and the dedup then claims the second copy before the
+  /// validators ever see it.
+  static std::size_t extra_identical_lines(const std::string& csv) {
+    std::map<std::string, std::size_t> freq;
+    std::istringstream in(csv);
+    std::string line;
+    bool header = true;
+    std::size_t extras = 0;
+    while (std::getline(in, line)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (util::trim(line).empty()) continue;
+      if (++freq[line] > 1) ++extras;
+    }
+    return extras;
+  }
+
+  simdc::Fleet fleet_;
+  simdc::EnvironmentModel env_;
+  simdc::HazardModel hazard_;
+  std::string clean_csv_;
+  std::size_t clean_rows_ = 0;
+};
+
+TEST_F(QuarantineAccountingTest, CleanInputReconcilesUnderEveryPolicy) {
+  for (const auto policy :
+       {ErrorPolicy::kStrict, ErrorPolicy::kQuarantine, ErrorPolicy::kRepair}) {
+    std::size_t kept = 0;
+    const IngestReport r = read(clean_csv_, policy, &kept);
+    EXPECT_EQ(r.rows_seen(), clean_rows_) << to_string(policy);
+    EXPECT_EQ(r.rows_ingested(), clean_rows_);
+    EXPECT_EQ(r.rows_quarantined(), 0U);
+    EXPECT_EQ(r.rows_repaired(), 0U);
+    EXPECT_EQ(kept, clean_rows_);
+  }
+}
+
+TEST_F(QuarantineAccountingTest, ClockSkewQuarantinesExactlyTheInjectedRows) {
+  CorruptionSpec spec;
+  spec.clock_skew_rate = 0.15;
+  spec.seed = 21;
+  const CorruptedCsv bad = Corruptor(spec).corrupt_ticket_csv(clean_csv_);
+  ASSERT_GT(bad.counts.clock_skewed, 0U);
+
+  std::size_t kept = 0;
+  const IngestReport r = read(bad.text, ErrorPolicy::kQuarantine, &kept);
+  EXPECT_EQ(r.rows_seen(), clean_rows_);
+  EXPECT_EQ(r.quarantined_with(ReasonCode::kNonPositiveDuration),
+            bad.counts.clock_skewed);
+  EXPECT_EQ(r.rows_quarantined(), bad.counts.clock_skewed);
+  EXPECT_EQ(r.rows_ingested(), clean_rows_ - bad.counts.clock_skewed);
+  EXPECT_EQ(kept, r.rows_ingested());
+  EXPECT_EQ(quarantined_total(r), r.rows_quarantined());
+
+  // kRepair swaps the hours back instead: every skewed row is recovered.
+  const IngestReport repaired = read(bad.text, ErrorPolicy::kRepair, &kept);
+  EXPECT_EQ(repaired.repaired_with(ReasonCode::kNonPositiveDuration),
+            bad.counts.clock_skewed);
+  EXPECT_EQ(repaired.rows_ingested(), clean_rows_);
+  EXPECT_EQ(repaired.rows_quarantined(), 0U);
+  EXPECT_EQ(kept, clean_rows_);
+}
+
+TEST_F(QuarantineAccountingTest, RackSwapAndTruncationQuarantineWithTypedReasons) {
+  CorruptionSpec spec;
+  spec.rack_swap_rate = 0.08;
+  spec.truncate_rate = 0.08;
+  spec.seed = 33;
+  const CorruptedCsv bad = Corruptor(spec).corrupt_ticket_csv(clean_csv_);
+  ASSERT_GT(bad.counts.rack_swapped, 0U);
+  ASSERT_GT(bad.counts.truncated, 0U);
+
+  // Quarantine mode attributes every injected fault to its typed reason.
+  std::size_t kept = 0;
+  const IngestReport q = read(bad.text, ErrorPolicy::kQuarantine, &kept);
+  EXPECT_EQ(q.rows_seen(), clean_rows_);
+  EXPECT_EQ(q.quarantined_with(ReasonCode::kRackOutOfRange),
+            bad.counts.rack_swapped);
+  EXPECT_EQ(q.quarantined_with(ReasonCode::kWidthMismatch),
+            bad.counts.truncated);
+  EXPECT_EQ(q.rows_quarantined(),
+            bad.counts.rack_swapped + bad.counts.truncated);
+  // The audit identity: every row is either ingested or quarantined.
+  EXPECT_EQ(q.rows_ingested() + q.rows_quarantined(), q.rows_seen());
+  EXPECT_EQ(kept, q.rows_ingested());
+
+  // Repair mode's dedup runs on the raw line before validation, so when two
+  // truncated rows collide to the same text the second copy is dropped as a
+  // repaired duplicate instead of quarantined. Nothing goes unaccounted:
+  // quarantines plus dedup drops still cover every injected fault.
+  const std::size_t collisions = extra_identical_lines(bad.text);
+  const IngestReport r = read(bad.text, ErrorPolicy::kRepair, &kept);
+  EXPECT_EQ(r.rows_seen(), clean_rows_);
+  EXPECT_EQ(r.repaired_with(ReasonCode::kDuplicateRow), collisions);
+  EXPECT_EQ(r.quarantined_with(ReasonCode::kRackOutOfRange),
+            bad.counts.rack_swapped);
+  EXPECT_EQ(r.rows_quarantined() + collisions,
+            bad.counts.rack_swapped + bad.counts.truncated);
+  EXPECT_EQ(r.rows_ingested() + r.rows_quarantined() +
+                r.repaired_with(ReasonCode::kDuplicateRow),
+            r.rows_seen());
+  EXPECT_EQ(kept, r.rows_ingested());
+}
+
+TEST_F(QuarantineAccountingTest, DuplicatesAreValidUnlessRepairDropsThem) {
+  CorruptionSpec spec;
+  spec.duplicate_rate = 0.10;
+  spec.seed = 55;
+  const CorruptedCsv bad = Corruptor(spec).corrupt_ticket_csv(clean_csv_);
+  ASSERT_GT(bad.counts.duplicated, 0U);
+  const std::size_t physical_rows = clean_rows_ + bad.counts.duplicated;
+
+  // A duplicate is a well-formed row: quarantine mode ingests both copies.
+  std::size_t kept = 0;
+  const IngestReport q = read(bad.text, ErrorPolicy::kQuarantine, &kept);
+  EXPECT_EQ(q.rows_seen(), physical_rows);
+  EXPECT_EQ(q.rows_ingested(), physical_rows);
+  EXPECT_EQ(q.rows_quarantined(), 0U);
+  EXPECT_EQ(kept, physical_rows);
+
+  // Strict mode likewise parses every copy (no dedup without repair).
+  const IngestReport s = read(bad.text, ErrorPolicy::kStrict, &kept);
+  EXPECT_EQ(s.rows_ingested(), physical_rows);
+  EXPECT_EQ(kept, physical_rows);
+
+  // Repair drops the second filing of each duplicate and accounts for it:
+  // the dropped copy is counted as repaired, NOT ingested.
+  const IngestReport r = read(bad.text, ErrorPolicy::kRepair, &kept);
+  EXPECT_EQ(r.rows_seen(), physical_rows);
+  EXPECT_EQ(r.repaired_with(ReasonCode::kDuplicateRow), bad.counts.duplicated);
+  EXPECT_EQ(r.rows_ingested(), clean_rows_);
+  EXPECT_EQ(kept, clean_rows_);
+  EXPECT_EQ(r.rows_ingested() + r.repaired_with(ReasonCode::kDuplicateRow),
+            r.rows_seen());
+}
+
+TEST_F(QuarantineAccountingTest, MixedCorruptionSatisfiesTheSumIdentity) {
+  // All ticket fault classes at once. Per-reason attribution of a blanked
+  // cell depends on which column was hit, so this test leans on the sum
+  // identities, which must hold exactly no matter the mix.
+  const CorruptionSpec spec = CorruptionSpec::uniform(0.30, 77);
+  const CorruptedCsv bad = Corruptor(spec).corrupt_ticket_csv(clean_csv_);
+  ASSERT_GT(bad.counts.total(), 0U);
+  const std::size_t physical_rows =
+      clean_rows_ - bad.counts.dropped + bad.counts.duplicated;
+
+  std::size_t kept = 0;
+  const IngestReport q = read(bad.text, ErrorPolicy::kQuarantine, &kept);
+  EXPECT_EQ(q.rows_seen(), physical_rows);
+  EXPECT_EQ(q.rows_ingested() + q.rows_quarantined(), q.rows_seen());
+  EXPECT_EQ(q.rows_quarantined(), bad.counts.clock_skewed +
+                                      bad.counts.rack_swapped +
+                                      bad.counts.truncated +
+                                      bad.counts.missing_cells);
+  EXPECT_EQ(quarantined_total(q), q.rows_quarantined());
+  EXPECT_EQ(kept, q.rows_ingested());
+
+  const IngestReport r = read(bad.text, ErrorPolicy::kRepair, &kept);
+  EXPECT_EQ(r.rows_seen(), physical_rows);
+  // Repair recovers skew and drops duplicates; the rest stays quarantined.
+  // Dedup is raw-line-based and runs first, so a coincidental collision
+  // between corrupted rows counts as a repaired duplicate, not a quarantine
+  // — together they still cover every malformed row and every extra copy.
+  const std::size_t dedup_dropped = r.repaired_with(ReasonCode::kDuplicateRow);
+  EXPECT_EQ(dedup_dropped, extra_identical_lines(bad.text));
+  EXPECT_GE(dedup_dropped, bad.counts.duplicated);
+  EXPECT_EQ(r.rows_quarantined() + dedup_dropped,
+            bad.counts.rack_swapped + bad.counts.truncated +
+                bad.counts.missing_cells + bad.counts.duplicated);
+  EXPECT_EQ(r.repaired_with(ReasonCode::kNonPositiveDuration),
+            bad.counts.clock_skewed);
+  EXPECT_EQ(repaired_total(r), bad.counts.clock_skewed + dedup_dropped);
+  EXPECT_EQ(r.rows_ingested() + r.rows_quarantined() + dedup_dropped,
+            r.rows_seen());
+  EXPECT_EQ(kept, r.rows_ingested());
+}
+
+TEST_F(QuarantineAccountingTest, StrictModeThrowsOnDamageButToleratesBenignFaults) {
+  // Drops and duplicates leave every surviving row well-formed: strict mode
+  // must read them without throwing.
+  CorruptionSpec benign;
+  benign.drop_rate = 0.10;
+  benign.duplicate_rate = 0.10;
+  benign.seed = 91;
+  const CorruptedCsv ok = Corruptor(benign).corrupt_ticket_csv(clean_csv_);
+  std::size_t kept = 0;
+  const IngestReport r = read(ok.text, ErrorPolicy::kStrict, &kept);
+  EXPECT_EQ(kept, clean_rows_ - ok.counts.dropped + ok.counts.duplicated);
+  EXPECT_EQ(r.rows_ingested(), kept);
+
+  // Any malformed row aborts the whole read under kStrict.
+  CorruptionSpec damaging;
+  damaging.truncate_rate = 0.10;
+  damaging.seed = 92;
+  const CorruptedCsv bad = Corruptor(damaging).corrupt_ticket_csv(clean_csv_);
+  ASSERT_GT(bad.counts.truncated, 0U);
+  std::stringstream in(bad.text);
+  EXPECT_THROW((void)simdc::read_ticket_csv(in, fleet_,
+                                            {.policy = ErrorPolicy::kStrict},
+                                            nullptr),
+               util::precondition_error);
+}
+
+TEST_F(QuarantineAccountingTest, ObsCountersMirrorTheReportDeltas) {
+  CorruptionSpec spec;
+  spec.clock_skew_rate = 0.10;
+  spec.truncate_rate = 0.10;
+  spec.seed = 13;
+  const CorruptedCsv bad = Corruptor(spec).corrupt_ticket_csv(clean_csv_);
+  ASSERT_GT(bad.counts.clock_skewed, 0U);
+  ASSERT_GT(bad.counts.truncated, 0U);
+
+  obs::registry().reset();
+  const IngestReport r = read(bad.text, ErrorPolicy::kRepair);
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  EXPECT_EQ(snap.counter("ingest.rows_seen"), r.rows_seen());
+  EXPECT_EQ(snap.counter("ingest.rows_ingested"), r.rows_ingested());
+  EXPECT_EQ(snap.counter("ingest.rows_quarantined"), r.rows_quarantined());
+  EXPECT_EQ(snap.counter("ingest.rows_repaired"), r.rows_repaired());
+  EXPECT_EQ(snap.counter("ingest.quarantined.width-mismatch"),
+            r.quarantined_with(ReasonCode::kWidthMismatch));
+  EXPECT_EQ(snap.counter("ingest.repaired.non-positive-duration"),
+            r.repaired_with(ReasonCode::kNonPositiveDuration));
+  // Zero-valued reason counters are not registered at all.
+  EXPECT_FALSE(snap.has_counter("ingest.quarantined.rack-out-of-range"));
+}
+
+}  // namespace
+}  // namespace rainshine::ingest

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "rainshine/cart/forest.hpp"
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
 #include "rainshine/simdc/tickets.hpp"
 #include "rainshine/stats/bootstrap.hpp"
 #include "rainshine/stats/descriptive.hpp"
@@ -176,6 +178,66 @@ TEST_F(DeterminismTest, SimulationTicketLogIsThreadCountInvariant) {
           ASSERT_EQ(ta[i].close_hour, tb[i].close_hour) << "ticket " << i;
         }
       });
+}
+
+TEST_F(DeterminismTest, InstrumentationStateCannotPerturbSeededOutputs) {
+  // The obs layer's contract: metrics and spans only RECORD — enabling
+  // tracing, resetting the registry, or varying the thread count must leave
+  // every seeded output bit-identical. This runs the instrumented pipeline
+  // (simulate → fit → predict) under different instrumentation states and
+  // thread counts and compares against an uninstrumented-state baseline.
+  simdc::FleetSpec spec = simdc::FleetSpec::test_default();
+  spec.num_days = 45;
+  const simdc::Fleet fleet(spec);
+  const simdc::EnvironmentModel env(fleet, 3);
+  const simdc::HazardModel hazard(fleet, env);
+
+  struct Run {
+    std::size_t tickets = 0;
+    std::int64_t open_hour_sum = 0;
+    std::vector<double> predictions;
+    double oob = 0.0;
+  };
+  const auto pipeline = [&] {
+    Run run;
+    const simdc::TicketLog log = simdc::simulate(fleet, env, hazard, {.seed = 4});
+    run.tickets = log.size();
+    for (const auto& t : log.tickets()) run.open_hour_sum += t.open_hour;
+    table::Table storage;
+    const cart::Dataset data = wave_dataset(storage);
+    cart::ForestConfig cfg;
+    cfg.num_trees = 6;
+    const cart::Forest forest = cart::grow_forest(data, cfg);
+    run.predictions = forest.predict(data);
+    run.oob = forest.oob_error();
+    return run;
+  };
+  const auto expect_same = [](const Run& a, const Run& b) {
+    ASSERT_EQ(a.tickets, b.tickets);
+    ASSERT_EQ(a.open_hour_sum, b.open_hour_sum);
+    ASSERT_EQ(a.oob, b.oob);
+    ASSERT_EQ(a.predictions.size(), b.predictions.size());
+    for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+      ASSERT_EQ(a.predictions[i], b.predictions[i]) << "row " << i;
+    }
+  };
+
+  util::set_num_threads(1);
+  const Run baseline = pipeline();
+
+  for (const std::size_t threads : sweep_counts()) {
+    util::set_num_threads(threads);
+    // Tracing enabled (small buffer, so the drop path runs too).
+    obs::tracer().enable(/*capacity=*/64);
+    expect_same(baseline, pipeline());
+    obs::tracer().disable();
+    (void)obs::tracer().drain();
+    // Registry freshly reset mid-stream.
+    obs::registry().reset();
+    expect_same(baseline, pipeline());
+    // Tracing disabled (the default state).
+    expect_same(baseline, pipeline());
+  }
 }
 
 TEST_F(DeterminismTest, PartialDependenceIsThreadCountInvariant) {

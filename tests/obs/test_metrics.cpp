@@ -1,0 +1,228 @@
+// Metrics registry invariants: exact counters under contention, histogram
+// count == Σ buckets in every snapshot, stable handles across reset, and
+// exposition formats that round-trip through the bundled JSON checker.
+#include "rainshine/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "rainshine/obs/export.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, UpperInclusiveBucketsWithExactAggregates) {
+  Histogram h({1.0, 2.0, 5.0});
+  // One value per interesting region, including both edges of a bucket.
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 5.0, 6.0}) h.observe(v);
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 6U);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 6.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 6.0);
+  ASSERT_EQ(snap.counts.size(), 4U);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2U);      // 0.5, 1.0 (bounds are inclusive)
+  EXPECT_EQ(snap.counts[1], 2U);      // 1.5, 2.0
+  EXPECT_EQ(snap.counts[2], 1U);      // 5.0
+  EXPECT_EQ(snap.counts[3], 1U);      // 6.0 overflows
+  std::uint64_t total = 0;
+  for (const auto c : snap.counts) total += c;
+  EXPECT_EQ(total, snap.count);
+  EXPECT_DOUBLE_EQ(snap.mean(), snap.sum / 6.0);
+}
+
+TEST(Histogram, EmptySnapshotIsZeroed) {
+  const Histogram h({1.0});
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0U);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+}
+
+TEST(Histogram, RejectsEmptyOrNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({}), util::precondition_error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), util::precondition_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), util::precondition_error);
+}
+
+TEST(Registry, GetOrCreateReturnsStableHandles) {
+  Registry reg;
+  Counter& c1 = reg.counter("a.requests");
+  Counter& c2 = reg.counter("a.requests");
+  EXPECT_EQ(&c1, &c2);
+
+  Histogram& h1 = reg.histogram("a.latency", std::vector<double>{1.0, 2.0});
+  Histogram& h2 = reg.histogram("a.latency");  // empty bounds accept existing
+  EXPECT_EQ(&h1, &h2);
+
+  c1.add(7);
+  reg.reset();
+  EXPECT_EQ(c1.value(), 0U);  // handle survives reset, value zeroed
+  c1.add(1);
+  EXPECT_EQ(reg.counter("a.requests").value(), 1U);
+}
+
+TEST(Registry, HistogramBucketDisagreementThrows) {
+  Registry reg;
+  (void)reg.histogram("h", std::vector<double>{1.0, 2.0});
+  EXPECT_THROW((void)reg.histogram("h", std::vector<double>{1.0, 3.0}),
+               util::precondition_error);
+}
+
+TEST(Registry, SnapshotIsNameOrderedAndInternallyConsistent) {
+  Registry reg;
+  reg.counter("z.last").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("mid").set(0.5);
+  reg.histogram("lat", std::vector<double>{10.0}).observe(3.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2U);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "z.last");
+  EXPECT_EQ(snap.counter("a.first"), 1U);
+  EXPECT_DOUBLE_EQ(snap.gauge("mid"), 0.5);
+  EXPECT_EQ(snap.histogram("lat").count, 1U);
+  EXPECT_TRUE(snap.has_counter("z.last"));
+  EXPECT_FALSE(snap.has_counter("missing"));
+  EXPECT_THROW((void)snap.counter("missing"), util::precondition_error);
+  EXPECT_THROW((void)snap.gauge("missing"), util::precondition_error);
+  EXPECT_THROW((void)snap.histogram("missing"), util::precondition_error);
+}
+
+TEST(Registry, ConcurrentPublishersLoseNothing) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Registration races with registration, ticks race with ticks.
+      Counter& c = reg.counter("shared.count");
+      Histogram& h = reg.histogram("shared.hist", std::vector<double>{0.5});
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("shared.count"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot& h = snap.histogram("shared.hist");
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (const auto c : h.counts) total += c;
+  EXPECT_EQ(total, h.count);
+}
+
+TEST(DefaultBuckets, AreStrictlyIncreasing) {
+  for (const auto bounds : {default_latency_buckets_us(), default_size_buckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+MetricsSnapshot sample_snapshot() {
+  Registry reg;
+  reg.counter("req.total").add(3);
+  reg.gauge("queue.depth").set(1.5);
+  reg.histogram("lat.us", std::vector<double>{1.0, 10.0}).observe(4.0);
+  return reg.snapshot();
+}
+
+TEST(Export, JsonSidecarParsesAndCarriesSchemaAndKeys) {
+  const std::string json = to_json(sample_snapshot());
+  EXPECT_EQ(json_parse_error(json), std::nullopt) << json;
+  EXPECT_NE(json.find("\"rainshine.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"req.total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat.us\""), std::string::npos);
+}
+
+TEST(Export, NonFiniteGaugeRendersAsNull) {
+  Registry reg;
+  reg.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_EQ(json_parse_error(json), std::nullopt) << json;
+  EXPECT_NE(json.find("\"bad\":null"), std::string::npos) << json;
+}
+
+TEST(Export, CsvHasOneSampleRowPerField) {
+  const std::string csv = to_csv(sample_snapshot());
+  EXPECT_NE(csv.find("counter,req.total,value,3"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram,lat.us,count,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("bucket_le_inf"), std::string::npos) << csv;
+}
+
+TEST(Export, TextMentionsEveryMetric) {
+  const std::string text = to_text(sample_snapshot());
+  EXPECT_NE(text.find("req.total"), std::string::npos);
+  EXPECT_NE(text.find("queue.depth"), std::string::npos);
+  EXPECT_NE(text.find("lat.us"), std::string::npos);
+}
+
+TEST(Export, JsonCheckerRejectsMalformedText) {
+  EXPECT_NE(json_parse_error(""), std::nullopt);
+  EXPECT_NE(json_parse_error("{\"a\":1"), std::nullopt);       // truncated
+  EXPECT_NE(json_parse_error("{\"a\":1} junk"), std::nullopt);  // trailing
+  EXPECT_NE(json_parse_error("{'a':1}"), std::nullopt);         // bad quotes
+  EXPECT_NE(json_parse_error("{\"a\":nan}"), std::nullopt);     // bare NaN
+  EXPECT_EQ(json_parse_error("{\"a\":[1,2.5e3,null,true,\"s\\n\"]}"),
+            std::nullopt);
+}
+
+TEST(Export, WriteFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_write_file_test.json";
+  const std::string body = to_json(sample_snapshot());
+  write_file(path, body);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string back(body.size() + 16, '\0');
+  back.resize(std::fread(back.data(), 1, back.size(), f));
+  std::fclose(f);
+  EXPECT_EQ(back, body);
+  std::remove(path.c_str());
+}
+
+TEST(GlobalRegistry, IsOneProcessWideInstance) {
+  Registry& a = registry();
+  Registry& b = registry();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace rainshine::obs

@@ -1,0 +1,135 @@
+// Scoped timers and span tracing: timers observe exactly once, spans carry
+// nesting depth and dense thread indices, the buffer bound drops instead of
+// growing, and the disabled path records nothing.
+#include "rainshine/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rainshine/obs/export.hpp"
+#include "rainshine/obs/metrics.hpp"
+
+namespace rainshine::obs {
+namespace {
+
+// The process-wide tracer is shared state; every test leaves it disabled
+// and drained so ordering between tests cannot matter.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    tracer().disable();
+    (void)tracer().drain();
+  }
+};
+
+TEST_F(TraceTest, ScopedTimerObservesOnceAtScopeExit) {
+  Histogram h({1e9});  // one huge bucket: any elapsed time lands in it
+  {
+    const ScopedTimer timer(h);
+    EXPECT_EQ(h.snapshot().count, 0U);  // nothing observed until scope ends
+  }
+  EXPECT_EQ(h.snapshot().count, 1U);
+}
+
+TEST_F(TraceTest, ScopedTimerStopIsIdempotent) {
+  Histogram h({1e9});
+  ScopedTimer timer(h);
+  EXPECT_GE(timer.elapsed_us(), 0.0);
+  timer.stop();
+  timer.stop();
+  EXPECT_EQ(h.snapshot().count, 1U);
+  // Destructor must not observe again.
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { const ScopedSpan span("quiet"); }
+  EXPECT_TRUE(tracer().drain().empty());
+  EXPECT_FALSE(tracer().enabled());
+}
+
+TEST_F(TraceTest, EnabledSpansCarryNamesAndNestingDepth) {
+  tracer().enable();
+  {
+    const ScopedSpan outer("outer");
+    { const ScopedSpan inner("inner"); }
+  }
+  tracer().disable();
+
+  const std::vector<SpanRecord> spans = tracer().drain();
+  ASSERT_EQ(spans.size(), 2U);
+  // Spans complete innermost-first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1U);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0U);
+  EXPECT_LE(spans[1].start_us, spans[0].start_us);
+  EXPECT_GE(spans[0].duration_us, 0.0);
+  EXPECT_EQ(spans[0].thread, spans[1].thread);
+  // Drain empties the buffer.
+  EXPECT_TRUE(tracer().drain().empty());
+}
+
+TEST_F(TraceTest, FullBufferDropsInsteadOfGrowing) {
+  tracer().enable(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    const ScopedSpan span("s");
+  }
+  tracer().disable();
+  EXPECT_EQ(tracer().drain().size(), 2U);
+  EXPECT_EQ(tracer().dropped(), 3U);
+}
+
+TEST_F(TraceTest, SpanStartedWhileEnabledRecordsAfterDisable) {
+  tracer().enable();
+  {
+    const ScopedSpan span("straddler");
+    tracer().disable();
+  }
+  EXPECT_EQ(tracer().drain().size(), 1U);
+}
+
+TEST_F(TraceTest, ThreadsGetDenseDistinctIndices) {
+  tracer().enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] { const ScopedSpan span("worker"); });
+  }
+  for (auto& t : threads) t.join();
+  tracer().disable();
+
+  const std::vector<SpanRecord> spans = tracer().drain();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads));
+  std::vector<bool> seen(kThreads, false);
+  for (const SpanRecord& s : spans) {
+    ASSERT_LT(s.thread, static_cast<std::uint32_t>(kThreads));
+    EXPECT_FALSE(seen[s.thread]) << "thread index assigned twice";
+    seen[s.thread] = true;
+  }
+}
+
+TEST_F(TraceTest, SpansCsvHasHeaderAndOneLinePerSpan) {
+  tracer().enable();
+  { const ScopedSpan span("alpha"); }
+  tracer().disable();
+  const std::string csv = spans_to_csv(tracer().drain());
+  EXPECT_NE(csv.find("name,thread,depth,start_us,duration_us\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("alpha,0,0,"), std::string::npos) << csv;
+}
+
+TEST_F(TraceTest, ReenableClearsPriorSpansAndDropCount) {
+  tracer().enable(/*capacity=*/1);
+  { const ScopedSpan a("a"); }
+  { const ScopedSpan b("b"); }  // dropped
+  EXPECT_EQ(tracer().dropped(), 1U);
+  tracer().enable();  // fresh epoch
+  EXPECT_EQ(tracer().dropped(), 0U);
+  EXPECT_TRUE(tracer().drain().empty());
+  tracer().disable();
+}
+
+}  // namespace
+}  // namespace rainshine::obs

@@ -1,0 +1,241 @@
+// Shutdown-race pinning for PredictionService: a submit() that began before
+// destruction is either scored by the drain or its future fails with the
+// typed service_stopped_error — never std::future_error/broken_promise —
+// and the obs::registry() "serve.*" metrics a service publishes stay
+// cross-metric consistent after every future resolves. The blocked_submits
+// stats field makes "producers are parked inside submit()" observable, so
+// the destructor race is exercised deterministically, without sleeps.
+// Runs under scripts/check.sh --tsan.
+#include "rainshine/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rainshine/cart/forest.hpp"
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/table/table.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::serve {
+namespace {
+
+using table::Column;
+using table::Table;
+
+Table make_rows(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 3.0);
+    y[i] = 2.0 * x[i] + rng.uniform(-0.1, 0.1);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  return t;
+}
+
+ModelArtifact tiny_artifact(std::uint64_t seed = 19) {
+  const Table t = make_rows(120, seed);
+  const cart::Dataset data(t, "y", {"x"}, cart::Task::kRegression);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 2;
+  cfg.seed = seed;
+  cart::Forest forest = cart::grow_forest(data, cfg);
+  ModelMetadata meta;
+  meta.name = "shutdown";
+  meta.version = 1;
+  meta.task = forest.task();
+  meta.schema = forest.trees().front().features();
+  return ModelArtifact{std::move(meta),
+                       std::make_shared<const cart::Forest>(std::move(forest))};
+}
+
+Table features_only(std::size_t n, std::uint64_t seed) {
+  Table full = make_rows(n, seed);
+  Table out;
+  out.add_column("x", full.column("x"));
+  return out;
+}
+
+TEST(PredictionServiceShutdown, DestructorDrainsAdmittedRequests) {
+  // Requests are admitted but never flushed (deadline = minutes, batch cap
+  // never reached), so they are still pending when the service dies; the
+  // destructor's drain must score every one of them.
+  ServiceConfig cfg;
+  cfg.max_queue_rows = 512;
+  cfg.max_batch_rows = 512;
+  cfg.max_batch_delay = std::chrono::minutes(10);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  {
+    PredictionService service(tiny_artifact(), cfg);
+    for (std::size_t i = 0; i < 6; ++i) {
+      futures.push_back(service.submit(features_only(5, 300 + i)));
+    }
+    EXPECT_EQ(service.stats().requests_completed, 0U);  // nothing flushed yet
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    EXPECT_EQ(f.get().size(), 5U);  // drained, not abandoned
+  }
+}
+
+TEST(PredictionServiceShutdown, BlockedSubmittersFailWithTypedErrorNotBrokenPromise) {
+  // Fill the queue exactly, park producers on the backpressure wait (made
+  // observable via stats().blocked_submits), then destroy the service while
+  // they are provably inside submit(). The pre-admitted request must be
+  // drained; every parked producer must receive service_stopped_error.
+  constexpr std::size_t kProducers = 5;
+  ServiceConfig cfg;
+  cfg.max_queue_rows = 8;
+  cfg.max_batch_rows = 8;  // 7 pending rows stay below the full-flush trigger
+  cfg.max_batch_delay = std::chrono::minutes(10);  // never deadline-flush
+
+  std::future<std::vector<double>> admitted;
+  std::vector<std::future<std::vector<double>>> blocked(kProducers);
+  std::vector<std::thread> producers;
+  {
+    auto service = std::make_unique<PredictionService>(tiny_artifact(), cfg);
+    // 7 rows: under the batch cap (no flush), but any 4-row follow-up
+    // overflows the 8-row queue, so every producer below must block.
+    admitted = service->submit(features_only(7, 42));
+
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&service, &blocked, p] {
+        blocked[p] = service->submit(features_only(4, 500 + p));
+      });
+    }
+    while (service->stats().blocked_submits < kProducers) {
+      std::this_thread::yield();
+    }
+    service.reset();  // destructor races the parked producers by design
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(admitted.get().size(), 7U);  // pre-admitted request was drained
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    ASSERT_TRUE(blocked[p].valid()) << "producer " << p;
+    try {
+      (void)blocked[p].get();
+      FAIL() << "producer " << p
+             << " was admitted although the queue never gained room";
+    } catch (const service_stopped_error&) {
+      // the contract: typed, catchable, retry-elsewhere signal
+    } catch (const std::future_error& e) {
+      FAIL() << "producer " << p
+             << " abandoned with future_error: " << e.what();
+    }
+  }
+}
+
+TEST(PredictionServiceShutdown, RepeatedShutdownRacesAbandonNothing) {
+  // Same scenario, many times, with the destructor entering at varying
+  // points relative to the producers' waits; every future must resolve to
+  // either a scored vector or service_stopped_error.
+  constexpr std::size_t kProducers = 4;
+  std::size_t scored = 0;
+  std::size_t stopped = 0;
+  for (int iter = 0; iter < 15; ++iter) {
+    ServiceConfig cfg;
+    cfg.max_queue_rows = 8;
+    cfg.max_batch_rows = 8;
+    cfg.max_batch_delay = std::chrono::minutes(10);
+
+    std::vector<std::future<std::vector<double>>> futures(kProducers + 1);
+    std::vector<std::thread> producers;
+    {
+      auto service = std::make_unique<PredictionService>(tiny_artifact(), cfg);
+      const auto round = static_cast<std::uint64_t>(iter);
+      // 7 pending rows never flush; 6-row producers always block (7+6 > 8,
+      // and after a flush admits one of them, 6+6 > 8 re-blocks the rest).
+      futures[kProducers] = service->submit(features_only(7, 40 + round));
+      for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&service, &futures, p, round] {
+          futures[p] = service->submit(features_only(6, 700 + round * 10 + p));
+        });
+      }
+      while (service->stats().blocked_submits < kProducers) {
+        std::this_thread::yield();
+      }
+      if (iter % 3 == 1) service->flush();  // sometimes free the queue first
+      service.reset();
+    }
+    for (auto& t : producers) t.join();
+
+    for (auto& f : futures) {
+      ASSERT_TRUE(f.valid());
+      try {
+        (void)f.get();
+        ++scored;
+      } catch (const service_stopped_error&) {
+        ++stopped;
+      } catch (const std::future_error& e) {
+        FAIL() << "request abandoned with future_error: " << e.what();
+      }
+    }
+  }
+  EXPECT_EQ(scored + stopped, 15 * (kProducers + 1));
+  EXPECT_GE(scored, 15U);  // the pre-admitted request always drains
+  EXPECT_GE(stopped, 1U);  // the never-flushed iterations must stop someone
+}
+
+TEST(PredictionServiceShutdown, ObsMetricsConsistentAfterConcurrentTraffic) {
+  // The instrumentation acceptance criterion: after every future resolves,
+  // the process-wide snapshot satisfies latency-histogram count ==
+  // serve.requests_completed and serve.rows_scored == rows submitted, even
+  // though ticks came from the dispatcher under concurrency.
+  obs::registry().reset();
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRequestsPerThread = 12;
+  constexpr std::size_t kRowsPerRequest = 5;
+  {
+    PredictionService service(tiny_artifact(), {});
+    std::vector<std::thread> clients;
+    std::atomic<std::size_t> resolved{0};
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        for (std::size_t r = 0; r < kRequestsPerThread; ++r) {
+          auto fut = service.submit(
+              features_only(kRowsPerRequest, 1000 + t * 100 + r));
+          if (fut.get().size() == kRowsPerRequest) {
+            resolved.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(resolved.load(), kThreads * kRequestsPerThread);
+  }
+
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const std::uint64_t completed = snap.counter("serve.requests_completed");
+  EXPECT_EQ(completed, kThreads * kRequestsPerThread);
+  EXPECT_EQ(snap.counter("serve.requests_admitted"), completed);
+  EXPECT_EQ(snap.counter("serve.rows_scored"),
+            kThreads * kRequestsPerThread * kRowsPerRequest);
+  EXPECT_EQ(snap.counter("serve.requests_failed"), 0U);
+
+  const obs::HistogramSnapshot& latency = snap.histogram("serve.latency_us");
+  EXPECT_EQ(latency.count, completed);
+  std::uint64_t bucket_total = 0;
+  for (const auto c : latency.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, latency.count);
+
+  const obs::HistogramSnapshot& batches = snap.histogram("serve.batch_rows");
+  EXPECT_EQ(batches.count, snap.counter("serve.batches_flushed"));
+  EXPECT_DOUBLE_EQ(
+      batches.sum,
+      static_cast<double>(kThreads * kRequestsPerThread * kRowsPerRequest));
+}
+
+}  // namespace
+}  // namespace rainshine::serve

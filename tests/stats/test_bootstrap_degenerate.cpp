@@ -1,0 +1,118 @@
+// Degenerate-input pinning for bootstrap_ci: single-element and constant
+// samples collapse to a well-defined zero-width interval, a replicate budget
+// too small to resolve the requested tail raises a typed bootstrap_error
+// (before consuming any randomness), and non-finite replicate estimates are
+// refused instead of being fed to std::sort. lo <= hi always holds.
+#include "rainshine/stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+TEST(BootstrapDegenerate, SingleElementSampleYieldsZeroWidthInterval) {
+  const std::vector<double> sample = {3.5};
+  util::Rng rng(7);
+  const ConfidenceInterval ci = bootstrap_mean_ci(sample, rng, 200);
+  EXPECT_DOUBLE_EQ(ci.point, 3.5);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+  EXPECT_LE(ci.lo, ci.hi);
+}
+
+TEST(BootstrapDegenerate, ConstantSampleYieldsZeroWidthInterval) {
+  const std::vector<double> sample(40, -1.25);
+  util::Rng rng(11);
+  const ConfidenceInterval ci = bootstrap_mean_ci(sample, rng, 500);
+  EXPECT_DOUBLE_EQ(ci.point, -1.25);
+  EXPECT_DOUBLE_EQ(ci.lo, -1.25);
+  EXPECT_DOUBLE_EQ(ci.hi, -1.25);
+}
+
+TEST(BootstrapDegenerate, OrderedIntervalOnOrdinarySamples) {
+  util::Rng data_rng(3);
+  std::vector<double> sample(30);
+  for (double& v : sample) v = data_rng.uniform(-5.0, 5.0);
+  util::Rng rng(5);
+  for (const std::size_t replicates : {std::size_t{41}, std::size_t{100},
+                                       std::size_t{999}}) {
+    const ConfidenceInterval ci = bootstrap_mean_ci(sample, rng, replicates);
+    EXPECT_LE(ci.lo, ci.hi) << "replicates=" << replicates;
+    EXPECT_LE(ci.lo, ci.point);
+    EXPECT_GE(ci.hi, ci.point);
+  }
+}
+
+TEST(BootstrapDegenerate, TooFewReplicatesForTheTailThrowsTyped) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0};
+  util::Rng rng(1);
+  // At the default level 0.95 the alpha/2 = 0.025 tail needs ceil(2/0.05)+1
+  // = 41 replicates; 40 must be refused, 41 accepted.
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rng, 10), bootstrap_error);
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rng, 40), bootstrap_error);
+  EXPECT_NO_THROW((void)bootstrap_mean_ci(sample, rng, 41));
+  // A wider interval needs fewer replicates: level 0.5 → alpha/2 = 0.25,
+  // minimum ceil(2/0.5)+1 = 5.
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rng, 4, 0.5), bootstrap_error);
+  EXPECT_NO_THROW((void)bootstrap_mean_ci(sample, rng, 5, 0.5));
+}
+
+TEST(BootstrapDegenerate, RefusalConsumesNoRandomness) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0, 5.0};
+  util::Rng rejected_first(2024);
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rejected_first, 10),
+               bootstrap_error);
+  const ConfidenceInterval after = bootstrap_mean_ci(sample, rejected_first, 100);
+
+  util::Rng fresh(2024);
+  const ConfidenceInterval reference = bootstrap_mean_ci(sample, fresh, 100);
+  EXPECT_DOUBLE_EQ(after.lo, reference.lo);
+  EXPECT_DOUBLE_EQ(after.hi, reference.hi);
+}
+
+TEST(BootstrapDegenerate, NonFiniteEstimatesThrowInsteadOfSortingNaNs) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0};
+  const Statistic nan_stat = [](std::span<const double>) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  const Statistic inf_stat = [](std::span<const double>) {
+    return std::numeric_limits<double>::infinity();
+  };
+  util::Rng rng(9);
+  EXPECT_THROW((void)bootstrap_ci(sample, nan_stat, rng, 100), bootstrap_error);
+  EXPECT_THROW((void)bootstrap_ci(sample, inf_stat, rng, 100), bootstrap_error);
+}
+
+TEST(BootstrapDegenerate, OccasionallyNonFiniteStatisticStillRefused) {
+  // A statistic that is only non-finite for SOME resamples (log of a mean
+  // that can go non-positive) must also be refused — one NaN poisons the
+  // percentile ordering.
+  const std::vector<double> sample = {-1.0, 0.5, 2.0, 3.0};
+  const Statistic log_mean = [](std::span<const double> s) {
+    return std::log(mean(s));
+  };
+  util::Rng rng(13);
+  EXPECT_THROW((void)bootstrap_ci(sample, log_mean, rng, 500), bootstrap_error);
+}
+
+TEST(BootstrapDegenerate, PreconditionsStillTyped) {
+  const std::vector<double> sample = {1.0, 2.0};
+  util::Rng rng(4);
+  EXPECT_THROW((void)bootstrap_mean_ci({}, rng, 100), util::precondition_error);
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rng, 0), util::precondition_error);
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rng, 100, 0.0),
+               util::precondition_error);
+  EXPECT_THROW((void)bootstrap_mean_ci(sample, rng, 100, 1.0),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::stats

@@ -1,0 +1,124 @@
+// Regression suite for the quantile-convention bug: Ecdf::quantile (inverse
+// ECDF, R type 1) and quantile_sorted (linear interpolation, R type 7) used
+// to disagree at the edges, and the naive ceil(q*n)-1 index computation
+// could land one sample high when q*n rounded above the exact product.
+// These tests pin the reconciled behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rainshine/stats/descriptive.hpp"
+#include "rainshine/stats/ecdf.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::stats {
+namespace {
+
+std::vector<double> distinct_sample(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<double>(i) + rng.uniform(0.0, 0.5);
+  return v;  // already sorted and strictly increasing
+}
+
+TEST(QuantileConsistency, MethodsAgreeAtTheEdges) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{100}}) {
+    const std::vector<double> v = distinct_sample(n, 17);
+    for (const auto method :
+         {QuantileMethod::kLinearInterp, QuantileMethod::kInverseEcdf}) {
+      EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0, method), v.front())
+          << "q=0 with n=" << n;
+      EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0, method), v.back())
+          << "q=1 with n=" << n;
+    }
+  }
+}
+
+TEST(QuantileConsistency, MethodsAgreeOnSingleElementAndConstantSamples) {
+  const std::vector<double> one = {3.25};
+  const std::vector<double> constant(50, -2.5);
+  for (const double q : {0.0, 0.01, 0.29, 0.5, 0.75, 1.0}) {
+    for (const auto method :
+         {QuantileMethod::kLinearInterp, QuantileMethod::kInverseEcdf}) {
+      EXPECT_DOUBLE_EQ(quantile_sorted(one, q, method), 3.25);
+      EXPECT_DOUBLE_EQ(quantile_sorted(constant, q, method), -2.5);
+    }
+  }
+}
+
+TEST(QuantileConsistency, EcdfQuantileRoundTripsEverySampleValue) {
+  // quantile(cdf(v)) == v for every sample value v is the defining property
+  // of the inverse ECDF — and exactly what the old ceil(q*n)-1 arithmetic
+  // broke when q*n picked up a half-ulp of upward rounding (q = 0.29,
+  // n = 100 evaluates to 29.000000000000004).
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{29},
+                              std::size_t{100}, std::size_t{1000}}) {
+    const std::vector<double> v = distinct_sample(n, 99 + n);
+    const Ecdf ecdf(v);
+    for (const double x : v) {
+      EXPECT_DOUBLE_EQ(ecdf.quantile(ecdf(x)), x) << "n=" << n;
+    }
+  }
+}
+
+TEST(QuantileConsistency, InverseEcdfSurvivesFloatingPointWobbleInQTimesN) {
+  // q = k/n for every k must select sample k-1 exactly, even when the
+  // division and multiplication do not cancel in floating point.
+  const std::size_t n = 100;
+  const std::vector<double> v = distinct_sample(n, 5);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double q = static_cast<double>(k) / static_cast<double>(n);
+    EXPECT_DOUBLE_EQ(quantile_sorted(v, q, QuantileMethod::kInverseEcdf),
+                     v[k - 1])
+        << "k=" << k;
+  }
+}
+
+TEST(QuantileConsistency, InverseEcdfStepsWhereLinearInterpolates) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  // Strictly between 1/4 and 2/4 the inverse ECDF returns the 2nd value...
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.30, QuantileMethod::kInverseEcdf), 20.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.49, QuantileMethod::kInverseEcdf), 20.0);
+  // ...while linear interpolation moves continuously through the gap.
+  const double lin = quantile_sorted(v, 0.30, QuantileMethod::kLinearInterp);
+  EXPECT_GT(lin, 10.0);
+  EXPECT_LT(lin, 20.0);
+  // Inverse ECDF always returns an observed sample value.
+  for (const double q : {0.1, 0.26, 0.5, 0.51, 0.76, 0.99}) {
+    const double got = quantile_sorted(v, q, QuantileMethod::kInverseEcdf);
+    EXPECT_TRUE(got == 10.0 || got == 20.0 || got == 30.0 || got == 40.0)
+        << "q=" << q << " returned non-sample value " << got;
+  }
+}
+
+TEST(QuantileConsistency, TwoArgOverloadStaysLinearInterp) {
+  const std::vector<double> v = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 0.5);  // interpolated midpoint
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5, QuantileMethod::kLinearInterp), 0.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5, QuantileMethod::kInverseEcdf), 0.0);
+}
+
+TEST(QuantileConsistency, DuplicateValuesRoundTripThroughTheEcdf) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 7.0};
+  const Ecdf ecdf(v);
+  for (const double x : v) EXPECT_DOUBLE_EQ(ecdf.quantile(ecdf(x)), x);
+  // Probabilities inside a run of duplicates resolve to that value.
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.3), 2.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 2.0);
+}
+
+TEST(QuantileConsistency, BothMethodsRejectOutOfRangeQ) {
+  const std::vector<double> v = {1.0, 2.0};
+  for (const auto method :
+       {QuantileMethod::kLinearInterp, QuantileMethod::kInverseEcdf}) {
+    EXPECT_THROW(quantile_sorted(v, -0.1, method), util::precondition_error);
+    EXPECT_THROW(quantile_sorted(v, 1.1, method), util::precondition_error);
+    EXPECT_THROW(quantile_sorted({}, 0.5, method), util::precondition_error);
+  }
+}
+
+}  // namespace
+}  // namespace rainshine::stats

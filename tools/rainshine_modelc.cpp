@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "rainshine/core/observations.hpp"
+#include "rainshine/obs/export.hpp"
+#include "rainshine/obs/metrics.hpp"
 #include "rainshine/serve/artifact.hpp"
 #include "rainshine/simdc/ticket_io.hpp"
 #include "rainshine/simdc/tickets.hpp"
@@ -54,6 +56,7 @@ struct Options {
 
   std::string output;
   std::string export_csv;
+  std::string metrics;   // JSON metrics sidecar destination
   std::string name = "model";
   std::uint32_t model_version = 1;
   cart::ForestConfig config;
@@ -67,7 +70,8 @@ struct Options {
                "        | --demo [--days N])\n"
                "        --output model.rsf [--name NAME] [--model-version V]\n"
                "        [--trees N] [--cp X] [--seed S] [--sample-fraction F]\n"
-               "        [--features-per-tree K] [--export-csv rows.csv]\n",
+               "        [--features-per-tree K] [--export-csv rows.csv]\n"
+               "        [--metrics metrics.json]\n",
                argv0);
   std::exit(2);
 }
@@ -93,6 +97,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--days") opt.days = std::atoi(need_value(argc, argv, i));
     else if (a == "--output") opt.output = need_value(argc, argv, i);
     else if (a == "--export-csv") opt.export_csv = need_value(argc, argv, i);
+    else if (a == "--metrics") opt.metrics = need_value(argc, argv, i);
     else if (a == "--name") opt.name = need_value(argc, argv, i);
     else if (a == "--model-version")
       opt.model_version = static_cast<std::uint32_t>(
@@ -200,6 +205,10 @@ int main(int argc, char** argv) {
       table::write_csv_file(tbl, opt.export_csv);
       std::fprintf(stderr, "exported training table -> %s\n",
                    opt.export_csv.c_str());
+    }
+    if (!opt.metrics.empty()) {
+      obs::write_file(opt.metrics, obs::to_json(obs::registry().snapshot()));
+      std::fprintf(stderr, "metrics -> %s\n", opt.metrics.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

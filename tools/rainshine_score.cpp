@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "rainshine/obs/export.hpp"
+#include "rainshine/obs/metrics.hpp"
 #include "rainshine/serve/artifact.hpp"
 #include "rainshine/serve/registry.hpp"
 #include "rainshine/serve/service.hpp"
@@ -38,13 +40,15 @@ struct Options {
   std::size_t request_rows = 64;
   serve::ServiceConfig service;
   bool stats = false;
+  std::string metrics;  // JSON metrics sidecar destination
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --model model.rsf [--input rows.csv|-] "
                "[--output out.csv] [--request-rows N]\n"
-               "        [--batch N] [--queue N] [--delay-us N] [--stats]\n",
+               "        [--batch N] [--queue N] [--delay-us N] [--stats]\n"
+               "        [--metrics metrics.json]\n",
                argv0);
   std::exit(2);
 }
@@ -74,6 +78,7 @@ Options parse(int argc, char** argv) {
       opt.service.max_batch_delay = std::chrono::microseconds(
           std::strtoul(need_value(argc, argv, i), nullptr, 10));
     else if (a == "--stats") opt.stats = true;
+    else if (a == "--metrics") opt.metrics = need_value(argc, argv, i);
     else usage(argv[0]);
   }
   if (opt.model.empty() || opt.request_rows == 0) usage(argv[0]);
@@ -151,6 +156,10 @@ int main(int argc, char** argv) {
 
     if (opt.stats) {
       std::fprintf(stderr, "service: %s\n", service.stats().summary().c_str());
+    }
+    if (!opt.metrics.empty()) {
+      obs::write_file(opt.metrics, obs::to_json(obs::registry().snapshot()));
+      std::fprintf(stderr, "metrics -> %s\n", opt.metrics.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
