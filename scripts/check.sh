@@ -6,6 +6,10 @@
 #   scripts/check.sh --tsan        # additionally a ThreadSanitizer build + ctest
 #   scripts/check.sh --serve-smoke # additionally run the modelc -> score
 #                                  # artifact pipeline end-to-end
+#   scripts/check.sh --net-smoke   # additionally boot rainshine_serve on an
+#                                  # ephemeral port, score over a real socket,
+#                                  # scrape /metrics, SIGTERM-drain, and check
+#                                  # the interrupted-run metrics sidecars
 #
 # Flags combine (e.g. `--sanitize --tsan` runs all three suites). Extra
 # arguments after the flags are forwarded to ctest (e.g. -R Ingest).
@@ -16,11 +20,13 @@ cd "$(dirname "$0")/.."
 sanitize=0
 tsan=0
 serve_smoke=0
+net_smoke=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --serve-smoke) serve_smoke=1 ;;
+    --net-smoke) net_smoke=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -56,7 +62,7 @@ fi
 if [[ "$serve_smoke" == 1 ]]; then
   echo "== serve smoke: modelc -> score pipeline =="
   workdir="$(mktemp -d)"
-  trap 'rm -rf "$workdir"' EXIT
+  trap 'rm -rf "${workdir:-}" "${netdir:-}"' EXIT
   ./build/tools/rainshine_modelc --demo --days 60 --trees 8 \
     --output "$workdir/demo.rsf" --export-csv "$workdir/rows.csv" \
     --metrics "$workdir/fit_metrics.json"
@@ -91,6 +97,77 @@ if [[ "$serve_smoke" == 1 ]]; then
   ./build/tools/rainshine_metrics --check "$workdir/bench_metrics.json" \
     --require simdc.tickets_generated,simdc.simulate_us
   echo "metrics smoke: 4 sidecars validated, $(($(wc -l < "$workdir/spans.csv") - 1)) spans traced"
+fi
+
+if [[ "$net_smoke" == 1 ]]; then
+  echo "== net smoke: serve over a real socket, drain on SIGTERM =="
+  netdir="$(mktemp -d)"
+  trap 'rm -rf "${workdir:-}" "${netdir:-}"' EXIT
+  ./build/tools/rainshine_modelc --demo --days 60 --trees 8 \
+    --output "$netdir/demo.rsf" --export-csv "$netdir/rows.csv" >/dev/null
+
+  ./build/tools/rainshine_serve --model "$netdir/demo.rsf" --port 0 \
+    --metrics "$netdir/serve_metrics.json" > "$netdir/serve.out" \
+    2> "$netdir/serve.err" &
+  serve_pid=$!
+  # The tool prints exactly "listening on HOST:PORT" once bound.
+  port=""
+  for _ in $(seq 1 50); do
+    port="$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$netdir/serve.out")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "net smoke FAILED: server never reported its port" >&2
+    cat "$netdir/serve.err" >&2
+    exit 1
+  fi
+
+  ./build/tools/rainshine_loadgen --once --port "$port" --target /healthz \
+    >/dev/null
+  ./build/tools/rainshine_loadgen --once --port "$port" --target /score \
+    --body-file "$netdir/rows.csv" > "$netdir/scored.csv"
+  rows=$(($(wc -l < "$netdir/rows.csv") - 1))
+  scored=$(($(wc -l < "$netdir/scored.csv") - 1))
+  if [[ "$rows" != "$scored" ]]; then
+    echo "net smoke FAILED: scored $scored rows over the wire, expected $rows" >&2
+    exit 1
+  fi
+  ./build/tools/rainshine_loadgen --once --port "$port" \
+    --target '/metrics?format=json' > "$netdir/scrape.json"
+
+  # Graceful drain: SIGTERM must finish admitted work, flush the metrics
+  # sidecar, and exit 0.
+  kill -TERM "$serve_pid"
+  if ! wait "$serve_pid"; then
+    echo "net smoke FAILED: server did not exit 0 on SIGTERM" >&2
+    cat "$netdir/serve.err" >&2
+    exit 1
+  fi
+  ./build/tools/rainshine_metrics --check "$netdir/serve_metrics.json" \
+    --require net.requests_total,net.connections_accepted,serve.requests_completed
+  ./build/tools/rainshine_metrics --check "$netdir/scrape.json" \
+    --require net.requests_total,serve.requests_completed
+  echo "net smoke: scored $scored/$rows rows over 127.0.0.1:$port, drained clean"
+
+  echo "== net smoke: interrupted batch run still writes its sidecar =="
+  # Pile up enough rows that the scoring run outlives the SIGINT we send it.
+  tail -n +2 "$netdir/rows.csv" > "$netdir/row_body.csv"
+  { head -1 "$netdir/rows.csv"
+    for _ in $(seq 1 6); do cat "$netdir/row_body.csv"; done
+  } > "$netdir/big_rows.csv"
+  ./build/tools/rainshine_score --model "$netdir/demo.rsf" \
+    --input "$netdir/big_rows.csv" --output "$netdir/big_scored.csv" \
+    --metrics "$netdir/int_metrics.json" >/dev/null 2>&1 &
+  score_pid=$!
+  sleep 0.1
+  kill -INT "$score_pid" 2>/dev/null || true
+  wait "$score_pid" || true  # 130 if interrupted, 0 if it won the race
+  # Either way the sidecar must exist and parse: the interrupt handler (or
+  # the normal exit path) flushed it.
+  ./build/tools/rainshine_metrics --check "$netdir/int_metrics.json" \
+    --require serve.rows_scored
+  echo "net smoke: interrupted run's sidecar parsed"
 fi
 
 echo "OK"

@@ -1,0 +1,74 @@
+// FaultySocket: seeded network-fault injection at the Stream seam.
+//
+// The failure modes are the ones large-scale studies (Meza et al.,
+// PAPERS.md) observe on real datacenter networks, scaled down to one
+// connection: connections reset mid-exchange, peers that stall for seconds,
+// NICs that fragment every transfer, clients that vanish halfway through a
+// request body. FaultySocket wraps any Stream and injects these faults from
+// a seeded Rng, so a chaos test is a deterministic, replayable scenario —
+// "seed 17 resets after the headers" fails the same way every run.
+//
+// Injection points are per read_some/write_some call, drawn independently:
+//   reset_prob       — abort() the inner stream, then throw io_error(kReset)
+//   disconnect_prob  — close the inner stream orderly; reads then see EOF,
+//                      writes see io_error(kClosed) (a mid-body hangup)
+//   stall_prob       — sleep `stall` before the op (tickles peer timeouts)
+//   partial I/O      — every op is capped at a chunk drawn from
+//                      [1, max_chunk]; exercises short-read/short-write
+//                      handling in parsers and writers
+//
+// A fault plan with all probabilities zero and max_chunk SIZE_MAX is a
+// transparent pass-through, so production code can be compiled against the
+// wrapper unconditionally.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "rainshine/net/stream.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::net {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double reset_prob = 0.0;       ///< per-op: RST the connection
+  double disconnect_prob = 0.0;  ///< per-op: orderly close mid-stream
+  double stall_prob = 0.0;       ///< per-op: sleep `stall` first
+  std::chrono::milliseconds stall{0};
+  std::size_t max_chunk = SIZE_MAX;  ///< cap bytes moved per op (>= 1)
+};
+
+/// Counts of what a FaultySocket actually did — lets a chaos test assert
+/// the scenario it asked for really happened.
+struct FaultLog {
+  std::uint64_t resets = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t short_ops = 0;  ///< ops truncated by max_chunk
+};
+
+class FaultySocket final : public Stream {
+ public:
+  FaultySocket(std::unique_ptr<Stream> inner, FaultPlan plan);
+
+  std::size_t read_some(std::span<char> buf) override;
+  std::size_t write_some(std::span<const char> buf) override;
+  void abort() noexcept override;
+
+  [[nodiscard]] const FaultLog& log() const noexcept { return log_; }
+  [[nodiscard]] Stream& inner() noexcept { return *inner_; }
+
+ private:
+  /// Applies pre-op faults; returns the byte cap for this op.
+  std::size_t arm(std::size_t want);
+
+  std::unique_ptr<Stream> inner_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultLog log_;
+  bool down_ = false;  ///< a reset/disconnect already fired
+};
+
+}  // namespace rainshine::net

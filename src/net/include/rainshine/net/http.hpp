@@ -1,0 +1,160 @@
+// Bounded, typed HTTP/1.1 message parsing — the wire grammar of src/net.
+//
+// The parser is written for hostile input first: every dimension of a
+// request is bounded up front (request-line bytes, total header bytes,
+// header count, body bytes), every violation is a typed RequestError that
+// maps to a specific status code, and no input — truncated at any byte,
+// mutated at any byte — may crash, hang, or allocate beyond the configured
+// limits. tests/net/test_http_fuzz.cpp holds the parser to exactly that
+// contract under ASan/UBSan, the same way the .rsf artifact loader is
+// fuzzed.
+//
+// Scope (deliberate): HTTP/1.0 and 1.1, identity bodies framed by
+// Content-Length only. Transfer-Encoding (chunked) is refused with a typed
+// error (501), not half-implemented. Responses always carry Content-Length,
+// so the client side (read_response) needs nothing more either.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rainshine/net/stream.hpp"
+
+namespace rainshine::net {
+
+/// Hard ceilings on request size. Defaults fit the scoring workload (CSV
+/// bodies of a few thousand rows); tighten them at the server config level.
+struct HttpLimits {
+  std::size_t max_request_line = 4096;
+  std::size_t max_header_bytes = 16384;  ///< all header lines together
+  std::size_t max_headers = 64;
+  std::size_t max_body_bytes = 4u << 20;
+};
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+/// Why a request could not be read. Everything except kNone/kClosed is a
+/// protocol or transport defect; status_for() maps each to the reply code.
+enum class RequestError : std::uint8_t {
+  kNone = 0,
+  kClosed,           ///< orderly EOF before the first byte (clean keep-alive end)
+  kTimeout,          ///< socket timeout mid-request (slow-loris)
+  kReset,            ///< connection reset mid-request
+  kIoError,          ///< other transport failure
+  kRequestLineTooLong,
+  kMalformedRequestLine,
+  kUnsupportedVersion,
+  kHeaderTooLarge,
+  kTooManyHeaders,
+  kMalformedHeader,
+  kBadContentLength,
+  kUnsupportedEncoding,  ///< Transfer-Encoding present
+  kBodyTooLarge,
+  kIncompleteBody,   ///< EOF/short stream before Content-Length bytes arrived
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RequestError e) noexcept {
+  switch (e) {
+    case RequestError::kNone: return "ok";
+    case RequestError::kClosed: return "closed";
+    case RequestError::kTimeout: return "timeout";
+    case RequestError::kReset: return "reset";
+    case RequestError::kIoError: return "io-error";
+    case RequestError::kRequestLineTooLong: return "request-line-too-long";
+    case RequestError::kMalformedRequestLine: return "malformed-request-line";
+    case RequestError::kUnsupportedVersion: return "unsupported-version";
+    case RequestError::kHeaderTooLarge: return "header-too-large";
+    case RequestError::kTooManyHeaders: return "too-many-headers";
+    case RequestError::kMalformedHeader: return "malformed-header";
+    case RequestError::kBadContentLength: return "bad-content-length";
+    case RequestError::kUnsupportedEncoding: return "unsupported-encoding";
+    case RequestError::kBodyTooLarge: return "body-too-large";
+    case RequestError::kIncompleteBody: return "incomplete-body";
+  }
+  return "?";
+}
+
+/// The HTTP status a server should answer this parse failure with; 0 means
+/// the connection is not worth (or not capable of) an answer — close it.
+[[nodiscard]] int status_for(RequestError e) noexcept;
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< as received: path plus optional ?query
+  std::string path;    ///< target up to '?'
+  std::string query;   ///< after '?', possibly empty
+  int version_minor = 1;  ///< HTTP/1.<n>
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  /// Case-insensitive single-header lookup (first match).
+  [[nodiscard]] std::optional<std::string_view> header(
+      std::string_view name) const noexcept;
+  /// Value of `key` in the query string ("a=1&b=2"); unescaping is NOT
+  /// performed (the API's parameter values are plain tokens).
+  [[nodiscard]] std::optional<std::string_view> query_param(
+      std::string_view key) const noexcept;
+  /// HTTP/1.1 defaults to keep-alive, 1.0 to close; Connection overrides.
+  [[nodiscard]] bool keep_alive() const noexcept;
+};
+
+struct RequestOutcome {
+  RequestError error = RequestError::kNone;
+  HttpRequest request;
+  [[nodiscard]] bool ok() const noexcept { return error == RequestError::kNone; }
+};
+
+/// Incremental request reader over a Stream. Owns the read buffer so bytes
+/// that arrive beyond one request (pipelining) carry over to the next
+/// next() call — one reader per connection.
+class RequestReader {
+ public:
+  explicit RequestReader(Stream& stream, HttpLimits limits = {});
+  ~RequestReader();
+  RequestReader(RequestReader&&) noexcept;
+  RequestReader& operator=(RequestReader&&) noexcept;
+
+  /// Reads exactly one request. On error the connection should be answered
+  /// with status_for(error) (if nonzero) and closed.
+  [[nodiscard]] RequestOutcome next();
+
+ private:
+  struct Impl;  ///< buffered line source, shared with read_response
+  std::unique_ptr<Impl> impl_;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::vector<HttpHeader> headers;  ///< extras (Retry-After, ...)
+  std::string body;
+
+  /// Full wire form incl. Content-Length and Connection header.
+  [[nodiscard]] std::string serialize(bool keep_alive) const;
+};
+
+[[nodiscard]] std::string_view reason_phrase(int status) noexcept;
+
+/// Client side: one response read off a Stream. Bodies are framed by
+/// Content-Length (absent => read to EOF, bounded by limits.max_body_bytes).
+struct ResponseOutcome {
+  RequestError error = RequestError::kNone;  ///< same taxonomy as requests
+  int status = 0;
+  std::vector<HttpHeader> headers;
+  std::string body;
+  [[nodiscard]] bool ok() const noexcept { return error == RequestError::kNone; }
+  [[nodiscard]] std::optional<std::string_view> header(
+      std::string_view name) const noexcept;
+};
+
+[[nodiscard]] ResponseOutcome read_response(Stream& stream,
+                                            const HttpLimits& limits = {});
+
+}  // namespace rainshine::net

@@ -1,0 +1,82 @@
+// Open-loop HTTP load generator — the measurement half of the wire layer.
+//
+// Closed-loop clients (send, wait, send) slow down exactly when the server
+// does, hiding the queueing delay users feel (coordinated omission). This
+// generator is open-loop: request k is DUE at start + k/rps whether or not
+// request k-1 has returned, and a request's latency is measured from its
+// scheduled due time — so a server that stalls for 100ms owes that 100ms to
+// every request scheduled during the stall.
+//
+// The retry policy is the one the ISSUE prescribes for honest overload
+// behaviour: a 503 (shed) or transport failure is retried with capped
+// exponential backoff + jitter up to max_retries; any other non-2xx is a
+// terminal failure for that tick. Shed responses are counted separately so a
+// sweep can report shed rate next to p99.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "rainshine/net/http.hpp"
+
+namespace rainshine::net {
+
+/// One request/response exchange on a fresh connection. The building block
+/// of both the load generator and scripted smoke checks (check.sh
+/// --net-smoke uses rainshine_loadgen --once instead of curl).
+[[nodiscard]] ResponseOutcome request_once(
+    const std::string& host, std::uint16_t port, const std::string& method,
+    const std::string& target, std::string_view body = {},
+    std::span<const HttpHeader> extra_headers = {},
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// CSV body POSTed to /score each tick.
+  std::string body;
+  double rps = 100.0;
+  std::chrono::milliseconds duration{1000};
+  std::size_t num_threads = 2;  ///< ticks are striped across threads
+  /// X-Deadline-Ms header; nullopt sends none (server default applies).
+  std::optional<long long> deadline_ms;
+  /// Retries per tick on 503/transport error; capped exponential backoff.
+  int max_retries = 3;
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{200};
+  std::chrono::milliseconds connect_timeout{2000};
+  std::chrono::milliseconds io_timeout{5000};
+  std::uint64_t seed = 42;  ///< backoff jitter
+};
+
+struct LoadGenReport {
+  std::uint64_t scheduled = 0;      ///< ticks due within the duration
+  std::uint64_t attempts = 0;       ///< requests sent, retries included
+  std::uint64_t ok = 0;             ///< ticks that ended 2xx
+  std::uint64_t shed = 0;           ///< 503 responses observed (pre-retry)
+  std::uint64_t deadline_hits = 0;  ///< 504 responses observed
+  std::uint64_t failed = 0;         ///< ticks that exhausted retries / hard 4xx/5xx
+  std::uint64_t transport_errors = 0;  ///< resets/timeouts/refusals observed
+
+  /// Latency of successful ticks, measured from the tick's DUE time
+  /// (open-loop: server-induced queueing counts).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+
+  double shed_rate = 0.0;     ///< shed / attempts
+  double achieved_rps = 0.0;  ///< ok / wall-clock
+
+  /// Flat JSON object for bench output and CLI consumption.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Runs the configured open-loop load against POST /score and blocks until
+/// every scheduled tick resolved. Requires rps > 0, num_threads > 0.
+[[nodiscard]] LoadGenReport run_load(const LoadGenConfig& config);
+
+}  // namespace rainshine::net

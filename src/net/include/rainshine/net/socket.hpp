@@ -1,0 +1,104 @@
+// Blocking TCP sockets with timeouts — the only file that touches POSIX.
+//
+// Design constraints, all robustness-driven:
+//
+//  * Every socket carries read/write timeouts (SO_RCVTIMEO / SO_SNDTIMEO):
+//    a peer that stops sending mid-request (slow-loris) or stops draining
+//    its receive window costs a bounded slice of one worker thread, never
+//    the thread itself.
+//  * Writes use MSG_NOSIGNAL: a peer that closed early must surface as a
+//    typed io_error in the writer, not a process-killing SIGPIPE.
+//  * abort() arms SO_LINGER{on,0} before close, turning teardown into a TCP
+//    RST — both so the server can shed hopeless connections without holding
+//    TIME_WAIT state, and so the chaos layer can inject the resets real
+//    fleets see.
+//  * TcpListener::interrupt() is async-signal-safe (one write() to a
+//    self-pipe), which is what lets a SIGTERM handler start a graceful
+//    drain without taking any lock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rainshine/net/stream.hpp"
+
+namespace rainshine::net {
+
+/// A connected TCP socket. Move-only; closes on destruction.
+class TcpSocket final : public Stream {
+ public:
+  TcpSocket() noexcept = default;           ///< invalid (fd -1)
+  explicit TcpSocket(int fd) noexcept : fd_(fd) {}  ///< adopts `fd`
+  ~TcpSocket() override { close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost") within
+  /// `timeout`. Throws io_error on refusal/timeout.
+  [[nodiscard]] static TcpSocket connect(const std::string& host,
+                                         std::uint16_t port,
+                                         std::chrono::milliseconds timeout);
+
+  /// A blocked read/write returns io_error(kTimeout) after this long.
+  /// Zero means wait forever.
+  void set_read_timeout(std::chrono::milliseconds timeout);
+  void set_write_timeout(std::chrono::milliseconds timeout);
+
+  std::size_t read_some(std::span<char> buf) override;
+  std::size_t write_some(std::span<const char> buf) override;
+
+  /// Abortive close: SO_LINGER{on,0} then close → the peer sees RST.
+  void abort() noexcept override;
+  /// Orderly close. Idempotent.
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to host:port (port 0 picks an ephemeral
+/// port; read it back with port()).
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 128);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until a connection arrives (returns it) or interrupt() was
+  /// called (returns nullopt, and every later call returns nullopt too).
+  /// Transient accept failures (peer vanished between SYN and accept) are
+  /// retried internally.
+  [[nodiscard]] std::optional<TcpSocket> accept();
+
+  /// Wakes accept() permanently. Async-signal-safe: one write() on a
+  /// pre-opened self-pipe, no locks, no allocation — callable from a
+  /// SIGTERM handler.
+  void interrupt() noexcept;
+
+  /// Closes the listening socket. interrupt() only wakes accept(); the
+  /// kernel keeps completing handshakes into the backlog while the fd is
+  /// open, so a draining server must also close() to make new connects be
+  /// refused. Idempotent; must not race accept() (close after the accept
+  /// loop has exited).
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  int wake_rd_ = -1;  ///< self-pipe read end, polled alongside fd_
+  int wake_wr_ = -1;  ///< self-pipe write end, poked by interrupt()
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace rainshine::net

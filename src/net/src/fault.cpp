@@ -1,0 +1,64 @@
+#include "rainshine/net/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::net {
+
+FaultySocket::FaultySocket(std::unique_ptr<Stream> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {
+  util::require(inner_ != nullptr, "FaultySocket needs an inner stream");
+  util::require(plan_.max_chunk >= 1, "FaultPlan::max_chunk must be >= 1");
+}
+
+std::size_t FaultySocket::arm(std::size_t want) {
+  if (down_) throw io_error(IoStatus::kClosed, "injected fault already fired");
+  if (plan_.stall_prob > 0.0 && rng_.bernoulli(plan_.stall_prob)) {
+    ++log_.stalls;
+    std::this_thread::sleep_for(plan_.stall);
+  }
+  if (plan_.reset_prob > 0.0 && rng_.bernoulli(plan_.reset_prob)) {
+    ++log_.resets;
+    down_ = true;
+    inner_->abort();
+    throw io_error(IoStatus::kReset, "injected connection reset");
+  }
+  if (plan_.disconnect_prob > 0.0 && rng_.bernoulli(plan_.disconnect_prob)) {
+    // Orderly mid-stream hangup: from the peer's side this is a FIN after a
+    // partial request — the "client gave up halfway through the body" case.
+    ++log_.disconnects;
+    down_ = true;
+    inner_->abort();
+    throw io_error(IoStatus::kClosed, "injected mid-stream disconnect");
+  }
+  std::size_t cap = want;
+  if (plan_.max_chunk < want) {
+    // Draw a fresh chunk size per op so fragment boundaries wander across
+    // the message — every byte offset eventually becomes a split point.
+    cap = 1 + static_cast<std::size_t>(rng_.below(plan_.max_chunk));
+    if (cap < want) ++log_.short_ops;
+    cap = std::min(cap, want);
+  }
+  return cap;
+}
+
+std::size_t FaultySocket::read_some(std::span<char> buf) {
+  if (buf.empty()) return 0;
+  const std::size_t cap = arm(buf.size());
+  return inner_->read_some(buf.first(cap));
+}
+
+std::size_t FaultySocket::write_some(std::span<const char> buf) {
+  if (buf.empty()) return 0;
+  const std::size_t cap = arm(buf.size());
+  return inner_->write_some(buf.first(cap));
+}
+
+void FaultySocket::abort() noexcept {
+  down_ = true;
+  inner_->abort();
+}
+
+}  // namespace rainshine::net

@@ -1,0 +1,429 @@
+#include "rainshine/net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// RFC 9110 token characters — what a method or header name may contain.
+bool is_token_char(char c) noexcept {
+  const unsigned char u = static_cast<unsigned char>(c);
+  if (std::isalnum(u) != 0) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) noexcept {
+  return !s.empty() && std::all_of(s.begin(), s.end(), is_token_char);
+}
+
+RequestError from_io(const io_error& e) noexcept {
+  switch (e.status()) {
+    case IoStatus::kTimeout: return RequestError::kTimeout;
+    case IoStatus::kReset: return RequestError::kReset;
+    default: return RequestError::kIoError;
+  }
+}
+
+std::optional<std::string_view> find_header(
+    const std::vector<HttpHeader>& headers, std::string_view name) noexcept {
+  for (const HttpHeader& h : headers) {
+    if (iequals(h.name, name)) return std::string_view(h.value);
+  }
+  return std::nullopt;
+}
+
+/// Buffered line/byte source over a Stream. One instance per connection:
+/// bytes read past the current message (pipelining) stay in `buf` for the
+/// next message. Every path is bounded by the cap its caller passes.
+struct LineSource {
+  Stream& stream;
+  std::string buf;
+  std::size_t pos = 0;
+
+  explicit LineSource(Stream& s) : stream(s) {}
+
+  [[nodiscard]] bool pending() const noexcept { return pos < buf.size(); }
+
+  /// One read_some appended to buf. kClosed = orderly EOF.
+  RequestError fill() {
+    if (pos == buf.size()) {
+      buf.clear();
+      pos = 0;
+    } else if (pos > 8192) {
+      buf.erase(0, pos);
+      pos = 0;
+    }
+    char chunk[4096];
+    try {
+      const std::size_t n = stream.read_some(chunk);
+      if (n == 0) return RequestError::kClosed;
+      buf.append(chunk, n);
+      return RequestError::kNone;
+    } catch (const io_error& e) {
+      return from_io(e);
+    }
+  }
+
+  /// Reads one LF-terminated line (CR stripped) of at most `cap` bytes.
+  /// `overflow` is returned when the line exceeds the cap. EOF before the
+  /// terminator yields kClosed if nothing of the line arrived, else
+  /// kIncompleteBody (the peer hung up mid-line).
+  RequestError line(std::size_t cap, std::string& out, RequestError overflow) {
+    for (;;) {
+      const std::size_t nl = buf.find('\n', pos);
+      if (nl != std::string::npos) {
+        if (nl - pos > cap) return overflow;
+        out.assign(buf, pos, nl - pos);
+        if (!out.empty() && out.back() == '\r') out.pop_back();
+        pos = nl + 1;
+        return RequestError::kNone;
+      }
+      if (buf.size() - pos > cap) return overflow;
+      const RequestError err = fill();
+      if (err == RequestError::kClosed) {
+        return pending() ? RequestError::kIncompleteBody : RequestError::kClosed;
+      }
+      if (err != RequestError::kNone) return err;
+    }
+  }
+
+  /// Reads exactly `n` bytes into `out` (n is pre-validated against the
+  /// body cap, so the reserve is bounded).
+  RequestError body(std::size_t n, std::string& out) {
+    out.clear();
+    out.reserve(n);
+    for (;;) {
+      const std::size_t take = std::min(n - out.size(), buf.size() - pos);
+      out.append(buf, pos, take);
+      pos += take;
+      if (out.size() == n) return RequestError::kNone;
+      const RequestError err = fill();
+      if (err == RequestError::kClosed) return RequestError::kIncompleteBody;
+      if (err != RequestError::kNone) return err;
+    }
+  }
+};
+
+/// Shared header-block reader: parses "Name: value" lines until the blank
+/// line, enforcing count and byte limits.
+RequestError read_headers(LineSource& src, const HttpLimits& limits,
+                          std::vector<HttpHeader>& headers) {
+  std::string line;
+  std::size_t header_bytes = 0;
+  for (;;) {
+    const RequestError err =
+        src.line(limits.max_header_bytes, line, RequestError::kHeaderTooLarge);
+    if (err == RequestError::kClosed) return RequestError::kIncompleteBody;
+    if (err != RequestError::kNone) return err;
+    if (line.empty()) return RequestError::kNone;
+    header_bytes += line.size() + 2;
+    if (header_bytes > limits.max_header_bytes) {
+      return RequestError::kHeaderTooLarge;
+    }
+    if (headers.size() >= limits.max_headers) {
+      return RequestError::kTooManyHeaders;
+    }
+    // Obsolete line folding (leading whitespace) is rejected, per RFC 7230's
+    // advice for anything that is not a message archive.
+    const std::size_t colon = line.find(':');
+    if (colon == 0 || colon == std::string::npos ||
+        !is_token(std::string_view(line).substr(0, colon))) {
+      return RequestError::kMalformedHeader;
+    }
+    HttpHeader h;
+    h.name = line.substr(0, colon);
+    h.value = std::string(util::trim(std::string_view(line).substr(colon + 1)));
+    headers.push_back(std::move(h));
+  }
+}
+
+/// Decodes Content-Length / Transfer-Encoding into a body byte count.
+RequestError body_length(const std::vector<HttpHeader>& headers,
+                         const HttpLimits& limits, std::size_t& length) {
+  length = 0;
+  if (find_header(headers, "Transfer-Encoding").has_value()) {
+    return RequestError::kUnsupportedEncoding;
+  }
+  bool seen = false;
+  for (const HttpHeader& h : headers) {
+    if (!iequals(h.name, "Content-Length")) continue;
+    const std::string_view v = h.value;
+    // Strict decimal: nonempty, digits only, short enough to never overflow.
+    if (v.empty() || v.size() > 18 ||
+        !std::all_of(v.begin(), v.end(), [](char c) {
+          return c >= '0' && c <= '9';
+        })) {
+      return RequestError::kBadContentLength;
+    }
+    std::size_t n = 0;
+    for (const char c : v) n = n * 10 + static_cast<std::size_t>(c - '0');
+    if (seen && n != length) return RequestError::kBadContentLength;
+    seen = true;
+    length = n;
+  }
+  if (length > limits.max_body_bytes) return RequestError::kBodyTooLarge;
+  return RequestError::kNone;
+}
+
+}  // namespace
+
+int status_for(RequestError e) noexcept {
+  switch (e) {
+    case RequestError::kNone: return 200;
+    case RequestError::kTimeout: return 408;
+    case RequestError::kRequestLineTooLong: return 414;
+    case RequestError::kMalformedRequestLine: return 400;
+    case RequestError::kUnsupportedVersion: return 505;
+    case RequestError::kHeaderTooLarge: return 431;
+    case RequestError::kTooManyHeaders: return 431;
+    case RequestError::kMalformedHeader: return 400;
+    case RequestError::kBadContentLength: return 400;
+    case RequestError::kUnsupportedEncoding: return 501;
+    case RequestError::kBodyTooLarge: return 413;
+    case RequestError::kIncompleteBody: return 400;
+    case RequestError::kClosed:
+    case RequestError::kReset:
+    case RequestError::kIoError:
+      return 0;  // nobody is listening
+  }
+  return 0;
+}
+
+std::optional<std::string_view> HttpRequest::header(
+    std::string_view name) const noexcept {
+  return find_header(headers, name);
+}
+
+std::optional<std::string_view> HttpRequest::query_param(
+    std::string_view key) const noexcept {
+  for (const std::string_view pair : util::split(query, '&')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (pair == key) return std::string_view{};
+    } else if (pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+bool HttpRequest::keep_alive() const noexcept {
+  if (const auto conn = header("Connection")) {
+    if (iequals(*conn, "close")) return false;
+    if (iequals(*conn, "keep-alive")) return true;
+  }
+  return version_minor >= 1;
+}
+
+struct RequestReader::Impl {
+  LineSource src;
+  HttpLimits limits;
+  Impl(Stream& stream, HttpLimits lim) : src(stream), limits(lim) {}
+};
+
+RequestReader::RequestReader(Stream& stream, HttpLimits limits)
+    : impl_(std::make_unique<Impl>(stream, limits)) {}
+RequestReader::~RequestReader() = default;
+RequestReader::RequestReader(RequestReader&&) noexcept = default;
+RequestReader& RequestReader::operator=(RequestReader&&) noexcept = default;
+
+RequestOutcome RequestReader::next() {
+  RequestOutcome out;
+  HttpRequest& req = out.request;
+  LineSource& src = impl_->src;
+  const HttpLimits& limits = impl_->limits;
+
+  // Request line; a little leading-CRLF tolerance per RFC 9112 §2.2.
+  std::string line;
+  for (int blank = 0;; ++blank) {
+    const RequestError err = src.line(limits.max_request_line, line,
+                                      RequestError::kRequestLineTooLong);
+    if (err != RequestError::kNone) {
+      out.error = err;  // incl. the clean kClosed between keep-alive requests
+      return out;
+    }
+    if (!line.empty()) break;
+    if (blank >= 2) {
+      out.error = RequestError::kMalformedRequestLine;
+      return out;
+    }
+  }
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    out.error = RequestError::kMalformedRequestLine;
+    return out;
+  }
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = std::string_view(line).substr(sp2 + 1);
+  if (!is_token(req.method) || req.target.empty() || req.target[0] != '/') {
+    out.error = RequestError::kMalformedRequestLine;
+    return out;
+  }
+  if (version == "HTTP/1.1") {
+    req.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    req.version_minor = 0;
+  } else if (version.starts_with("HTTP/")) {
+    out.error = RequestError::kUnsupportedVersion;
+    return out;
+  } else {
+    out.error = RequestError::kMalformedRequestLine;
+    return out;
+  }
+  const std::size_t qmark = req.target.find('?');
+  req.path = req.target.substr(0, qmark);
+  req.query =
+      qmark == std::string::npos ? std::string() : req.target.substr(qmark + 1);
+
+  if ((out.error = read_headers(src, limits, req.headers)) !=
+      RequestError::kNone) {
+    return out;
+  }
+  std::size_t length = 0;
+  if ((out.error = body_length(req.headers, limits, length)) !=
+      RequestError::kNone) {
+    return out;
+  }
+  if (length > 0) out.error = src.body(length, req.body);
+  return out;
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 422: return "Unprocessable Content";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+std::string HttpResponse::serialize(bool keep_alive) const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const HttpHeader& h : headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<std::string_view> ResponseOutcome::header(
+    std::string_view name) const noexcept {
+  return find_header(headers, name);
+}
+
+ResponseOutcome read_response(Stream& stream, const HttpLimits& limits) {
+  ResponseOutcome out;
+  LineSource src(stream);
+
+  std::string line;
+  RequestError err = src.line(limits.max_request_line, line,
+                              RequestError::kRequestLineTooLong);
+  if (err != RequestError::kNone) {
+    out.error = err == RequestError::kClosed ? RequestError::kIncompleteBody : err;
+    return out;
+  }
+  // "HTTP/1.x NNN Reason..."
+  const std::size_t sp1 = line.find(' ');
+  if (!line.starts_with("HTTP/1.") || sp1 == std::string::npos ||
+      line.size() < sp1 + 4 || std::isdigit(static_cast<unsigned char>(
+                                   line[sp1 + 1])) == 0 ||
+      std::isdigit(static_cast<unsigned char>(line[sp1 + 2])) == 0 ||
+      std::isdigit(static_cast<unsigned char>(line[sp1 + 3])) == 0) {
+    out.error = RequestError::kMalformedRequestLine;
+    return out;
+  }
+  out.status = (line[sp1 + 1] - '0') * 100 + (line[sp1 + 2] - '0') * 10 +
+               (line[sp1 + 3] - '0');
+
+  if ((out.error = read_headers(src, limits, out.headers)) !=
+      RequestError::kNone) {
+    return out;
+  }
+  std::size_t length = 0;
+  if (find_header(out.headers, "Content-Length").has_value()) {
+    if ((out.error = body_length(out.headers, limits, length)) !=
+        RequestError::kNone) {
+      return out;
+    }
+    if (length > 0) out.error = src.body(length, out.body);
+    return out;
+  }
+  // No framing header: read to EOF, still bounded.
+  for (;;) {
+    const std::size_t take =
+        std::min(limits.max_body_bytes - out.body.size(),
+                 src.buf.size() - src.pos);
+    out.body.append(src.buf, src.pos, take);
+    src.pos += take;
+    if (out.body.size() >= limits.max_body_bytes) {
+      if (src.pending() || src.fill() != RequestError::kClosed) {
+        out.error = RequestError::kBodyTooLarge;
+      }
+      return out;
+    }
+    err = src.fill();
+    if (err == RequestError::kClosed) return out;
+    if (err != RequestError::kNone) {
+      out.error = err;
+      return out;
+    }
+  }
+}
+
+}  // namespace rainshine::net

@@ -1,0 +1,200 @@
+#include "rainshine/net/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "rainshine/net/socket.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Nearest-rank percentile over a SORTED sample; 0 for an empty one.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Per-thread tallies, merged once at the end (no shared mutable state on
+/// the hot path).
+struct ThreadTally {
+  std::uint64_t attempts = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_hits = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t transport_errors = 0;
+  std::vector<double> latencies_us;
+};
+
+}  // namespace
+
+ResponseOutcome request_once(const std::string& host, std::uint16_t port,
+                             const std::string& method,
+                             const std::string& target, std::string_view body,
+                             std::span<const HttpHeader> extra_headers,
+                             std::chrono::milliseconds timeout) {
+  TcpSocket sock = TcpSocket::connect(host, port, timeout);
+  sock.set_read_timeout(timeout);
+  sock.set_write_timeout(timeout);
+
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host + "\r\n";
+  for (const auto& h : extra_headers) {
+    wire += h.name + ": " + h.value + "\r\n";
+  }
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  wire += "Connection: close\r\n\r\n";
+  wire += body;
+  sock.write_all(wire);
+  return read_response(sock);
+}
+
+std::string LoadGenReport::to_json() const {
+  std::string json = "{";
+  json += "\"scheduled\":" + std::to_string(scheduled);
+  json += ",\"attempts\":" + std::to_string(attempts);
+  json += ",\"ok\":" + std::to_string(ok);
+  json += ",\"shed\":" + std::to_string(shed);
+  json += ",\"deadline_hits\":" + std::to_string(deadline_hits);
+  json += ",\"failed\":" + std::to_string(failed);
+  json += ",\"transport_errors\":" + std::to_string(transport_errors);
+  json += ",\"p50_us\":" + json_number(p50_us);
+  json += ",\"p99_us\":" + json_number(p99_us);
+  json += ",\"p999_us\":" + json_number(p999_us);
+  json += ",\"max_us\":" + json_number(max_us);
+  json += ",\"shed_rate\":" + json_number(shed_rate);
+  json += ",\"achieved_rps\":" + json_number(achieved_rps);
+  json += "}";
+  return json;
+}
+
+LoadGenReport run_load(const LoadGenConfig& config) {
+  util::require(config.rps > 0.0, "run_load: rps must be positive");
+  util::require(config.num_threads > 0, "run_load: need at least one thread");
+  util::require(config.duration.count() > 0,
+                "run_load: duration must be positive");
+
+  const double duration_s =
+      std::chrono::duration<double>(config.duration).count();
+  const auto total_ticks = static_cast<std::uint64_t>(
+      std::max(1.0, std::floor(config.rps * duration_s)));
+  const auto tick_interval = std::chrono::duration<double>(1.0 / config.rps);
+
+  std::vector<HttpHeader> headers;
+  if (config.deadline_ms.has_value()) {
+    headers.push_back({"X-Deadline-Ms", std::to_string(*config.deadline_ms)});
+  }
+
+  const auto start = Clock::now();
+  std::vector<ThreadTally> tallies(config.num_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(config.num_threads);
+
+  for (std::size_t t = 0; t < config.num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      ThreadTally& tally = tallies[t];
+      util::Rng rng = util::Rng(config.seed).split(t);
+      // Stripe: thread t owns ticks t, t+T, t+2T, ... — due times are fixed
+      // up front (open loop), independent of how fast responses come back.
+      for (std::uint64_t tick = t; tick < total_ticks;
+           tick += config.num_threads) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        tick_interval * static_cast<double>(tick));
+        std::this_thread::sleep_until(due);
+
+        bool done = false;
+        auto backoff = config.base_backoff;
+        for (int attempt = 0; attempt <= config.max_retries && !done;
+             ++attempt) {
+          if (attempt > 0) {
+            // Capped exponential backoff with full jitter: sleep a uniform
+            // slice of the current cap so synchronized retries de-correlate.
+            const auto jitter_ms = rng.below(
+                static_cast<std::uint64_t>(backoff.count()) + 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(jitter_ms));
+            backoff = std::min(backoff * 2, config.max_backoff);
+          }
+          ++tally.attempts;
+          ResponseOutcome resp;
+          try {
+            resp = request_once(config.host, config.port, "POST", "/score",
+                                config.body, headers, config.io_timeout);
+          } catch (const io_error&) {
+            ++tally.transport_errors;
+            continue;  // retryable
+          }
+          if (!resp.ok()) {
+            ++tally.transport_errors;
+            continue;  // truncated/garbled response: retryable
+          }
+          if (resp.status == 503) {
+            ++tally.shed;
+            continue;  // the retry-after case this generator exists to probe
+          }
+          done = true;
+          if (resp.status == 504) {
+            ++tally.deadline_hits;
+            ++tally.failed;
+          } else if (resp.status >= 200 && resp.status < 300) {
+            ++tally.ok;
+            const auto latency =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - due);
+            tally.latencies_us.push_back(
+                static_cast<double>(latency.count()));
+          } else {
+            ++tally.failed;  // terminal 4xx/5xx: retrying will not help
+          }
+        }
+        if (!done) ++tally.failed;  // retries exhausted
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto wall = std::chrono::duration<double>(Clock::now() - start);
+
+  LoadGenReport report;
+  report.scheduled = total_ticks;
+  std::vector<double> latencies;
+  for (const auto& tally : tallies) {
+    report.attempts += tally.attempts;
+    report.ok += tally.ok;
+    report.shed += tally.shed;
+    report.deadline_hits += tally.deadline_hits;
+    report.failed += tally.failed;
+    report.transport_errors += tally.transport_errors;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(),
+                     tally.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = percentile(latencies, 0.50);
+  report.p99_us = percentile(latencies, 0.99);
+  report.p999_us = percentile(latencies, 0.999);
+  report.max_us = latencies.empty() ? 0.0 : latencies.back();
+  report.shed_rate =
+      report.attempts == 0
+          ? 0.0
+          : static_cast<double>(report.shed) / static_cast<double>(report.attempts);
+  report.achieved_rps = wall.count() <= 0.0
+                            ? 0.0
+                            : static_cast<double>(report.ok) / wall.count();
+  return report;
+}
+
+}  // namespace rainshine::net

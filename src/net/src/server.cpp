@@ -1,0 +1,411 @@
+#include "rainshine/net/server.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "rainshine/obs/export.hpp"
+#include "rainshine/serve/service.hpp"
+#include "rainshine/table/csv.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/strings.hpp"
+
+namespace rainshine::net {
+namespace {
+
+/// Shortest round-trippable rendering of a prediction (matches the CSV
+/// writer's stance: %.17g always round-trips an IEEE double).
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Minimal JSON string escaping for model names and error messages.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+HttpResponse text_response(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  if (!resp.body.empty() && resp.body.back() != '\n') resp.body += '\n';
+  return resp;
+}
+
+HttpResponse method_not_allowed(const char* allow) {
+  HttpResponse resp = text_response(405, "method not allowed");
+  resp.headers.push_back({"Allow", allow});
+  return resp;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::shared_ptr<serve::PredictionService> service,
+                       serve::ModelRegistry* registry, ServerConfig config)
+    : service_(std::move(service)),
+      registry_(registry),
+      config_(std::move(config)),
+      listener_(config_.host, config_.port,
+                static_cast<int>(config_.max_pending_connections)) {
+  util::require(service_ != nullptr, "HttpServer: service must not be null");
+  util::require(config_.num_workers > 0, "HttpServer: need at least one worker");
+  util::require(config_.max_pending_connections > 0,
+                "HttpServer: need a nonzero connection queue");
+
+  auto& reg = obs::registry();
+  obs_.accepted = &reg.counter("net.connections_accepted");
+  obs_.shed = &reg.counter("net.connections_shed");
+  obs_.requests = &reg.counter("net.requests_total");
+  obs_.responses_2xx = &reg.counter("net.responses_2xx");
+  obs_.responses_4xx = &reg.counter("net.responses_4xx");
+  obs_.responses_5xx = &reg.counter("net.responses_5xx");
+  obs_.parse_errors = &reg.counter("net.parse_errors");
+  obs_.score_shed = &reg.counter("net.score_shed");
+  obs_.deadline_exceeded = &reg.counter("net.deadline_exceeded");
+  obs_.io_errors = &reg.counter("net.io_errors");
+  obs_.queue_depth = &reg.gauge("net.queue_depth");
+  obs_.draining = &reg.gauge("net.draining");
+  obs_.request_us = &reg.histogram("net.request_us");
+  obs_.draining->set(0.0);
+
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() {
+  request_drain();
+  wait();
+}
+
+void HttpServer::request_drain() noexcept {
+  // Async-signal-safe: one lock-free atomic store, one relaxed store into the
+  // gauge, one write(2) on the self-pipe. No locks, no allocation.
+  draining_.store(true, std::memory_order_release);
+  obs_.draining->set(1.0);
+  listener_.interrupt();
+}
+
+void HttpServer::wait() {
+  const std::lock_guard<std::mutex> lock(join_mutex_);
+  if (joined_) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  joined_ = true;
+}
+
+void HttpServer::accept_loop() {
+  while (auto sock = listener_.accept()) {
+    obs_.accepted->add();
+    bool shed = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.size() >= config_.max_pending_connections) {
+        shed = true;
+      } else {
+        pending_.push_back(std::move(*sock));
+        obs_.queue_depth->set(static_cast<double>(pending_.size()));
+      }
+    }
+    if (shed) {
+      // Load shedding: tell the client to back off, bounded by a short write
+      // timeout so a stalled peer cannot stall the acceptor. Orderly close
+      // (FIN), not abort (RST) — an RST can flush the peer's receive queue
+      // before it reads the 503, and a shed client that never sees
+      // Retry-After retries immediately, which is the opposite of shedding.
+      obs_.shed->add();
+      try {
+        sock->set_write_timeout(std::chrono::milliseconds(100));
+        sock->write_all(shed_response().serialize(false));
+      } catch (const io_error&) {
+        // Best effort only; the close below still frees the acceptor.
+      }
+      sock->close();
+    } else {
+      work_ready_.notify_one();
+    }
+  }
+  // accept() returned nullopt: drain was requested. Close the listener —
+  // interrupt() only woke us; while the fd stays open the kernel keeps
+  // completing handshakes into the backlog, and those peers would hang.
+  // Then tell the workers the queue will never grow again so they can exit
+  // once it empties.
+  listener_.close();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    accept_done_ = true;
+  }
+  work_ready_.notify_all();
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    TcpSocket sock;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return accept_done_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // accept_done_ && nothing left: drained
+      sock = std::move(pending_.front());
+      pending_.pop_front();
+      obs_.queue_depth->set(static_cast<double>(pending_.size()));
+    }
+    serve_connection(std::move(sock));
+  }
+}
+
+void HttpServer::serve_connection(TcpSocket sock) {
+  try {
+    sock.set_read_timeout(config_.read_timeout);
+    sock.set_write_timeout(config_.write_timeout);
+  } catch (const io_error&) {
+    obs_.io_errors->add();
+    return;
+  }
+  RequestReader reader(sock, config_.limits);
+  for (;;) {
+    const RequestOutcome outcome = reader.next();
+    if (!outcome.ok()) {
+      if (outcome.error == RequestError::kClosed) return;  // clean keep-alive end
+      obs_.parse_errors->add();
+      const int status = status_for(outcome.error);
+      if (status == 0) {
+        // Transport already broke (reset / hard I/O error): nothing to say.
+        obs_.io_errors->add();
+        return;
+      }
+      HttpResponse resp =
+          text_response(status, std::string(to_string(outcome.error)));
+      if (status == 503) resp.headers.push_back(
+          {"Retry-After", std::to_string(config_.retry_after_seconds)});
+      try {
+        sock.write_all(resp.serialize(false));
+      } catch (const io_error&) {
+        obs_.io_errors->add();
+      }
+      return;  // parse errors always close: the stream may be desynchronized
+    }
+
+    obs_.requests->add();
+    const auto start = std::chrono::steady_clock::now();
+    HttpResponse resp;
+    try {
+      resp = route(outcome.request);
+    } catch (const std::exception& e) {
+      resp = text_response(500, std::string("internal error: ") + e.what());
+    }
+    if (resp.status >= 500) {
+      obs_.responses_5xx->add();
+    } else if (resp.status >= 400) {
+      obs_.responses_4xx->add();
+    } else {
+      obs_.responses_2xx->add();
+    }
+
+    // A drain that lands mid-request still answers that request — with
+    // Connection: close so the client reconnects elsewhere.
+    const bool keep = outcome.request.keep_alive() && !draining();
+    try {
+      sock.write_all(resp.serialize(keep));
+    } catch (const io_error&) {
+      obs_.io_errors->add();
+      return;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    obs_.request_us->observe(static_cast<double>(elapsed.count()));
+    if (!keep) return;
+  }
+}
+
+HttpResponse HttpServer::route(const HttpRequest& req) {
+  if (req.path == "/score") {
+    if (req.method != "POST") return method_not_allowed("POST");
+    return handle_score(req);
+  }
+  if (req.path == "/models") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    return handle_models();
+  }
+  if (req.path == "/metrics") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    return handle_metrics(req);
+  }
+  if (req.path == "/healthz") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    return text_response(200, draining() ? "draining" : "ok");
+  }
+  return text_response(404, "not found");
+}
+
+HttpResponse HttpServer::handle_score(const HttpRequest& req) {
+  // Per-request deadline: client's X-Deadline-Ms (capped at max_deadline) or
+  // the configured default. 0 disables — the client accepts any wait.
+  auto budget = config_.default_deadline;
+  if (const auto hdr = req.header("X-Deadline-Ms")) {
+    long long ms = 0;
+    if (!util::parse_int(util::trim(*hdr), ms) || ms < 0) {
+      return text_response(400, "bad X-Deadline-Ms: expected nonnegative integer");
+    }
+    budget = std::min(std::chrono::milliseconds(ms), config_.max_deadline);
+  }
+  serve::Deadline deadline;
+  if (budget.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + budget;
+  }
+
+  if (req.body.empty()) return text_response(400, "empty body: expected CSV rows");
+
+  table::Table rows;
+  try {
+    std::istringstream in(req.body);
+    rows = table::read_csv(in);
+  } catch (const std::exception& e) {
+    return text_response(400, std::string("bad CSV: ") + e.what());
+  }
+  if (rows.num_rows() == 0) return text_response(400, "no data rows in body");
+
+  const auto& meta = service_->model();
+  const auto issues = serve::schema_issues(rows, meta.schema);
+  if (!issues.empty()) {
+    std::string body = "schema mismatch:";
+    for (const auto& issue : issues) body += "\n  " + issue;
+    return text_response(422, std::move(body));
+  }
+
+  std::optional<std::future<std::vector<double>>> fut;
+  try {
+    fut = service_->try_submit(rows, deadline);
+  } catch (const util::precondition_error& e) {
+    return text_response(422, std::string("schema mismatch: ") + e.what());
+  }
+  if (!fut) {
+    // Scoring-queue backpressure: same shedding contract as the connection
+    // queue — an honest 503 now beats an unbounded wait.
+    obs_.score_shed->add();
+    HttpResponse resp = text_response(503, "scoring queue full, retry later");
+    resp.headers.push_back(
+        {"Retry-After", std::to_string(config_.retry_after_seconds)});
+    return resp;
+  }
+
+  std::vector<double> predictions;
+  try {
+    predictions = fut->get();
+  } catch (const serve::deadline_exceeded_error&) {
+    obs_.deadline_exceeded->add();
+    return text_response(504, "deadline exceeded before scoring completed");
+  } catch (const serve::service_stopped_error&) {
+    HttpResponse resp = text_response(503, "service stopping");
+    resp.headers.push_back(
+        {"Retry-After", std::to_string(config_.retry_after_seconds)});
+    return resp;
+  } catch (const std::exception& e) {
+    return text_response(500, std::string("scoring failed: ") + e.what());
+  }
+
+  std::string body = "prediction\n";
+  const bool classify = meta.task == cart::Task::kClassification &&
+                        !meta.class_labels.empty();
+  for (const double p : predictions) {
+    if (classify) {
+      const auto code = static_cast<std::size_t>(p);
+      body += code < meta.class_labels.size() ? meta.class_labels[code]
+                                              : format_double(p);
+    } else {
+      body += format_double(p);
+    }
+    body += '\n';
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "text/csv; charset=utf-8";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpServer::handle_models() const {
+  const auto& meta = service_->model();
+  std::string json = "{\"schema\":\"rainshine.models.v1\",";
+  json += "\"draining\":";
+  json += draining() ? "true" : "false";
+  json += ",\"serving\":{\"name\":\"" + json_escape(meta.name) + "\"";
+  json += ",\"version\":" + std::to_string(meta.version);
+  json += ",\"task\":\"";
+  json += meta.task == cart::Task::kClassification ? "classification"
+                                                   : "regression";
+  json += "\",\"oob_error\":" + format_double(meta.oob_error) + "}";
+  json += ",\"registered\":[";
+  if (registry_ != nullptr) {
+    bool first = true;
+    for (const auto& key : registry_->list()) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"name\":\"" + json_escape(key.name) + "\"";
+      json += ",\"version\":" + std::to_string(key.version);
+      json += ",\"serving\":";
+      json += (key.name == meta.name && key.version == meta.version) ? "true"
+                                                                     : "false";
+      json += '}';
+    }
+  }
+  json += "]}";
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = std::move(json);
+  return resp;
+}
+
+HttpResponse HttpServer::handle_metrics(const HttpRequest& req) const {
+  const auto snap = obs::registry().snapshot();
+  HttpResponse resp;
+  const auto format = req.query_param("format").value_or("text");
+  if (format == "json") {
+    resp.content_type = "application/json";
+    resp.body = obs::to_json(snap);
+  } else if (format == "csv") {
+    resp.content_type = "text/csv; charset=utf-8";
+    resp.body = obs::to_csv(snap);
+  } else if (format == "text") {
+    resp.body = obs::to_text(snap);
+  } else {
+    return text_response(400, "unknown format: expected text, json, or csv");
+  }
+  return resp;
+}
+
+HttpResponse HttpServer::shed_response() const {
+  HttpResponse resp = text_response(503, "server overloaded, retry later");
+  resp.headers.push_back(
+      {"Retry-After", std::to_string(config_.retry_after_seconds)});
+  return resp;
+}
+
+}  // namespace rainshine::net

@@ -1,0 +1,241 @@
+#include "rainshine/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(IoStatus status, const std::string& what) {
+  throw io_error(status, what + ": " + std::strerror(errno));
+}
+
+/// Maps an I/O errno to the typed status the caller should see.
+IoStatus classify(int err) noexcept {
+  switch (err) {
+    case ECONNRESET:
+    case EPIPE:
+      return IoStatus::kReset;
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ETIMEDOUT:
+      return IoStatus::kTimeout;
+    default:
+      return IoStatus::kError;
+  }
+}
+
+void set_timeout_option(int fd, int option, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv) != 0) {
+    throw_errno(IoStatus::kError, "setsockopt(timeout)");
+  }
+}
+
+sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  util::require(::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) == 1,
+                "not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port,
+                             std::chrono::milliseconds timeout) {
+  const sockaddr_in addr = make_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno(IoStatus::kError, "socket");
+  TcpSocket sock(fd);  // owns the fd from here on; error paths auto-close
+
+  // Non-blocking connect + poll: SO_SNDTIMEO does not bound connect(2)
+  // portably, and an unbounded connect would hand a hostile network a whole
+  // client thread.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno(IoStatus::kError, "fcntl(O_NONBLOCK)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) throw_errno(classify(errno), "connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready == 0) throw io_error(IoStatus::kTimeout, "connect timed out");
+    if (ready < 0) throw_errno(IoStatus::kError, "poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno(IoStatus::kError, "getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      throw_errno(classify(err), "connect");
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    throw_errno(IoStatus::kError, "fcntl(restore flags)");
+  }
+  return sock;
+}
+
+void TcpSocket::set_read_timeout(std::chrono::milliseconds timeout) {
+  util::require(valid(), "set_read_timeout on an invalid socket");
+  set_timeout_option(fd_, SO_RCVTIMEO, timeout);
+}
+
+void TcpSocket::set_write_timeout(std::chrono::milliseconds timeout) {
+  util::require(valid(), "set_write_timeout on an invalid socket");
+  set_timeout_option(fd_, SO_SNDTIMEO, timeout);
+}
+
+std::size_t TcpSocket::read_some(std::span<char> buf) {
+  if (!valid()) throw io_error(IoStatus::kClosed, "read on a closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly EOF
+    if (errno == EINTR) continue;
+    throw_errno(classify(errno), "recv");
+  }
+}
+
+std::size_t TcpSocket::write_some(std::span<const char> buf) {
+  if (!valid()) throw io_error(IoStatus::kClosed, "write on a closed socket");
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that already closed must be a typed error in this
+    // thread, not a SIGPIPE for the whole process.
+    const ssize_t n = ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno(classify(errno), "send");
+  }
+}
+
+void TcpSocket::abort() noexcept {
+  if (!valid()) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;  // close() now sends RST instead of FIN
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  close();
+}
+
+void TcpSocket::close() noexcept {
+  if (!valid()) return;
+  (void)::close(fd_);
+  fd_ = -1;
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port,
+                         int backlog) {
+  sockaddr_in addr = make_address(host, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno(IoStatus::kError, "socket(listener)");
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    (void)::close(fd_);
+    errno = err;
+    throw_errno(IoStatus::kError, "bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const int err = errno;
+    (void)::close(fd_);
+    errno = err;
+    throw_errno(IoStatus::kError, "listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    (void)::close(fd_);
+    errno = err;
+    throw_errno(IoStatus::kError, "getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    const int err = errno;
+    (void)::close(fd_);
+    errno = err;
+    throw_errno(IoStatus::kError, "pipe(self-wake)");
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) (void)::close(fd_);
+  if (wake_rd_ >= 0) (void)::close(wake_rd_);
+  if (wake_wr_ >= 0) (void)::close(wake_wr_);
+}
+
+std::optional<TcpSocket> TcpListener::accept() {
+  for (;;) {
+    pollfd pfds[2] = {{fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(IoStatus::kError, "poll(accept)");
+    }
+    // Drain wakeups AFTER checking for a pending connection would race a
+    // shed decision; drain takes priority — once interrupted, no further
+    // connection is ever handed out (the listener is closing).
+    if ((pfds[1].revents & POLLIN) != 0) return std::nullopt;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(fd);
+    // The peer can vanish between SYN and accept (ECONNABORTED); transient
+    // resource pressure (EMFILE etc.) also must not kill the acceptor.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EMFILE || errno == ENFILE) {
+      continue;
+    }
+    throw_errno(IoStatus::kError, "accept");
+  }
+}
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpListener::interrupt() noexcept {
+  // Async-signal-safe: write(2) only. The byte is never drained; the
+  // poll in accept() sees POLLIN forever, which is exactly the semantics
+  // "interrupted once, interrupted for good" that drain wants.
+  const char byte = 1;
+  (void)!::write(wake_wr_, &byte, 1);
+}
+
+}  // namespace rainshine::net

@@ -70,6 +70,19 @@ class service_stopped_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A request's deadline expired before it was scored — on arrival (refused
+/// before enqueueing, never admitted) or while it waited in the queue
+/// (admitted but failed instead of scored). Either way the caller's latency
+/// budget is already spent; scoring it would waste a batch slot on an answer
+/// nobody is waiting for. The network front-end maps this to 504.
+class deadline_exceeded_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Absolute per-request deadline; nullopt = no deadline (the default).
+using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
 struct ServiceConfig {
   /// Flush the pending batch once this many rows are queued.
   std::size_t max_batch_rows = 256;
@@ -91,6 +104,10 @@ struct ServiceStats {
   std::uint64_t requests_stopped = 0;   ///< raced shutdown; service_stopped_error
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_failed = 0;    ///< scoring threw; error in the future
+  /// Deadline expired before scoring (on arrival or in the queue); future
+  /// fails with deadline_exceeded_error. Never overlaps requests_completed,
+  /// so `latency_us count == requests_completed` stays an invariant.
+  std::uint64_t requests_deadline_exceeded = 0;
   std::uint64_t oversize_admitted = 0;  ///< single request > max_queue_rows
   std::uint64_t rows_scored = 0;
   std::uint64_t batches_flushed = 0;
@@ -133,14 +150,23 @@ class PredictionService {
   /// prediction per row (regression values or class codes; see
   /// class_labels() to render the latter). If the service stops while this
   /// call is blocked, the returned future fails with service_stopped_error.
-  [[nodiscard]] std::future<std::vector<double>> submit(const table::Table& rows);
+  ///
+  /// `deadline` bounds the request end-to-end: already-expired requests are
+  /// refused before enqueueing (counted, never scored), a submit blocked on
+  /// backpressure gives up when the deadline passes, and a request whose
+  /// deadline lapses while queued is failed instead of scored. All three
+  /// fail the future with deadline_exceeded_error and tick
+  /// requests_deadline_exceeded.
+  [[nodiscard]] std::future<std::vector<double>> submit(
+      const table::Table& rows, Deadline deadline = std::nullopt);
 
   /// Non-blocking admission: nullopt (and a rejected tick) when the queue
   /// is full. Schema mismatches still throw. A call racing shutdown returns
-  /// a future failed with service_stopped_error (not nullopt — the refusal
-  /// is permanent, not backpressure).
+  /// a future failed with service_stopped_error, and one arriving past its
+  /// deadline a future failed with deadline_exceeded_error (not nullopt —
+  /// those refusals are permanent, not backpressure).
   [[nodiscard]] std::optional<std::future<std::vector<double>>> try_submit(
-      const table::Table& rows);
+      const table::Table& rows, Deadline deadline = std::nullopt);
 
   /// submit() + wait: scores `rows` synchronously through the batch path.
   [[nodiscard]] std::vector<double> score(const table::Table& rows);
@@ -158,11 +184,12 @@ class PredictionService {
     std::promise<std::vector<double>> result;
     std::chrono::steady_clock::time_point enqueued;
     std::uint64_t sequence = 0;
+    Deadline deadline;
   };
 
   /// Why enqueue() returned: scored-eventually, backpressure refusal, or a
-  /// future pre-failed with service_stopped_error.
-  enum class Admission { kAdmitted, kRejected, kStopped };
+  /// future pre-failed with service_stopped_error / deadline_exceeded_error.
+  enum class Admission { kAdmitted, kRejected, kStopped, kDeadlineExpired };
 
   /// Stable handles into obs::registry(), resolved once at construction so
   /// the hot path never takes the registry's registration lock.
@@ -172,6 +199,7 @@ class PredictionService {
     obs::Counter* stopped = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* failed = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* rows_scored = nullptr;
     obs::Counter* batches = nullptr;
     obs::Counter* full_flushes = nullptr;
@@ -183,7 +211,7 @@ class PredictionService {
   };
 
   std::future<std::vector<double>> enqueue(const table::Table& rows, bool blocking,
-                                           Admission& outcome);
+                                           Admission& outcome, Deadline deadline);
   void run();
   void score_batch(std::vector<Request> batch, bool deadline_flush);
 

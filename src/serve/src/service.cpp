@@ -19,12 +19,14 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
 std::string ServiceStats::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "%llu req (%llu rejected, %llu failed), %llu rows in %llu "
+                "%llu req (%llu rejected, %llu failed, %llu expired), "
+                "%llu rows in %llu "
                 "batches (%llu full, %llu deadline), peak queue %llu rows, "
                 "latency mean %.1fus max %lluus",
                 static_cast<unsigned long long>(requests_admitted),
                 static_cast<unsigned long long>(requests_rejected),
                 static_cast<unsigned long long>(requests_failed),
+                static_cast<unsigned long long>(requests_deadline_exceeded),
                 static_cast<unsigned long long>(rows_scored),
                 static_cast<unsigned long long>(batches_flushed),
                 static_cast<unsigned long long>(full_flushes),
@@ -50,6 +52,7 @@ PredictionService::PredictionService(ModelArtifact artifact, ServiceConfig confi
   obs_.stopped = &reg.counter("serve.requests_stopped");
   obs_.completed = &reg.counter("serve.requests_completed");
   obs_.failed = &reg.counter("serve.requests_failed");
+  obs_.deadline_exceeded = &reg.counter("serve.deadline_exceeded");
   obs_.rows_scored = &reg.counter("serve.rows_scored");
   obs_.batches = &reg.counter("serve.batches_flushed");
   obs_.full_flushes = &reg.counter("serve.full_flushes");
@@ -77,15 +80,33 @@ PredictionService::~PredictionService() {
 }
 
 std::future<std::vector<double>> PredictionService::enqueue(
-    const table::Table& rows, bool blocking, Admission& outcome) {
+    const table::Table& rows, bool blocking, Admission& outcome,
+    Deadline deadline) {
   // Schema validation and dictionary re-encode happen here, in the caller's
   // thread: a bad table throws before touching the queue, and the dispatcher
   // only ever sees scoreable Datasets.
-  Request req{make_scoring_dataset(rows, meta_.schema), {}, {}, 0};
+  Request req{make_scoring_dataset(rows, meta_.schema), {}, {}, 0, deadline};
   const std::size_t n = req.rows.num_rows();
   std::future<std::vector<double>> future = req.result.get_future();
 
+  const auto expired = [&] {
+    return deadline.has_value() && std::chrono::steady_clock::now() >= *deadline;
+  };
+  const auto fail_expired = [&](std::unique_lock<std::mutex>& lock) {
+    // An already-dead request must never consume a queue slot or a batch
+    // slot: count it (under the lock, so snapshots stay consistent), fail
+    // the caller-held future, and keep latency_us count == completed.
+    ++stats_.requests_deadline_exceeded;
+    obs_.deadline_exceeded->add();
+    outcome = Admission::kDeadlineExpired;
+    lock.unlock();
+    req.result.set_exception(std::make_exception_ptr(deadline_exceeded_error(
+        "request deadline expired before the service could admit it")));
+    return std::move(future);
+  };
+
   std::unique_lock lock(mutex_);
+  if (!stop_ && expired()) return fail_expired(lock);
   const auto has_room = [&] {
     return pending_rows_ == 0 || pending_rows_ + n <= config_.max_queue_rows;
   };
@@ -100,10 +121,19 @@ std::future<std::vector<double>> PredictionService::enqueue(
     // mutex/cv while we are inside (or on our way out of) this block.
     ++blocked_enqueues_;
     stats_.blocked_submits = blocked_enqueues_;
-    space_free_.wait(lock, [&] { return stop_ || has_room(); });
+    bool admitted_in_time = true;
+    if (deadline.has_value()) {
+      // Backpressure respects the deadline: parking a caller past the moment
+      // its answer stopped mattering just converts overload into zombies.
+      admitted_in_time =
+          space_free_.wait_until(lock, *deadline, [&] { return stop_ || has_room(); });
+    } else {
+      space_free_.wait(lock, [&] { return stop_ || has_room(); });
+    }
     --blocked_enqueues_;
     stats_.blocked_submits = blocked_enqueues_;
     if (blocked_enqueues_ == 0) idle_.notify_all();  // under lock: cv outlives us
+    if (!stop_ && !admitted_in_time) return fail_expired(lock);
   }
   if (stop_) {
     // Shutdown raced this submission. The promise is still local to this
@@ -145,17 +175,19 @@ std::future<std::vector<double>> PredictionService::enqueue(
   return future;
 }
 
-std::future<std::vector<double>> PredictionService::submit(const table::Table& rows) {
+std::future<std::vector<double>> PredictionService::submit(const table::Table& rows,
+                                                           Deadline deadline) {
   Admission outcome = Admission::kRejected;
-  return enqueue(rows, /*blocking=*/true, outcome);
+  return enqueue(rows, /*blocking=*/true, outcome, deadline);
 }
 
 std::optional<std::future<std::vector<double>>> PredictionService::try_submit(
-    const table::Table& rows) {
+    const table::Table& rows, Deadline deadline) {
   Admission outcome = Admission::kRejected;
-  auto future = enqueue(rows, /*blocking=*/false, outcome);
+  auto future = enqueue(rows, /*blocking=*/false, outcome, deadline);
   // Backpressure is the only nullopt: it invites a retry. A stopped service
-  // hands back the pre-failed future — retrying here can never succeed.
+  // or an expired deadline hands back the pre-failed future — retrying those
+  // here can never succeed.
   if (outcome == Admission::kRejected) return std::nullopt;
   return future;
 }
@@ -233,13 +265,24 @@ void PredictionService::score_batch(std::vector<Request> batch,
     const std::size_t n = req.rows.num_rows();
     std::vector<double> result;
     std::exception_ptr error;
-    try {
-      // Forest::predict fans the rows across the shared pool; its output is
-      // bit-identical at any thread count and does not depend on what else
-      // is in the batch, so batching is pure scheduling.
-      result = forest_->predict(req.rows);
-    } catch (...) {
-      error = std::current_exception();
+    // A request whose deadline lapsed while it waited in the queue is failed,
+    // not scored: the caller's budget is spent, and under overload the batch
+    // slot is better given to a request someone is still waiting for.
+    const bool expired =
+        req.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= *req.deadline;
+    if (expired) {
+      error = std::make_exception_ptr(deadline_exceeded_error(
+          "request deadline expired while queued; not scored"));
+    } else {
+      try {
+        // Forest::predict fans the rows across the shared pool; its output is
+        // bit-identical at any thread count and does not depend on what else
+        // is in the batch, so batching is pure scheduling.
+        result = forest_->predict(req.rows);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     const std::uint64_t latency = elapsed_us(req.enqueued);
     {
@@ -249,7 +292,10 @@ void PredictionService::score_batch(std::vector<Request> batch,
       // so snapshot consistency (histogram count == completed counter) holds
       // for the registry too.
       std::lock_guard lock(mutex_);
-      if (error == nullptr) {
+      if (expired) {
+        ++stats_.requests_deadline_exceeded;
+        obs_.deadline_exceeded->add();
+      } else if (error == nullptr) {
         ++stats_.requests_completed;
         stats_.rows_scored += n;
         stats_.total_latency_us += latency;

@@ -1,0 +1,137 @@
+// FaultySocket: the chaos layer must be deterministic (same seed, same
+// faults), transparent when the plan is empty, and honest in its log — a
+// chaos test that asserts "the reset really happened" needs the log to be
+// trustworthy.
+#include "rainshine/net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rainshine/net/http.hpp"
+#include "rainshine/net/stream.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::net {
+namespace {
+
+const std::string kWire =
+    "POST /score HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+
+TEST(FaultySocket, EmptyPlanIsTransparentPassThrough) {
+  FaultySocket sock(std::make_unique<MemoryStream>(kWire), FaultPlan{});
+  RequestReader reader(sock);
+  const auto out = reader.next();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.request.body, "0123456789");
+  EXPECT_EQ(sock.log().resets, 0u);
+  EXPECT_EQ(sock.log().disconnects, 0u);
+  EXPECT_EQ(sock.log().stalls, 0u);
+  EXPECT_EQ(sock.log().short_ops, 0u);
+
+  sock.write_all("HTTP/1.1 200 OK\r\n");
+  EXPECT_EQ(dynamic_cast<MemoryStream&>(sock.inner()).written(),
+            "HTTP/1.1 200 OK\r\n");
+}
+
+TEST(FaultySocket, CertainResetFiresOnFirstOpThenStaysDown) {
+  FaultPlan plan;
+  plan.reset_prob = 1.0;
+  FaultySocket sock(std::make_unique<MemoryStream>(kWire), plan);
+  char buf[16];
+  try {
+    (void)sock.read_some(buf);
+    FAIL() << "expected injected reset";
+  } catch (const io_error& e) {
+    EXPECT_EQ(e.status(), IoStatus::kReset);
+  }
+  EXPECT_EQ(sock.log().resets, 1u);
+  // The connection is gone: every later op reports closed, not a new reset.
+  try {
+    (void)sock.write_some(std::span<const char>(buf, 4));
+    FAIL() << "expected closed after reset";
+  } catch (const io_error& e) {
+    EXPECT_EQ(e.status(), IoStatus::kClosed);
+  }
+  EXPECT_EQ(sock.log().resets, 1u);
+}
+
+TEST(FaultySocket, CertainDisconnectIsOrderlyClosed) {
+  FaultPlan plan;
+  plan.disconnect_prob = 1.0;
+  FaultySocket sock(std::make_unique<MemoryStream>(kWire), plan);
+  char buf[16];
+  try {
+    (void)sock.read_some(buf);
+    FAIL() << "expected injected disconnect";
+  } catch (const io_error& e) {
+    EXPECT_EQ(e.status(), IoStatus::kClosed);
+  }
+  EXPECT_EQ(sock.log().disconnects, 1u);
+}
+
+TEST(FaultySocket, FragmentationStillParsesAndIsLogged) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.max_chunk = 3;
+  FaultySocket sock(std::make_unique<MemoryStream>(kWire), plan);
+  RequestReader reader(sock);
+  const auto out = reader.next();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.request.body, "0123456789");
+  EXPECT_GT(sock.log().short_ops, 0u);
+}
+
+TEST(FaultySocket, SameSeedSameFaults) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.reset_prob = 0.2;
+  plan.disconnect_prob = 0.1;
+  plan.max_chunk = 4;
+
+  const auto run = [&plan] {
+    FaultySocket sock(std::make_unique<MemoryStream>(kWire), plan);
+    RequestReader reader(sock);
+    RequestError error = RequestError::kNone;
+    error = reader.next().error;
+    return std::pair(error, sock.log());
+  };
+  const auto [err_a, log_a] = run();
+  const auto [err_b, log_b] = run();
+  EXPECT_EQ(err_a, err_b);
+  EXPECT_EQ(log_a.resets, log_b.resets);
+  EXPECT_EQ(log_a.disconnects, log_b.disconnects);
+  EXPECT_EQ(log_a.short_ops, log_b.short_ops);
+}
+
+TEST(FaultySocket, DifferentSeedsEventuallyDiffer) {
+  FaultPlan plan;
+  plan.reset_prob = 0.3;
+  plan.max_chunk = 2;
+  bool differed = false;
+  FaultLog first_log;
+  for (std::uint64_t seed = 0; seed < 16 && !differed; ++seed) {
+    plan.seed = seed;
+    FaultySocket sock(std::make_unique<MemoryStream>(kWire), plan);
+    RequestReader reader(sock);
+    (void)reader.next();
+    if (seed == 0) {
+      first_log = sock.log();
+    } else if (sock.log().resets != first_log.resets ||
+               sock.log().short_ops != first_log.short_ops) {
+      differed = true;
+    }
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(FaultySocket, RejectsNullInnerAndZeroChunk) {
+  EXPECT_THROW(FaultySocket(nullptr, FaultPlan{}), util::precondition_error);
+  FaultPlan plan;
+  plan.max_chunk = 0;
+  EXPECT_THROW(FaultySocket(std::make_unique<MemoryStream>(""), plan),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::net

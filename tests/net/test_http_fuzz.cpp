@@ -1,0 +1,161 @@
+// Every-byte fuzz of the HTTP parser, in the same style as the .rsf
+// artifact corruption suite: take canonical valid messages, then (a)
+// truncate at every byte offset, (b) mutate every byte through several
+// corruptions, (c) feed seeded random garbage — and hold the parser to its
+// contract: a typed RequestError or a valid parse, never a crash, hang, or
+// allocation beyond the configured limits. Run under ASan/UBSan this is the
+// memory-safety proof for the wire layer; the tiny HttpLimits keep the
+// worst-case allocation per parse bounded.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rainshine/net/http.hpp"
+#include "rainshine/net/stream.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::net {
+namespace {
+
+/// Small ceilings so 10k+ hostile parses stay cheap and allocation-bounded.
+HttpLimits fuzz_limits() {
+  HttpLimits limits;
+  limits.max_request_line = 256;
+  limits.max_header_bytes = 512;
+  limits.max_headers = 8;
+  limits.max_body_bytes = 4096;
+  return limits;
+}
+
+/// Parses hostile bytes and asserts only the contract: outcome is typed and
+/// status_for yields a sane code. Returns the outcome for extra checks.
+RequestOutcome must_not_crash(std::string wire, std::size_t chunk = SIZE_MAX) {
+  MemoryStream stream(std::move(wire), chunk);
+  RequestReader reader(stream, fuzz_limits());
+  const RequestOutcome out = reader.next();
+  const int status = status_for(out.error);
+  EXPECT_TRUE(status == 0 || status == 200 || (status >= 400 && status < 600));
+  if (out.ok()) {
+    EXPECT_LE(out.request.headers.size(), fuzz_limits().max_headers);
+    EXPECT_LE(out.request.body.size(), fuzz_limits().max_body_bytes);
+  }
+  return out;
+}
+
+const std::string& canonical_request() {
+  static const std::string wire =
+      "POST /score?format=csv HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "X-Deadline-Ms: 250\r\n"
+      "Content-Length: 25\r\n"
+      "\r\n"
+      "x,dc\n1.5,DC1\n2.25,DC2\n3,X";
+  return wire;
+}
+
+TEST(HttpFuzz, CanonicalRequestParsesBeforeWeBreakIt) {
+  const auto out = must_not_crash(canonical_request());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.request.body.size(), 25u);
+}
+
+TEST(HttpFuzz, EveryTruncationIsTypedNeverFatal) {
+  const std::string& wire = canonical_request();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto out = must_not_crash(wire.substr(0, cut));
+    // A prefix of a Content-Length-framed request can never be complete.
+    EXPECT_FALSE(out.ok()) << "truncation at byte " << cut;
+  }
+}
+
+TEST(HttpFuzz, EveryTruncationSurvivesOneByteReads) {
+  const std::string& wire = canonical_request();
+  // Chunked delivery stresses the buffered-line compaction paths; stride 3
+  // keeps the quadratic cost in check without losing offset coverage.
+  for (std::size_t cut = 0; cut < wire.size(); cut += 3) {
+    EXPECT_FALSE(must_not_crash(wire.substr(0, cut), 1).ok());
+  }
+}
+
+TEST(HttpFuzz, EveryByteMutationIsTypedNeverFatal) {
+  const std::string& wire = canonical_request();
+  const unsigned char corruptions[] = {0x00, 0xff, 0x20, 0x0a};
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    for (const unsigned char c : corruptions) {
+      std::string mutated = wire;
+      mutated[pos] = static_cast<char>(c);
+      if (mutated == wire) continue;
+      must_not_crash(std::move(mutated));
+    }
+    // Bit flip, the classic single-event upset.
+    std::string flipped = wire;
+    flipped[pos] = static_cast<char>(
+        static_cast<unsigned char>(flipped[pos]) ^ 0x10u);
+    must_not_crash(std::move(flipped));
+  }
+}
+
+TEST(HttpFuzz, SeededRandomGarbageIsTypedNeverFatal) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t len = rng.below(600);
+    std::string wire(len, '\0');
+    for (char& c : wire) c = static_cast<char>(rng.below(256));
+    must_not_crash(std::move(wire));
+  }
+}
+
+TEST(HttpFuzz, RandomlyCorruptedValidRequestsNeverFatal) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string wire = canonical_request();
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      wire[rng.below(wire.size())] = static_cast<char>(rng.below(256));
+    }
+    must_not_crash(std::move(wire), 1 + rng.below(16));
+  }
+}
+
+TEST(HttpFuzz, HostileVolumeIsBoundedByLimits) {
+  // A request line that never ends must fail at the cap, not buffer forever.
+  EXPECT_EQ(must_not_crash("GET /" + std::string(100000, 'a')).error,
+            RequestError::kRequestLineTooLong);
+  // Unbounded header spray must fail at the byte or count cap.
+  std::string headers = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 1000; ++i) {
+    headers += "H" + std::to_string(i) + ": v\r\n";
+  }
+  const auto out = must_not_crash(std::move(headers));
+  EXPECT_TRUE(out.error == RequestError::kTooManyHeaders ||
+              out.error == RequestError::kHeaderTooLarge);
+  // A Content-Length the limits refuse must be rejected without the body
+  // ever being read or reserved.
+  EXPECT_EQ(must_not_crash("POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+                .error,
+            RequestError::kBodyTooLarge);
+}
+
+TEST(HttpFuzz, ResponseParserSurvivesTruncationAndMutation) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.headers.push_back({"Retry-After", "1"});
+  resp.body = "prediction\n1.25\n2.5\n";
+  const std::string wire = resp.serialize(false);
+
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    MemoryStream stream(wire.substr(0, cut));
+    const auto out = read_response(stream, fuzz_limits());
+    EXPECT_FALSE(out.ok()) << "truncation at byte " << cut;
+  }
+  util::Rng rng(99);
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    std::string mutated = wire;
+    mutated[pos] = static_cast<char>(rng.below(256));
+    MemoryStream stream(std::move(mutated));
+    (void)read_response(stream, fuzz_limits());  // typed or ok; never fatal
+  }
+}
+
+}  // namespace
+}  // namespace rainshine::net

@@ -1,0 +1,251 @@
+// HTTP/1.1 parser contract: correct parses for well-formed traffic, a typed
+// RequestError (never a crash, hang, or unbounded allocation) for every
+// malformed dimension, and identical behaviour regardless of how the bytes
+// are fragmented across read_some calls.
+#include "rainshine/net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rainshine/net/stream.hpp"
+
+namespace rainshine::net {
+namespace {
+
+RequestOutcome parse(std::string wire, HttpLimits limits = {},
+                     std::size_t chunk = SIZE_MAX) {
+  MemoryStream stream(std::move(wire), chunk);
+  RequestReader reader(stream, limits);
+  return reader.next();
+}
+
+TEST(HttpParser, ParsesSimpleGet) {
+  const auto out = parse(
+      "GET /healthz HTTP/1.1\r\nHost: localhost\r\nUser-Agent: t\r\n\r\n");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.request.method, "GET");
+  EXPECT_EQ(out.request.path, "/healthz");
+  EXPECT_EQ(out.request.query, "");
+  EXPECT_EQ(out.request.version_minor, 1);
+  ASSERT_EQ(out.request.headers.size(), 2u);
+  EXPECT_EQ(out.request.headers[0].name, "Host");
+  EXPECT_EQ(out.request.headers[0].value, "localhost");
+  EXPECT_TRUE(out.request.body.empty());
+}
+
+TEST(HttpParser, ParsesPostWithBodyAndQuery) {
+  const auto out = parse(
+      "POST /score?format=csv&dry HTTP/1.1\r\n"
+      "Content-Length: 11\r\n\r\nhello,world");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.request.path, "/score");
+  EXPECT_EQ(out.request.query, "format=csv&dry");
+  EXPECT_EQ(out.request.query_param("format").value_or(""), "csv");
+  EXPECT_TRUE(out.request.query_param("dry").has_value());
+  EXPECT_FALSE(out.request.query_param("missing").has_value());
+  EXPECT_EQ(out.request.body, "hello,world");
+}
+
+TEST(HttpParser, HeaderLookupIsCaseInsensitiveAndTrimsValue) {
+  const auto out = parse(
+      "GET / HTTP/1.1\r\nX-Deadline-Ms:   250  \r\n\r\n");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.request.header("x-deadline-ms").value_or(""), "250");
+  EXPECT_EQ(out.request.header("X-DEADLINE-MS").value_or(""), "250");
+}
+
+TEST(HttpParser, KeepAliveDefaultsFollowVersionAndConnectionOverrides) {
+  EXPECT_TRUE(parse("GET / HTTP/1.1\r\n\r\n").request.keep_alive());
+  EXPECT_FALSE(parse("GET / HTTP/1.0\r\n\r\n").request.keep_alive());
+  EXPECT_FALSE(
+      parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").request.keep_alive());
+  EXPECT_TRUE(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                  .request.keep_alive());
+}
+
+TEST(HttpParser, PipelinedRequestsCarryOverBufferedBytes) {
+  MemoryStream stream(
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "GET /b HTTP/1.1\r\n\r\n");
+  RequestReader reader(stream);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.request.path, "/a");
+  EXPECT_EQ(first.request.body, "abc");
+  const auto second = reader.next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.request.path, "/b");
+  const auto third = reader.next();
+  EXPECT_EQ(third.error, RequestError::kClosed);
+}
+
+TEST(HttpParser, OneBytePerReadParsesIdentically) {
+  const std::string wire =
+      "POST /score HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\n12345";
+  const auto whole = parse(wire);
+  const auto trickled = parse(wire, {}, 1);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(trickled.ok());
+  EXPECT_EQ(whole.request.body, trickled.request.body);
+  EXPECT_EQ(whole.request.headers.size(), trickled.request.headers.size());
+}
+
+TEST(HttpParser, ToleratesLeadingBlankLinesButNotMany) {
+  EXPECT_TRUE(parse("\r\n\r\nGET / HTTP/1.1\r\n\r\n").ok());
+  EXPECT_EQ(parse("\r\n\r\n\r\n\r\nGET / HTTP/1.1\r\n\r\n").error,
+            RequestError::kMalformedRequestLine);
+}
+
+TEST(HttpParser, EmptyStreamIsCleanClose) {
+  EXPECT_EQ(parse("").error, RequestError::kClosed);
+}
+
+TEST(HttpParser, MalformedRequestLines) {
+  EXPECT_EQ(parse("GET /\r\n\r\n").error, RequestError::kMalformedRequestLine);
+  EXPECT_EQ(parse("GET / HTTP/1.1 extra\r\n\r\n").error,
+            RequestError::kMalformedRequestLine);
+  EXPECT_EQ(parse("G@T / HTTP/1.1\r\n\r\n").error,
+            RequestError::kMalformedRequestLine);
+  EXPECT_EQ(parse("GET nopath HTTP/1.1\r\n\r\n").error,
+            RequestError::kMalformedRequestLine);
+  EXPECT_EQ(parse("GET / FTP/1.1\r\n\r\n").error,
+            RequestError::kMalformedRequestLine);
+}
+
+TEST(HttpParser, UnsupportedHttpVersions) {
+  EXPECT_EQ(parse("GET / HTTP/2.0\r\n\r\n").error,
+            RequestError::kUnsupportedVersion);
+  EXPECT_EQ(parse("GET / HTTP/1.2\r\n\r\n").error,
+            RequestError::kUnsupportedVersion);
+}
+
+TEST(HttpParser, RequestLineTooLongIs414) {
+  HttpLimits limits;
+  limits.max_request_line = 32;
+  const std::string wire =
+      "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+  const auto out = parse(wire, limits);
+  EXPECT_EQ(out.error, RequestError::kRequestLineTooLong);
+  EXPECT_EQ(status_for(out.error), 414);
+}
+
+TEST(HttpParser, HeaderLimitsAreEnforced) {
+  HttpLimits limits;
+  limits.max_headers = 2;
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n", limits).error,
+            RequestError::kTooManyHeaders);
+
+  HttpLimits bytes;
+  bytes.max_header_bytes = 16;
+  EXPECT_EQ(
+      parse("GET / HTTP/1.1\r\nX-Long: " + std::string(64, 'v') + "\r\n\r\n",
+            bytes)
+          .error,
+      RequestError::kHeaderTooLarge);
+}
+
+TEST(HttpParser, MalformedHeaders) {
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").error,
+            RequestError::kMalformedHeader);
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\n: empty-name\r\n\r\n").error,
+            RequestError::kMalformedHeader);
+  // Obsolete line folding is rejected outright.
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n").error,
+            RequestError::kMalformedHeader);
+}
+
+TEST(HttpParser, ContentLengthValidation) {
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n").error,
+            RequestError::kBadContentLength);
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n").error,
+            RequestError::kBadContentLength);
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n").error,
+            RequestError::kBadContentLength);
+  EXPECT_EQ(
+      parse("POST / HTTP/1.1\r\nContent-Length: 9999999999999999999999\r\n\r\n")
+          .error,
+      RequestError::kBadContentLength);
+  // Conflicting duplicates are refused; agreeing duplicates are tolerated.
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                  "Content-Length: 4\r\n\r\nabcd")
+                .error,
+            RequestError::kBadContentLength);
+  EXPECT_TRUE(parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                    "Content-Length: 3\r\n\r\nabc")
+                  .ok());
+}
+
+TEST(HttpParser, TransferEncodingIsRefusedTyped) {
+  const auto out =
+      parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(out.error, RequestError::kUnsupportedEncoding);
+  EXPECT_EQ(status_for(out.error), 501);
+}
+
+TEST(HttpParser, BodyTooLargeIsRefusedBeforeReadingIt) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  MemoryStream stream("POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n");
+  RequestReader reader(stream, limits);
+  const auto out = reader.next();
+  EXPECT_EQ(out.error, RequestError::kBodyTooLarge);
+  EXPECT_EQ(status_for(out.error), 413);
+}
+
+TEST(HttpParser, TruncatedBodyIsIncomplete) {
+  const auto out =
+      parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nonly4");
+  EXPECT_EQ(out.error, RequestError::kIncompleteBody);
+}
+
+TEST(HttpParser, EofMidHeadersIsIncomplete) {
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nHost: h\r\n").error,
+            RequestError::kIncompleteBody);
+}
+
+TEST(HttpParser, StatusForCoversTransportErrorsWithClose) {
+  EXPECT_EQ(status_for(RequestError::kClosed), 0);
+  EXPECT_EQ(status_for(RequestError::kReset), 0);
+  EXPECT_EQ(status_for(RequestError::kIoError), 0);
+  EXPECT_EQ(status_for(RequestError::kTimeout), 408);
+}
+
+TEST(HttpResponseWire, SerializeRoundTripsThroughReadResponse) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.content_type = "text/plain; charset=utf-8";
+  resp.headers.push_back({"Retry-After", "1"});
+  resp.body = "overloaded\n";
+
+  MemoryStream stream(resp.serialize(false));
+  const ResponseOutcome out = read_response(stream);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.status, 503);
+  EXPECT_EQ(out.body, "overloaded\n");
+  EXPECT_EQ(out.header("retry-after").value_or(""), "1");
+  EXPECT_EQ(out.header("Connection").value_or(""), "close");
+  EXPECT_EQ(out.header("Content-Length").value_or(""), "11");
+}
+
+TEST(HttpResponseWire, KeepAliveFlagControlsConnectionHeader) {
+  HttpResponse resp;
+  resp.body = "x";
+  MemoryStream stream(resp.serialize(true));
+  const ResponseOutcome out = read_response(stream);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.header("Connection").value_or(""), "keep-alive");
+}
+
+TEST(HttpResponseWire, TruncatedResponseIsTypedNotHung) {
+  MemoryStream stream("HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort");
+  const ResponseOutcome out = read_response(stream);
+  EXPECT_EQ(out.error, RequestError::kIncompleteBody);
+}
+
+TEST(HttpResponseWire, GarbageStatusLineIsTyped) {
+  MemoryStream stream("ICY 200 OK\r\n\r\n");
+  const ResponseOutcome out = read_response(stream);
+  EXPECT_EQ(out.error, RequestError::kMalformedRequestLine);
+}
+
+}  // namespace
+}  // namespace rainshine::net

@@ -1,0 +1,202 @@
+// Deadline propagation through PredictionService. Three expiry points —
+// refused on arrival, given up while blocked on backpressure, failed while
+// queued — all surface as deadline_exceeded_error, tick
+// requests_deadline_exceeded, and never pollute the completed-latency
+// invariant (`latency_us count == requests_completed`).
+#include "rainshine/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::serve {
+namespace {
+
+using table::Column;
+using table::Table;
+using std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+Table make_rows(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, 3.0);
+    y[i] = 2.0 * x[i] + rng.uniform(-0.1, 0.1);
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  return t;
+}
+
+ModelArtifact regression_artifact(std::uint64_t seed = 7) {
+  const Table t = make_rows(200, seed);
+  const cart::Dataset data(t, "y", {"x"}, cart::Task::kRegression);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 4;
+  cfg.seed = seed;
+  cart::Forest forest = cart::grow_forest(data, cfg);
+  ModelMetadata meta;
+  meta.name = "deadline-svc";
+  meta.version = 1;
+  meta.task = forest.task();
+  meta.schema = forest.trees().front().features();
+  return ModelArtifact{std::move(meta),
+                       std::make_shared<const cart::Forest>(std::move(forest))};
+}
+
+Table features_only(const Table& t) {
+  Table out;
+  out.add_column("x", t.column("x"));
+  return out;
+}
+
+/// The process-global registry accumulates across tests in this binary, so
+/// every assertion works on deltas around the scenario under test.
+struct ObsProbe {
+  std::uint64_t completed, expired, hist_count;
+  static ObsProbe now() {
+    const auto snap = obs::registry().snapshot();
+    return {snap.counter("serve.requests_completed"),
+            snap.counter("serve.deadline_exceeded"),
+            snap.histogram("serve.latency_us").count};
+  }
+};
+
+TEST(ServiceDeadline, ExpiredOnArrivalIsRefusedNotScored) {
+  PredictionService service(regression_artifact());
+  const Table rows = features_only(make_rows(8, 11));
+  const ObsProbe before = ObsProbe::now();
+
+  auto fut = service.submit(rows, steady_clock::now() - milliseconds(1));
+  EXPECT_THROW(fut.get(), deadline_exceeded_error);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.requests_admitted, 0u);  // never reached the queue
+  EXPECT_EQ(stats.requests_completed, 0u);
+  EXPECT_EQ(stats.rows_scored, 0u);
+
+  const ObsProbe after = ObsProbe::now();
+  EXPECT_EQ(after.expired - before.expired, 1u);
+  EXPECT_EQ(after.completed, before.completed);
+  EXPECT_EQ(after.hist_count, before.hist_count);  // no latency observed
+}
+
+TEST(ServiceDeadline, TrySubmitPastDeadlineIsAFailedFutureNotBackpressure) {
+  PredictionService service(regression_artifact());
+  const Table rows = features_only(make_rows(4, 12));
+
+  auto fut = service.try_submit(rows, steady_clock::now() - milliseconds(1));
+  ASSERT_TRUE(fut.has_value());  // nullopt is reserved for retryable rejection
+  EXPECT_THROW(fut->get(), deadline_exceeded_error);
+  EXPECT_EQ(service.stats().requests_deadline_exceeded, 1u);
+  EXPECT_EQ(service.stats().requests_rejected, 0u);
+}
+
+TEST(ServiceDeadline, QueuedRequestExpiringBeforeFlushFailsInsteadOfScoring) {
+  ServiceConfig cfg;
+  cfg.max_batch_rows = 1u << 20;  // never flush on size (queue must match)
+  cfg.max_queue_rows = 1u << 20;
+  cfg.max_batch_delay = std::chrono::microseconds(60000);
+  PredictionService service(regression_artifact(), cfg);
+  const Table rows = features_only(make_rows(4, 13));
+
+  // Admitted now, scored ~60ms from now, expired ~5ms from now.
+  auto doomed = service.submit(rows, steady_clock::now() + milliseconds(5));
+  // Same batch, no deadline: must still be scored.
+  auto healthy = service.submit(rows);
+
+  EXPECT_THROW(doomed.get(), deadline_exceeded_error);
+  EXPECT_EQ(healthy.get().size(), 4u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_admitted, 2u);
+  EXPECT_EQ(stats.requests_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.requests_completed, 1u);
+  EXPECT_EQ(stats.rows_scored, 4u);  // only the healthy request's rows
+}
+
+TEST(ServiceDeadline, BlockedSubmitGivesUpWhenDeadlinePasses) {
+  ServiceConfig cfg;
+  cfg.max_batch_rows = 8;
+  cfg.max_queue_rows = 8;
+  cfg.max_batch_delay = std::chrono::microseconds(200000);  // park the queue
+  PredictionService service(regression_artifact(), cfg);
+
+  // Park 5 rows: below max_batch_rows (no size flush) but enough that a
+  // 4-row submit overshoots the admission bound and must block.
+  auto parked = service.submit(features_only(make_rows(5, 14)));
+
+  // This submit must block on backpressure, then give up at its deadline
+  // instead of waiting out the 200ms batch delay.
+  const auto t0 = steady_clock::now();
+  auto fut = service.submit(features_only(make_rows(4, 15)),
+                            t0 + milliseconds(30));
+  const auto waited = steady_clock::now() - t0;
+  EXPECT_THROW(fut.get(), deadline_exceeded_error);
+  EXPECT_GE(waited, milliseconds(25));
+  EXPECT_LT(waited, milliseconds(190));  // did not wait for the flush
+
+  service.flush();
+  EXPECT_EQ(parked.get().size(), 5u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.requests_completed, 1u);
+}
+
+TEST(ServiceDeadline, LatencyCountEqualsCompletedAcrossMixedOutcomes) {
+  ServiceConfig cfg;
+  cfg.max_batch_rows = 16;
+  PredictionService service(regression_artifact(), cfg);
+  const ObsProbe before = ObsProbe::now();
+
+  std::vector<std::future<std::vector<double>>> futures;
+  std::uint64_t want_completed = 0;
+  std::uint64_t want_expired = 0;
+  for (int i = 0; i < 30; ++i) {
+    const Table rows = features_only(make_rows(3, 100 + static_cast<std::uint64_t>(i)));
+    if (i % 3 == 0) {
+      futures.push_back(service.submit(rows, steady_clock::now() - milliseconds(1)));
+      ++want_expired;
+    } else {
+      futures.push_back(service.submit(rows));
+      ++want_completed;
+    }
+  }
+  for (auto& fut : futures) {
+    try {
+      (void)fut.get();
+    } catch (const deadline_exceeded_error&) {
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests_completed, want_completed);
+  EXPECT_EQ(stats.requests_deadline_exceeded, want_expired);
+
+  const ObsProbe after = ObsProbe::now();
+  EXPECT_EQ(after.completed - before.completed, want_completed);
+  EXPECT_EQ(after.expired - before.expired, want_expired);
+  // The headline invariant: expired requests never observe a latency.
+  EXPECT_EQ(after.hist_count - before.hist_count, want_completed);
+}
+
+TEST(ServiceDeadline, GenerousDeadlineScoresNormally) {
+  PredictionService service(regression_artifact());
+  const Table rows = features_only(make_rows(6, 16));
+  auto fut = service.submit(rows, steady_clock::now() + std::chrono::seconds(30));
+  EXPECT_EQ(fut.get().size(), 6u);
+  EXPECT_EQ(service.stats().requests_deadline_exceeded, 0u);
+  EXPECT_EQ(service.stats().requests_completed, 1u);
+}
+
+}  // namespace
+}  // namespace rainshine::serve

@@ -38,6 +38,7 @@
 #include "rainshine/table/csv.hpp"
 #include "rainshine/util/check.hpp"
 #include "rainshine/util/strings.hpp"
+#include "sidecar_signals.hpp"
 
 using namespace rainshine;
 
@@ -157,6 +158,7 @@ table::Table ticket_table(const Options& opt, std::string& response,
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  tools::install_sidecar_handlers(opt.metrics);
   try {
     std::string response = opt.response;
     std::vector<std::string> features = opt.features;

@@ -28,6 +28,7 @@
 #include "rainshine/serve/service.hpp"
 #include "rainshine/table/csv.hpp"
 #include "rainshine/util/check.hpp"
+#include "sidecar_signals.hpp"
 
 using namespace rainshine;
 
@@ -89,6 +90,7 @@ Options parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  tools::install_sidecar_handlers(opt.metrics);
 
   serve::ModelArtifact artifact;
   try {

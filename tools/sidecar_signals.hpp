@@ -1,0 +1,55 @@
+// Shared by the CLI tools: make SIGINT/SIGTERM flush the --metrics sidecar.
+//
+// A fitting or scoring run that gets ^C'd (or SIGTERMed by a job scheduler
+// hitting its wall clock) used to vanish without a trace — every counter the
+// run accumulated was lost at exactly the moment an operator most wants
+// them. These handlers write the sidecar on the way out and exit with the
+// conventional 128+signal status.
+//
+// Purity note, stated rather than hidden: obs::to_json and obs::write_file
+// allocate, which async-signal-safety forbids. The alternative — dropping
+// the metrics of every interrupted run — is strictly worse for the
+// operator, the window where the interrupt lands inside the allocator is
+// tiny, and the worst case is a mangled sidecar from a process that was
+// dying anyway (write_file's temp-then-rename means a torn write never
+// replaces a good file). Long-lived servers get the real solution
+// (HttpServer::request_drain is genuinely async-signal-safe); short-lived
+// batch tools get this pragmatic one.
+#pragma once
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include "rainshine/obs/export.hpp"
+#include "rainshine/obs/metrics.hpp"
+
+namespace rainshine::tools {
+
+inline std::string& sidecar_path() {
+  static std::string path;
+  return path;
+}
+
+extern "C" inline void sidecar_signal_handler(int sig) {
+  const std::string& path = sidecar_path();
+  if (!path.empty()) {
+    try {
+      obs::write_file(path, obs::to_json(obs::registry().snapshot()));
+    } catch (...) {
+      // Dying anyway; the exit status already says "interrupted".
+    }
+  }
+  std::_Exit(128 + sig);
+}
+
+/// Installs SIGINT/SIGTERM handlers that flush the metrics sidecar to
+/// `metrics_path` before exiting. An empty path still installs the handlers
+/// (for the uniform 128+sig exit status) but writes nothing.
+inline void install_sidecar_handlers(const std::string& metrics_path) {
+  sidecar_path() = metrics_path;
+  std::signal(SIGINT, sidecar_signal_handler);
+  std::signal(SIGTERM, sidecar_signal_handler);
+}
+
+}  // namespace rainshine::tools
