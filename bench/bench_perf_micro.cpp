@@ -296,6 +296,126 @@ void BM_LoadForest(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadForest)->Unit(benchmark::kMicrosecond);
 
+// All-numeric sibling of serve_forest(): no categorical splits, so every
+// clean block of a batch predict takes the flat kernel's compare-only fast
+// path. The serve forest (4 of 7 features nominal) exercises the general
+// path instead.
+const cart::Forest& numeric_forest() {
+  static const cart::Forest forest = [] {
+    static const table::Table tbl = [] {
+      const auto& b = bundle();
+      core::ObservationOptions opt;
+      opt.day_stride = 2;
+      return core::rack_day_table(b.metrics, b.env, opt);
+    }();
+    const cart::Dataset data(
+        tbl, core::col::kLambdaHw,
+        {core::col::kPowerKw, core::col::kAgeMonths, core::col::kCommissionYear},
+        cart::Task::kRegression);
+    cart::ForestConfig cfg;
+    cfg.num_trees = 24;
+    cfg.tree.cp = 0.001;
+    return cart::grow_forest(data, cfg);
+  }();
+  return forest;
+}
+
+void BM_PredictBatch(benchmark::State& state) {
+  // Library-level kernel comparison, no service in the way: 2048 rows
+  // straight through Forest::predict with each scorer.
+  //   0 = flat, 1 = walker on the serve forest (categorical-heavy);
+  //   2 = flat, 3 = walker on the all-numeric forest (fast path).
+  const bool numeric = state.range(0) >= 2;
+  const cart::Forest& forest = numeric ? numeric_forest() : serve_forest();
+  const auto scorer = state.range(0) % 2 == 0 ? cart::Scorer::kFlat
+                                              : cart::Scorer::kWalker;
+  const auto& b = bundle();
+  core::ObservationOptions opt;
+  opt.day_stride = 2;
+  const table::Table all_rows = core::rack_day_table(b.metrics, b.env, opt);
+  std::vector<std::size_t> indices(2048);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i % all_rows.num_rows();
+  }
+  const table::Table rows = all_rows.take(indices);
+  const cart::Dataset data =
+      serve::make_scoring_dataset(rows, forest.trees().front().features());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(data, scorer));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_PredictBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+// Classification sibling: the single-row path tallies per-class votes,
+// which used to allocate a fresh vector per call (now thread_local scratch
+// in Forest::predict(data, row)). Workload-from-rack-shape is a contrived
+// target, but it makes the vote tally the hot data structure.
+const cart::Forest& classification_forest() {
+  static const cart::Forest forest = [] {
+    const auto& b = bundle();
+    core::ObservationOptions opt;
+    opt.day_stride = 2;
+    const table::Table tbl = core::rack_day_table(b.metrics, b.env, opt);
+    const cart::Dataset data(
+        tbl, core::col::kWorkload,
+        {core::col::kDc, core::col::kPowerKw, core::col::kAgeMonths},
+        cart::Task::kClassification);
+    cart::ForestConfig cfg;
+    cfg.num_trees = 24;
+    cfg.tree.cp = 0.001;
+    return cart::grow_forest(data, cfg);
+  }();
+  return forest;
+}
+
+void BM_PredictRow(benchmark::State& state) {
+  // The single-row path the /score endpoint takes for batch-of-one traffic:
+  // one row at a time through Forest::predict(data, row).
+  //   0 = regression (serve forest), 1 = classification (vote tally).
+  const cart::Forest& forest =
+      state.range(0) == 1 ? classification_forest() : serve_forest();
+  const auto& b = bundle();
+  core::ObservationOptions opt;
+  opt.day_stride = 2;
+  const table::Table all_rows = core::rack_day_table(b.metrics, b.env, opt);
+  std::vector<std::size_t> indices(2048);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i % all_rows.num_rows();
+  }
+  const table::Table rows = all_rows.take(indices);
+  const cart::Dataset data =
+      serve::make_scoring_dataset(rows, forest.trees().front().features());
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(data, row));
+    row = (row + 1) & 2047;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredictRow)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+void BM_MakeScoringDataset(benchmark::State& state) {
+  // The per-request re-encode (Table -> Dataset against the fitted schema)
+  // that sits on the service path ahead of the scorer.
+  const cart::Forest& forest = serve_forest();
+  const auto& b = bundle();
+  core::ObservationOptions opt;
+  opt.day_stride = 2;
+  const table::Table all_rows = core::rack_day_table(b.metrics, b.env, opt);
+  std::vector<std::size_t> indices(2048);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i % all_rows.num_rows();
+  }
+  const table::Table rows = all_rows.take(indices);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        serve::make_scoring_dataset(rows, forest.trees().front().features()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_MakeScoringDataset)->Unit(benchmark::kMicrosecond);
+
 void BM_ScoreBatch(benchmark::State& state) {
   // Batch-size sweep: rows per request through the micro-batching service.
   const cart::Forest& forest = serve_forest();

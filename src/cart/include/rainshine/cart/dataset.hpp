@@ -71,6 +71,11 @@ class Dataset {
   [[nodiscard]] bool x_missing(std::size_t row, std::size_t f) const {
     return std::isnan(columns_[f][row]);
   }
+  /// Whole feature column (NaN = missing). The flat scorer gathers row
+  /// blocks straight from these instead of calling x() per cell.
+  [[nodiscard]] std::span<const double> column(std::size_t f) const {
+    return columns_[f];
+  }
 
   [[nodiscard]] bool has_response() const noexcept { return !y_.empty(); }
   /// Response: value (regression) or class code (classification).

@@ -13,6 +13,7 @@
 
 #include <bit>
 
+#include "rainshine/cart/flat.hpp"
 #include "rainshine/cart/partial.hpp"
 #include "rainshine/cart/tree.hpp"
 #include "rainshine/util/rng.hpp"
@@ -34,15 +35,26 @@ struct ForestConfig {
 
 class Forest {
  public:
+  /// Compiles the flat inference layout (see flat.hpp) as part of
+  /// construction, so every Forest — grown, loaded, or test-built — can
+  /// score with either kernel.
   Forest(Task task, std::vector<Tree> trees, double oob_error);
+
+  /// Adopts a pre-built flat layout instead of compiling one (the `.rsf` v2
+  /// load path, where the artifact carries the validated flat section).
+  Forest(Task task, std::vector<Tree> trees, double oob_error, FlatForest flat);
 
   [[nodiscard]] Task task() const noexcept { return task_; }
   [[nodiscard]] const std::vector<Tree>& trees() const noexcept { return trees_; }
   [[nodiscard]] std::size_t size() const noexcept { return trees_.size(); }
+  [[nodiscard]] const FlatForest& flat() const noexcept { return flat_; }
 
   /// Regression: mean of tree predictions. Classification: plurality vote.
+  /// The single-row form always uses the pointer walker (it is the
+  /// per-tree golden reference); batch scoring picks the kernel.
   [[nodiscard]] double predict(const Dataset& data, std::size_t row) const;
-  [[nodiscard]] std::vector<double> predict(const Dataset& data) const;
+  [[nodiscard]] std::vector<double> predict(const Dataset& data,
+                                            Scorer scorer = Scorer::kFlat) const;
 
   /// Out-of-bag error from fitting: mean squared error (regression) or
   /// error rate (classification) over rows, each predicted only by trees
@@ -76,6 +88,7 @@ class Forest {
   std::vector<Tree> trees_;
   double oob_error_ = 0.0;
   std::size_t num_classes_ = 0;  ///< classification vote-tally width
+  FlatForest flat_;              ///< derived from trees_; excluded from operator==
 };
 
 /// Grows a bagged forest. Deterministic for a fixed (data, config): trees

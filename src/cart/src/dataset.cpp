@@ -12,30 +12,61 @@ using table::Column;
 using table::ColumnType;
 
 std::vector<double> materialize(const Column& col) {
+  // Same cell-for-cell semantics as Column::as_double, but dispatched on the
+  // column type once instead of per cell — this runs per scoring request.
   std::vector<double> out(col.size());
-  for (std::size_t r = 0; r < col.size(); ++r) out[r] = col.as_double(r);
+  switch (col.type()) {
+    case ColumnType::kContinuous: {
+      const auto vals = col.continuous_values();
+      out.assign(vals.begin(), vals.end());
+      break;
+    }
+    case ColumnType::kOrdinal: {
+      const auto vals = col.ordinal_values();
+      for (std::size_t r = 0; r < out.size(); ++r) {
+        out[r] = vals[r] == table::kMissingOrdinal
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : static_cast<double>(vals[r]);
+      }
+      break;
+    }
+    case ColumnType::kNominal: {
+      const auto vals = col.nominal_codes();
+      for (std::size_t r = 0; r < out.size(); ++r) {
+        out[r] = vals[r] == table::kMissingCode
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : static_cast<double>(vals[r]);
+      }
+      break;
+    }
+  }
   return out;
 }
 
 /// Re-encodes a nominal column against a reference dictionary so codes match
 /// the dictionary the tree was fitted with; unseen labels become missing.
+/// The old-code -> reference-code map is built once per column (dictionaries
+/// are tiny), so the per-row work is a table lookup instead of the label
+/// string scan this used to do per cell.
 std::vector<double> materialize_with_reference(const Column& col,
                                                const FeatureInfo& ref) {
-  std::vector<double> out(col.size());
-  for (std::size_t r = 0; r < col.size(); ++r) {
-    if (col.is_missing(r)) {
-      out[r] = std::numeric_limits<double>::quiet_NaN();
-      continue;
-    }
-    const std::string cell = col.cell_to_string(r);
-    double code = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+  const auto& dict = col.dictionary();
+  std::vector<double> remap(dict.size(), kMissing);
+  for (std::size_t old_code = 0; old_code < dict.size(); ++old_code) {
     for (std::size_t k = 0; k < ref.labels.size(); ++k) {
-      if (ref.labels[k] == cell) {
-        code = static_cast<double>(k);
+      if (ref.labels[k] == dict[old_code]) {
+        remap[old_code] = static_cast<double>(k);
         break;
       }
     }
-    out[r] = code;
+  }
+  const auto codes = col.nominal_codes();
+  std::vector<double> out(col.size());
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const auto code = codes[r];
+    out[r] = code == table::kMissingCode ? kMissing
+                                         : remap[static_cast<std::size_t>(code)];
   }
   return out;
 }

@@ -28,6 +28,19 @@ Forest::Forest(Task task, std::vector<Tree> trees, double oob_error)
       }
     }
   }
+  flat_ = FlatForest::compile(task_, trees_, num_classes_);
+}
+
+Forest::Forest(Task task, std::vector<Tree> trees, double oob_error,
+               FlatForest flat)
+    : task_(task),
+      trees_(std::move(trees)),
+      oob_error_(oob_error),
+      num_classes_(flat.num_classes()),
+      flat_(std::move(flat)) {
+  util::require(!trees_.empty(), "Forest needs at least one tree");
+  util::require(flat_.num_trees() == trees_.size(),
+                "flat layout tree count does not match the forest");
 }
 
 double Forest::predict_row(const Dataset& data, std::size_t row,
@@ -51,11 +64,17 @@ double Forest::predict_row(const Dataset& data, std::size_t row,
 }
 
 double Forest::predict(const Dataset& data, std::size_t row) const {
-  std::vector<int> votes;
+  // thread_local scratch: the single-row path used to heap-allocate the
+  // vote tally on every call. The tally is tiny and per-thread, so reusing
+  // it is race-free and allocation-free after the first call — the win is
+  // small on a warm glibc heap (BM_PredictRow/1) but removes the only
+  // malloc on the batch-of-one serving path.
+  thread_local std::vector<int> votes;
   return predict_row(data, row, votes);
 }
 
-std::vector<double> Forest::predict(const Dataset& data) const {
+std::vector<double> Forest::predict(const Dataset& data, Scorer scorer) const {
+  if (scorer == Scorer::kFlat) return flat_.predict(data);
   std::vector<double> out(data.num_rows());
   // Pure reads over immutable trees; rows land in their own slots, so any
   // chunking is trivially deterministic.

@@ -361,7 +361,10 @@ HttpResponse HttpServer::handle_models() const {
   json += ",\"task\":\"";
   json += meta.task == cart::Task::kClassification ? "classification"
                                                    : "regression";
-  json += "\",\"oob_error\":" + format_double(meta.oob_error) + "}";
+  json += "\",\"oob_error\":" + format_double(meta.oob_error);
+  json += ",\"scorer\":\"";
+  json += cart::to_string(service_->scorer());
+  json += "\"}";
   json += ",\"registered\":[";
   if (registry_ != nullptr) {
     bool first = true;

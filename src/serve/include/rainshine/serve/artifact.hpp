@@ -8,10 +8,11 @@
 //   offset  size  field
 //   ------  ----  ------------------------------------------------------
 //        0     4  magic "RSF1"
-//        4     4  format version (u32, little-endian; currently 1)
+//        4     4  format version (u32, little-endian; 1 or 2)
 //        8     8  payload size in bytes (u64)
 //       16     4  CRC32 (IEEE 802.3) of the payload bytes (u32)
-//       20     -  payload: metadata block, then packed trees
+//       20     -  payload: metadata block, packed trees, then (v2) the
+//                 flat inference section
 //
 // The payload is byte-oriented little-endian regardless of host endianness
 // (integers are assembled a byte at a time; doubles travel as the LE bytes
@@ -20,6 +21,27 @@
 // besides the trees: model name/version, task, the feature schema (column
 // names, categorical flags, level dictionaries), the ForestConfig that grew
 // the model, and its out-of-bag error.
+//
+// Version 2 appends the compiled cart::FlatForest the serving hot path
+// scores with (see cart/flat.hpp), so loading adopts the layout instead of
+// re-deriving it:
+//
+//   u64 node_count | u64 root_count | u64 pool_word_count
+//   root_count x u32 roots          (start index of each tree's node span)
+//   root_count x u32 depths         (max node depth per tree)
+//   node_count x 32-byte FlatNode records — exactly the in-memory layout
+//     on little-endian hosts (f64 threshold, u32 child[2], u32 feature,
+//     u32 bitset_offset, u32 bitset_bits, u8 categorical,
+//     u8 missing_goes_left, 2 zero bytes), so the decoder adopts the whole
+//     array with one memcpy there
+//   pool_word_count x u64 bitset pool words
+//
+// The decoder re-proves every structural invariant the traversal relies on
+// (spans match the v1 trees, children stay inside their tree and after
+// their parent, recomputed BFS depths equal the stored depths, bitset
+// ranges sit inside the pool) before adopting; a forged-CRC artifact gets a
+// typed kMalformedFlat error, never UB. Version-1 artifacts stay loadable —
+// the flat layout is compiled from the trees on load instead.
 //
 // Loading NEVER exhibits UB on a damaged file. Every read is bounds-checked
 // against the declared payload, counts are sanity-capped against the bytes
@@ -44,7 +66,10 @@
 namespace rainshine::serve {
 
 inline constexpr std::array<unsigned char, 4> kMagic{'R', 'S', 'F', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// Newest format this build writes (and the newest it reads).
+inline constexpr std::uint32_t kFormatVersion = 2;
+/// Oldest format this build still reads (v1 = trees only, no flat section).
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 20;
 inline constexpr std::string_view kArtifactExtension = ".rsf";
 
@@ -57,6 +82,7 @@ enum class ArtifactError : std::uint8_t {
   kChecksumMismatch,    ///< CRC32 over the payload does not match the header
   kMalformedMetadata,   ///< metadata block failed bounds/sanity checks
   kMalformedForest,     ///< tree block failed bounds/structural checks
+  kMalformedFlat,       ///< v2 flat section failed bounds/structural checks
   kTrailingBytes,       ///< bytes follow the declared payload
 };
 
@@ -69,6 +95,7 @@ enum class ArtifactError : std::uint8_t {
     case ArtifactError::kChecksumMismatch: return "checksum-mismatch";
     case ArtifactError::kMalformedMetadata: return "malformed-metadata";
     case ArtifactError::kMalformedForest: return "malformed-forest";
+    case ArtifactError::kMalformedFlat: return "malformed-flat";
     case ArtifactError::kTrailingBytes: return "trailing-bytes";
   }
   return "?";
@@ -120,6 +147,13 @@ void save_forest(const cart::Forest& forest, const ModelMetadata& meta,
                  std::ostream& out);
 void save_forest_file(const cart::Forest& forest, const ModelMetadata& meta,
                       const std::string& path);
+
+/// Compatibility writer: emits a version-1 artifact (trees only, no flat
+/// section) that older builds load unchanged. New code should prefer
+/// save_forest; this exists for fleets mid-upgrade and for pinning the v1
+/// golden file in tests.
+void save_forest_v1(const cart::Forest& forest, const ModelMetadata& meta,
+                    std::ostream& out);
 
 /// Parses an artifact, validating header, checksum and structure; throws
 /// artifact_error (with a typed reason) on anything less than a pristine
