@@ -10,6 +10,10 @@
 #                                  # ephemeral port, score over a real socket,
 #                                  # scrape /metrics, SIGTERM-drain, and check
 #                                  # the interrupted-run metrics sidecars
+#   scripts/check.sh --stream-smoke# additionally boot rainshine_streamd,
+#                                  # observe >= 1 rolling retrain + hot swap,
+#                                  # scrape /series and /models, SIGTERM-drain,
+#                                  # and validate the store snapshot + sidecar
 #
 # Flags combine (e.g. `--sanitize --tsan` runs all three suites). Extra
 # arguments after the flags are forwarded to ctest (e.g. -R Ingest).
@@ -21,12 +25,14 @@ sanitize=0
 tsan=0
 serve_smoke=0
 net_smoke=0
+stream_smoke=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
     --tsan) tsan=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     --net-smoke) net_smoke=1 ;;
+    --stream-smoke) stream_smoke=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -182,6 +188,83 @@ if [[ "$net_smoke" == 1 ]]; then
   ./build/tools/rainshine_metrics --check "$netdir/int_metrics.json" \
     --require serve.rows_scored
   echo "net smoke: interrupted run's sidecar parsed"
+fi
+
+if [[ "$stream_smoke" == 1 ]]; then
+  echo "== stream smoke: streamd end-to-end (source -> store -> retrain -> serve) =="
+  streamdir="$(mktemp -d)"
+  trap 'rm -rf "${workdir:-}" "${netdir:-}" "${streamdir:-}"' EXIT
+
+  # 45 streamed days at a 15-day cadence: three rolling retrains, the first
+  # of which boots the HTTP front-end; the rest hot-swap it live.
+  ./build/tools/rainshine_streamd --days 45 --retrain-days 15 \
+    --window-days 30 --min-history 15 --trees 8 --port 0 \
+    --snapshot "$streamdir/store.rss" \
+    --metrics "$streamdir/stream_metrics.json" > "$streamdir/streamd.out" \
+    2> "$streamdir/streamd.err" &
+  streamd_pid=$!
+  port=""
+  for _ in $(seq 1 300); do
+    port="$(sed -n 's/^listening on [^:]*:\([0-9]*\).*$/\1/p' "$streamdir/streamd.out")"
+    [[ -n "$port" ]] && break
+    sleep 0.2
+  done
+  if [[ -z "$port" ]]; then
+    echo "stream smoke FAILED: streamd never published a model / bound a port" >&2
+    cat "$streamdir/streamd.err" >&2
+    exit 1
+  fi
+
+  # Let the stream finish so every retrain lands, then look for the swaps.
+  for _ in $(seq 1 300); do
+    grep -q 'streamed .* day' "$streamdir/streamd.err" && break
+    sleep 0.2
+  done
+  swaps="$(grep -c '^day [0-9]*: published' "$streamdir/streamd.err" || true)"
+  if [[ "$swaps" -lt 3 ]]; then
+    echo "stream smoke FAILED: expected >= 3 retrain publishes, saw $swaps" >&2
+    cat "$streamdir/streamd.err" >&2
+    exit 1
+  fi
+
+  # The registry's swap generation must reflect every publish, and the ring
+  # store must serve per-rack telemetry series over the wire.
+  ./build/tools/rainshine_loadgen --once --port "$port" --target /models \
+    > "$streamdir/models.json"
+  if ! grep -q '"swap_generation":3' "$streamdir/models.json"; then
+    echo "stream smoke FAILED: /models does not report swap generation 3" >&2
+    cat "$streamdir/models.json" >&2
+    exit 1
+  fi
+  ./build/tools/rainshine_loadgen --once --port "$port" --target /series \
+    > "$streamdir/series.json"
+  if ! grep -q '"name":"env.temp_f.R0"' "$streamdir/series.json"; then
+    echo "stream smoke FAILED: /series catalogue is missing rack telemetry" >&2
+    exit 1
+  fi
+  ./build/tools/rainshine_loadgen --once --port "$port" \
+    --target '/series?series=env.temp_f.R0&tier=1&max_points=8' \
+    > "$streamdir/series_read.json"
+  if ! grep -q '"count":24' "$streamdir/series_read.json"; then
+    echo "stream smoke FAILED: daily tier did not aggregate 24 hourly samples" >&2
+    cat "$streamdir/series_read.json" >&2
+    exit 1
+  fi
+
+  # Clean SIGTERM drain: exit 0, snapshot written, metrics sidecar parses.
+  kill -TERM "$streamd_pid"
+  if ! wait "$streamd_pid"; then
+    echo "stream smoke FAILED: streamd did not exit 0 on SIGTERM" >&2
+    cat "$streamdir/streamd.err" >&2
+    exit 1
+  fi
+  if [[ ! -s "$streamdir/store.rss" ]]; then
+    echo "stream smoke FAILED: no store snapshot written" >&2
+    exit 1
+  fi
+  ./build/tools/rainshine_metrics --check "$streamdir/stream_metrics.json" \
+    --require stream.tickets_emitted,stream.retrains,serve.model_swaps,net.requests_total
+  echo "stream smoke: $swaps retrains hot-swapped, /series scraped, drained clean"
 fi
 
 echo "OK"

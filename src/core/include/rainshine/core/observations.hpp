@@ -21,6 +21,13 @@ struct ObservationOptions {
   std::int32_t day_stride = 1;
   /// Skip days before a rack's commission date (it reports no telemetry).
   bool skip_pre_commission = true;
+  /// Restrict rows to the half-open day window [first_day, last_day).
+  /// `last_day = -1` means the fleet's full horizon. The rolling retrain
+  /// loop (src/stream) uses this to fit on a trailing window; the stride
+  /// phase stays anchored at `first_day` so identical windows yield
+  /// identical tables regardless of how they were reached.
+  util::DayIndex first_day = 0;
+  util::DayIndex last_day = -1;
   /// Include µ columns (requires per-rack µ computation; mildly expensive).
   bool include_mu = true;
   Granularity mu_granularity = Granularity::kDaily;

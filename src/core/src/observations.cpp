@@ -1,5 +1,6 @@
 #include "rainshine/core/observations.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "rainshine/util/check.hpp"
@@ -12,6 +13,12 @@ table::Table build(const FailureMetrics& metrics, const simdc::EnvironmentModel&
                    std::optional<simdc::WorkloadId> workload,
                    const ObservationOptions& opt) {
   util::require(opt.day_stride >= 1, "day_stride must be >= 1");
+  util::require(opt.first_day >= 0, "first_day must be >= 0");
+  const util::DayIndex last_day =
+      opt.last_day < 0 ? metrics.fleet().spec().num_days
+                       : std::min(opt.last_day, metrics.fleet().spec().num_days);
+  util::require(opt.first_day <= last_day,
+                "observation window is empty: first_day > last_day");
   util::require(!opt.include_mu || opt.mu_granularity == Granularity::kDaily ||
                     opt.mu_granularity == Granularity::kHourly,
                 "observation rows are per-day; µ granularity must be daily or hourly");
@@ -81,7 +88,7 @@ table::Table build(const FailureMetrics& metrics, const simdc::EnvironmentModel&
 
     const std::int32_t commission_year = cal.year_offset(rack.commission_day);
 
-    for (util::DayIndex day = 0; day < fleet.spec().num_days;
+    for (util::DayIndex day = opt.first_day; day < last_day;
          day += opt.day_stride) {
       if (opt.skip_pre_commission && day < rack.commission_day) continue;
       const simdc::Conditions c = env.daily_mean(rack, day);

@@ -23,9 +23,18 @@
 // Endpoints:
 //   POST /score    CSV rows in, CSV predictions out (schema-checked; 422 on
 //                  mismatch, 400 on unparseable CSV)
-//   GET  /models   JSON: serving model + registry catalogue + drain state
+//   GET  /models   JSON: serving model + registry catalogue (with swap
+//                  generation + registration timestamps) + drain state
 //   GET  /metrics  obs::registry() exposition (text, ?format=json for JSON)
+//   GET  /series   ring-store time series (JSON; bounded typed query
+//                  parsing; 404 unless a SeriesStore was attached)
 //   GET  /healthz  "ok" / "draining"
+//
+// Hot-swap: swap_service() atomically replaces the PredictionService behind
+// /score. Every request snapshots the shared_ptr once, so in-flight requests
+// finish on the service (and model artifact) they started with while new
+// requests see the replacement — the same pinning contract as
+// ModelRegistry::put.
 //
 // Drain state machine (SIGTERM path):
 //
@@ -55,6 +64,7 @@
 #include "rainshine/obs/metrics.hpp"
 #include "rainshine/serve/registry.hpp"
 #include "rainshine/serve/service.hpp"
+#include "rainshine/stream/store.hpp"
 
 namespace rainshine::net {
 
@@ -78,16 +88,27 @@ struct ServerConfig {
 class HttpServer {
  public:
   /// Binds and starts serving immediately. `registry` may be null (then
-  /// /models lists only the serving model). The server shares ownership of
-  /// the service so hot-swapping callers can drop theirs.
+  /// /models lists only the serving model); `series` may be null (then
+  /// /series answers 404). Both are borrowed and must outlive the server.
+  /// The server shares ownership of the service so hot-swapping callers can
+  /// drop theirs.
   HttpServer(std::shared_ptr<serve::PredictionService> service,
-             serve::ModelRegistry* registry, ServerConfig config = {});
+             serve::ModelRegistry* registry, ServerConfig config = {},
+             const stream::SeriesStore* series = nullptr);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
   [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Atomically replaces the service behind /score. In-flight requests keep
+  /// the snapshot they took; the old service (and the model it pins) is
+  /// destroyed when the last of them finishes. Thread-safe.
+  void swap_service(std::shared_ptr<serve::PredictionService> next);
+
+  /// The current service snapshot (what a request arriving now would use).
+  [[nodiscard]] std::shared_ptr<serve::PredictionService> service() const;
 
   /// Starts a graceful drain. Async-signal-safe and idempotent — designed
   /// to be called from a SIGTERM/SIGINT handler.
@@ -127,10 +148,13 @@ class HttpServer {
   [[nodiscard]] HttpResponse handle_score(const HttpRequest& req);
   [[nodiscard]] HttpResponse handle_models() const;
   [[nodiscard]] HttpResponse handle_metrics(const HttpRequest& req) const;
+  [[nodiscard]] HttpResponse handle_series(const HttpRequest& req) const;
   [[nodiscard]] HttpResponse shed_response() const;
 
+  mutable std::mutex service_mutex_;  ///< guards service_ swap/snapshot only
   std::shared_ptr<serve::PredictionService> service_;
   serve::ModelRegistry* registry_;
+  const stream::SeriesStore* series_;
   ServerConfig config_;
   TcpListener listener_;
   ObsHandles obs_;

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <exception>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -64,9 +65,11 @@ HttpResponse method_not_allowed(const char* allow) {
 }  // namespace
 
 HttpServer::HttpServer(std::shared_ptr<serve::PredictionService> service,
-                       serve::ModelRegistry* registry, ServerConfig config)
+                       serve::ModelRegistry* registry, ServerConfig config,
+                       const stream::SeriesStore* series)
     : service_(std::move(service)),
       registry_(registry),
+      series_(series),
       config_(std::move(config)),
       listener_(config_.host, config_.port,
                 static_cast<int>(config_.max_pending_connections)) {
@@ -101,6 +104,22 @@ HttpServer::HttpServer(std::shared_ptr<serve::PredictionService> service,
 HttpServer::~HttpServer() {
   request_drain();
   wait();
+}
+
+void HttpServer::swap_service(std::shared_ptr<serve::PredictionService> next) {
+  util::require(next != nullptr, "swap_service: service must not be null");
+  std::shared_ptr<serve::PredictionService> old;
+  {
+    const std::lock_guard<std::mutex> lock(service_mutex_);
+    old = std::exchange(service_, std::move(next));
+  }
+  // `old` dies here unless in-flight requests still hold it; its destructor
+  // drains admitted work, so nothing accepted before the swap is dropped.
+}
+
+std::shared_ptr<serve::PredictionService> HttpServer::service() const {
+  const std::lock_guard<std::mutex> lock(service_mutex_);
+  return service_;
 }
 
 void HttpServer::request_drain() noexcept {
@@ -258,6 +277,10 @@ HttpResponse HttpServer::route(const HttpRequest& req) {
     if (req.method != "GET") return method_not_allowed("GET");
     return handle_metrics(req);
   }
+  if (req.path == "/series") {
+    if (req.method != "GET") return method_not_allowed("GET");
+    return handle_series(req);
+  }
   if (req.path == "/healthz") {
     if (req.method != "GET") return method_not_allowed("GET");
     return text_response(200, draining() ? "draining" : "ok");
@@ -292,7 +315,10 @@ HttpResponse HttpServer::handle_score(const HttpRequest& req) {
   }
   if (rows.num_rows() == 0) return text_response(400, "no data rows in body");
 
-  const auto& meta = service_->model();
+  // One snapshot for the whole request: scoring, schema and labels all come
+  // from the same service even if swap_service() lands mid-flight.
+  const std::shared_ptr<serve::PredictionService> service = this->service();
+  const auto& meta = service->model();
   const auto issues = serve::schema_issues(rows, meta.schema);
   if (!issues.empty()) {
     std::string body = "schema mismatch:";
@@ -302,7 +328,7 @@ HttpResponse HttpServer::handle_score(const HttpRequest& req) {
 
   std::optional<std::future<std::vector<double>>> fut;
   try {
-    fut = service_->try_submit(rows, deadline);
+    fut = service->try_submit(rows, deadline);
   } catch (const util::precondition_error& e) {
     return text_response(422, std::string("schema mismatch: ") + e.what());
   }
@@ -352,27 +378,40 @@ HttpResponse HttpServer::handle_score(const HttpRequest& req) {
 }
 
 HttpResponse HttpServer::handle_models() const {
-  const auto& meta = service_->model();
+  const std::shared_ptr<serve::PredictionService> service = this->service();
+  const auto& meta = service->model();
   std::string json = "{\"schema\":\"rainshine.models.v1\",";
   json += "\"draining\":";
   json += draining() ? "true" : "false";
-  json += ",\"serving\":{\"name\":\"" + json_escape(meta.name) + "\"";
+  json += ',';
+  if (registry_ != nullptr) {
+    // Swap observability: the registry-wide put counter and the wall-clock
+    // time of the most recent put, so an external watcher can tell "same
+    // version string" apart from "same bits I saw last scrape".
+    json += "\"swap_generation\":" + std::to_string(registry_->swap_generation());
+    json += ",\"last_swap_unix_ms\":" + std::to_string(registry_->last_swap_unix_ms());
+    json += ',';
+  }
+  json += "\"serving\":{\"name\":\"" + json_escape(meta.name) + "\"";
   json += ",\"version\":" + std::to_string(meta.version);
   json += ",\"task\":\"";
   json += meta.task == cart::Task::kClassification ? "classification"
                                                    : "regression";
   json += "\",\"oob_error\":" + format_double(meta.oob_error);
   json += ",\"scorer\":\"";
-  json += cart::to_string(service_->scorer());
+  json += cart::to_string(service->scorer());
   json += "\"}";
   json += ",\"registered\":[";
   if (registry_ != nullptr) {
     bool first = true;
-    for (const auto& key : registry_->list()) {
+    for (const auto& entry : registry_->describe()) {
+      const auto& key = entry.key;
       if (!first) json += ',';
       first = false;
       json += "{\"name\":\"" + json_escape(key.name) + "\"";
       json += ",\"version\":" + std::to_string(key.version);
+      json += ",\"generation\":" + std::to_string(entry.generation);
+      json += ",\"registered_unix_ms\":" + std::to_string(entry.registered_unix_ms);
       json += ",\"serving\":";
       json += (key.name == meta.name && key.version == meta.version) ? "true"
                                                                      : "false";
@@ -401,6 +440,129 @@ HttpResponse HttpServer::handle_metrics(const HttpRequest& req) const {
   } else {
     return text_response(400, "unknown format: expected text, json, or csv");
   }
+  return resp;
+}
+
+HttpResponse HttpServer::handle_series(const HttpRequest& req) const {
+  if (series_ == nullptr) {
+    return text_response(404, "no series store attached to this server");
+  }
+
+  // Bounded typed query parsing, same stance as the HttpLimits layer: every
+  // parameter has an explicit type, range and cap, and a bad value is a 400
+  // naming the parameter — never a fallback to something surprising.
+  const auto name = req.query_param("series");
+  if (!name) {
+    // Catalogue: every series with its tier geometry.
+    std::string json = "{\"schema\":\"rainshine.series.v1\",\"series\":[";
+    bool first = true;
+    for (const auto& spec : series_->describe()) {
+      if (!first) json += ',';
+      first = false;
+      json += "{\"name\":\"" + json_escape(spec.name) + "\",\"tiers\":[";
+      bool first_tier = true;
+      for (const auto& tier : spec.tiers) {
+        if (!first_tier) json += ',';
+        first_tier = false;
+        json += "{\"step_hours\":" + std::to_string(tier.step_hours);
+        json += ",\"slots\":" + std::to_string(tier.slots) + '}';
+      }
+      json += "]}";
+    }
+    json += "]}";
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = std::move(json);
+    return resp;
+  }
+
+  if (!series_->contains(*name)) {
+    return text_response(404, "unknown series: " + std::string(*name));
+  }
+  const stream::SeriesId id = series_->id_of(*name);
+  const std::vector<stream::SeriesSpec> catalogue = series_->describe();
+
+  long long tier = 0;
+  if (const auto v = req.query_param("tier")) {
+    if (!util::parse_int(util::trim(*v), tier) || tier < 0) {
+      return text_response(400, "bad tier: expected nonnegative integer");
+    }
+  }
+  if (static_cast<std::size_t>(tier) >= catalogue[id].tiers.size()) {
+    return text_response(400, "bad tier: series has " +
+                                  std::to_string(catalogue[id].tiers.size()) +
+                                  " tier(s)");
+  }
+  long long from_hour = 0;
+  bool have_from = false;
+  if (const auto v = req.query_param("from_hour")) {
+    if (!util::parse_int(util::trim(*v), from_hour) || from_hour < 0) {
+      return text_response(400, "bad from_hour: expected nonnegative integer");
+    }
+    have_from = true;
+  }
+  long long to_hour = 0;
+  bool have_to = false;
+  if (const auto v = req.query_param("to_hour")) {
+    if (!util::parse_int(util::trim(*v), to_hour) || to_hour < 0) {
+      return text_response(400, "bad to_hour: expected nonnegative integer");
+    }
+    have_to = true;
+  }
+  if (have_from && have_to && to_hour <= from_hour) {
+    return text_response(400, "bad range: to_hour must exceed from_hour");
+  }
+  constexpr long long kMaxPointsCap = 4096;
+  long long max_points = 512;
+  if (const auto v = req.query_param("max_points")) {
+    if (!util::parse_int(util::trim(*v), max_points) || max_points < 1 ||
+        max_points > kMaxPointsCap) {
+      return text_response(400, "bad max_points: expected 1.." +
+                                    std::to_string(kMaxPointsCap));
+    }
+  }
+
+  std::vector<stream::AggregateSample> samples = series_->read(
+      id, static_cast<std::size_t>(tier),
+      have_from ? from_hour : std::numeric_limits<std::int64_t>::min(),
+      have_to ? to_hour : std::numeric_limits<std::int64_t>::max());
+  // Truncate to the NEWEST max_points — the recent edge is what a live
+  // scrape wants — and say so, rather than silently decimating.
+  const bool truncated = samples.size() > static_cast<std::size_t>(max_points);
+  if (truncated) {
+    samples.erase(samples.begin(),
+                  samples.end() - static_cast<std::ptrdiff_t>(max_points));
+  }
+
+  std::string json = "{\"schema\":\"rainshine.series.v1\"";
+  json += ",\"name\":\"" + json_escape(*name) + "\"";
+  json += ",\"tier\":{\"step_hours\":" +
+          std::to_string(catalogue[id].tiers[static_cast<std::size_t>(tier)].step_hours);
+  json += ",\"slots\":" +
+          std::to_string(catalogue[id].tiers[static_cast<std::size_t>(tier)].slots) + '}';
+  json += ",\"last_hour\":" + std::to_string(series_->last_hour(id));
+  json += ",\"truncated\":";
+  json += truncated ? "true" : "false";
+  json += ",\"samples\":[";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"hour\":" + std::to_string(s.bucket_start_hour);
+    json += ",\"count\":" + std::to_string(s.count);
+    if (s.count == 0) {
+      // A gap: no samples landed while the bucket was in the window.
+      json += ",\"mean\":null,\"min\":null,\"max\":null}";
+    } else {
+      json += ",\"mean\":" + format_double(s.mean());
+      json += ",\"min\":" + format_double(s.min);
+      json += ",\"max\":" + format_double(s.max) + '}';
+    }
+  }
+  json += "]}";
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = std::move(json);
   return resp;
 }
 

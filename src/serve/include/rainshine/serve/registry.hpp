@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -32,6 +33,16 @@ struct ModelKey {
   std::uint32_t version = 0;
 
   friend bool operator==(const ModelKey&, const ModelKey&) = default;
+};
+
+/// Registration record for one loaded model: which swap installed it and
+/// when. `generation` is the value of the registry-wide swap counter at the
+/// `put` that installed this entry, so "is this the model I saw last scrape"
+/// is answerable from the outside without comparing forests.
+struct ModelInfo {
+  ModelKey key;
+  std::uint64_t generation = 0;
+  std::int64_t registered_unix_ms = 0;
 };
 
 /// Outcome of a bulk directory load: how many artifacts registered, and a
@@ -62,6 +73,19 @@ class ModelRegistry {
   [[nodiscard]] std::vector<ModelKey> list() const;
   [[nodiscard]] std::size_t size() const;
 
+  /// Registration records in (name, version) order.
+  [[nodiscard]] std::vector<ModelInfo> describe() const;
+  /// Registration record for one exact version; nullopt when absent.
+  [[nodiscard]] std::optional<ModelInfo> info(std::string_view name,
+                                              std::uint32_t version) const;
+  /// Total `put` calls over the registry's lifetime (also the
+  /// `serve.model_swaps` counter delta it contributed). 0 = never swapped.
+  [[nodiscard]] std::uint64_t swap_generation() const;
+  /// Wall-clock time of the most recent `put`, unix epoch ms; 0 when empty.
+  /// Observability only — never feeds back into scoring, so determinism of
+  /// predictions is untouched.
+  [[nodiscard]] std::int64_t last_swap_unix_ms() const;
+
   /// Loads every `*.rsf` file directly inside `dir` (sorted by filename, so
   /// registration order is deterministic). Damaged artifacts are reported,
   /// not thrown; a missing/unreadable directory throws
@@ -69,10 +93,16 @@ class ModelRegistry {
   DirectoryLoadReport load_directory(const std::string& dir);
 
  private:
+  struct Entry {
+    std::shared_ptr<const ModelArtifact> artifact;
+    std::uint64_t generation = 0;
+    std::int64_t registered_unix_ms = 0;
+  };
+
   mutable std::shared_mutex mutex_;
-  std::map<std::string, std::map<std::uint32_t, std::shared_ptr<const ModelArtifact>>,
-           std::less<>>
-      models_;
+  std::map<std::string, std::map<std::uint32_t, Entry>, std::less<>> models_;
+  std::uint64_t swap_generation_ = 0;
+  std::int64_t last_swap_unix_ms_ = 0;
 };
 
 /// Human-readable mismatches between `rows` and a fitted feature schema:

@@ -1,22 +1,39 @@
 #include "rainshine/serve/registry.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <mutex>
 
+#include "rainshine/obs/metrics.hpp"
 #include "rainshine/util/check.hpp"
 
 namespace rainshine::serve {
+
+namespace {
+
+std::int64_t now_unix_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ModelKey ModelRegistry::put(ModelArtifact artifact) {
   util::require(artifact.forest != nullptr, "artifact carries no forest");
   util::require(!artifact.meta.name.empty(), "artifact needs a model name");
   ModelKey key{artifact.meta.name, artifact.meta.version};
-  auto shared = std::make_shared<const ModelArtifact>(std::move(artifact));
+  Entry entry;
+  entry.artifact = std::make_shared<const ModelArtifact>(std::move(artifact));
+  entry.registered_unix_ms = now_unix_ms();
   {
     std::unique_lock lock(mutex_);
-    models_[key.name][key.version] = std::move(shared);
+    entry.generation = ++swap_generation_;
+    last_swap_unix_ms_ = entry.registered_unix_ms;
+    models_[key.name][key.version] = std::move(entry);
   }
+  obs::registry().counter("serve.model_swaps").add(1);
   return key;
 }
 
@@ -24,7 +41,7 @@ std::shared_ptr<const ModelArtifact> ModelRegistry::get(std::string_view name) c
   std::shared_lock lock(mutex_);
   const auto it = models_.find(name);
   if (it == models_.end() || it->second.empty()) return nullptr;
-  return it->second.rbegin()->second;
+  return it->second.rbegin()->second.artifact;
 }
 
 std::shared_ptr<const ModelArtifact> ModelRegistry::get(std::string_view name,
@@ -33,7 +50,7 @@ std::shared_ptr<const ModelArtifact> ModelRegistry::get(std::string_view name,
   const auto it = models_.find(name);
   if (it == models_.end()) return nullptr;
   const auto vit = it->second.find(version);
-  return vit == it->second.end() ? nullptr : vit->second;
+  return vit == it->second.end() ? nullptr : vit->second.artifact;
 }
 
 bool ModelRegistry::erase(std::string_view name, std::uint32_t version) {
@@ -59,6 +76,38 @@ std::size_t ModelRegistry::size() const {
   std::size_t n = 0;
   for (const auto& [name, versions] : models_) n += versions.size();
   return n;
+}
+
+std::vector<ModelInfo> ModelRegistry::describe() const {
+  std::shared_lock lock(mutex_);
+  std::vector<ModelInfo> out;
+  for (const auto& [name, versions] : models_) {
+    for (const auto& [version, entry] : versions) {
+      out.push_back({{name, version}, entry.generation, entry.registered_unix_ms});
+    }
+  }
+  return out;
+}
+
+std::optional<ModelInfo> ModelRegistry::info(std::string_view name,
+                                             std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) return std::nullopt;
+  const auto vit = it->second.find(version);
+  if (vit == it->second.end()) return std::nullopt;
+  return ModelInfo{{std::string(name), version}, vit->second.generation,
+                   vit->second.registered_unix_ms};
+}
+
+std::uint64_t ModelRegistry::swap_generation() const {
+  std::shared_lock lock(mutex_);
+  return swap_generation_;
+}
+
+std::int64_t ModelRegistry::last_swap_unix_ms() const {
+  std::shared_lock lock(mutex_);
+  return last_swap_unix_ms_;
 }
 
 DirectoryLoadReport ModelRegistry::load_directory(const std::string& dir) {

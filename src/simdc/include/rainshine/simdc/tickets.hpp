@@ -62,14 +62,34 @@ struct SimulationOptions {
   std::uint64_t seed = 1;  ///< ticket-stream seed (independent of fleet seed)
 };
 
+/// Root generator of the ticket process for `seed` — the parent every
+/// (rack, day) cell's stream is split from. Exposed so the live stream
+/// source (src/stream) derives exactly the draws the batch sweep makes.
+[[nodiscard]] util::Rng ticket_stream_root(std::uint64_t seed) noexcept;
+
+/// Simulates one (rack, day) cell of the generative model, appending its
+/// tickets to `out` in generation order. Correlated events (power bursts and
+/// disk batches) are tagged `first_burst_id`, `first_burst_id + 1`, ... in
+/// discovery order; returns the number of correlated events opened. The cell
+/// draws only from the (root, rack.id, day) split — splitting never advances
+/// the parent — so ANY iteration order over cells (rack-major batch sweep,
+/// day-major live stream, any pool schedule) reproduces identical tickets.
+std::int32_t simulate_rack_day(const HazardModel& hazard, const util::Rng& root,
+                               const Rack& rack, util::DayIndex day,
+                               std::int32_t first_burst_id,
+                               std::vector<Ticket>& out);
+
 /// Runs the generative model over the whole window: per rack-day Poisson
 /// draws for every fault type, plus the correlated burst process, with
 /// diurnally weighted open hours and lognormal repair times. Deterministic
 /// for fixed (fleet, environment, hazard, options): racks are simulated
-/// concurrently on the shared pool, but each rack draws from its own
-/// (seed, rack_id)-derived stream and the per-rack ticket vectors are
-/// merged in rack order (burst ids renumbered by a running offset), so the
-/// TicketLog is byte-identical at any thread count.
+/// concurrently on the shared pool, but each (rack, day) cell draws from its
+/// own (seed, rack_id, day)-derived stream and the per-rack ticket vectors
+/// are merged in rack order, so the TicketLog is byte-identical at any
+/// thread count. Burst ids are numbered chronologically in (day, rack,
+/// discovery) order — the same global sequence the day-major live stream
+/// assigns incrementally (src/stream), keeping batch and stream outputs
+/// byte-identical.
 [[nodiscard]] TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
                                  const HazardModel& hazard,
                                  SimulationOptions options = {});

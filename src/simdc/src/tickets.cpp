@@ -96,11 +96,123 @@ Ticket make_ticket(util::Rng& rng, const HazardConfig& cfg, const Rack& rack,
   return t;
 }
 
-/// One rack's full ticket stream with burst ids numbered locally from 0;
-/// the merge renumbers them into the fleet-wide sequence.
+}  // namespace
+
+std::int32_t simulate_rack_day(const HazardModel& hazard, const util::Rng& root,
+                               const Rack& rack, util::DayIndex day,
+                               std::int32_t first_burst_id,
+                               std::vector<Ticket>& out) {
+  const HazardConfig& cfg = hazard.config();
+  std::vector<Ticket>& tickets = out;
+  std::int32_t next_burst_id = first_burst_id;
+  util::Rng day_rng = root.split(static_cast<std::uint64_t>(rack.id))
+                          .split(static_cast<std::uint64_t>(day));
+
+  // Independent per-fault-type arrivals.
+  for (const FaultType fault : kAllFaultTypes) {
+    const double rate = hazard.rack_day_rate(rack, day, fault);
+    if (rate <= 0.0) continue;
+    const std::uint64_t n = stats::sample_poisson(day_rng, rate);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tickets.push_back(make_ticket(day_rng, cfg, rack, day, fault));
+    }
+  }
+
+  // Correlated bursts: one event downs a contiguous swath of servers.
+  const std::uint64_t bursts =
+      stats::sample_poisson(day_rng, hazard.burst_rate(rack, day));
+  for (std::uint64_t b = 0; b < bursts; ++b) {
+    const auto [lo, hi] = hazard.burst_fraction_range(rack);
+    const double fraction = day_rng.uniform(lo, hi);
+    const int affected = std::max(
+        1, static_cast<int>(std::lround(fraction * rack.servers())));
+    const int first = static_cast<int>(day_rng.below(
+        static_cast<std::uint64_t>(rack.servers() - affected + 1)));
+    const util::HourIndex onset =
+        util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
+    const double mu_log = std::log(cfg.burst_repair_median_h);
+    const std::int32_t burst_id = next_burst_id++;
+    for (int s = 0; s < affected; ++s) {
+      Ticket t;
+      t.rack_id = rack.id;
+      t.server_index = static_cast<std::int16_t>(first + s);
+      t.component_index = -1;
+      // A cascading power event mostly files power tickets; the odd
+      // chassis doesn't survive it.
+      t.fault = day_rng.bernoulli(0.85) ? FaultType::kPowerFailure
+                                        : FaultType::kServerFailure;
+      t.true_positive = true;  // multi-server events are unambiguous
+      t.burst_id = burst_id;
+      // Onsets cascade across the spread window (see HazardConfig);
+      // each server's repair is its own draw.
+      const double stagger =
+          affected > 1 ? cfg.burst_onset_spread_hours *
+                             static_cast<double>(s) /
+                             static_cast<double>(affected - 1)
+                       : 0.0;
+      t.open_hour = onset + static_cast<util::HourIndex>(stagger);
+      const double hours = std::max(
+          1.0,
+          stats::sample_lognormal(day_rng, mu_log, cfg.burst_repair_sigma));
+      t.close_hour = t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
+      tickets.push_back(t);
+    }
+  }
+  // Disk-batch events: one drive dies on a swath of servers (see
+  // HazardConfig's bad-vintage commentary).
+  const std::uint64_t batches =
+      stats::sample_poisson(day_rng, hazard.disk_batch_rate(rack, day));
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const auto [lo, hi] = hazard.disk_batch_fraction_range(rack);
+    const double fraction = day_rng.uniform(lo, hi);
+    const int affected = std::max(
+        1, static_cast<int>(std::lround(fraction * rack.servers())));
+    const int first = static_cast<int>(day_rng.below(
+        static_cast<std::uint64_t>(rack.servers() - affected + 1)));
+    const util::HourIndex onset =
+        util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
+    const double mu_log = std::log(cfg.disk_batch_repair_median_h);
+    const std::int32_t burst_id = next_burst_id++;
+    // The batch occupies the same physical slot across the rack.
+    const auto slot = static_cast<std::int16_t>(day_rng.below(
+        static_cast<std::uint64_t>(sku_spec(rack.sku).disks_per_server)));
+    for (int s = 0; s < affected; ++s) {
+      Ticket t;
+      t.rack_id = rack.id;
+      t.server_index = static_cast<std::int16_t>(first + s);
+      t.component_index = slot;
+      t.fault = FaultType::kDiskFailure;
+      t.true_positive = true;
+      t.burst_id = burst_id;
+      const double stagger =
+          affected > 1 ? cfg.burst_onset_spread_hours *
+                             static_cast<double>(s) /
+                             static_cast<double>(affected - 1)
+                       : 0.0;
+      t.open_hour = onset + static_cast<util::HourIndex>(stagger);
+      const double hours = std::max(
+          1.0, stats::sample_lognormal(day_rng, mu_log,
+                                       cfg.disk_batch_repair_sigma));
+      t.close_hour =
+          t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
+      tickets.push_back(t);
+    }
+  }
+  return next_burst_id - first_burst_id;
+}
+
+util::Rng ticket_stream_root(std::uint64_t seed) noexcept {
+  return util::Rng(seed).split("ticket-stream");
+}
+
+namespace {
+
+/// One rack's full ticket stream with burst ids numbered locally from 0 in
+/// day order; the merge renumbers them into the fleet-wide chronological
+/// sequence using the per-day counts.
 struct RackStream {
   std::vector<Ticket> tickets;
-  std::int32_t num_bursts = 0;
+  std::vector<std::int32_t> bursts_per_day;
 };
 
 RackStream simulate_rack(const Fleet& fleet, const HazardModel& hazard,
@@ -110,109 +222,15 @@ RackStream simulate_rack(const Fleet& fleet, const HazardModel& hazard,
   // rack's Rng stream is untouched by instrumentation.
   const obs::ScopedTimer rack_timer(
       obs::registry().histogram("simdc.rack_sim_us"));
-  const HazardConfig& cfg = hazard.config();
   RackStream out;
-  std::vector<Ticket>& tickets = out.tickets;
+  out.bursts_per_day.resize(static_cast<std::size_t>(fleet.spec().num_days), 0);
   std::int32_t next_burst_id = 0;
-
-  {
-    util::Rng rack_rng = root.split(static_cast<std::uint64_t>(rack.id));
-    for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
-      util::Rng day_rng = rack_rng.split(static_cast<std::uint64_t>(day));
-
-      // Independent per-fault-type arrivals.
-      for (const FaultType fault : kAllFaultTypes) {
-        const double rate = hazard.rack_day_rate(rack, day, fault);
-        if (rate <= 0.0) continue;
-        const std::uint64_t n = stats::sample_poisson(day_rng, rate);
-        for (std::uint64_t i = 0; i < n; ++i) {
-          tickets.push_back(make_ticket(day_rng, cfg, rack, day, fault));
-        }
-      }
-
-      // Correlated bursts: one event downs a contiguous swath of servers.
-      const std::uint64_t bursts =
-          stats::sample_poisson(day_rng, hazard.burst_rate(rack, day));
-      for (std::uint64_t b = 0; b < bursts; ++b) {
-        const auto [lo, hi] = hazard.burst_fraction_range(rack);
-        const double fraction = day_rng.uniform(lo, hi);
-        const int affected = std::max(
-            1, static_cast<int>(std::lround(fraction * rack.servers())));
-        const int first = static_cast<int>(day_rng.below(
-            static_cast<std::uint64_t>(rack.servers() - affected + 1)));
-        const util::HourIndex onset =
-            util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
-        const double mu_log = std::log(cfg.burst_repair_median_h);
-        const std::int32_t burst_id = next_burst_id++;
-        for (int s = 0; s < affected; ++s) {
-          Ticket t;
-          t.rack_id = rack.id;
-          t.server_index = static_cast<std::int16_t>(first + s);
-          t.component_index = -1;
-          // A cascading power event mostly files power tickets; the odd
-          // chassis doesn't survive it.
-          t.fault = day_rng.bernoulli(0.85) ? FaultType::kPowerFailure
-                                            : FaultType::kServerFailure;
-          t.true_positive = true;  // multi-server events are unambiguous
-          t.burst_id = burst_id;
-          // Onsets cascade across the spread window (see HazardConfig);
-          // each server's repair is its own draw.
-          const double stagger =
-              affected > 1 ? cfg.burst_onset_spread_hours *
-                                 static_cast<double>(s) /
-                                 static_cast<double>(affected - 1)
-                           : 0.0;
-          t.open_hour = onset + static_cast<util::HourIndex>(stagger);
-          const double hours = std::max(
-              1.0,
-              stats::sample_lognormal(day_rng, mu_log, cfg.burst_repair_sigma));
-          t.close_hour = t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
-          tickets.push_back(t);
-        }
-      }
-      // Disk-batch events: one drive dies on a swath of servers (see
-      // HazardConfig's bad-vintage commentary).
-      const std::uint64_t batches =
-          stats::sample_poisson(day_rng, hazard.disk_batch_rate(rack, day));
-      for (std::uint64_t b = 0; b < batches; ++b) {
-        const auto [lo, hi] = hazard.disk_batch_fraction_range(rack);
-        const double fraction = day_rng.uniform(lo, hi);
-        const int affected = std::max(
-            1, static_cast<int>(std::lround(fraction * rack.servers())));
-        const int first = static_cast<int>(day_rng.below(
-            static_cast<std::uint64_t>(rack.servers() - affected + 1)));
-        const util::HourIndex onset =
-            util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
-        const double mu_log = std::log(cfg.disk_batch_repair_median_h);
-        const std::int32_t burst_id = next_burst_id++;
-        // The batch occupies the same physical slot across the rack.
-        const auto slot = static_cast<std::int16_t>(day_rng.below(
-            static_cast<std::uint64_t>(sku_spec(rack.sku).disks_per_server)));
-        for (int s = 0; s < affected; ++s) {
-          Ticket t;
-          t.rack_id = rack.id;
-          t.server_index = static_cast<std::int16_t>(first + s);
-          t.component_index = slot;
-          t.fault = FaultType::kDiskFailure;
-          t.true_positive = true;
-          t.burst_id = burst_id;
-          const double stagger =
-              affected > 1 ? cfg.burst_onset_spread_hours *
-                                 static_cast<double>(s) /
-                                 static_cast<double>(affected - 1)
-                           : 0.0;
-          t.open_hour = onset + static_cast<util::HourIndex>(stagger);
-          const double hours = std::max(
-              1.0, stats::sample_lognormal(day_rng, mu_log,
-                                           cfg.disk_batch_repair_sigma));
-          t.close_hour =
-              t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
-          tickets.push_back(t);
-        }
-      }
-    }
+  for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
+    const std::int32_t opened =
+        simulate_rack_day(hazard, root, rack, day, next_burst_id, out.tickets);
+    out.bursts_per_day[static_cast<std::size_t>(day)] = opened;
+    next_burst_id += opened;
   }
-  out.num_bursts = next_burst_id;
   return out;
 }
 
@@ -224,32 +242,53 @@ TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
   const obs::ScopedSpan span("simdc.simulate");
   const obs::ScopedTimer sim_timer(
       obs::registry().histogram("simdc.simulate_us"));
-  const util::Rng root = util::Rng(options.seed).split("ticket-stream");
+  const util::Rng root = ticket_stream_root(options.seed);
 
-  // Each rack's hazards draw from its own (seed, rack.id)-derived stream, so
-  // racks can run on the pool in any schedule; merging in rack order with a
-  // running burst-id offset reproduces the serial sweep's TicketLog byte for
-  // byte (serial numbering also exhausts one rack before the next).
+  // Each (rack, day) cell draws from its own (seed, rack.id, day)-derived
+  // stream, so racks can run on the pool in any schedule; merging in rack
+  // order reproduces the serial sweep's TicketLog byte for byte.
   const auto& racks = fleet.racks();
   auto streams = util::parallel_map(racks.size(), [&](std::size_t i) {
     return simulate_rack(fleet, hazard, root, racks[i]);
   });
 
+  // Burst ids are assigned chronologically — (day, rack, discovery) order —
+  // so the day-major live stream (src/stream) can hand them out from a
+  // running counter and still match this batch log byte for byte. Each
+  // rack's local ids are sequential in day order, so a prefix sum over the
+  // per-day counts in (day, rack) order yields the remap. Serial, after the
+  // parallel join: identical at any thread count.
+  std::vector<std::vector<std::int32_t>> remap(streams.size());
+  for (std::size_t r = 0; r < streams.size(); ++r) {
+    const auto& per_day = streams[r].bursts_per_day;
+    std::int32_t rack_total = 0;
+    for (const std::int32_t n : per_day) rack_total += n;
+    remap[r].resize(static_cast<std::size_t>(rack_total));
+  }
+  std::int32_t next_global = 0;
+  std::vector<std::int32_t> next_local(streams.size(), 0);
+  for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
+    for (std::size_t r = 0; r < streams.size(); ++r) {
+      const std::int32_t n = streams[r].bursts_per_day[static_cast<std::size_t>(day)];
+      for (std::int32_t k = 0; k < n; ++k) {
+        remap[r][static_cast<std::size_t>(next_local[r]++)] = next_global++;
+      }
+    }
+  }
+
   std::size_t total = 0;
   for (const RackStream& s : streams) total += s.tickets.size();
   std::vector<Ticket> tickets;
   tickets.reserve(total);
-  std::int32_t burst_base = 0;
-  for (RackStream& s : streams) {
-    for (Ticket& t : s.tickets) {
-      if (t.burst_id >= 0) t.burst_id += burst_base;
+  for (std::size_t r = 0; r < streams.size(); ++r) {
+    for (Ticket& t : streams[r].tickets) {
+      if (t.burst_id >= 0) t.burst_id = remap[r][static_cast<std::size_t>(t.burst_id)];
       tickets.push_back(t);
     }
-    burst_base += s.num_bursts;
   }
   obs::registry().counter("simdc.tickets_generated").add(total);
   obs::registry().counter("simdc.bursts").add(
-      static_cast<std::uint64_t>(burst_base));
+      static_cast<std::uint64_t>(next_global));
   return TicketLog(std::move(tickets));
 }
 

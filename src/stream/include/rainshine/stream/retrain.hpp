@@ -1,0 +1,79 @@
+// RetrainController: the rolling-window learning loop of the live pipeline.
+//
+// Feed it the finalized per-day ticket chunks the TicketStream emits. Every
+// `interval_days` completed days (once `min_history_days` of history exist)
+// it assembles the trailing `window_days` of tickets into a TicketLog,
+// builds the rack-day λ table on the existing core::rack_day_table path
+// restricted to that window, grows a fresh forest on the parallel
+// cart::grow_forest path, and hot-swaps the artifact into the
+// serve::ModelRegistry under `model_name` with a monotonically increasing
+// version. In-flight scoring holds shared_ptrs to the old artifact, so a
+// swap never tears a prediction (the registry contract; pinned by the
+// swap-under-load test).
+//
+// Determinism: the window is a pure function of (stream contents, config) —
+// tickets are pruned by open_day, the table anchors its stride at the
+// window's first day, and grow_forest is bit-identical at any thread count —
+// so every published version is byte-identical across reruns and
+// RAINSHINE_THREADS settings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "rainshine/cart/forest.hpp"
+#include "rainshine/core/metrics.hpp"
+#include "rainshine/serve/registry.hpp"
+#include "rainshine/simdc/environment.hpp"
+#include "rainshine/stream/source.hpp"
+
+namespace rainshine::stream {
+
+struct RetrainConfig {
+  std::string model_name = "lambda-hw-live";
+  util::DayIndex interval_days = 30;   ///< retrain cadence in simulated days
+  util::DayIndex window_days = 60;     ///< trailing window the fit sees
+  util::DayIndex min_history_days = 14;  ///< history needed before the first fit
+  std::int32_t day_stride = 2;         ///< table subsampling, as modelc uses
+  bool include_mu = false;             ///< µ columns are costly; off in the live loop
+  cart::ForestConfig forest{};         ///< hyper-parameters for every refit
+};
+
+class RetrainController {
+ public:
+  /// The controller trains against `fleet`/`env` (borrowed; must outlive it)
+  /// and publishes into `registry`.
+  RetrainController(const simdc::Fleet& fleet, const simdc::EnvironmentModel& env,
+                    serve::ModelRegistry& registry, RetrainConfig config = {});
+
+  /// Consume one finalized day. Returns the key of a freshly published model
+  /// when this day closed a retrain interval, nullopt otherwise.
+  std::optional<serve::ModelKey> on_chunk(const TicketChunk& chunk);
+
+  /// Force a fit over the window ending after `through_day` (used for the
+  /// final partial interval); nullopt when history is still too short.
+  std::optional<serve::ModelKey> retrain_now(util::DayIndex through_day);
+
+  [[nodiscard]] std::uint32_t versions_published() const noexcept {
+    return next_version_ - 1;
+  }
+  /// Latest published artifact (nullptr before the first fit).
+  [[nodiscard]] std::shared_ptr<const serve::ModelArtifact> current() const {
+    return registry_->get(config_.model_name);
+  }
+  [[nodiscard]] const RetrainConfig& config() const noexcept { return config_; }
+
+ private:
+  const simdc::Fleet* fleet_;
+  const simdc::EnvironmentModel* env_;
+  serve::ModelRegistry* registry_;
+  RetrainConfig config_;
+  std::deque<simdc::Ticket> window_;  ///< stream-order tickets, pruned by open_day
+  util::DayIndex last_day_ = -1;
+  std::uint32_t next_version_ = 1;
+};
+
+}  // namespace rainshine::stream

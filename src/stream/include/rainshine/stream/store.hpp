@@ -1,0 +1,130 @@
+// SeriesStore: an rrd-style fixed-window, constant-memory time-series store.
+//
+// Each named series owns one or more TIERS. A tier is a ring of `slots`
+// aggregate buckets, each covering `step_hours` of simulated time: pushing a
+// sample at hour h folds it into bucket h / step_hours of EVERY tier
+// (count/sum/min/max — mean is sum/count at read time, so downsampling
+// semantics are explicit, not an implicit decimation). The ring retains the
+// trailing `slots * step_hours` hours; advancing past the newest bucket
+// zeroes any skipped slots, which is how missed ticks surface as count-0
+// GAPS rather than stale values. Samples older than the retained window are
+// dropped and counted (`stream.store_late_drops`).
+//
+// Memory is bounded at construction time: after the last add_series() call,
+// `memory_bytes()` never changes — no push pattern can grow it (the soak
+// test pins this). All operations are thread-safe behind a shared_mutex
+// (single writer, concurrent readers — the /series scrape path).
+//
+// Snapshot format ("RSS1", little-endian, CRC32-guarded like the .rsf
+// artifact header) lays every tier out as a contiguous array of 32-byte
+// fixed-width slot records, 8-byte aligned at a recorded offset — designed
+// so a future reader can mmap the file and point straight at the rings.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rainshine::stream {
+
+/// A snapshot file that cannot be adopted (bad magic/version/CRC/shape).
+class snapshot_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One resolution tier of a series.
+struct TierSpec {
+  std::int64_t step_hours = 1;  ///< bucket width in simulated hours
+  std::size_t slots = 0;        ///< ring length; retains slots * step_hours
+};
+
+struct SeriesSpec {
+  std::string name;
+  std::vector<TierSpec> tiers;
+};
+
+/// One aggregate bucket, as stored and as read back. count == 0 marks a gap
+/// (no samples landed in the bucket while it was in the window).
+struct AggregateSample {
+  std::int64_t bucket_start_hour = 0;
+  std::uint32_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+using SeriesId = std::size_t;
+
+class SeriesStore {
+ public:
+  SeriesStore() = default;
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+
+  /// Registers a series; returns its id. Names must be unique; every tier
+  /// needs step_hours >= 1 and slots >= 1. This is the ONLY call that
+  /// allocates — memory_bytes() is constant afterwards.
+  SeriesId add_series(SeriesSpec spec);
+
+  /// Folds `value` at simulated `hour` into every tier of `id`. Returns
+  /// false (and counts a late drop) when `hour` has already rotated out of
+  /// the tier's window; a sample late for one tier still lands in coarser
+  /// tiers that retain it.
+  bool push(SeriesId id, std::int64_t hour, double value);
+
+  /// Chronological read of tier `tier` over bucket-start hours
+  /// [from_hour, to_hour); gaps come back with count == 0. Hours outside the
+  /// retained window are simply absent from the result.
+  [[nodiscard]] std::vector<AggregateSample> read(
+      SeriesId id, std::size_t tier,
+      std::int64_t from_hour = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t to_hour = std::numeric_limits<std::int64_t>::max()) const;
+
+  /// Series id by name; throws std::out_of_range when unknown.
+  [[nodiscard]] SeriesId id_of(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<SeriesSpec> describe() const;
+  [[nodiscard]] std::size_t num_series() const;
+
+  /// Newest hour ever pushed to `id` (-1 before the first push).
+  [[nodiscard]] std::int64_t last_hour(SeriesId id) const;
+
+  /// Total heap footprint of every ring + bookkeeping, in bytes. Constant
+  /// after the last add_series() — the property the soak test asserts.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Writes / reads the binary snapshot. restore() requires an empty store
+  /// and rebuilds series, tiers and ring contents exactly; a corrupt or
+  /// truncated stream throws snapshot_error with the store untouched.
+  void snapshot(std::ostream& out) const;
+  void restore(std::istream& in);
+
+ private:
+  struct Tier {
+    TierSpec spec;
+    std::vector<AggregateSample> slots;  // index = bucket % spec.slots
+    std::int64_t last_bucket = -1;       // newest bucket ever written; -1 = empty
+  };
+  struct Series {
+    std::string name;
+    std::vector<Tier> tiers;
+    std::int64_t last_hour = -1;
+  };
+
+  void advance_to(Tier& t, std::int64_t bucket);
+
+  mutable std::shared_mutex mutex_;
+  std::vector<Series> series_;
+};
+
+}  // namespace rainshine::stream

@@ -1,0 +1,94 @@
+#include "rainshine/stream/retrain.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "rainshine/cart/dataset.hpp"
+#include "rainshine/core/observations.hpp"
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::stream {
+
+RetrainController::RetrainController(const simdc::Fleet& fleet,
+                                     const simdc::EnvironmentModel& env,
+                                     serve::ModelRegistry& registry,
+                                     RetrainConfig config)
+    : fleet_(&fleet), env_(&env), registry_(&registry), config_(std::move(config)) {
+  util::require(!config_.model_name.empty(), "retrain needs a model name");
+  util::require(config_.interval_days >= 1, "interval_days must be >= 1");
+  util::require(config_.window_days >= 1, "window_days must be >= 1");
+  util::require(config_.min_history_days >= 1, "min_history_days must be >= 1");
+  util::require(config_.day_stride >= 1, "day_stride must be >= 1");
+}
+
+std::optional<serve::ModelKey> RetrainController::on_chunk(const TicketChunk& chunk) {
+  util::require(chunk.day == last_day_ + 1,
+                "ticket chunks must arrive in day order with no gaps");
+  last_day_ = chunk.day;
+  window_.insert(window_.end(), chunk.tickets.begin(), chunk.tickets.end());
+
+  // Prune tickets that have aged out of every window a future retrain can
+  // ask for; this bounds memory to one window regardless of stream length.
+  const util::DayIndex keep_from = chunk.day + 1 - config_.window_days;
+  while (!window_.empty() && window_.front().open_day() < keep_from) {
+    window_.pop_front();
+  }
+
+  if ((chunk.day + 1) % config_.interval_days != 0) return std::nullopt;
+  return retrain_now(chunk.day);
+}
+
+std::optional<serve::ModelKey> RetrainController::retrain_now(
+    util::DayIndex through_day) {
+  const util::DayIndex end = through_day + 1;  // exclusive
+  if (end < config_.min_history_days) return std::nullopt;
+  const util::DayIndex first = std::max<util::DayIndex>(0, end - config_.window_days);
+
+  const obs::ScopedTimer timer(obs::registry().histogram("stream.retrain_us"));
+
+  // The window log sees exactly the tickets the stream had finalized by
+  // `through_day` — late-opening spillover from earlier days included, since
+  // those arrived in earlier chunks and survive in window_.
+  std::vector<simdc::Ticket> tickets(window_.begin(), window_.end());
+  const simdc::TicketLog log(std::move(tickets));
+  const core::FailureMetrics metrics(*fleet_, log);
+
+  core::ObservationOptions obs_opt;
+  obs_opt.day_stride = config_.day_stride;
+  obs_opt.include_mu = config_.include_mu;
+  obs_opt.first_day = first;
+  obs_opt.last_day = end;
+  const table::Table tbl = core::rack_day_table(metrics, *env_, obs_opt);
+
+  // The live model scores rack-days from static identity plus the inlet
+  // conditions the telemetry stream observes.
+  std::vector<std::string> features = core::static_rack_features();
+  features.push_back(core::col::kTempF);
+  features.push_back(core::col::kRh);
+  const cart::Dataset data(tbl, core::col::kLambdaHw, std::move(features),
+                           cart::Task::kRegression,
+                           cart::MissingResponse::kDropRows);
+
+  cart::Forest forest = cart::grow_forest(data, config_.forest);
+
+  serve::ModelArtifact artifact;
+  artifact.meta.name = config_.model_name;
+  artifact.meta.version = next_version_++;
+  artifact.meta.task = forest.task();
+  artifact.meta.schema = forest.trees().front().features();
+  artifact.meta.class_labels = forest.trees().front().class_labels();
+  artifact.meta.config = config_.forest;
+  artifact.meta.oob_error = forest.oob_error();
+  artifact.forest = std::make_shared<const cart::Forest>(std::move(forest));
+
+  const serve::ModelKey key = registry_->put(std::move(artifact));
+  obs::registry().counter("stream.retrains").add(1);
+  obs::registry().gauge("stream.swap_generation").set(
+      static_cast<double>(registry_->swap_generation()));
+  return key;
+}
+
+}  // namespace rainshine::stream

@@ -1,0 +1,187 @@
+#include "rainshine/stream/source.hpp"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/obs/trace.hpp"
+#include "rainshine/util/check.hpp"
+#include "rainshine/util/parallel.hpp"
+
+namespace rainshine::stream {
+
+namespace {
+
+/// A generated-but-not-yet-final ticket plus the coordinates that order it.
+/// The batch TicketLog is a stable sort by open_hour over rack-major
+/// generation order, so the full sort key is (open_hour, rack_idx, day, seq):
+/// equal open_hours keep generation order, which is rack first, then day,
+/// then within-day sequence.
+struct Pending {
+  simdc::Ticket ticket;
+  std::size_t rack_idx = 0;
+  util::DayIndex day = 0;
+  std::uint32_t seq = 0;
+};
+
+struct PendingAfter {
+  bool operator()(const Pending& a, const Pending& b) const noexcept {
+    if (a.ticket.open_hour != b.ticket.open_hour)
+      return a.ticket.open_hour > b.ticket.open_hour;
+    if (a.rack_idx != b.rack_idx) return a.rack_idx > b.rack_idx;
+    if (a.day != b.day) return a.day > b.day;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+TicketStream::TicketStream(const simdc::Fleet& fleet,
+                           const simdc::HazardModel& hazard, SourceOptions options)
+    : fleet_(&fleet),
+      hazard_(&hazard),
+      options_(options),
+      channel_(options.channel_capacity) {
+  producer_ = std::thread([this] { produce(); });
+}
+
+TicketStream::~TicketStream() {
+  stop();
+  if (producer_.joinable()) producer_.join();
+}
+
+std::optional<TicketChunk> TicketStream::next() {
+  auto chunk = channel_.pop();
+  obs::registry().gauge("stream.ticket_channel_depth").set(
+      static_cast<double>(channel_.size()));
+  return chunk;
+}
+
+void TicketStream::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  channel_.close();
+}
+
+void TicketStream::produce() {
+  obs::Counter& tickets_emitted =
+      obs::registry().counter("stream.tickets_emitted");
+  obs::Counter& chunks_emitted = obs::registry().counter("stream.ticket_chunks");
+  obs::Gauge& depth = obs::registry().gauge("stream.ticket_channel_depth");
+  obs::Histogram& day_us = obs::registry().histogram("stream.day_sim_us");
+
+  const util::Rng root = simdc::ticket_stream_root(options_.seed);
+  const auto& racks = fleet_->racks();
+  const util::DayIndex num_days = fleet_->spec().num_days;
+
+  std::priority_queue<Pending, std::vector<Pending>, PendingAfter> pending;
+  std::int32_t next_burst_id = 0;
+
+  for (util::DayIndex day = 0; day < num_days; ++day) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const obs::ScopedTimer timer(day_us);
+
+    // Simulate every (rack, day) cell. Each cell's stream is split from
+    // (root, rack.id, day), so running them on the pool in any schedule
+    // makes the same draws as the batch rack-major sweep. Correlated-event
+    // ids are cell-local here and offset below in rack order — exactly the
+    // (day, rack, discovery) chronological numbering batch simulate() uses.
+    auto cells = util::parallel_map(racks.size(), [&](std::size_t i) {
+      std::vector<simdc::Ticket> out;
+      const std::int32_t opened =
+          simdc::simulate_rack_day(*hazard_, root, racks[i], day, 0, out);
+      return std::pair<std::vector<simdc::Ticket>, std::int32_t>(std::move(out),
+                                                                 opened);
+    });
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      auto& [cell_tickets, opened] = cells[i];
+      std::uint32_t seq = 0;
+      for (simdc::Ticket& t : cell_tickets) {
+        if (t.burst_id >= 0) t.burst_id += next_burst_id;
+        pending.push(Pending{t, i, day, seq++});
+      }
+      next_burst_id += opened;
+    }
+
+    // Watermark: tickets generated on day e >= day + 1 open at or after
+    // first_hour(e), so everything below first_hour(day + 1) is final. The
+    // last day flushes everything, overhang included.
+    const util::HourIndex watermark =
+        day + 1 < num_days ? util::Calendar::first_hour(day + 1)
+                           : std::numeric_limits<util::HourIndex>::max();
+    TicketChunk chunk;
+    chunk.day = day;
+    while (!pending.empty() && pending.top().ticket.open_hour < watermark) {
+      chunk.tickets.push_back(pending.top().ticket);
+      pending.pop();
+    }
+
+    tickets_emitted.add(chunk.tickets.size());
+    if (!channel_.push(std::move(chunk))) return;  // consumer stopped us
+    chunks_emitted.add(1);
+    depth.set(static_cast<double>(channel_.size()));
+  }
+  channel_.close();
+}
+
+TelemetryStream::TelemetryStream(const simdc::Fleet& fleet,
+                                 const simdc::EnvironmentModel& env,
+                                 SourceOptions options)
+    : fleet_(&fleet),
+      env_(&env),
+      options_(options),
+      channel_(options.channel_capacity) {
+  util::require(options_.telemetry_samples_per_day > 0 &&
+                    util::kHoursPerDay % options_.telemetry_samples_per_day == 0,
+                "telemetry_samples_per_day must divide 24");
+  producer_ = std::thread([this] { produce(); });
+}
+
+TelemetryStream::~TelemetryStream() {
+  stop();
+  if (producer_.joinable()) producer_.join();
+}
+
+std::optional<TelemetryChunk> TelemetryStream::next() {
+  auto chunk = channel_.pop();
+  obs::registry().gauge("stream.telemetry_channel_depth").set(
+      static_cast<double>(channel_.size()));
+  return chunk;
+}
+
+void TelemetryStream::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  channel_.close();
+}
+
+void TelemetryStream::produce() {
+  obs::Counter& samples = obs::registry().counter("stream.telemetry_samples");
+  obs::Gauge& depth = obs::registry().gauge("stream.telemetry_channel_depth");
+
+  const auto& racks = fleet_->racks();
+  const int stride = util::kHoursPerDay / options_.telemetry_samples_per_day;
+
+  for (util::DayIndex day = 0; day < fleet_->spec().num_days; ++day) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    TelemetryChunk chunk;
+    chunk.day = day;
+    chunk.readings.reserve(racks.size() *
+                           static_cast<std::size_t>(options_.telemetry_samples_per_day));
+    for (const simdc::Rack& rack : racks) {
+      for (int k = 0; k < options_.telemetry_samples_per_day; ++k) {
+        const util::HourIndex hour =
+            util::Calendar::first_hour(day) + k * stride;
+        const simdc::Conditions c = env_->at(rack, hour);
+        chunk.readings.push_back(
+            {rack.id, hour, c.temperature_f, c.relative_humidity});
+      }
+    }
+    samples.add(chunk.readings.size());
+    if (!channel_.push(std::move(chunk))) return;
+    depth.set(static_cast<double>(channel_.size()));
+  }
+  channel_.close();
+}
+
+}  // namespace rainshine::stream

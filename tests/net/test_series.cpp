@@ -1,0 +1,147 @@
+// GET /series: the ring-store scrape endpoint — catalogue listing, typed
+// query parsing with explicit bounds, newest-first truncation, gap nulls,
+// and the 404 when no SeriesStore is attached.
+#include <gtest/gtest.h>
+
+#include "rainshine/net/loadgen.hpp"
+#include "rainshine/net/server.hpp"
+#include "rainshine/net/socket.hpp"
+#include "rainshine/obs/export.hpp"
+#include "rainshine/stream/store.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::net {
+namespace {
+
+using serve::ModelArtifact;
+using serve::ModelMetadata;
+using serve::PredictionService;
+
+ModelArtifact tiny_artifact() {
+  util::Rng rng(9);
+  std::vector<double> x(80);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 1.0);
+    y[i] = x[i];
+  }
+  table::Table t;
+  t.add_column("x", table::Column::continuous(std::move(x)));
+  t.add_column("y", table::Column::continuous(std::move(y)));
+  const cart::Dataset data(t, "y", {"x"}, cart::Task::kRegression);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 2;
+  cfg.seed = 9;
+  cart::Forest forest = cart::grow_forest(data, cfg);
+  ModelMetadata meta;
+  meta.name = "series-test";
+  meta.version = 1;
+  meta.task = forest.task();
+  meta.schema = forest.trees().front().features();
+  return ModelArtifact{std::move(meta),
+                       std::make_shared<const cart::Forest>(std::move(forest))};
+}
+
+/// Store with one two-tier series holding hours 0..99 (value == hour) and a
+/// deliberate gap at hours 50..59, plus a second small series.
+struct SeriesFixture {
+  stream::SeriesStore store;
+  std::shared_ptr<PredictionService> service;
+  std::unique_ptr<HttpServer> server;
+
+  SeriesFixture() {
+    const stream::SeriesId a =
+        store.add_series({"env.temp_f.R0", {{1, 256}, {24, 16}}});
+    store.add_series({"fail.hw.dc.DC1", {{24, 8}}});
+    for (std::int64_t h = 0; h < 100; ++h) {
+      if (h >= 50 && h < 60) continue;
+      store.push(a, h, static_cast<double>(h));
+    }
+    service = std::make_shared<PredictionService>(tiny_artifact());
+    server = std::make_unique<HttpServer>(service, nullptr, ServerConfig{},
+                                          &store);
+  }
+
+  [[nodiscard]] ResponseOutcome get(const std::string& target) const {
+    return request_once("127.0.0.1", server->port(), "GET", target);
+  }
+};
+
+TEST(SeriesEndpoint, CatalogueListsEverySeriesWithTierGeometry) {
+  const SeriesFixture fx;
+  const auto resp = fx.get("/series");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.header("Content-Type").value_or(""), "application/json");
+  ASSERT_EQ(obs::json_parse_error(resp.body), std::nullopt);
+  EXPECT_NE(resp.body.find("\"schema\":\"rainshine.series.v1\""),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("\"name\":\"env.temp_f.R0\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"name\":\"fail.hw.dc.DC1\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"step_hours\":24"), std::string::npos);
+}
+
+TEST(SeriesEndpoint, ReadsSamplesWithAggregatesAndGapNulls) {
+  const SeriesFixture fx;
+  const auto resp =
+      fx.get("/series?series=env.temp_f.R0&from_hour=48&to_hour=62");
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_EQ(obs::json_parse_error(resp.body), std::nullopt);
+  EXPECT_NE(resp.body.find("\"last_hour\":99"), std::string::npos);
+  // Hour 49 carries data; the 50..59 gap must surface as count-0 nulls.
+  EXPECT_NE(resp.body.find("{\"hour\":49,\"count\":1,\"mean\":49,\"min\":49,"
+                           "\"max\":49}"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("{\"hour\":50,\"count\":0,\"mean\":null,"
+                           "\"min\":null,\"max\":null}"),
+            std::string::npos);
+}
+
+TEST(SeriesEndpoint, DownsampledTierAggregatesWholeDays) {
+  const SeriesFixture fx;
+  const auto resp = fx.get("/series?series=env.temp_f.R0&tier=1");
+  ASSERT_EQ(resp.status, 200);
+  ASSERT_EQ(obs::json_parse_error(resp.body), std::nullopt);
+  // Day 0 aggregates hours 0..23: count 24, mean 11.5, min 0, max 23.
+  EXPECT_NE(resp.body.find("{\"hour\":0,\"count\":24,\"mean\":11.5,\"min\":0,"
+                           "\"max\":23}"),
+            std::string::npos);
+}
+
+TEST(SeriesEndpoint, TruncatesToTheNewestMaxPoints) {
+  const SeriesFixture fx;
+  const auto resp = fx.get("/series?series=env.temp_f.R0&max_points=3");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"truncated\":true"), std::string::npos);
+  // Only the newest three buckets survive: hours 97, 98, 99.
+  EXPECT_EQ(resp.body.find("\"hour\":96,"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"hour\":97,"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"hour\":99,"), std::string::npos);
+}
+
+TEST(SeriesEndpoint, TypedQueryErrors) {
+  const SeriesFixture fx;
+  EXPECT_EQ(fx.get("/series?series=nope").status, 404);
+  EXPECT_EQ(fx.get("/series?series=env.temp_f.R0&tier=7").status, 400);
+  EXPECT_EQ(fx.get("/series?series=env.temp_f.R0&tier=frog").status, 400);
+  EXPECT_EQ(fx.get("/series?series=env.temp_f.R0&max_points=0").status, 400);
+  EXPECT_EQ(fx.get("/series?series=env.temp_f.R0&max_points=9999").status, 400);
+  EXPECT_EQ(fx.get("/series?series=env.temp_f.R0&from_hour=-2").status, 400);
+  EXPECT_EQ(
+      fx.get("/series?series=env.temp_f.R0&from_hour=10&to_hour=5").status,
+      400);
+  // Wrong method on a valid target.
+  const auto post =
+      request_once("127.0.0.1", fx.server->port(), "POST", "/series", "x");
+  EXPECT_EQ(post.status, 405);
+}
+
+TEST(SeriesEndpoint, WithoutAStoreTheEndpointIs404) {
+  auto service = std::make_shared<PredictionService>(tiny_artifact());
+  const HttpServer server(service, nullptr, ServerConfig{});
+  const auto resp =
+      request_once("127.0.0.1", server.port(), "GET", "/series");
+  EXPECT_EQ(resp.status, 404);
+}
+
+}  // namespace
+}  // namespace rainshine::net

@@ -1,0 +1,141 @@
+// Hot-swap under load: ModelRegistry::put while batch scoring is in flight.
+// The registry contract — get() hands out a shared_ptr the caller pins for
+// as long as it scores — means a swap must never tear a prediction or free
+// a forest under a reader. The scoring threads here hammer exactly that
+// window; the tests_serve TSan CI job runs this suite to certify the
+// synchronization, not just the outcome.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rainshine/serve/registry.hpp"
+#include "rainshine/serve/service.hpp"
+#include "rainshine/util/rng.hpp"
+
+namespace rainshine::serve {
+namespace {
+
+using table::Column;
+using table::Table;
+
+/// A forest that predicts EXACTLY `value` everywhere: constant-target
+/// regression makes every leaf mean `value`, so any torn read — scoring a
+/// batch partly against one model and partly against another — would show
+/// up as a mixed batch.
+ModelArtifact constant_artifact(std::uint32_t version, double value) {
+  util::Rng rng(7);
+  std::vector<double> x(64);
+  std::vector<double> y(64, value);
+  for (auto& xi : x) xi = rng.uniform(0.0, 1.0);
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  t.add_column("y", Column::continuous(std::move(y)));
+  const cart::Dataset data(t, "y", {"x"}, cart::Task::kRegression);
+  cart::ForestConfig cfg;
+  cfg.num_trees = 3;
+  cfg.seed = 7;
+  cart::Forest forest = cart::grow_forest(data, cfg);
+  ModelMetadata meta;
+  meta.name = "live";
+  meta.version = version;
+  meta.task = forest.task();
+  meta.schema = forest.trees().front().features();
+  return ModelArtifact{std::move(meta),
+                       std::make_shared<const cart::Forest>(std::move(forest))};
+}
+
+/// Score-only rows in the artifacts' shared one-column schema (the same
+/// reference-schema construction the /score path uses).
+cart::Dataset eval_rows(const ModelArtifact& reference) {
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) / 256.0;
+  }
+  Table t;
+  t.add_column("x", Column::continuous(std::move(x)));
+  return cart::Dataset(t, reference.meta.schema);
+}
+
+TEST(RegistrySwapLoad, PutDuringInFlightScoringNeverTearsABatch) {
+  constexpr std::uint32_t kVersions = 24;
+  ModelRegistry registry;
+  registry.put(constant_artifact(1, 1.0));
+  const cart::Dataset eval = eval_rows(*registry.get("live"));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> batches{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Pin the newest artifact, then score a whole batch against it. The
+        // writer may publish several versions mid-batch; the pin must keep
+        // every row on the version we grabbed.
+        const std::shared_ptr<const ModelArtifact> artifact =
+            registry.get("live");
+        ASSERT_NE(artifact, nullptr);
+        const double expected = static_cast<double>(artifact->meta.version);
+        const std::vector<double> preds = artifact->forest->predict(eval);
+        ASSERT_EQ(preds.size(), 256u);
+        for (const double p : preds) {
+          ASSERT_EQ(p, expected) << "batch torn across a hot swap";
+        }
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (std::uint32_t v = 2; v <= kVersions; ++v) {
+    registry.put(constant_artifact(v, static_cast<double>(v)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(batches.load(), 0u);
+  EXPECT_EQ(registry.swap_generation(), kVersions);
+  const auto newest = registry.get("live");
+  ASSERT_NE(newest, nullptr);
+  EXPECT_EQ(newest->meta.version, kVersions);
+}
+
+TEST(RegistrySwapLoad, SameVersionOverwriteKeepsThePinnedArtifactAlive) {
+  ModelRegistry registry;
+  registry.put(constant_artifact(1, 10.0));
+  const cart::Dataset eval = eval_rows(*registry.get("live"));
+
+  // Pin the original, then overwrite its registry slot in place.
+  const std::shared_ptr<const ModelArtifact> pinned = registry.get("live", 1);
+  ASSERT_NE(pinned, nullptr);
+  const std::weak_ptr<const cart::Forest> old_forest = pinned->forest;
+  registry.put(constant_artifact(1, 20.0));
+
+  // The registry now serves the replacement...
+  const auto replacement = registry.get("live", 1);
+  EXPECT_EQ(replacement->forest->predict(eval).front(), 20.0);
+  // ...while the pinned copy still scores with the OLD forest, untouched.
+  EXPECT_EQ(pinned->forest->predict(eval).front(), 10.0);
+  EXPECT_FALSE(old_forest.expired());
+}
+
+TEST(RegistrySwapLoad, ServiceSnapshotsOutliveRegistryChurn) {
+  ModelRegistry registry;
+  registry.put(constant_artifact(1, 5.0));
+
+  // A PredictionService built from a get() snapshot — the serving path —
+  // keeps scoring the model it was built with through arbitrary churn.
+  const auto snapshot = registry.get("live");
+  PredictionService service(*snapshot);
+  for (std::uint32_t v = 2; v <= 6; ++v) {
+    registry.put(constant_artifact(v, static_cast<double>(v)));
+  }
+  EXPECT_EQ(service.model().version, 1u);
+  EXPECT_EQ(registry.get("live")->meta.version, 6u);
+}
+
+}  // namespace
+}  // namespace rainshine::serve

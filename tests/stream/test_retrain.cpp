@@ -1,0 +1,199 @@
+// RetrainController: the rolling-window loop end to end — >= 3 retrains over
+// one streamed horizon, monotone versioning into the registry, and the
+// determinism acceptance bar: every published artifact and every post-swap
+// scored batch is byte-identical across reruns and thread counts.
+#include "rainshine/stream/retrain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+#include "rainshine/core/observations.hpp"
+#include "rainshine/serve/artifact.hpp"
+#include "rainshine/serve/service.hpp"
+#include "rainshine/util/parallel.hpp"
+
+namespace rainshine::stream {
+namespace {
+
+struct World {
+  simdc::Fleet fleet;
+  simdc::EnvironmentModel env;
+  simdc::HazardModel hazard;
+
+  World()
+      : World([] {
+          simdc::FleetSpec spec = simdc::FleetSpec::test_default();
+          spec.num_days = 60;
+          return spec;
+        }()) {}
+  explicit World(const simdc::FleetSpec& spec)
+      : fleet(spec), env(fleet, spec.seed), hazard(fleet, env) {}
+};
+
+RetrainConfig fast_config() {
+  RetrainConfig cfg;
+  cfg.interval_days = 15;  // 60 streamed days -> retrains after days 14/29/44/59
+  cfg.window_days = 30;
+  cfg.min_history_days = 15;
+  cfg.forest.num_trees = 4;
+  cfg.forest.seed = 11;
+  return cfg;
+}
+
+/// A fixed scoring batch in the live model's schema (static rack identity +
+/// inlet conditions), built once from the deterministic world.
+cart::Dataset eval_dataset(const World& w) {
+  const simdc::TicketLog log =
+      simdc::simulate(w.fleet, w.env, w.hazard, {.seed = w.fleet.spec().seed});
+  const core::FailureMetrics metrics(w.fleet, log);
+  core::ObservationOptions opt;
+  opt.day_stride = 7;
+  const table::Table tbl = core::rack_day_table(metrics, w.env, opt);
+  std::vector<std::string> features = core::static_rack_features();
+  features.push_back(core::col::kTempF);
+  features.push_back(core::col::kRh);
+  return cart::Dataset(tbl, core::col::kLambdaHw, std::move(features),
+                       cart::Task::kRegression,
+                       cart::MissingResponse::kDropRows);
+}
+
+struct RunResult {
+  std::vector<serve::ModelKey> keys;
+  std::vector<std::string> artifact_bytes;         ///< save_forest, per version
+  std::vector<std::vector<double>> predictions;    ///< post-swap batch, per version
+};
+
+/// Streams the full horizon through a fresh controller, scoring the fixed
+/// eval batch against every model the moment it is published.
+RunResult run_pipeline(const World& w, const cart::Dataset& eval) {
+  serve::ModelRegistry registry;
+  RetrainController controller(w.fleet, w.env, registry, fast_config());
+  SourceOptions src;
+  src.seed = w.fleet.spec().seed;
+  TicketStream stream(w.fleet, w.hazard, src);
+
+  RunResult result;
+  while (auto chunk = stream.next()) {
+    const auto key = controller.on_chunk(*chunk);
+    if (!key) continue;
+    const auto artifact = registry.get(key->name, key->version);
+    EXPECT_NE(artifact, nullptr);
+    std::ostringstream bytes;
+    serve::save_forest(*artifact->forest, artifact->meta, bytes);
+    result.keys.push_back(*key);
+    result.artifact_bytes.push_back(std::move(bytes).str());
+    result.predictions.push_back(artifact->forest->predict(eval));
+  }
+  EXPECT_EQ(controller.versions_published(), result.keys.size());
+  return result;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.keys.size(), b.keys.size());
+  for (std::size_t v = 0; v < a.keys.size(); ++v) {
+    EXPECT_EQ(a.keys[v], b.keys[v]);
+    EXPECT_EQ(a.artifact_bytes[v], b.artifact_bytes[v]) << "version " << v + 1;
+    ASSERT_EQ(a.predictions[v].size(), b.predictions[v].size());
+    for (std::size_t i = 0; i < a.predictions[v].size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.predictions[v][i]),
+                std::bit_cast<std::uint64_t>(b.predictions[v][i]))
+          << "version " << v + 1 << " row " << i;
+    }
+  }
+}
+
+TEST(RetrainController, PublishesRollingVersionsAcrossTheStream) {
+  const World w;
+  const cart::Dataset eval = eval_dataset(w);
+  const RunResult run = run_pipeline(w, eval);
+
+  // 60 days at a 15-day cadence: four rolling retrains, versioned 1..4.
+  ASSERT_EQ(run.keys.size(), 4u);
+  for (std::size_t v = 0; v < run.keys.size(); ++v) {
+    EXPECT_EQ(run.keys[v].name, "lambda-hw-live");
+    EXPECT_EQ(run.keys[v].version, v + 1);
+    EXPECT_FALSE(run.predictions[v].empty());
+  }
+  // Models really differ across windows (the stream is moving data, not a
+  // constant): at least one pair of consecutive artifacts must change.
+  bool any_change = false;
+  for (std::size_t v = 1; v < run.artifact_bytes.size(); ++v) {
+    any_change = any_change || run.artifact_bytes[v] != run.artifact_bytes[v - 1];
+  }
+  EXPECT_TRUE(any_change);
+}
+
+TEST(RetrainController, RerunsAreByteIdentical) {
+  const World w;
+  const cart::Dataset eval = eval_dataset(w);
+  expect_identical(run_pipeline(w, eval), run_pipeline(w, eval));
+}
+
+TEST(RetrainController, ThreadCountCannotPerturbPublishedModels) {
+  const World w;
+  const cart::Dataset eval = eval_dataset(w);
+  util::set_num_threads(1);
+  const RunResult serial = run_pipeline(w, eval);
+  util::set_num_threads(4);
+  const RunResult pooled = run_pipeline(w, eval);
+  util::clear_thread_override();
+  expect_identical(serial, pooled);
+}
+
+TEST(RetrainController, RegistryServesTheNewestVersionAfterEachSwap) {
+  const World w;
+  serve::ModelRegistry registry;
+  RetrainController controller(w.fleet, w.env, registry, fast_config());
+  SourceOptions src;
+  src.seed = w.fleet.spec().seed;
+  TicketStream stream(w.fleet, w.hazard, src);
+
+  std::uint64_t last_generation = 0;
+  while (auto chunk = stream.next()) {
+    if (const auto key = controller.on_chunk(*chunk)) {
+      const auto current = controller.current();
+      ASSERT_NE(current, nullptr);
+      EXPECT_EQ(current->meta.version, key->version);
+      // Each publish is one registry swap, observable via the generation.
+      EXPECT_GT(registry.swap_generation(), last_generation);
+      last_generation = registry.swap_generation();
+      // The published artifact is immediately serveable.
+      const serve::PredictionService service(*current);
+      EXPECT_EQ(service.model().version, key->version);
+    }
+  }
+  EXPECT_EQ(registry.swap_generation(), 4u);
+}
+
+TEST(RetrainController, TooShortHistoryDoesNotPublish) {
+  const World w;
+  serve::ModelRegistry registry;
+  RetrainConfig cfg = fast_config();
+  cfg.min_history_days = 1000;  // longer than the horizon
+  RetrainController controller(w.fleet, w.env, registry, cfg);
+
+  TicketChunk chunk;
+  chunk.day = 0;
+  EXPECT_EQ(controller.on_chunk(chunk), std::nullopt);
+  EXPECT_EQ(controller.retrain_now(0), std::nullopt);
+  EXPECT_EQ(controller.versions_published(), 0u);
+  EXPECT_EQ(controller.current(), nullptr);
+}
+
+TEST(RetrainController, ChunksMustArriveInOrder) {
+  const World w;
+  serve::ModelRegistry registry;
+  RetrainController controller(w.fleet, w.env, registry, fast_config());
+  TicketChunk day0;
+  day0.day = 0;
+  controller.on_chunk(day0);
+  TicketChunk day5;
+  day5.day = 5;  // gap
+  EXPECT_THROW(controller.on_chunk(day5), std::exception);
+}
+
+}  // namespace
+}  // namespace rainshine::stream

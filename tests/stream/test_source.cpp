@@ -1,0 +1,163 @@
+// Stream sources vs. the batch sweep: the concatenated TicketStream must be
+// BYTE-IDENTICAL to simdc::simulate for the same seed — every field of every
+// ticket, burst ids included, at any thread count — and the TelemetryStream
+// must replay the deterministic EnvironmentModel exactly.
+#include "rainshine/stream/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rainshine/util/parallel.hpp"
+
+namespace rainshine::stream {
+namespace {
+
+struct World {
+  simdc::Fleet fleet;
+  simdc::EnvironmentModel env;
+  simdc::HazardModel hazard;
+
+  explicit World(util::DayIndex days = 0)
+      : World([days] {
+          simdc::FleetSpec spec = simdc::FleetSpec::test_default();
+          if (days > 0) spec.num_days = days;
+          return spec;
+        }()) {}
+  explicit World(const simdc::FleetSpec& spec)
+      : fleet(spec), env(fleet, spec.seed), hazard(fleet, env) {}
+};
+
+/// Field-by-field equality — Ticket has padding, so no memcmp of structs.
+void expect_ticket_eq(const simdc::Ticket& a, const simdc::Ticket& b,
+                      std::size_t at) {
+  EXPECT_EQ(a.rack_id, b.rack_id) << "ticket " << at;
+  EXPECT_EQ(a.server_index, b.server_index) << "ticket " << at;
+  EXPECT_EQ(a.component_index, b.component_index) << "ticket " << at;
+  EXPECT_EQ(a.fault, b.fault) << "ticket " << at;
+  EXPECT_EQ(a.true_positive, b.true_positive) << "ticket " << at;
+  EXPECT_EQ(a.burst_id, b.burst_id) << "ticket " << at;
+  EXPECT_EQ(a.open_hour, b.open_hour) << "ticket " << at;
+  EXPECT_EQ(a.close_hour, b.close_hour) << "ticket " << at;
+}
+
+std::vector<simdc::Ticket> drain(const World& w, std::uint64_t seed) {
+  SourceOptions opt;
+  opt.seed = seed;
+  TicketStream stream(w.fleet, w.hazard, opt);
+  std::vector<simdc::Ticket> all;
+  util::DayIndex expect_day = 0;
+  while (auto chunk = stream.next()) {
+    EXPECT_EQ(chunk->day, expect_day++);  // chunks arrive in day order, no gaps
+    // Tickets inside a chunk are final: sorted by the batch-log total order
+    // and all opening before the next day's watermark.
+    for (std::size_t i = 1; i < chunk->tickets.size(); ++i) {
+      EXPECT_LE(chunk->tickets[i - 1].open_hour, chunk->tickets[i].open_hour);
+    }
+    all.insert(all.end(), chunk->tickets.begin(), chunk->tickets.end());
+  }
+  EXPECT_EQ(expect_day, w.fleet.spec().num_days);
+  return all;
+}
+
+TEST(TicketStream, ConcatenationIsByteIdenticalToBatchSimulate) {
+  const World w;
+  const std::uint64_t seed = w.fleet.spec().seed;
+  const simdc::TicketLog batch =
+      simdc::simulate(w.fleet, w.env, w.hazard, {.seed = seed});
+  ASSERT_GT(batch.size(), 0u);
+
+  const std::vector<simdc::Ticket> streamed = drain(w, seed);
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    expect_ticket_eq(streamed[i], batch.tickets()[i], i);
+  }
+}
+
+TEST(TicketStream, ByteIdentityHoldsAcrossThreadCounts) {
+  const World w(30);
+  const std::uint64_t seed = 77;
+
+  util::set_num_threads(4);
+  const simdc::TicketLog batch =
+      simdc::simulate(w.fleet, w.env, w.hazard, {.seed = seed});
+  const std::vector<simdc::Ticket> streamed4 = drain(w, seed);
+  util::set_num_threads(1);
+  const std::vector<simdc::Ticket> streamed1 = drain(w, seed);
+  util::clear_thread_override();
+
+  ASSERT_EQ(streamed1.size(), batch.size());
+  ASSERT_EQ(streamed4.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_ticket_eq(streamed1[i], batch.tickets()[i], i);
+    expect_ticket_eq(streamed4[i], batch.tickets()[i], i);
+  }
+}
+
+TEST(TicketStream, FinalChunkCarriesTheOverhang) {
+  // Every ticket the batch log contains must come out of SOME chunk — in
+  // particular tickets whose staggered onsets land past the last simulated
+  // day (the batch log keeps them; the final chunk's INT64_MAX watermark
+  // must flush them too). Checked implicitly by the identity test above;
+  // here we assert the property that makes it work: nothing is ever emitted
+  // late (a chunk never contains an open_hour below its own day's start).
+  const World w(20);
+  SourceOptions opt;
+  opt.seed = 5;
+  TicketStream stream(w.fleet, w.hazard, opt);
+  util::HourIndex prev_max = 0;
+  while (auto chunk = stream.next()) {
+    for (const simdc::Ticket& t : chunk->tickets) {
+      EXPECT_GE(t.open_hour, prev_max);  // cross-chunk order is global
+      prev_max = std::max(prev_max, t.open_hour);
+    }
+  }
+}
+
+TEST(TicketStream, StopUnblocksAndEndsTheStream) {
+  const World w(60);
+  SourceOptions opt;
+  opt.seed = 3;
+  opt.channel_capacity = 1;  // producer backpressures almost immediately
+  TicketStream stream(w.fleet, w.hazard, opt);
+  ASSERT_TRUE(stream.next().has_value());
+  stream.stop();
+  // Whatever was already queued may drain; the stream must end promptly.
+  while (stream.next()) {
+  }
+  EXPECT_EQ(stream.next(), std::nullopt);
+}
+
+TEST(TelemetryStream, ReplaysTheEnvironmentModelExactly) {
+  const World w(5);
+  SourceOptions opt;
+  opt.telemetry_samples_per_day = 8;  // every 3rd hour
+  TelemetryStream stream(w.fleet, w.env, opt);
+
+  util::DayIndex day = 0;
+  std::size_t total = 0;
+  while (auto chunk = stream.next()) {
+    EXPECT_EQ(chunk->day, day++);
+    EXPECT_EQ(chunk->readings.size(), w.fleet.num_racks() * 8u);
+    for (const TelemetryReading& r : chunk->readings) {
+      const auto conditions = w.env.at(w.fleet.rack(r.rack_id), r.hour);
+      EXPECT_EQ(r.temperature_f, conditions.temperature_f);
+      EXPECT_EQ(r.relative_humidity, conditions.relative_humidity);
+      EXPECT_EQ(util::Calendar::day_of(r.hour), chunk->day);
+    }
+    total += chunk->readings.size();
+  }
+  EXPECT_EQ(day, 5);
+  EXPECT_EQ(total, w.fleet.num_racks() * 8u * 5u);
+}
+
+TEST(TelemetryStream, RejectsCadencesThatDoNotDivideTheDay) {
+  const World w(2);
+  SourceOptions opt;
+  opt.telemetry_samples_per_day = 7;
+  EXPECT_THROW(TelemetryStream(w.fleet, w.env, opt), std::exception);
+}
+
+}  // namespace
+}  // namespace rainshine::stream

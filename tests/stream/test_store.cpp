@@ -1,0 +1,250 @@
+// SeriesStore: ring aggregation across tiers, wraparound and gap semantics,
+// late-sample drops, the constant-memory guarantee under a long soak, and
+// the CRC-guarded snapshot format (round trip + corruption rejection).
+#include "rainshine/stream/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rainshine::stream {
+namespace {
+
+SeriesSpec two_tier(const std::string& name) {
+  // Hourly ring of 48 slots + daily ring of 4 slots.
+  return {name, {{1, 48}, {24, 4}}};
+}
+
+TEST(SeriesStore, RegistrationAndLookup) {
+  SeriesStore store;
+  const SeriesId a = store.add_series(two_tier("env.temp_f.R0"));
+  const SeriesId b = store.add_series(two_tier("env.rh.R0"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.num_series(), 2u);
+  EXPECT_EQ(store.id_of("env.rh.R0"), b);
+  EXPECT_TRUE(store.contains("env.temp_f.R0"));
+  EXPECT_FALSE(store.contains("nope"));
+  EXPECT_THROW(store.id_of("nope"), std::out_of_range);
+  EXPECT_THROW(store.add_series(two_tier("env.temp_f.R0")), std::exception);
+  EXPECT_THROW(store.add_series({"bad", {{0, 10}}}), std::exception);
+  EXPECT_THROW(store.add_series({"bad", {{1, 0}}}), std::exception);
+
+  const auto specs = store.describe();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "env.temp_f.R0");
+  ASSERT_EQ(specs[0].tiers.size(), 2u);
+  EXPECT_EQ(specs[0].tiers[1].step_hours, 24);
+  EXPECT_EQ(specs[0].tiers[1].slots, 4u);
+}
+
+TEST(SeriesStore, SamplesFoldIntoEveryTier) {
+  SeriesStore store;
+  const SeriesId id = store.add_series(two_tier("s"));
+  // Hours 0..23 of day 0: values 10..33.
+  for (std::int64_t h = 0; h < 24; ++h) {
+    EXPECT_TRUE(store.push(id, h, 10.0 + static_cast<double>(h)));
+  }
+  EXPECT_EQ(store.last_hour(id), 23);
+
+  const auto hourly = store.read(id, 0);
+  ASSERT_EQ(hourly.size(), 24u);
+  EXPECT_EQ(hourly.front().bucket_start_hour, 0);
+  EXPECT_EQ(hourly.front().count, 1u);
+  EXPECT_DOUBLE_EQ(hourly.front().mean(), 10.0);
+  EXPECT_DOUBLE_EQ(hourly.back().mean(), 33.0);
+
+  const auto daily = store.read(id, 1);
+  ASSERT_EQ(daily.size(), 1u);
+  EXPECT_EQ(daily[0].bucket_start_hour, 0);
+  EXPECT_EQ(daily[0].count, 24u);
+  EXPECT_DOUBLE_EQ(daily[0].min, 10.0);
+  EXPECT_DOUBLE_EQ(daily[0].max, 33.0);
+  EXPECT_DOUBLE_EQ(daily[0].mean(), (10.0 + 33.0) / 2.0);
+}
+
+TEST(SeriesStore, SkippedBucketsReadAsCountZeroGaps) {
+  SeriesStore store;
+  const SeriesId id = store.add_series({"s", {{1, 16}}});
+  ASSERT_TRUE(store.push(id, 3, 1.0));
+  ASSERT_TRUE(store.push(id, 7, 2.0));  // hours 4..6 never sampled
+
+  const auto samples = store.read(id, 0, 3, 8);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0].count, 1u);
+  for (int gap = 1; gap <= 3; ++gap) {
+    EXPECT_EQ(samples[static_cast<std::size_t>(gap)].count, 0u) << gap;
+    EXPECT_EQ(samples[static_cast<std::size_t>(gap)].bucket_start_hour, 3 + gap);
+  }
+  EXPECT_EQ(samples[4].count, 1u);
+  EXPECT_DOUBLE_EQ(samples[4].sum, 2.0);
+}
+
+TEST(SeriesStore, RingWrapsAndRetainsOnlyTheTrailingWindow) {
+  SeriesStore store;
+  const SeriesId id = store.add_series({"s", {{1, 8}}});
+  for (std::int64_t h = 0; h < 100; ++h) {
+    ASSERT_TRUE(store.push(id, h, static_cast<double>(h)));
+  }
+  const auto samples = store.read(id, 0);
+  ASSERT_EQ(samples.size(), 8u);  // only the trailing 8 hours survive
+  EXPECT_EQ(samples.front().bucket_start_hour, 92);
+  EXPECT_EQ(samples.back().bucket_start_hour, 99);
+  EXPECT_DOUBLE_EQ(samples.back().sum, 99.0);
+
+  // Nothing older is readable even when asked for explicitly.
+  EXPECT_TRUE(store.read(id, 0, 0, 92).empty());
+}
+
+TEST(SeriesStore, LateSamplesAreDroppedPerTierNotGlobally) {
+  SeriesStore store;
+  const SeriesId id = store.add_series(two_tier("s"));  // 48h ring + 4d ring
+  ASSERT_TRUE(store.push(id, 71, 1.0));  // day 2, hour 23
+
+  // Hour 10 rotated out of the 48-slot hourly ring (window is [24, 71]) but
+  // day 0 is still inside the 4-slot daily ring: push succeeds partially.
+  EXPECT_FALSE(store.push(id, 10, 5.0));
+  EXPECT_TRUE(store.read(id, 0, 10, 11).empty());
+  const auto daily = store.read(id, 1, 0, 24);
+  ASSERT_EQ(daily.size(), 1u);
+  EXPECT_EQ(daily[0].count, 1u);
+  EXPECT_DOUBLE_EQ(daily[0].sum, 5.0);
+
+  // Older than every tier: fully dropped.
+  EXPECT_FALSE(store.push(id, -1000, 9.0));
+}
+
+TEST(SeriesStore, MemoryIsConstantOverATenWindowSoak) {
+  SeriesStore store;
+  // 3 series x (168-slot hourly + 14-slot daily) — a two-week window.
+  std::vector<SeriesId> ids;
+  for (int s = 0; s < 3; ++s) {
+    ids.push_back(store.add_series(
+        {"soak." + std::to_string(s), {{1, 168}, {24, 14}}}));
+  }
+  const std::size_t bytes_at_construction = store.memory_bytes();
+
+  // Explicit bound: ring payload is sizeof(AggregateSample) per slot; allow
+  // 4 KiB per series of bookkeeping (names, specs, vector headers) on top.
+  const std::size_t payload = 3u * (168u + 14u) * sizeof(AggregateSample);
+  ASSERT_LT(bytes_at_construction, payload + 3u * 4096u);
+
+  // Soak: 10x the retained window, sampled twice per hour.
+  const std::int64_t window_hours = 168;
+  for (std::int64_t h = 0; h < 10 * window_hours; ++h) {
+    for (const SeriesId id : ids) {
+      store.push(id, h, 0.5);
+      store.push(id, h, 1.5);
+    }
+    if (h % 97 == 0) {
+      EXPECT_EQ(store.memory_bytes(), bytes_at_construction) << "hour " << h;
+    }
+  }
+  EXPECT_EQ(store.memory_bytes(), bytes_at_construction);
+
+  // And the data is still correct after all that wrapping.
+  const auto tail = store.read(ids[0], 0);
+  ASSERT_EQ(tail.size(), 168u);
+  EXPECT_EQ(tail.back().count, 2u);
+  EXPECT_DOUBLE_EQ(tail.back().mean(), 1.0);
+}
+
+// SeriesStore owns a mutex, so helpers populate in place instead of
+// returning by value.
+void populate_store(SeriesStore& store) {
+  const SeriesId a = store.add_series(two_tier("snap.a"));
+  const SeriesId b = store.add_series({"snap.b", {{6, 10}}});
+  for (std::int64_t h = 0; h < 60; ++h) {
+    store.push(a, h, 100.0 + static_cast<double>(h));
+    if (h % 3 == 0) store.push(b, h, -static_cast<double>(h));
+  }
+}
+
+void expect_same_contents(const SeriesStore& x, const SeriesStore& y) {
+  ASSERT_EQ(x.num_series(), y.num_series());
+  const auto specs = x.describe();
+  for (const auto& spec : specs) {
+    const SeriesId xi = x.id_of(spec.name);
+    const SeriesId yi = y.id_of(spec.name);
+    EXPECT_EQ(x.last_hour(xi), y.last_hour(yi)) << spec.name;
+    for (std::size_t t = 0; t < spec.tiers.size(); ++t) {
+      const auto xs = x.read(xi, t);
+      const auto ys = y.read(yi, t);
+      ASSERT_EQ(xs.size(), ys.size()) << spec.name << " tier " << t;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(xs[i].bucket_start_hour, ys[i].bucket_start_hour);
+        EXPECT_EQ(xs[i].count, ys[i].count);
+        EXPECT_EQ(xs[i].sum, ys[i].sum);  // bitwise, not approximate
+        EXPECT_EQ(xs[i].min, ys[i].min);
+        EXPECT_EQ(xs[i].max, ys[i].max);
+      }
+    }
+  }
+}
+
+TEST(SeriesStoreSnapshot, RoundTripIsExact) {
+  SeriesStore store;
+  populate_store(store);
+  std::stringstream buf;
+  store.snapshot(buf);
+
+  SeriesStore back;
+  back.restore(buf);
+  expect_same_contents(store, back);
+
+  // A second snapshot of the restored store is byte-identical.
+  std::stringstream buf2;
+  back.snapshot(buf2);
+  EXPECT_EQ(buf.str(), buf2.str());
+}
+
+TEST(SeriesStoreSnapshot, RestoreRequiresAnEmptyStore) {
+  SeriesStore store;
+  populate_store(store);
+  std::stringstream buf;
+  store.snapshot(buf);
+
+  SeriesStore occupied;
+  occupied.add_series({"x", {{1, 4}}});
+  EXPECT_THROW(occupied.restore(buf), snapshot_error);
+}
+
+TEST(SeriesStoreSnapshot, CorruptionIsRejected) {
+  SeriesStore store;
+  populate_store(store);
+  std::stringstream buf;
+  store.snapshot(buf);
+  const std::string good = buf.str();
+
+  {  // bad magic
+    std::string bad = good;
+    bad[0] = 'X';
+    std::stringstream in(bad);
+    SeriesStore s;
+    EXPECT_THROW(s.restore(in), snapshot_error);
+  }
+  {  // one payload byte flipped -> CRC mismatch
+    std::string bad = good;
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+    std::stringstream in(bad);
+    SeriesStore s;
+    EXPECT_THROW(s.restore(in), snapshot_error);
+  }
+  {  // truncated mid-payload
+    std::stringstream in(good.substr(0, good.size() / 2));
+    SeriesStore s;
+    EXPECT_THROW(s.restore(in), snapshot_error);
+  }
+  {  // trailing garbage after the checksum
+    std::stringstream in(good + "zz");
+    SeriesStore s;
+    EXPECT_THROW(s.restore(in), snapshot_error);
+  }
+  {  // empty stream
+    std::stringstream in;
+    SeriesStore s;
+    EXPECT_THROW(s.restore(in), snapshot_error);
+  }
+}
+
+}  // namespace
+}  // namespace rainshine::stream
