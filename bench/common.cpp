@@ -20,6 +20,22 @@ long env_or(const char* name, long fallback) {
 
 }  // namespace
 
+std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+      kib = static_cast<std::size_t>(value);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
 void write_metrics_sidecar() {
   const char* path = std::getenv("RAINSHINE_METRICS");
   if (path == nullptr || *path == '\0') return;

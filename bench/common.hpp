@@ -43,6 +43,12 @@ void print_context_banner(const std::string& experiment);
 /// (obs::registry() snapshot) at exit. No-op when the variable is unset.
 void write_metrics_sidecar();
 
+/// Process peak resident set (VmHWM from /proc/self/status) in bytes, so
+/// memory ceilings land in BENCH JSON as numbers instead of prose. 0 on
+/// platforms without procfs. Note this is a high-water mark: it never
+/// decreases, so in a multi-phase bench measure the cheap phase first.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
 namespace detail {
 // Registered from the header, not common.cpp: a bench that never touches
 // the shared Context would otherwise not pull common.o out of the static

@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "rainshine/core/environment_analysis.hpp"
+#include "rainshine/core/metrics.hpp"
 #include "rainshine/simdc/tickets.hpp"
 #include "rainshine/util/strings.hpp"
 
@@ -23,8 +24,10 @@ int main(int argc, char** argv) {
   const simdc::HazardModel hazard(fleet, env);
   std::printf("Simulating %d days over %zu racks...\n\n", spec.num_days,
               fleet.num_racks());
-  const simdc::TicketLog log = simulate(fleet, env, hazard, {.seed = spec.seed});
-  const core::FailureMetrics metrics(fleet, log);
+  // Stream the sweep straight into the metrics index (no TicketLog).
+  core::FailureMetrics metrics(fleet);
+  core::MetricsSink sink(metrics);
+  simulate_streamed(fleet, hazard, sink, {.seed = spec.seed});
 
   core::EnvironmentOptions opt;
   opt.day_stride = 2;

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "rainshine/core/metrics.hpp"
 #include "rainshine/core/provisioning.hpp"
 #include "rainshine/simdc/tickets.hpp"
 
@@ -27,8 +28,11 @@ int main(int argc, char** argv) {
   const simdc::HazardModel hazard(fleet, env);
   std::printf("Simulating %d days over %zu racks...\n", spec.num_days,
               fleet.num_racks());
-  const simdc::TicketLog log = simulate(fleet, env, hazard, {.seed = spec.seed});
-  const core::FailureMetrics metrics(fleet, log);
+  // Stream the sweep straight into the metrics index: no TicketLog ever
+  // materializes, so this path is fleet-size-independent in memory.
+  core::FailureMetrics metrics(fleet);
+  core::MetricsSink sink(metrics);
+  simulate_streamed(fleet, hazard, sink, {.seed = spec.seed});
 
   std::printf("\n=== Spare planning for workload W%d (%zu racks) ===\n\n", wl_num,
               fleet.racks_of(workload).size());

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "rainshine/core/metrics.hpp"
 #include "rainshine/core/sku_analysis.hpp"
 #include "rainshine/util/strings.hpp"
 #include "rainshine/simdc/tickets.hpp"
@@ -24,8 +25,10 @@ int main(int argc, char** argv) {
   const simdc::HazardModel hazard(fleet, env);
   std::printf("Simulating %d days over %zu racks...\n\n", spec.num_days,
               fleet.num_racks());
-  const simdc::TicketLog log = simulate(fleet, env, hazard, {.seed = spec.seed});
-  const core::FailureMetrics metrics(fleet, log);
+  // Stream the sweep straight into the metrics index (no TicketLog).
+  core::FailureMetrics metrics(fleet);
+  core::MetricsSink sink(metrics);
+  simulate_streamed(fleet, hazard, sink, {.seed = spec.seed});
 
   core::SkuAnalysisOptions opt;
   opt.day_stride = 2;

@@ -14,6 +14,10 @@
 #                                  # observe >= 1 rolling retrain + hot swap,
 #                                  # scrape /series and /models, SIGTERM-drain,
 #                                  # and validate the store snapshot + sidecar
+#   scripts/check.sh --scale-smoke # additionally stream a ~100k-server fleet
+#                                  # through simulate_streamed and assert
+#                                  # nonzero tickets under the peak-RSS bound
+#                                  # (RAINSHINE_RSS_BOUND_MB, default 32)
 #
 # Flags combine (e.g. `--sanitize --tsan` runs all three suites). Extra
 # arguments after the flags are forwarded to ctest (e.g. -R Ingest).
@@ -26,6 +30,7 @@ tsan=0
 serve_smoke=0
 net_smoke=0
 stream_smoke=0
+scale_smoke=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
@@ -33,6 +38,7 @@ while [[ "${1:-}" == --* ]]; do
     --serve-smoke) serve_smoke=1 ;;
     --net-smoke) net_smoke=1 ;;
     --stream-smoke) stream_smoke=1 ;;
+    --scale-smoke) scale_smoke=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -265,6 +271,15 @@ if [[ "$stream_smoke" == 1 ]]; then
   ./build/tools/rainshine_metrics --check "$streamdir/stream_metrics.json" \
     --require stream.tickets_emitted,stream.retrains,serve.model_swaps,net.requests_total
   echo "stream smoke: $swaps retrains hot-swapped, /series scraped, drained clean"
+fi
+
+if [[ "$scale_smoke" == 1 ]]; then
+  echo "== scale smoke: 100k-server streamed sweep under the RSS bound =="
+  # The binary asserts both halves itself (nonzero tickets, VmHWM under
+  # RAINSHINE_RSS_BOUND_MB) and exits nonzero on violation. The default
+  # 32 MiB bound is one a design holding the fleet's full-window tickets
+  # resident could not meet (see bench/bench_simdc_scale.cpp).
+  ./build/bench/bench_simdc_scale --smoke
 fi
 
 echo "OK"

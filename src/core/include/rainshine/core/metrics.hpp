@@ -45,8 +45,18 @@ enum class Granularity : std::uint8_t { kMonthly, kWeekly, kDaily, kHourly };
 
 class FailureMetrics {
  public:
+  /// An empty index over `fleet`, ready for incremental index() calls —
+  /// the streaming form: feed it chunks as simulate_streamed emits them
+  /// (see MetricsSink) and no TicketLog ever materializes.
+  explicit FailureMetrics(const Fleet& fleet);
+
   /// Indexes `log` against `fleet`. False positives are dropped.
   FailureMetrics(const Fleet& fleet, const TicketLog& log);
+
+  /// Folds `tickets` into the index. Order-insensitive and idempotent-free
+  /// (each ticket counts once), so per-day sink chunks accumulate to exactly
+  /// the batch constructor's state.
+  void index(std::span<const simdc::Ticket> tickets);
 
   [[nodiscard]] const Fleet& fleet() const noexcept { return *fleet_; }
 
@@ -97,6 +107,21 @@ class FailureMetrics {
 
   [[nodiscard]] std::size_t count_index(std::int32_t rack_id, util::DayIndex day,
                                         FaultType fault) const;
+};
+
+/// TicketSink that folds the streamed sweep straight into a FailureMetrics:
+/// the studies' entry point for fleets too large to hold a TicketLog.
+class MetricsSink final : public simdc::TicketSink {
+ public:
+  explicit MetricsSink(FailureMetrics& metrics) : metrics_(&metrics) {}
+  bool on_day(util::DayIndex /*day*/,
+              std::span<const simdc::Ticket> tickets) override {
+    metrics_->index(tickets);
+    return true;
+  }
+
+ private:
+  FailureMetrics* metrics_;
 };
 
 }  // namespace rainshine::core

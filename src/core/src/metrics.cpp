@@ -13,12 +13,19 @@ std::size_t num_periods(const Fleet& fleet, Granularity g) {
   return static_cast<std::size_t>((hours + hpp - 1) / hpp);
 }
 
-FailureMetrics::FailureMetrics(const Fleet& fleet, const TicketLog& log)
+FailureMetrics::FailureMetrics(const Fleet& fleet)
     : fleet_(&fleet), num_days_(static_cast<std::size_t>(fleet.spec().num_days)) {
   counts_.assign(fleet.num_racks() * num_days_ * simdc::kNumFaultTypes, 0);
   outages_by_rack_.resize(fleet.num_racks());
+}
 
-  for (const simdc::Ticket& t : log.tickets()) {
+FailureMetrics::FailureMetrics(const Fleet& fleet, const TicketLog& log)
+    : FailureMetrics(fleet) {
+  index(log.tickets());
+}
+
+void FailureMetrics::index(std::span<const simdc::Ticket> tickets) {
+  for (const simdc::Ticket& t : tickets) {
     if (!t.true_positive) continue;  // engineers filter these out (§IV)
     const auto day = t.open_day();
     if (day < 0 || static_cast<std::size_t>(day) >= num_days_) continue;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
 #include "rainshine/stats/descriptive.hpp"
 #include "rainshine/stats/ecdf.hpp"
@@ -20,10 +21,10 @@ struct FractionSeries {
 };
 
 FractionSeries collect(const FailureMetrics& metrics,
-                       const std::vector<const Rack*>& racks, DeviceKind kind,
+                       std::span<const Rack* const> racks, DeviceKind kind,
                        Granularity g, bool server_level_all) {
   FractionSeries out;
-  out.racks = racks;
+  out.racks.assign(racks.begin(), racks.end());
   out.per_rack.reserve(racks.size());
   for (const Rack* rack : racks) {
     out.per_rack.push_back(
@@ -33,7 +34,7 @@ FractionSeries collect(const FailureMetrics& metrics,
 }
 
 /// Capacity-weighted overall spare percentage from per-rack requirements.
-double weighted_pct(const std::vector<const Rack*>& racks,
+double weighted_pct(std::span<const Rack* const> racks,
                     std::span<const double> reqs) {
   double spares = 0.0;
   double capacity = 0.0;
@@ -84,7 +85,7 @@ struct Clustering {
 /// One-row-per-rack static feature table (the features a provisioner knows
 /// BEFORE deployment).
 table::Table static_rack_table(const FailureMetrics& metrics,
-                               const std::vector<const Rack*>& racks,
+                               std::span<const Rack* const> racks,
                                std::span<const double> response) {
   table::TableBuilder b;
   b.add_nominal(col::kDc)
@@ -117,7 +118,7 @@ table::Table static_rack_table(const FailureMetrics& metrics,
 /// failure level and miss the correlated-burst severity that actually sizes
 /// the spare pool.
 Clustering cluster_racks(const FailureMetrics& metrics,
-                         const std::vector<const Rack*>& racks,
+                         std::span<const Rack* const> racks,
                          const FractionSeries& series, double top_sla,
                          const ProvisioningOptions& options) {
   std::vector<double> response(racks.size());
@@ -201,7 +202,7 @@ Requirements compute_requirements(const FractionSeries& series,
   return out;
 }
 
-std::vector<double> overall_per_sla(const std::vector<const Rack*>& racks,
+std::vector<double> overall_per_sla(std::span<const Rack* const> racks,
                                     const std::vector<std::vector<double>>& reqs) {
   std::vector<double> out;
   out.reserve(reqs.size());
@@ -210,7 +211,7 @@ std::vector<double> overall_per_sla(const std::vector<const Rack*>& racks,
 }
 
 /// Capacity-weighted mean spare fraction (not percent) across racks.
-double mean_fraction(const std::vector<const Rack*>& racks,
+double mean_fraction(std::span<const Rack* const> racks,
                      std::span<const double> reqs) {
   return weighted_pct(racks, reqs) / 100.0;
 }
@@ -222,7 +223,7 @@ ServerProvisioningStudy provision_servers(const FailureMetrics& metrics,
                                           simdc::WorkloadId workload,
                                           const ProvisioningOptions& options) {
   util::require(!options.slas.empty(), "provisioning needs at least one SLA");
-  const std::vector<const Rack*> racks = metrics.fleet().racks_of(workload);
+  const std::span<const Rack* const> racks = metrics.fleet().racks_of(workload);
   util::require(!racks.empty(), "workload has no racks in this fleet");
 
   (void)env;  // static factors suffice for clustering; kept for API symmetry
@@ -282,7 +283,7 @@ ComponentProvisioningStudy provision_components(const FailureMetrics& metrics,
                                                 double sla,
                                                 const tco::CostModel& costs,
                                                 const ProvisioningOptions& options) {
-  const std::vector<const Rack*> racks = metrics.fleet().racks_of(workload);
+  const std::span<const Rack* const> racks = metrics.fleet().racks_of(workload);
   util::require(!racks.empty(), "workload has no racks in this fleet");
   const std::vector<double> slas = {sla};
 

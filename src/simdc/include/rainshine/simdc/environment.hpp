@@ -20,6 +20,8 @@
 // yield identical readings for a given seed.
 #pragma once
 
+#include <array>
+
 #include "rainshine/simdc/topology.hpp"
 #include "rainshine/util/calendar.hpp"
 
@@ -65,6 +67,11 @@ class EnvironmentModel {
   /// Conditions at `rack`'s inlet during `hour`.
   [[nodiscard]] Conditions at(const Rack& rack, util::HourIndex hour) const;
 
+  /// The representative hours daily_mean averages — four samples capture a
+  /// diurnal sinusoid exactly. Shared with the columnar fast path
+  /// (fleet_table.hpp), which must average the very same instants.
+  static constexpr std::array<int, 4> kDailyMeanHours = {3, 9, 15, 21};
+
   /// Mean of the day's readings (computed from representative hours).
   [[nodiscard]] Conditions daily_mean(const Rack& rack, util::DayIndex day) const;
 
@@ -83,6 +90,12 @@ class EnvironmentModel {
                                                       double delta_f) const;
 
  private:
+  // The columnar engine (fleet_table.hpp) flattens this model's per-rack
+  // static offsets and per-(dc, hour) coupled terms into SoA columns; it
+  // needs the live climate_/coupling_ state (with_setpoint_offset may have
+  // shifted it) and the private noise hash to reproduce at() bit for bit.
+  friend class FleetTable;
+
   const Fleet* fleet_;
   std::uint64_t seed_;
   std::array<ClimateSpec, kNumDataCenters> climate_{};

@@ -218,6 +218,8 @@ class HazardModel {
               HazardConfig config = {});
 
   [[nodiscard]] const HazardConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Fleet& fleet() const noexcept { return *fleet_; }
+  [[nodiscard]] const EnvironmentModel& environment() const noexcept { return *env_; }
 
   /// Expected number of `fault` tickets for `rack` during `day` (excluding
   /// bursts). This is the Poisson intensity the simulator draws from.

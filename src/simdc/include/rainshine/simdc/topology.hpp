@@ -4,7 +4,9 @@
 // 4-15 kW, equipment ages 0-5 years, rack-granularity workload assignment.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -97,6 +99,14 @@ class Fleet {
   /// assignment, power ratings, commission dates all derive from spec.seed).
   explicit Fleet(FleetSpec spec);
 
+  /// Moves keep the racks_of caches valid (the rack storage migrates
+  /// wholesale); copies would leave them pointing into the source fleet, so
+  /// they are disallowed — share a built Fleet by reference.
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+  Fleet(Fleet&&) = default;
+  Fleet& operator=(Fleet&&) = default;
+
   [[nodiscard]] const FleetSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const util::Calendar& calendar() const noexcept { return calendar_; }
   [[nodiscard]] const std::vector<Rack>& racks() const noexcept { return racks_; }
@@ -104,12 +114,20 @@ class Fleet {
   [[nodiscard]] std::size_t num_racks() const noexcept { return racks_.size(); }
   [[nodiscard]] std::size_t num_servers() const noexcept { return num_servers_; }
 
-  /// Racks assigned to `workload`.
-  [[nodiscard]] std::vector<const Rack*> racks_of(WorkloadId workload) const;
+  /// Racks assigned to `workload`. The study loops hit these per tree/per
+  /// bootstrap replicate, so the groupings are indexed once at construction
+  /// and returned as views — no per-call allocation.
+  [[nodiscard]] std::span<const Rack* const> racks_of(WorkloadId workload) const {
+    return by_workload_[static_cast<std::size_t>(workload)];
+  }
   /// Racks of `sku`.
-  [[nodiscard]] std::vector<const Rack*> racks_of(SkuId sku) const;
+  [[nodiscard]] std::span<const Rack* const> racks_of(SkuId sku) const {
+    return by_sku_[static_cast<std::size_t>(sku)];
+  }
   /// Racks in `dc`.
-  [[nodiscard]] std::vector<const Rack*> racks_of(DataCenterId dc) const;
+  [[nodiscard]] std::span<const Rack* const> racks_of(DataCenterId dc) const {
+    return by_dc_[static_cast<std::size_t>(dc)];
+  }
 
   [[nodiscard]] const DataCenterSpec& dc_spec(DataCenterId id) const;
 
@@ -118,6 +136,9 @@ class Fleet {
   util::Calendar calendar_;
   std::vector<Rack> racks_;
   std::size_t num_servers_ = 0;
+  std::array<std::vector<const Rack*>, kNumWorkloads> by_workload_;
+  std::array<std::vector<const Rack*>, kNumSkus> by_sku_;
+  std::array<std::vector<const Rack*>, kNumDataCenters> by_dc_;
 };
 
 }  // namespace rainshine::simdc

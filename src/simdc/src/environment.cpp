@@ -207,7 +207,7 @@ Conditions EnvironmentModel::at(const Rack& rack, util::HourIndex hour) const {
 Conditions EnvironmentModel::daily_mean(const Rack& rack, util::DayIndex day) const {
   // Four representative hours capture the diurnal cycle exactly for a
   // sinusoid and cheaply average the noise.
-  static constexpr std::array<int, 4> kHours = {3, 9, 15, 21};
+  constexpr std::array<int, 4> kHours = kDailyMeanHours;
   Conditions acc{0.0, 0.0};
   for (const int h : kHours) {
     const Conditions c = at(rack, util::Calendar::first_hour(day) + h);

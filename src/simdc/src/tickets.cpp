@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <queue>
+#include <tuple>
 
 #include "rainshine/obs/metrics.hpp"
 #include "rainshine/obs/trace.hpp"
+#include "rainshine/simdc/fleet_table.hpp"
 #include "rainshine/stats/distributions.hpp"
 #include "rainshine/util/check.hpp"
 #include "rainshine/util/parallel.hpp"
@@ -67,20 +71,20 @@ double repair_median(const HazardConfig& cfg, FaultType fault) {
   return is_hardware(fault) ? cfg.hw_repair_median_h : cfg.sw_repair_median_h;
 }
 
-Ticket make_ticket(util::Rng& rng, const HazardConfig& cfg, const Rack& rack,
+Ticket make_ticket(util::Rng& rng, const HazardConfig& cfg, const CellGeom& geom,
                    util::DayIndex day, FaultType fault) {
   Ticket t;
-  t.rack_id = rack.id;
+  t.rack_id = geom.rack_id;
   t.server_index = static_cast<std::int16_t>(
-      rng.below(static_cast<std::uint64_t>(rack.servers())));
+      rng.below(static_cast<std::uint64_t>(geom.servers)));
   switch (device_kind_of(fault)) {
     case DeviceKind::kDisk:
       t.component_index = static_cast<std::int16_t>(
-          rng.below(static_cast<std::uint64_t>(sku_spec(rack.sku).disks_per_server)));
+          rng.below(static_cast<std::uint64_t>(geom.disks_per_server)));
       break;
     case DeviceKind::kDimm:
       t.component_index = static_cast<std::int16_t>(
-          rng.below(static_cast<std::uint64_t>(sku_spec(rack.sku).dimms_per_server)));
+          rng.below(static_cast<std::uint64_t>(geom.dimms_per_server)));
       break;
     case DeviceKind::kServer:
       t.component_index = -1;
@@ -98,43 +102,38 @@ Ticket make_ticket(util::Rng& rng, const HazardConfig& cfg, const Rack& rack,
 
 }  // namespace
 
-std::int32_t simulate_rack_day(const HazardModel& hazard, const util::Rng& root,
-                               const Rack& rack, util::DayIndex day,
-                               std::int32_t first_burst_id,
-                               std::vector<Ticket>& out) {
-  const HazardConfig& cfg = hazard.config();
-  std::vector<Ticket>& tickets = out;
+std::int32_t simulate_cell(const HazardConfig& cfg, const CellGeom& geom,
+                           const CellRates& rates, util::Rng& day_rng,
+                           util::DayIndex day, std::int32_t first_burst_id,
+                           std::vector<Ticket>& out) {
   std::int32_t next_burst_id = first_burst_id;
-  util::Rng day_rng = root.split(static_cast<std::uint64_t>(rack.id))
-                          .split(static_cast<std::uint64_t>(day));
 
   // Independent per-fault-type arrivals.
-  for (const FaultType fault : kAllFaultTypes) {
-    const double rate = hazard.rack_day_rate(rack, day, fault);
+  for (std::size_t i = 0; i < kNumFaultTypes; ++i) {
+    const double rate = rates.fault[i];
     if (rate <= 0.0) continue;
+    const FaultType fault = kAllFaultTypes[i];
     const std::uint64_t n = stats::sample_poisson(day_rng, rate);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      tickets.push_back(make_ticket(day_rng, cfg, rack, day, fault));
+    for (std::uint64_t k = 0; k < n; ++k) {
+      out.push_back(make_ticket(day_rng, cfg, geom, day, fault));
     }
   }
 
   // Correlated bursts: one event downs a contiguous swath of servers.
-  const std::uint64_t bursts =
-      stats::sample_poisson(day_rng, hazard.burst_rate(rack, day));
+  const std::uint64_t bursts = stats::sample_poisson(day_rng, rates.burst);
   for (std::uint64_t b = 0; b < bursts; ++b) {
-    const auto [lo, hi] = hazard.burst_fraction_range(rack);
-    const double fraction = day_rng.uniform(lo, hi);
+    const double fraction = day_rng.uniform(rates.burst_lo, rates.burst_hi);
     const int affected = std::max(
-        1, static_cast<int>(std::lround(fraction * rack.servers())));
+        1, static_cast<int>(std::lround(fraction * geom.servers)));
     const int first = static_cast<int>(day_rng.below(
-        static_cast<std::uint64_t>(rack.servers() - affected + 1)));
+        static_cast<std::uint64_t>(geom.servers - affected + 1)));
     const util::HourIndex onset =
         util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
     const double mu_log = std::log(cfg.burst_repair_median_h);
     const std::int32_t burst_id = next_burst_id++;
     for (int s = 0; s < affected; ++s) {
       Ticket t;
-      t.rack_id = rack.id;
+      t.rack_id = geom.rack_id;
       t.server_index = static_cast<std::int16_t>(first + s);
       t.component_index = -1;
       // A cascading power event mostly files power tickets; the odd
@@ -155,30 +154,28 @@ std::int32_t simulate_rack_day(const HazardModel& hazard, const util::Rng& root,
           1.0,
           stats::sample_lognormal(day_rng, mu_log, cfg.burst_repair_sigma));
       t.close_hour = t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
-      tickets.push_back(t);
+      out.push_back(t);
     }
   }
   // Disk-batch events: one drive dies on a swath of servers (see
   // HazardConfig's bad-vintage commentary).
-  const std::uint64_t batches =
-      stats::sample_poisson(day_rng, hazard.disk_batch_rate(rack, day));
+  const std::uint64_t batches = stats::sample_poisson(day_rng, rates.batch);
   for (std::uint64_t b = 0; b < batches; ++b) {
-    const auto [lo, hi] = hazard.disk_batch_fraction_range(rack);
-    const double fraction = day_rng.uniform(lo, hi);
+    const double fraction = day_rng.uniform(rates.batch_lo, rates.batch_hi);
     const int affected = std::max(
-        1, static_cast<int>(std::lround(fraction * rack.servers())));
+        1, static_cast<int>(std::lround(fraction * geom.servers)));
     const int first = static_cast<int>(day_rng.below(
-        static_cast<std::uint64_t>(rack.servers() - affected + 1)));
+        static_cast<std::uint64_t>(geom.servers - affected + 1)));
     const util::HourIndex onset =
         util::Calendar::first_hour(day) + sample_hour_of_day(day_rng);
     const double mu_log = std::log(cfg.disk_batch_repair_median_h);
     const std::int32_t burst_id = next_burst_id++;
     // The batch occupies the same physical slot across the rack.
     const auto slot = static_cast<std::int16_t>(day_rng.below(
-        static_cast<std::uint64_t>(sku_spec(rack.sku).disks_per_server)));
+        static_cast<std::uint64_t>(geom.disks_per_server)));
     for (int s = 0; s < affected; ++s) {
       Ticket t;
-      t.rack_id = rack.id;
+      t.rack_id = geom.rack_id;
       t.server_index = static_cast<std::int16_t>(first + s);
       t.component_index = slot;
       t.fault = FaultType::kDiskFailure;
@@ -195,10 +192,32 @@ std::int32_t simulate_rack_day(const HazardModel& hazard, const util::Rng& root,
                                        cfg.disk_batch_repair_sigma));
       t.close_hour =
           t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
-      tickets.push_back(t);
+      out.push_back(t);
     }
   }
   return next_burst_id - first_burst_id;
+}
+
+std::int32_t simulate_rack_day(const HazardModel& hazard, const util::Rng& root,
+                               const Rack& rack, util::DayIndex day,
+                               std::int32_t first_burst_id,
+                               std::vector<Ticket>& out) {
+  const SkuSpec& sku = sku_spec(rack.sku);
+  const CellGeom geom{rack.id, rack.servers(), sku.disks_per_server,
+                      sku.dimms_per_server};
+  CellRates rates;
+  for (std::size_t i = 0; i < kNumFaultTypes; ++i) {
+    rates.fault[i] = hazard.rack_day_rate(rack, day, kAllFaultTypes[i]);
+  }
+  rates.burst = hazard.burst_rate(rack, day);
+  std::tie(rates.burst_lo, rates.burst_hi) = hazard.burst_fraction_range(rack);
+  rates.batch = hazard.disk_batch_rate(rack, day);
+  std::tie(rates.batch_lo, rates.batch_hi) =
+      hazard.disk_batch_fraction_range(rack);
+  util::Rng day_rng = root.split(static_cast<std::uint64_t>(rack.id))
+                          .split(static_cast<std::uint64_t>(day));
+  return simulate_cell(hazard.config(), geom, rates, day_rng, day,
+                       first_burst_id, out);
 }
 
 util::Rng ticket_stream_root(std::uint64_t seed) noexcept {
@@ -207,89 +226,219 @@ util::Rng ticket_stream_root(std::uint64_t seed) noexcept {
 
 namespace {
 
-/// One rack's full ticket stream with burst ids numbered locally from 0 in
-/// day order; the merge renumbers them into the fleet-wide chronological
-/// sequence using the per-day counts.
-struct RackStream {
-  std::vector<Ticket> tickets;
-  std::vector<std::int32_t> bursts_per_day;
+/// Default generation-block width: small enough to load-balance a paper
+/// fleet across a few cores, big enough that per-block bookkeeping is noise
+/// at a million servers.
+constexpr std::size_t kDefaultRacksPerBlock = 64;
+
+/// A generated ticket waiting for its day's watermark, tagged with its
+/// position in the log total order.
+struct PendingTicket {
+  Ticket ticket;
+  std::uint32_t rack = 0;  ///< index in fleet rack order
+  util::DayIndex day = 0;  ///< generating day
+  std::uint32_t seq = 0;   ///< generation order within the (rack, day) cell
 };
 
-RackStream simulate_rack(const Fleet& fleet, const HazardModel& hazard,
-                         const util::Rng& root, const Rack& rack) {
-  // Per-rack wall time; observed from whichever pool thread runs the rack,
-  // which is why Histogram::observe is thread-safe. Purely recording — the
-  // rack's Rng stream is untouched by instrumentation.
-  const obs::ScopedTimer rack_timer(
-      obs::registry().histogram("simdc.rack_sim_us"));
-  RackStream out;
-  out.bursts_per_day.resize(static_cast<std::size_t>(fleet.spec().num_days), 0);
-  std::int32_t next_burst_id = 0;
-  for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
-    const std::int32_t opened =
-        simulate_rack_day(hazard, root, rack, day, next_burst_id, out.tickets);
-    out.bursts_per_day[static_cast<std::size_t>(day)] = opened;
-    next_burst_id += opened;
+/// Heap comparator for the log total order: open_hour first, ties broken by
+/// generation order (rack, then day, then in-cell sequence) — exactly the
+/// tie-break the batch path's stable sort by open_hour induces on its
+/// rack-major input.
+struct PendingAfter {
+  bool operator()(const PendingTicket& a, const PendingTicket& b) const {
+    if (a.ticket.open_hour != b.ticket.open_hour) {
+      return a.ticket.open_hour > b.ticket.open_hour;
+    }
+    if (a.rack != b.rack) return a.rack > b.rack;
+    if (a.day != b.day) return a.day > b.day;
+    return a.seq > b.seq;
   }
-  return out;
-}
+};
+
+/// Reused per-block scratch: one ticket buffer per block for the whole run
+/// (cleared, not reallocated, each day) and the per-cell offsets the merge
+/// needs to renumber bursts and continue sequence counters.
+struct BlockBuf {
+  std::vector<Ticket> tickets;
+  std::vector<std::uint32_t> cell_end;    ///< end offset per cell, in block order
+  std::vector<std::int32_t> cell_bursts;  ///< correlated events per cell
+};
+
+class CollectSink final : public TicketSink {
+ public:
+  bool on_day(util::DayIndex /*day*/, std::span<const Ticket> tickets) override {
+    all_.insert(all_.end(), tickets.begin(), tickets.end());
+    return true;
+  }
+  std::vector<Ticket> take() { return std::move(all_); }
+
+ private:
+  std::vector<Ticket> all_;
+};
 
 }  // namespace
+
+StreamStats simulate_streamed(const Fleet& fleet, const HazardModel& hazard,
+                              TicketSink& sink, SimulationOptions options) {
+  const obs::ScopedSpan span("simdc.simulate");
+  const obs::ScopedTimer sim_timer(
+      obs::registry().histogram("simdc.simulate_us"));
+  const HazardConfig& cfg = hazard.config();
+  const FleetTable table(hazard);
+  const util::Rng root = ticket_stream_root(options.seed);
+  const std::size_t num_racks = table.num_racks();
+  const util::DayIndex num_days = fleet.spec().num_days;
+
+  const std::size_t block = options.racks_per_block > 0
+                                ? options.racks_per_block
+                                : kDefaultRacksPerBlock;
+  const std::size_t num_blocks = (num_racks + block - 1) / block;
+
+  std::vector<BlockBuf> bufs(num_blocks);
+  std::priority_queue<PendingTicket, std::vector<PendingTicket>, PendingAfter>
+      pending;
+  std::vector<Ticket> chunk;
+  StreamStats st;
+  std::int32_t next_burst_id = 0;
+
+  for (util::DayIndex day = 0; day < num_days; ++day) {
+    const DayTerms terms = table.day_terms(day);
+
+    // Generate every cell of the day on the pool. Block boundaries depend
+    // only on (fleet, options) — never the thread count — and each cell
+    // draws solely from its own (root, rack, day) split, so scheduling is
+    // invisible in the output.
+    util::parallel_for(num_blocks, 1, [&](std::size_t lo, std::size_t hi) {
+      CellRates rates;
+      for (std::size_t b = lo; b < hi; ++b) {
+        BlockBuf& buf = bufs[b];
+        buf.tickets.clear();
+        buf.cell_end.clear();
+        buf.cell_bursts.clear();
+        const std::size_t r_end = std::min(num_racks, (b + 1) * block);
+        for (std::size_t r = b * block; r < r_end; ++r) {
+          table.cell_rates(r, day, terms, rates);
+          util::Rng day_rng =
+              root.split(static_cast<std::uint64_t>(table.rack_id(r)))
+                  .split(static_cast<std::uint64_t>(day));
+          buf.cell_bursts.push_back(simulate_cell(
+              cfg, table.geom(r), rates, day_rng, day, 0, buf.tickets));
+          buf.cell_end.push_back(static_cast<std::uint32_t>(buf.tickets.size()));
+        }
+      }
+    });
+
+    // Merge in rack order (serial): hand out chronological burst ids —
+    // (day, rack, discovery) order from the running counter — and push into
+    // the watermark heap.
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const BlockBuf& buf = bufs[b];
+      std::uint32_t begin = 0;
+      for (std::size_t cell = 0; cell < buf.cell_end.size(); ++cell) {
+        const std::uint32_t end = buf.cell_end[cell];
+        const auto rack = static_cast<std::uint32_t>(b * block + cell);
+        for (std::uint32_t i = begin; i < end; ++i) {
+          PendingTicket p{buf.tickets[i], rack, day, i - begin};
+          if (p.ticket.burst_id >= 0) p.ticket.burst_id += next_burst_id;
+          pending.push(p);
+        }
+        next_burst_id += buf.cell_bursts[cell];
+        begin = end;
+      }
+    }
+
+    // Injected scenario events, numbered after the day's organic bursts.
+    for (std::size_t oi = 0; oi < options.outages.size(); ++oi) {
+      const InjectedOutage& o = options.outages[oi];
+      if (o.day != day) continue;
+      util::require(o.fraction > 0.0 && o.fraction <= 1.0,
+                    "InjectedOutage fraction outside (0, 1]");
+      const std::int32_t burst_id = next_burst_id++;
+      const util::HourIndex onset =
+          util::Calendar::first_hour(day) +
+          std::clamp(o.onset_hour_of_day, 0, util::kHoursPerDay - 1);
+      const double mu_log = std::log(o.repair_median_h);
+      const auto& racks = fleet.racks();
+      for (std::size_t r = 0; r < racks.size(); ++r) {
+        const Rack& rack = racks[r];
+        if (rack.dc != o.dc || rack.row != o.row) continue;
+        if (day < rack.commission_day) continue;
+        // Independent of the organic streams: its own (outage, rack) split.
+        util::Rng rng = root.split("outage")
+                            .split(static_cast<std::uint64_t>(oi))
+                            .split(static_cast<std::uint64_t>(rack.id));
+        const int affected = std::max(
+            1, std::min(rack.servers(), static_cast<int>(std::lround(
+                                            o.fraction * rack.servers()))));
+        // Sequence numbers continue after the rack's organic tickets so the
+        // heap's tie-break stays total.
+        const BlockBuf& buf = bufs[r / block];
+        const std::size_t cell = r % block;
+        const std::uint32_t cell_begin =
+            cell == 0 ? 0 : buf.cell_end[cell - 1];
+        std::uint32_t seq = buf.cell_end[cell] - cell_begin;
+        for (int s = 0; s < affected; ++s) {
+          Ticket t;
+          t.rack_id = rack.id;
+          t.server_index = static_cast<std::int16_t>(s);
+          t.component_index = -1;
+          t.fault = o.fault;
+          t.true_positive = true;
+          t.burst_id = burst_id;
+          // A row-level cooling/power event trips breakers together: the
+          // whole row goes dark at the onset hour (no per-server cascade).
+          t.open_hour = onset;
+          const double hours = std::max(
+              1.0,
+              stats::sample_lognormal(rng, mu_log, cfg.burst_repair_sigma));
+          t.close_hour =
+              t.open_hour + static_cast<util::HourIndex>(std::ceil(hours));
+          pending.push(PendingTicket{t, static_cast<std::uint32_t>(r), day,
+                                     seq++});
+        }
+      }
+    }
+
+    // Watermark: tickets generated on later days open at/after those days'
+    // first hours, so everything in the heap before tomorrow's first hour
+    // is final. The last day flushes the whole overhang.
+    const bool last = day + 1 >= num_days;
+    const util::HourIndex watermark =
+        last ? std::numeric_limits<util::HourIndex>::max()
+             : util::Calendar::first_hour(day + 1);
+    chunk.clear();
+    while (!pending.empty() &&
+           (last || pending.top().ticket.open_hour < watermark)) {
+      chunk.push_back(pending.top().ticket);
+      pending.pop();
+    }
+
+    // Residency peak: the generation buffers, heap, and outgoing chunk all
+    // coexist at this point — this is the number the soak tests bound.
+    std::size_t resident = pending.size() + chunk.size();
+    for (const BlockBuf& buf : bufs) resident += buf.tickets.size();
+    st.peak_resident_tickets = std::max(st.peak_resident_tickets, resident);
+    st.peak_chunk_tickets = std::max(st.peak_chunk_tickets, chunk.size());
+    st.total_tickets += chunk.size();
+    ++st.days_emitted;
+    if (!sink.on_day(day, std::span<const Ticket>(chunk))) break;
+  }
+
+  st.bursts = next_burst_id;
+  obs::registry().counter("simdc.tickets_generated").add(st.total_tickets);
+  obs::registry().counter("simdc.bursts").add(
+      static_cast<std::uint64_t>(next_burst_id));
+  return st;
+}
 
 TicketLog simulate(const Fleet& fleet, const EnvironmentModel& env,
                    const HazardModel& hazard, SimulationOptions options) {
   (void)env;  // conditions are consulted through the hazard model
-  const obs::ScopedSpan span("simdc.simulate");
-  const obs::ScopedTimer sim_timer(
-      obs::registry().histogram("simdc.simulate_us"));
-  const util::Rng root = ticket_stream_root(options.seed);
-
-  // Each (rack, day) cell draws from its own (seed, rack.id, day)-derived
-  // stream, so racks can run on the pool in any schedule; merging in rack
-  // order reproduces the serial sweep's TicketLog byte for byte.
-  const auto& racks = fleet.racks();
-  auto streams = util::parallel_map(racks.size(), [&](std::size_t i) {
-    return simulate_rack(fleet, hazard, root, racks[i]);
-  });
-
-  // Burst ids are assigned chronologically — (day, rack, discovery) order —
-  // so the day-major live stream (src/stream) can hand them out from a
-  // running counter and still match this batch log byte for byte. Each
-  // rack's local ids are sequential in day order, so a prefix sum over the
-  // per-day counts in (day, rack) order yields the remap. Serial, after the
-  // parallel join: identical at any thread count.
-  std::vector<std::vector<std::int32_t>> remap(streams.size());
-  for (std::size_t r = 0; r < streams.size(); ++r) {
-    const auto& per_day = streams[r].bursts_per_day;
-    std::int32_t rack_total = 0;
-    for (const std::int32_t n : per_day) rack_total += n;
-    remap[r].resize(static_cast<std::size_t>(rack_total));
-  }
-  std::int32_t next_global = 0;
-  std::vector<std::int32_t> next_local(streams.size(), 0);
-  for (util::DayIndex day = 0; day < fleet.spec().num_days; ++day) {
-    for (std::size_t r = 0; r < streams.size(); ++r) {
-      const std::int32_t n = streams[r].bursts_per_day[static_cast<std::size_t>(day)];
-      for (std::int32_t k = 0; k < n; ++k) {
-        remap[r][static_cast<std::size_t>(next_local[r]++)] = next_global++;
-      }
-    }
-  }
-
-  std::size_t total = 0;
-  for (const RackStream& s : streams) total += s.tickets.size();
-  std::vector<Ticket> tickets;
-  tickets.reserve(total);
-  for (std::size_t r = 0; r < streams.size(); ++r) {
-    for (Ticket& t : streams[r].tickets) {
-      if (t.burst_id >= 0) t.burst_id = remap[r][static_cast<std::size_t>(t.burst_id)];
-      tickets.push_back(t);
-    }
-  }
-  obs::registry().counter("simdc.tickets_generated").add(total);
-  obs::registry().counter("simdc.bursts").add(
-      static_cast<std::uint64_t>(next_global));
-  return TicketLog(std::move(tickets));
+  CollectSink sink;
+  simulate_streamed(fleet, hazard, sink, std::move(options));
+  // Chunks arrive already in log order; the constructor's stable sort is a
+  // no-op pass that keeps the invariant local to TicketLog.
+  return TicketLog(sink.take());
 }
 
 }  // namespace rainshine::simdc

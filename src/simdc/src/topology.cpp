@@ -156,36 +156,21 @@ Fleet::Fleet(FleetSpec spec)
       }
     }
   }
+
+  // Index the racks_of groupings once; racks_ never changes afterwards, so
+  // the pointers stay valid for the fleet's lifetime (moves included —
+  // vector moves keep element addresses).
+  for (const Rack& r : racks_) {
+    by_workload_[static_cast<std::size_t>(r.workload)].push_back(&r);
+    by_sku_[static_cast<std::size_t>(r.sku)].push_back(&r);
+    by_dc_[static_cast<std::size_t>(r.dc)].push_back(&r);
+  }
 }
 
 const Rack& Fleet::rack(std::int32_t id) const {
   util::require(id >= 0 && static_cast<std::size_t>(id) < racks_.size(),
                 "rack id out of range");
   return racks_[static_cast<std::size_t>(id)];
-}
-
-std::vector<const Rack*> Fleet::racks_of(WorkloadId workload) const {
-  std::vector<const Rack*> out;
-  for (const Rack& r : racks_) {
-    if (r.workload == workload) out.push_back(&r);
-  }
-  return out;
-}
-
-std::vector<const Rack*> Fleet::racks_of(SkuId sku) const {
-  std::vector<const Rack*> out;
-  for (const Rack& r : racks_) {
-    if (r.sku == sku) out.push_back(&r);
-  }
-  return out;
-}
-
-std::vector<const Rack*> Fleet::racks_of(DataCenterId dc) const {
-  std::vector<const Rack*> out;
-  for (const Rack& r : racks_) {
-    if (r.dc == dc) out.push_back(&r);
-  }
-  return out;
 }
 
 const DataCenterSpec& Fleet::dc_spec(DataCenterId id) const {

@@ -1,19 +1,13 @@
 // Live stream sources: drive simdc incrementally, one simulated day at a
 // time, instead of materializing the whole run.
 //
-// TicketStream re-runs the exact generative model of simdc::simulate but
-// day-major: for each day it simulates every rack's (rack, day) cell (on the
-// shared pool — each cell draws from its own (seed, rack, day)-split stream,
-// so the schedule cannot perturb the draws), then emits every ticket that is
-// now FINAL. A ticket generated on day d always opens at or after
-// first_hour(d) (diurnal onsets and burst staggers only push forward), so
-// once day d is simulated, everything opening before first_hour(d + 1) can
-// never be preceded by a later arrival — that watermark drains a min-heap
-// ordered exactly like the batch TicketLog (stable sort by open_hour over
-// rack-major generation order, i.e. key (open_hour, rack, day, seq)).
-// Concatenating every chunk therefore reproduces simdc::simulate(...)
-// .tickets() BYTE-IDENTICALLY, burst ids included (both sides number
-// correlated events chronologically in (day, rack, discovery) order).
+// TicketStream is a thin adapter over simdc::simulate_streamed — the same
+// day-major watermark engine the batch simulate() wraps — bridging its
+// TicketSink to a bounded channel. Each chunk is one finalized day in
+// batch-log order; concatenating every chunk reproduces
+// simdc::simulate(...).tickets() BYTE-IDENTICALLY, burst ids included (the
+// engine numbers correlated events chronologically in (day, rack,
+// discovery) order). See tickets.hpp for the watermark argument.
 //
 // TelemetryStream samples the deterministic EnvironmentModel at a fixed
 // per-day cadence — the sensor feed the ring store (store.hpp) retains.

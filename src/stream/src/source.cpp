@@ -1,38 +1,57 @@
 #include "rainshine/stream/source.hpp"
 
-#include <limits>
-#include <queue>
+#include <chrono>
 #include <utility>
 
 #include "rainshine/obs/metrics.hpp"
-#include "rainshine/obs/trace.hpp"
 #include "rainshine/util/check.hpp"
-#include "rainshine/util/parallel.hpp"
 
 namespace rainshine::stream {
 
 namespace {
 
-/// A generated-but-not-yet-final ticket plus the coordinates that order it.
-/// The batch TicketLog is a stable sort by open_hour over rack-major
-/// generation order, so the full sort key is (open_hour, rack_idx, day, seq):
-/// equal open_hours keep generation order, which is rack first, then day,
-/// then within-day sequence.
-struct Pending {
-  simdc::Ticket ticket;
-  std::size_t rack_idx = 0;
-  util::DayIndex day = 0;
-  std::uint32_t seq = 0;
-};
+/// Bridges the engine's TicketSink to the bounded channel: copies each
+/// finalized day into a chunk (the engine reuses its buffers) and applies
+/// backpressure through Channel::push. Returning false — consumer stopped
+/// or stream told to stop — halts the sweep at the day boundary.
+class ChannelSink final : public simdc::TicketSink {
+ public:
+  ChannelSink(Channel<TicketChunk>& channel, const std::atomic<bool>& stop)
+      : channel_(channel),
+        stop_(stop),
+        tickets_emitted_(obs::registry().counter("stream.tickets_emitted")),
+        chunks_emitted_(obs::registry().counter("stream.ticket_chunks")),
+        depth_(obs::registry().gauge("stream.ticket_channel_depth")),
+        day_us_(obs::registry().histogram("stream.day_sim_us")),
+        last_(std::chrono::steady_clock::now()) {}
 
-struct PendingAfter {
-  bool operator()(const Pending& a, const Pending& b) const noexcept {
-    if (a.ticket.open_hour != b.ticket.open_hour)
-      return a.ticket.open_hour > b.ticket.open_hour;
-    if (a.rack_idx != b.rack_idx) return a.rack_idx > b.rack_idx;
-    if (a.day != b.day) return a.day > b.day;
-    return a.seq > b.seq;
+  bool on_day(util::DayIndex day, std::span<const simdc::Ticket> tickets) override {
+    // One call per simulated day: the gap since the previous call is that
+    // day's generation + merge time.
+    const auto now = std::chrono::steady_clock::now();
+    day_us_.observe(
+        std::chrono::duration<double, std::micro>(now - last_).count());
+    last_ = now;
+
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    TicketChunk chunk;
+    chunk.day = day;
+    chunk.tickets.assign(tickets.begin(), tickets.end());
+    tickets_emitted_.add(chunk.tickets.size());
+    if (!channel_.push(std::move(chunk))) return false;  // consumer stopped us
+    chunks_emitted_.add(1);
+    depth_.set(static_cast<double>(channel_.size()));
+    return true;
   }
+
+ private:
+  Channel<TicketChunk>& channel_;
+  const std::atomic<bool>& stop_;
+  obs::Counter& tickets_emitted_;
+  obs::Counter& chunks_emitted_;
+  obs::Gauge& depth_;
+  obs::Histogram& day_us_;
+  std::chrono::steady_clock::time_point last_;
 };
 
 }  // namespace
@@ -64,64 +83,12 @@ void TicketStream::stop() {
 }
 
 void TicketStream::produce() {
-  obs::Counter& tickets_emitted =
-      obs::registry().counter("stream.tickets_emitted");
-  obs::Counter& chunks_emitted = obs::registry().counter("stream.ticket_chunks");
-  obs::Gauge& depth = obs::registry().gauge("stream.ticket_channel_depth");
-  obs::Histogram& day_us = obs::registry().histogram("stream.day_sim_us");
-
-  const util::Rng root = simdc::ticket_stream_root(options_.seed);
-  const auto& racks = fleet_->racks();
-  const util::DayIndex num_days = fleet_->spec().num_days;
-
-  std::priority_queue<Pending, std::vector<Pending>, PendingAfter> pending;
-  std::int32_t next_burst_id = 0;
-
-  for (util::DayIndex day = 0; day < num_days; ++day) {
-    if (stop_.load(std::memory_order_relaxed)) return;
-    const obs::ScopedTimer timer(day_us);
-
-    // Simulate every (rack, day) cell. Each cell's stream is split from
-    // (root, rack.id, day), so running them on the pool in any schedule
-    // makes the same draws as the batch rack-major sweep. Correlated-event
-    // ids are cell-local here and offset below in rack order — exactly the
-    // (day, rack, discovery) chronological numbering batch simulate() uses.
-    auto cells = util::parallel_map(racks.size(), [&](std::size_t i) {
-      std::vector<simdc::Ticket> out;
-      const std::int32_t opened =
-          simdc::simulate_rack_day(*hazard_, root, racks[i], day, 0, out);
-      return std::pair<std::vector<simdc::Ticket>, std::int32_t>(std::move(out),
-                                                                 opened);
-    });
-
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      auto& [cell_tickets, opened] = cells[i];
-      std::uint32_t seq = 0;
-      for (simdc::Ticket& t : cell_tickets) {
-        if (t.burst_id >= 0) t.burst_id += next_burst_id;
-        pending.push(Pending{t, i, day, seq++});
-      }
-      next_burst_id += opened;
-    }
-
-    // Watermark: tickets generated on day e >= day + 1 open at or after
-    // first_hour(e), so everything below first_hour(day + 1) is final. The
-    // last day flushes everything, overhang included.
-    const util::HourIndex watermark =
-        day + 1 < num_days ? util::Calendar::first_hour(day + 1)
-                           : std::numeric_limits<util::HourIndex>::max();
-    TicketChunk chunk;
-    chunk.day = day;
-    while (!pending.empty() && pending.top().ticket.open_hour < watermark) {
-      chunk.tickets.push_back(pending.top().ticket);
-      pending.pop();
-    }
-
-    tickets_emitted.add(chunk.tickets.size());
-    if (!channel_.push(std::move(chunk))) return;  // consumer stopped us
-    chunks_emitted.add(1);
-    depth.set(static_cast<double>(channel_.size()));
-  }
+  // The engine owns the day-major watermark logic; this producer is just a
+  // sink adapter plus channel lifecycle.
+  simdc::SimulationOptions opts;
+  opts.seed = options_.seed;
+  ChannelSink sink(channel_, stop_);
+  simdc::simulate_streamed(*fleet_, *hazard_, sink, std::move(opts));
   channel_.close();
 }
 

@@ -164,5 +164,37 @@ TEST_F(MetricsTest, ClipsOutOfWindowTickets) {
   EXPECT_EQ(total, 1U);
 }
 
+TEST_F(MetricsTest, StreamingSinkAccumulatesToTheBatchIndex) {
+  // The Q1-Q3 entry points stream the sweep through MetricsSink instead of
+  // materializing a TicketLog; per-day chunks must fold to exactly the
+  // batch constructor's state.
+  const simdc::EnvironmentModel env(fleet_, fleet_.spec().seed);
+  const simdc::HazardModel hazard(fleet_, env);
+  const simdc::TicketLog log = simulate(fleet_, env, hazard, {.seed = 11});
+  const FailureMetrics batch(fleet_, log);
+
+  FailureMetrics streamed(fleet_);
+  MetricsSink sink(streamed);
+  simulate_streamed(fleet_, hazard, sink, {.seed = 11});
+
+  for (std::size_t r = 0; r < fleet_.num_racks(); ++r) {
+    const auto rack = static_cast<std::int32_t>(r);
+    for (util::DayIndex day = 0; day < fleet_.spec().num_days; ++day) {
+      for (const FaultType f : simdc::kAllFaultTypes) {
+        ASSERT_EQ(streamed.count(rack, day, f), batch.count(rack, day, f))
+            << "rack " << r << " day " << day;
+      }
+    }
+    for (const auto kind :
+         {DeviceKind::kServer, DeviceKind::kDisk, DeviceKind::kDimm}) {
+      EXPECT_EQ(streamed.mu_series(rack, kind, Granularity::kHourly),
+                batch.mu_series(rack, kind, Granularity::kHourly));
+    }
+    EXPECT_EQ(
+        streamed.mu_series(rack, DeviceKind::kServer, Granularity::kDaily, true),
+        batch.mu_series(rack, DeviceKind::kServer, Granularity::kDaily, true));
+  }
+}
+
 }  // namespace
 }  // namespace rainshine::core

@@ -1,0 +1,121 @@
+// Pins the columnar FleetTable bit-identical to the reference models it
+// flattens. Every comparison here is EXPECT_EQ on doubles on purpose: the
+// contract is not "close", it is "the same bits" — a one-ulp difference in
+// any rate would shift a Poisson draw and desynchronize the ticket stream
+// (see fleet_table.hpp's bit-identity contract).
+#include "rainshine/simdc/fleet_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rainshine::simdc {
+namespace {
+
+class FleetTableTest : public ::testing::Test {
+ protected:
+  FleetTableTest()
+      : fleet_(FleetSpec::test_default()),
+        env_(fleet_, fleet_.spec().seed),
+        hazard_(fleet_, env_),
+        table_(hazard_) {}
+
+  Fleet fleet_;
+  EnvironmentModel env_;
+  HazardModel hazard_;
+  FleetTable table_;
+};
+
+TEST_F(FleetTableTest, MirrorsFleetGeometry) {
+  ASSERT_EQ(table_.num_racks(), fleet_.num_racks());
+  EXPECT_EQ(table_.num_days(), fleet_.spec().num_days);
+  for (std::size_t r = 0; r < table_.num_racks(); ++r) {
+    const Rack& rack = fleet_.racks()[r];
+    const SkuSpec& sku = sku_spec(rack.sku);
+    EXPECT_EQ(table_.rack_id(r), rack.id);
+    EXPECT_EQ(table_.geom(r).servers, rack.servers());
+    EXPECT_EQ(table_.geom(r).disks_per_server, sku.disks_per_server);
+    EXPECT_EQ(table_.geom(r).dimms_per_server, sku.dimms_per_server);
+  }
+}
+
+TEST_F(FleetTableTest, DailyMeanBitIdenticalToEnvironmentModel) {
+  for (util::DayIndex day = 0; day < table_.num_days(); ++day) {
+    const DayTerms terms = table_.day_terms(day);
+    for (std::size_t r = 0; r < table_.num_racks(); ++r) {
+      const Conditions want = env_.daily_mean(fleet_.racks()[r], day);
+      const Conditions got = table_.daily_mean(r, terms);
+      EXPECT_EQ(got.temperature_f, want.temperature_f)
+          << "rack " << r << " day " << day;
+      EXPECT_EQ(got.relative_humidity, want.relative_humidity)
+          << "rack " << r << " day " << day;
+    }
+  }
+}
+
+TEST_F(FleetTableTest, CellRatesBitIdenticalToHazardModel) {
+  CellRates got;
+  for (util::DayIndex day = 0; day < table_.num_days(); ++day) {
+    const DayTerms terms = table_.day_terms(day);
+    for (std::size_t r = 0; r < table_.num_racks(); ++r) {
+      const Rack& rack = fleet_.racks()[r];
+      table_.cell_rates(r, day, terms, got);
+      for (std::size_t i = 0; i < kNumFaultTypes; ++i) {
+        EXPECT_EQ(got.fault[i], hazard_.rack_day_rate(rack, day, kAllFaultTypes[i]))
+            << "rack " << r << " day " << day << " fault " << i;
+      }
+      EXPECT_EQ(got.burst, hazard_.burst_rate(rack, day));
+      const auto [blo, bhi] = hazard_.burst_fraction_range(rack);
+      EXPECT_EQ(got.burst_lo, blo);
+      EXPECT_EQ(got.burst_hi, bhi);
+      EXPECT_EQ(got.batch, hazard_.disk_batch_rate(rack, day));
+      const auto [dlo, dhi] = hazard_.disk_batch_fraction_range(rack);
+      EXPECT_EQ(got.batch_lo, dlo);
+      EXPECT_EQ(got.batch_hi, dhi);
+    }
+  }
+}
+
+TEST_F(FleetTableTest, PreCommissionCellsAreZero) {
+  // Racks commissioned inside the window must show zero intensity before
+  // their commission day, exactly like the reference guards.
+  CellRates rates;
+  bool saw_in_window_commission = false;
+  for (std::size_t r = 0; r < table_.num_racks(); ++r) {
+    const Rack& rack = fleet_.racks()[r];
+    if (rack.commission_day <= 0) continue;
+    saw_in_window_commission = true;
+    const util::DayIndex day = rack.commission_day - 1;
+    table_.cell_rates(r, day, table_.day_terms(day), rates);
+    for (const double f : rates.fault) EXPECT_EQ(f, 0.0);
+    EXPECT_EQ(rates.burst, 0.0);
+    EXPECT_EQ(rates.batch, 0.0);
+  }
+  EXPECT_TRUE(saw_in_window_commission)
+      << "test fleet lost its in-window commissions; the guard is untested";
+}
+
+TEST_F(FleetTableTest, TracksSetpointOffsetVariant) {
+  // The Q3 counterfactual rebuilds the environment with a shifted setpoint;
+  // a table built over THAT hazard must mirror the shifted model, proving
+  // the table copies live state instead of spec defaults.
+  const EnvironmentModel warmer = env_.with_setpoint_offset(DataCenterId::kDC1, 4.0);
+  const HazardModel hazard2(fleet_, warmer);
+  const FleetTable table2(hazard2);
+  CellRates got;
+  for (util::DayIndex day = 0; day < table2.num_days(); day += 7) {
+    const DayTerms terms = table2.day_terms(day);
+    for (std::size_t r = 0; r < table2.num_racks(); ++r) {
+      const Rack& rack = fleet_.racks()[r];
+      const Conditions want = warmer.daily_mean(rack, day);
+      const Conditions c = table2.daily_mean(r, terms);
+      EXPECT_EQ(c.temperature_f, want.temperature_f);
+      EXPECT_EQ(c.relative_humidity, want.relative_humidity);
+      table2.cell_rates(r, day, terms, got);
+      for (std::size_t i = 0; i < kNumFaultTypes; ++i) {
+        EXPECT_EQ(got.fault[i], hazard2.rack_day_rate(rack, day, kAllFaultTypes[i]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rainshine::simdc
