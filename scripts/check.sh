@@ -18,6 +18,12 @@
 #                                  # through simulate_streamed and assert
 #                                  # nonzero tickets under the peak-RSS bound
 #                                  # (RAINSHINE_RSS_BOUND_MB, default 32)
+#   scripts/check.sh --predict-smoke # additionally fit + evaluate the
+#                                  # early-warning study on a tiny fleet
+#                                  # (asserts it beats the naive baseline),
+#                                  # validate BENCH_predict.json, and check
+#                                  # one rainshine_whatif sweep is
+#                                  # byte-identical across RAINSHINE_THREADS
 #
 # Flags combine (e.g. `--sanitize --tsan` runs all three suites). Extra
 # arguments after the flags are forwarded to ctest (e.g. -R Ingest).
@@ -31,6 +37,7 @@ serve_smoke=0
 net_smoke=0
 stream_smoke=0
 scale_smoke=0
+predict_smoke=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --sanitize) sanitize=1 ;;
@@ -39,6 +46,7 @@ while [[ "${1:-}" == --* ]]; do
     --net-smoke) net_smoke=1 ;;
     --stream-smoke) stream_smoke=1 ;;
     --scale-smoke) scale_smoke=1 ;;
+    --predict-smoke) predict_smoke=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
@@ -280,6 +288,41 @@ if [[ "$scale_smoke" == 1 ]]; then
   # 32 MiB bound is one a design holding the fleet's full-window tickets
   # resident could not meet (see bench/bench_simdc_scale.cpp).
   ./build/bench/bench_simdc_scale --smoke
+fi
+
+if [[ "$predict_smoke" == 1 ]]; then
+  echo "== predict smoke: early-warning study + whatif determinism =="
+  predictdir="$(mktemp -d)"
+  trap 'rm -rf "${workdir:-}" "${netdir:-}" "${streamdir:-}" "${predictdir:-}"' EXIT
+
+  # The bench asserts the acceptance bar itself under --smoke: the risk
+  # forest must beat the trailing-count baseline on precision at the 5%
+  # alert budget AND on median lead-time, else it exits nonzero.
+  ./build/bench/bench_predict --smoke > "$predictdir/BENCH_predict.json"
+  ./build/tools/rainshine_metrics --check "$predictdir/BENCH_predict.json" \
+    --require model_precision_at_budget,baseline_precision_at_budget,model_median_lead_days,baseline_median_lead_days,model_lead_deciles_days
+  echo "predict smoke: bench beat the baseline, BENCH_predict.json validated"
+
+  # One whatif sweep (predictor included) must be byte-identical across
+  # thread counts, stderr predictor summary included.
+  whatif_flags=(--days 160 --trees 8 --warmup 50 --stride 7
+                --offsets -2,0,4 --slas 0.95,1.0 --sort tco)
+  RAINSHINE_THREADS=1 ./build/tools/rainshine_whatif "${whatif_flags[@]}" \
+    > "$predictdir/whatif_t1.out" 2> "$predictdir/whatif_t1.err"
+  RAINSHINE_THREADS=2 ./build/tools/rainshine_whatif "${whatif_flags[@]}" \
+    > "$predictdir/whatif_t2.out" 2> "$predictdir/whatif_t2.err"
+  if ! cmp -s "$predictdir/whatif_t1.out" "$predictdir/whatif_t2.out" ||
+     ! cmp -s "$predictdir/whatif_t1.err" "$predictdir/whatif_t2.err"; then
+    echo "predict smoke FAILED: whatif output differs across RAINSHINE_THREADS" >&2
+    diff "$predictdir/whatif_t1.out" "$predictdir/whatif_t2.out" | head >&2
+    exit 1
+  fi
+  if ! grep -q '^\* ' "$predictdir/whatif_t1.out"; then
+    echo "predict smoke FAILED: whatif table has no best-policy marker" >&2
+    cat "$predictdir/whatif_t1.out" >&2
+    exit 1
+  fi
+  echo "predict smoke: whatif sweep byte-identical across thread counts"
 fi
 
 echo "OK"

@@ -1,0 +1,63 @@
+// Ranked evaluation of the early-warning study: precision/recall at alert
+// budgets (top-k of the ranked test rows) and the lead-time distribution of
+// the alerts that were right — how many days of warning the operator gets.
+//
+// Ranking ties are broken deterministically by (snapshot_day, rack_id,
+// server_index), so reports are byte-stable across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rainshine/predict/features.hpp"
+
+namespace rainshine::predict {
+
+struct EvalOptions {
+  /// Alert budgets as fractions of the evaluated rows (each gives one @k row).
+  std::vector<double> top_fractions = {0.01, 0.02, 0.05, 0.10};
+  /// Budget used for the headline comparison and the lead-time deciles.
+  double primary_fraction = 0.05;
+};
+
+/// One alert budget's outcome.
+struct AtK {
+  double fraction = 0;
+  std::size_t k = 0;     ///< alerts issued: max(1, floor(fraction * rows))
+  std::size_t hits = 0;  ///< alerts whose server did fail within the horizon
+  double precision = 0;
+  double recall = 0;
+  /// Median days between the alert's snapshot and the first failure, over
+  /// hits. 0 when there are no hits.
+  double median_lead_days = 0;
+};
+
+struct RankedEval {
+  std::vector<AtK> at;  ///< parallel to EvalOptions::top_fractions
+};
+
+struct EvalReport {
+  std::size_t rows = 0;
+  std::size_t positives = 0;
+  double base_rate = 0;  ///< positives / rows
+  RankedEval model;
+  RankedEval baseline;
+  double primary_fraction = 0;
+  AtK model_primary;
+  AtK baseline_primary;
+  /// Deciles (0%,10%,...,100%) of the model's hit lead times at the primary
+  /// budget; empty when the model has no hits there.
+  std::vector<double> model_lead_deciles_days;
+};
+
+/// Evaluates model and baseline scores over the same `rows` of `set`
+/// (typically the temporal_split test side). Score spans are parallel to
+/// `rows`.
+[[nodiscard]] EvalReport evaluate(const FeatureSet& set,
+                                  std::span<const std::size_t> rows,
+                                  std::span<const double> model_scores,
+                                  std::span<const double> baseline_scores,
+                                  const EvalOptions& options = {});
+
+}  // namespace rainshine::predict

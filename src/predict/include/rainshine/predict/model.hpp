@@ -1,0 +1,64 @@
+// Fitting and scoring for the early-warning study.
+//
+// The classifier is a regression forest on the 0/1 label: the ensemble
+// mean of leaf means is a risk score in [0, 1], which — unlike plurality
+// votes — ranks servers for the precision-at-k evaluation (alert budgets
+// are ranked lists, not hard decisions). Fitting goes through the presorted
+// CART engine and is bit-identical at any RAINSHINE_THREADS.
+//
+// Temporal split contract: train rows are snapshots whose ENTIRE label
+// window closes before the split (snapshot_day + horizon <= split_day);
+// test rows are snapshots at or after the split. Snapshots in between —
+// whose labels would peek across the boundary — are dropped (an embargo
+// gap), so nothing on the train side, features or labels, depends on any
+// ticket opened at or after first_hour(split_day). The leakage guard test
+// corrupts every post-split ticket and asserts the fitted model is
+// byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rainshine/cart/forest.hpp"
+#include "rainshine/predict/features.hpp"
+
+namespace rainshine::predict {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+  util::DayIndex split_day = 0;
+};
+
+/// Partitions rows by the temporal-split contract above.
+[[nodiscard]] SplitIndices temporal_split(const FeatureSet& set,
+                                          util::DayIndex split_day);
+
+/// Feature columns of `set` (everything except the response).
+[[nodiscard]] std::vector<std::string> feature_columns(const FeatureSet& set);
+
+struct TrainedModel {
+  cart::Forest forest;
+  /// Fitted feature metadata: scoring datasets re-encode against these so
+  /// categorical codes line up even if a level is absent from a subset.
+  std::vector<cart::FeatureInfo> infos;
+};
+
+/// Fits the risk forest on the given rows of `set`.
+[[nodiscard]] TrainedModel fit_risk_model(const FeatureSet& set,
+                                          std::span<const std::size_t> rows,
+                                          const cart::ForestConfig& config);
+
+/// Risk scores for `rows`, in row order.
+[[nodiscard]] std::vector<double> score_rows(const TrainedModel& model,
+                                             const FeatureSet& set,
+                                             std::span<const std::size_t> rows);
+
+/// SF-style naive baseline: rank servers by their trailing mid-window
+/// ticket count (the "recently failed, will fail again" heuristic a single
+/// pooled factor supports), hardware count as tie-break.
+[[nodiscard]] std::vector<double> baseline_scores(const FeatureSet& set,
+                                                  std::span<const std::size_t> rows);
+
+}  // namespace rainshine::predict

@@ -1,0 +1,115 @@
+#include "rainshine/predict/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::predict {
+
+namespace {
+
+/// Rank positions (indices into `rows`) by score descending, with the
+/// deterministic (snapshot_day, rack, server) tie-break.
+std::vector<std::size_t> ranked_order(const FeatureSet& set,
+                                      std::span<const std::size_t> rows,
+                                      std::span<const double> scores) {
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    const RowMeta& ma = set.meta[rows[a]];
+    const RowMeta& mb = set.meta[rows[b]];
+    if (ma.snapshot_day != mb.snapshot_day)
+      return ma.snapshot_day < mb.snapshot_day;
+    if (ma.rack_id != mb.rack_id) return ma.rack_id < mb.rack_id;
+    return ma.server_index < mb.server_index;
+  });
+  return order;
+}
+
+[[nodiscard]] double lead_days(const RowMeta& m) {
+  return static_cast<double>(m.first_fail_hour -
+                             util::Calendar::first_hour(m.snapshot_day)) /
+         static_cast<double>(util::kHoursPerDay);
+}
+
+[[nodiscard]] double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+AtK at_fraction(const FeatureSet& set, std::span<const std::size_t> rows,
+                std::span<const std::size_t> order, std::size_t positives,
+                double fraction, std::vector<double>* leads_out = nullptr) {
+  AtK at;
+  at.fraction = fraction;
+  at.k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(fraction *
+                                             static_cast<double>(rows.size()))));
+  at.k = std::min(at.k, rows.size());
+  std::vector<double> leads;
+  for (std::size_t i = 0; i < at.k; ++i) {
+    const RowMeta& m = set.meta[rows[order[i]]];
+    if (m.label == 0) continue;
+    ++at.hits;
+    leads.push_back(lead_days(m));
+  }
+  at.precision = at.k == 0 ? 0.0
+                           : static_cast<double>(at.hits) /
+                                 static_cast<double>(at.k);
+  at.recall = positives == 0 ? 0.0
+                             : static_cast<double>(at.hits) /
+                                   static_cast<double>(positives);
+  at.median_lead_days = median(leads);
+  if (leads_out != nullptr) *leads_out = std::move(leads);
+  return at;
+}
+
+}  // namespace
+
+EvalReport evaluate(const FeatureSet& set, std::span<const std::size_t> rows,
+                    std::span<const double> model_scores,
+                    std::span<const double> baseline_scores,
+                    const EvalOptions& options) {
+  util::require(model_scores.size() == rows.size() &&
+                    baseline_scores.size() == rows.size(),
+                "evaluate: score spans must be parallel to rows");
+  EvalReport report;
+  report.rows = rows.size();
+  for (std::size_t row : rows) report.positives += set.meta[row].label;
+  report.base_rate = rows.empty() ? 0.0
+                                  : static_cast<double>(report.positives) /
+                                        static_cast<double>(rows.size());
+  report.primary_fraction = options.primary_fraction;
+  if (rows.empty()) return report;
+
+  const auto model_order = ranked_order(set, rows, model_scores);
+  const auto base_order = ranked_order(set, rows, baseline_scores);
+  for (double f : options.top_fractions) {
+    report.model.at.push_back(
+        at_fraction(set, rows, model_order, report.positives, f));
+    report.baseline.at.push_back(
+        at_fraction(set, rows, base_order, report.positives, f));
+  }
+
+  std::vector<double> primary_leads;
+  report.model_primary = at_fraction(set, rows, model_order, report.positives,
+                                     options.primary_fraction, &primary_leads);
+  report.baseline_primary = at_fraction(set, rows, base_order, report.positives,
+                                        options.primary_fraction);
+
+  if (!primary_leads.empty()) {
+    std::sort(primary_leads.begin(), primary_leads.end());
+    const std::size_t n = primary_leads.size();
+    for (int d = 0; d <= 10; ++d) {
+      const std::size_t idx = (n - 1) * static_cast<std::size_t>(d) / 10;
+      report.model_lead_deciles_days.push_back(primary_leads[idx]);
+    }
+  }
+  return report;
+}
+
+}  // namespace rainshine::predict

@@ -1,0 +1,72 @@
+#include "rainshine/predict/model.hpp"
+
+#include <string>
+
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::predict {
+
+SplitIndices temporal_split(const FeatureSet& set, util::DayIndex split_day) {
+  SplitIndices out;
+  out.split_day = split_day;
+  const util::DayIndex horizon = set.config.horizon_days;
+  for (std::size_t i = 0; i < set.meta.size(); ++i) {
+    const util::DayIndex s = set.meta[i].snapshot_day;
+    if (s + horizon <= split_day) {
+      out.train.push_back(i);
+    } else if (s >= split_day) {
+      out.test.push_back(i);
+    }
+    // Snapshots inside the embargo gap (label window straddles the split)
+    // belong to neither side.
+  }
+  return out;
+}
+
+std::vector<std::string> feature_columns(const FeatureSet& set) {
+  std::vector<std::string> names;
+  for (const auto& name : set.table.column_names())
+    if (name != FeatureBuilder::kResponse) names.push_back(name);
+  return names;
+}
+
+TrainedModel fit_risk_model(const FeatureSet& set,
+                            std::span<const std::size_t> rows,
+                            const cart::ForestConfig& config) {
+  util::require(!rows.empty(), "fit_risk_model: no training rows");
+  const table::Table sub = set.table.take(rows);
+  const cart::Dataset data(sub, FeatureBuilder::kResponse, feature_columns(set),
+                           cart::Task::kRegression,
+                           cart::MissingResponse::kDropRows);
+  TrainedModel model{.forest = cart::grow_forest(data, config),
+                     .infos = data.infos()};
+  obs::registry().counter("predict.models_fit").add(1);
+  return model;
+}
+
+std::vector<double> score_rows(const TrainedModel& model, const FeatureSet& set,
+                               std::span<const std::size_t> rows) {
+  const table::Table sub = set.table.take(rows);
+  const cart::Dataset data(sub, model.infos);
+  auto scores = model.forest.predict(data);
+  obs::registry().counter("predict.rows_scored").add(scores.size());
+  return scores;
+}
+
+std::vector<double> baseline_scores(const FeatureSet& set,
+                                    std::span<const std::size_t> rows) {
+  const std::string mid = std::to_string(set.config.windows_days[1]) + "d";
+  const auto& all = set.table.column("srv_all_" + mid);
+  const auto& hw = set.table.column("srv_hw_" + mid);
+  std::vector<double> scores;
+  scores.reserve(rows.size());
+  for (std::size_t row : rows) {
+    // Trailing ticket volume, hardware tickets as the secondary key (counts
+    // are small integers, so x16 keeps the keys disjoint).
+    scores.push_back(all.as_double(row) * 16.0 + hw.as_double(row));
+  }
+  return scores;
+}
+
+}  // namespace rainshine::predict

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "rainshine/util/check.hpp"
 
 namespace rainshine::core {
@@ -193,6 +199,83 @@ TEST_F(MetricsTest, StreamingSinkAccumulatesToTheBatchIndex) {
     EXPECT_EQ(
         streamed.mu_series(rack, DeviceKind::kServer, Granularity::kDaily, true),
         batch.mu_series(rack, DeviceKind::kServer, Granularity::kDaily, true));
+  }
+}
+
+// Partition property: index() must be a fold — ANY partition of the ticket
+// stream into spans (empty spans included, spans delivered in any order)
+// accumulates to the batch constructor's state, λ and µ alike. The
+// streaming pipelines rely on this with day chunks; this pins the general
+// contract with randomized cuts.
+TEST_F(MetricsTest, IndexIsInvariantUnderRandomSpanPartitions) {
+  const simdc::EnvironmentModel env(fleet_, fleet_.spec().seed);
+  const simdc::HazardModel hazard(fleet_, env);
+  const simdc::TicketLog log = simulate(fleet_, env, hazard, {.seed = 23});
+  ASSERT_GT(log.size(), 100U);
+  const FailureMetrics batch(fleet_, log);
+
+  const auto expect_same = [&](const FailureMetrics& m, const char* what) {
+    for (std::size_t r = 0; r < fleet_.num_racks(); ++r) {
+      const auto rack = static_cast<std::int32_t>(r);
+      for (util::DayIndex day = 0; day < fleet_.spec().num_days; ++day) {
+        for (const FaultType f : simdc::kAllFaultTypes) {
+          ASSERT_EQ(m.count(rack, day, f), batch.count(rack, day, f))
+              << what << ": rack " << r << " day " << day;
+        }
+      }
+      for (const auto kind :
+           {DeviceKind::kServer, DeviceKind::kDisk, DeviceKind::kDimm}) {
+        ASSERT_EQ(m.mu_series(rack, kind, Granularity::kDaily),
+                  batch.mu_series(rack, kind, Granularity::kDaily))
+            << what << ": rack " << r;
+      }
+    }
+  };
+
+  const std::span<const Ticket> all = log.tickets();
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    std::mt19937_64 rng(seed);
+    // Random cut points; every fourth one is doubled so the partition is
+    // guaranteed to contain empty spans.
+    std::vector<std::size_t> cuts = {0, all.size()};
+    std::uniform_int_distribution<std::size_t> pick(0, all.size());
+    for (int c = 0; c < 40; ++c) {
+      const std::size_t cut = pick(rng);
+      cuts.push_back(cut);
+      if (c % 4 == 0) cuts.push_back(cut);
+    }
+    std::sort(cuts.begin(), cuts.end());
+
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+      spans.emplace_back(cuts[i], cuts[i + 1]);
+    std::shuffle(spans.begin(), spans.end(), rng);
+
+    FailureMetrics folded(fleet_);
+    std::size_t covered = 0, empty_spans = 0;
+    for (const auto& [lo, hi] : spans) {
+      if (lo == hi) ++empty_spans;
+      folded.index(all.subspan(lo, hi - lo));
+      covered += hi - lo;
+    }
+    ASSERT_EQ(covered, all.size());
+    EXPECT_GT(empty_spans, 0U) << "seed " << seed;  // duplicates make some
+    expect_same(folded, "random partition");
+  }
+
+  // Degenerate fold: nothing indexed at all equals the empty batch log, and
+  // a rack with zero tickets reads zero everywhere under both forms.
+  const FailureMetrics none(fleet_);
+  const FailureMetrics empty_batch(fleet_, TicketLog(std::vector<Ticket>{}));
+  for (std::size_t r = 0; r < fleet_.num_racks(); ++r) {
+    const auto rack = static_cast<std::int32_t>(r);
+    for (util::DayIndex day = 0; day < fleet_.spec().num_days; ++day) {
+      ASSERT_EQ(none.total_count(rack, day), 0U);
+      ASSERT_EQ(empty_batch.total_count(rack, day), 0U);
+    }
+    ASSERT_EQ(none.mu_series(rack, DeviceKind::kServer, Granularity::kDaily),
+              empty_batch.mu_series(rack, DeviceKind::kServer,
+                                    Granularity::kDaily));
   }
 }
 

@@ -118,6 +118,75 @@ TEST_F(ObservationsTest, MarginalRowsCoverExpectedGroups) {
   }
 }
 
+// Boundary regression (half-open [first_day, last_day) contract): a ticket
+// opened at EXACTLY first_hour(last_day) belongs to day last_day and must
+// stay outside the window, while one hour earlier is the window's last
+// countable event. -1, the exact horizon, and an overshooting last_day all
+// name the same full-horizon table, and open_day == num_days overhang
+// tickets never leak into any λ cell.
+TEST_F(ObservationsTest, WindowBoundariesAreHalfOpen) {
+  const util::DayIndex last = 40;
+  const util::DayIndex num_days = fleet_.spec().num_days;
+  ASSERT_LT(last, num_days);
+
+  simdc::Ticket inside;
+  inside.open_hour = util::Calendar::first_hour(last) - 1;
+  inside.close_hour = inside.open_hour + 4;
+  inside.rack_id = 0;
+  inside.fault = FaultType::kDiskFailure;
+  simdc::Ticket boundary = inside;
+  boundary.open_hour = util::Calendar::first_hour(last);
+  boundary.close_hour = boundary.open_hour + 4;
+  simdc::Ticket overhang = inside;
+  overhang.open_hour = util::Calendar::first_hour(num_days);
+  overhang.close_hour = overhang.open_hour + 4;
+
+  FailureMetrics metrics(fleet_);
+  const simdc::Ticket tickets[] = {inside, boundary, overhang};
+  metrics.index(tickets);
+
+  ObservationOptions opt;
+  opt.include_mu = false;
+  opt.skip_pre_commission = false;
+  opt.last_day = last;
+  const auto lambda_sum = [](const table::Table& t) {
+    const auto& hw = t.column(col::kLambdaHw);
+    double sum = 0;
+    for (std::size_t i = 0; i < t.num_rows(); ++i) sum += hw.as_double(i);
+    return sum;
+  };
+
+  // [0, last): only the ticket one hour before the boundary counts, and no
+  // row carries a day at or past last_day.
+  const table::Table clipped = rack_day_table(metrics, env_, opt);
+  EXPECT_EQ(lambda_sum(clipped), 1.0);
+  const auto& day_col = clipped.column(col::kDay);
+  for (std::size_t i = 0; i < clipped.num_rows(); ++i)
+    EXPECT_LT(day_col.as_double(i), static_cast<double>(last));
+
+  // [0, last + 1): one day wider picks the boundary ticket up.
+  opt.last_day = last + 1;
+  EXPECT_EQ(lambda_sum(rack_day_table(metrics, env_, opt)), 2.0);
+
+  // Full horizon three ways: -1, num_days exactly, and a clamp-worthy
+  // overshoot. All agree, and none sees the open_day == num_days overhang.
+  opt.last_day = -1;
+  const table::Table full = rack_day_table(metrics, env_, opt);
+  EXPECT_EQ(lambda_sum(full), 2.0);
+  opt.last_day = num_days;
+  EXPECT_EQ(rack_day_table(metrics, env_, opt).num_rows(), full.num_rows());
+  opt.last_day = num_days + 50;
+  EXPECT_EQ(rack_day_table(metrics, env_, opt).num_rows(), full.num_rows());
+
+  // An empty window (first_day == last_day) is legal and yields no rows;
+  // an inverted one violates the precondition.
+  opt.first_day = last;
+  opt.last_day = last;
+  EXPECT_EQ(rack_day_table(metrics, env_, opt).num_rows(), 0U);
+  opt.last_day = last - 1;
+  EXPECT_THROW(rack_day_table(metrics, env_, opt), util::precondition_error);
+}
+
 TEST_F(ObservationsTest, TicketMixSumsTo100PerDc) {
   const auto rows = ticket_mix(fleet_, log_);
   double dc1 = 0.0;

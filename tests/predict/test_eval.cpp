@@ -1,0 +1,147 @@
+// Ranked-evaluation math on a hand-built FeatureSet: precision/recall at
+// alert budgets, the k clamp, median lead time (odd and even hit counts),
+// the deterministic tie-break, and the lead-time deciles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rainshine/predict/eval.hpp"
+#include "rainshine/util/check.hpp"
+
+namespace rainshine::predict {
+namespace {
+
+constexpr util::DayIndex kDay = 10;
+
+/// Eight rows at one snapshot day; labels at ranks 0, 2 and 5 (by the model
+/// scores below) with lead times of 2, 5 and 10 days.
+FeatureSet fixture() {
+  FeatureSet set;
+  set.config.horizon_days = 30;
+  set.num_days = 100;
+  set.snapshot_days = {kDay};
+  const util::HourIndex base = util::Calendar::first_hour(kDay);
+  for (std::int32_t r = 0; r < 8; ++r) {
+    RowMeta m;
+    m.snapshot_day = kDay;
+    m.rack_id = r;
+    m.server_index = 0;
+    if (r == 0) { m.label = 1; m.first_fail_hour = base + 2 * 24; }
+    if (r == 2) { m.label = 1; m.first_fail_hour = base + 5 * 24; }
+    if (r == 5) { m.label = 1; m.first_fail_hour = base + 10 * 24; }
+    set.meta.push_back(m);
+  }
+  return set;
+}
+
+std::vector<std::size_t> all_rows(const FeatureSet& set) {
+  std::vector<std::size_t> rows(set.meta.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(RankedEvalTest, PrecisionRecallAndMedianLeadAtEachBudget) {
+  const FeatureSet set = fixture();
+  const auto rows = all_rows(set);
+  // Model ranks rows in meta order; baseline is uninformative (all ties).
+  const std::vector<double> model = {8, 7, 6, 5, 4, 3, 2, 1};
+  const std::vector<double> naive(8, 0.0);
+
+  EvalOptions opt;
+  opt.top_fractions = {0.01, 0.25, 0.5};
+  opt.primary_fraction = 0.5;
+  const EvalReport report = evaluate(set, rows, model, naive, opt);
+
+  EXPECT_EQ(report.rows, 8U);
+  EXPECT_EQ(report.positives, 3U);
+  EXPECT_DOUBLE_EQ(report.base_rate, 3.0 / 8.0);
+
+  // 1% of 8 rows floors to 0 alerts; the clamp issues one anyway.
+  ASSERT_EQ(report.model.at.size(), 3U);
+  const AtK& tiny = report.model.at[0];
+  EXPECT_EQ(tiny.k, 1U);
+  EXPECT_EQ(tiny.hits, 1U);  // top row is a hit
+  EXPECT_DOUBLE_EQ(tiny.precision, 1.0);
+  EXPECT_DOUBLE_EQ(tiny.recall, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tiny.median_lead_days, 2.0);  // odd count: the middle
+
+  // 25%: top 2 rows hold one hit.
+  const AtK& quarter = report.model.at[1];
+  EXPECT_EQ(quarter.k, 2U);
+  EXPECT_EQ(quarter.hits, 1U);
+  EXPECT_DOUBLE_EQ(quarter.precision, 0.5);
+  EXPECT_DOUBLE_EQ(quarter.recall, 1.0 / 3.0);
+
+  // 50%: top 4 rows hold hits with leads {2, 5} -> even-count median 3.5.
+  const AtK& half = report.model.at[2];
+  EXPECT_EQ(half.k, 4U);
+  EXPECT_EQ(half.hits, 2U);
+  EXPECT_DOUBLE_EQ(half.precision, 0.5);
+  EXPECT_DOUBLE_EQ(half.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(half.median_lead_days, 3.5);
+  EXPECT_EQ(report.model_primary.k, half.k);
+  EXPECT_DOUBLE_EQ(report.model_primary.precision, half.precision);
+
+  // Deciles over the primary budget's sorted leads {2, 5}: index
+  // (n-1)*d/10 stays on the first element until d = 10.
+  ASSERT_EQ(report.model_lead_deciles_days.size(), 11U);
+  EXPECT_DOUBLE_EQ(report.model_lead_deciles_days.front(), 2.0);
+  EXPECT_DOUBLE_EQ(report.model_lead_deciles_days[9], 2.0);
+  EXPECT_DOUBLE_EQ(report.model_lead_deciles_days.back(), 5.0);
+}
+
+TEST(RankedEvalTest, TiedScoresBreakByDayRackServerDeterministically) {
+  FeatureSet set = fixture();
+  // Give the last row an earlier snapshot day: with all scores tied, it
+  // must rank first (day beats rack in the tie-break).
+  set.meta[7].snapshot_day = kDay - 1;
+  const auto rows = all_rows(set);
+  const std::vector<double> tied(8, 1.0);
+
+  EvalOptions opt;
+  opt.top_fractions = {0.25};
+  opt.primary_fraction = 0.25;
+  const EvalReport report = evaluate(set, rows, tied, tied, opt);
+
+  // Top 2 under the tie-break: row 7 (earlier day), then row 0 (rack 0).
+  // Row 0 is the only labeled one of the pair.
+  const AtK& at = report.model_primary;
+  EXPECT_EQ(at.k, 2U);
+  EXPECT_EQ(at.hits, 1U);
+  EXPECT_DOUBLE_EQ(at.median_lead_days, 2.0);
+  // Identical inputs -> identical report for the baseline ranking.
+  ASSERT_EQ(report.baseline.at.size(), 1U);
+  EXPECT_EQ(report.baseline.at[0].hits, at.hits);
+}
+
+TEST(RankedEvalTest, DegenerateInputs) {
+  FeatureSet set = fixture();
+  for (auto& m : set.meta) { m.label = 0; m.first_fail_hour = -1; }
+  const auto rows = all_rows(set);
+  const std::vector<double> scores = {8, 7, 6, 5, 4, 3, 2, 1};
+
+  // No positives: recall pins to 0, medians to 0, deciles stay empty.
+  const EvalReport empty = evaluate(set, rows, scores, scores, {});
+  EXPECT_EQ(empty.positives, 0U);
+  for (const AtK& at : empty.model.at) {
+    EXPECT_EQ(at.hits, 0U);
+    EXPECT_DOUBLE_EQ(at.recall, 0.0);
+    EXPECT_DOUBLE_EQ(at.median_lead_days, 0.0);
+  }
+  EXPECT_TRUE(empty.model_lead_deciles_days.empty());
+
+  // A budget above 100% clamps k to the row count.
+  EvalOptions wide;
+  wide.top_fractions = {2.0};
+  wide.primary_fraction = 2.0;
+  const EvalReport clamped = evaluate(set, rows, scores, scores, wide);
+  EXPECT_EQ(clamped.model.at[0].k, rows.size());
+
+  // Mismatched score spans violate the precondition.
+  const std::vector<double> short_scores(3, 0.0);
+  EXPECT_THROW(evaluate(set, rows, short_scores, scores, {}),
+               util::precondition_error);
+}
+
+}  // namespace
+}  // namespace rainshine::predict

@@ -1,0 +1,125 @@
+// The temporal-split leakage guard: corrupt EVERY ticket opened at or after
+// the split day — flip triage, rewrite the fault, stretch the repair — and
+// the train side must not notice. Train-row features, train-row labels and
+// the fitted forest have to come out byte-identical, because the split
+// contract (snapshot_day + horizon <= split_day) promises nothing on the
+// train side depends on post-split data. The test side must visibly change,
+// proving the corruption had teeth.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "rainshine/cart/forest.hpp"
+#include "rainshine/predict/model.hpp"
+#include "rainshine/table/csv.hpp"
+
+namespace rainshine::predict {
+namespace {
+
+using simdc::Ticket;
+
+constexpr util::DayIndex kDays = 150;
+constexpr util::DayIndex kSplit = 100;
+
+/// Buffers each day's chunk so the stream can be replayed — and tampered
+/// with — through FeatureBuilder::observe_day.
+struct CollectSink final : simdc::TicketSink {
+  std::vector<std::vector<Ticket>> by_day;
+
+  bool on_day(util::DayIndex day, std::span<const Ticket> tickets) override {
+    EXPECT_EQ(day, static_cast<util::DayIndex>(by_day.size()));
+    by_day.emplace_back(tickets.begin(), tickets.end());
+    return true;
+  }
+};
+
+[[nodiscard]] FeatureSet replay(const simdc::Fleet& fleet,
+                                const simdc::EnvironmentModel& env,
+                                const FeatureConfig& config,
+                                const std::vector<std::vector<Ticket>>& days) {
+  FeatureBuilder builder(fleet, env, config);
+  for (std::size_t day = 0; day < days.size(); ++day)
+    builder.observe_day(static_cast<util::DayIndex>(day), days[day]);
+  return builder.finish();
+}
+
+[[nodiscard]] std::string csv_of(const table::Table& table,
+                                 std::span<const std::size_t> rows) {
+  std::ostringstream out;
+  table::write_csv(table.take(rows), out);
+  return out.str();
+}
+
+TEST(LeakageGuardTest, CorruptingPostSplitTicketsLeavesTrainSideByteIdentical) {
+  simdc::FleetSpec spec = simdc::FleetSpec::test_default();
+  spec.num_days = kDays;
+  const simdc::Fleet fleet(spec);
+  const simdc::EnvironmentModel env(fleet, spec.seed);
+  const simdc::HazardModel hazard(fleet, env);
+
+  CollectSink sink;
+  simdc::simulate_streamed(fleet, hazard, sink, {.seed = spec.seed});
+  ASSERT_EQ(sink.by_day.size(), static_cast<std::size_t>(kDays));
+
+  // Tamper with everything the train side must not see. Open hours stay
+  // put (the chunk watermark is part of the stream contract); every other
+  // field of a post-split ticket is fair game.
+  auto corrupted = sink.by_day;
+  std::size_t tampered = 0;
+  for (auto& day : corrupted) {
+    for (Ticket& t : day) {
+      if (t.open_day() < kSplit) continue;
+      t.true_positive = !t.true_positive;
+      t.fault = simdc::is_hardware(t.fault)
+                    ? simdc::FaultType::kSoftwareTimeout
+                    : simdc::FaultType::kDiskFailure;
+      t.close_hour += util::kHoursPerDay;
+      ++tampered;
+    }
+  }
+  ASSERT_GT(tampered, 0U);
+
+  FeatureConfig config;
+  config.warmup_days = 40;
+  config.snapshot_stride = 7;
+  config.horizon_days = 21;
+  const FeatureSet clean = replay(fleet, env, config, sink.by_day);
+  const FeatureSet dirty = replay(fleet, env, config, corrupted);
+
+  const SplitIndices clean_split = temporal_split(clean, kSplit);
+  const SplitIndices dirty_split = temporal_split(dirty, kSplit);
+  ASSERT_FALSE(clean_split.train.empty());
+  ASSERT_FALSE(clean_split.test.empty());
+  ASSERT_EQ(clean_split.train, dirty_split.train);
+  ASSERT_EQ(clean_split.test, dirty_split.test);
+
+  // Train side: features AND labels byte-identical.
+  EXPECT_EQ(csv_of(clean.table, clean_split.train),
+            csv_of(dirty.table, dirty_split.train));
+  for (std::size_t row : clean_split.train) {
+    EXPECT_EQ(clean.meta[row].label, dirty.meta[row].label) << "row " << row;
+    EXPECT_EQ(clean.meta[row].first_fail_hour, dirty.meta[row].first_fail_hour)
+        << "row " << row;
+  }
+
+  // ... and so is the model fitted on it.
+  const cart::ForestConfig forest{.num_trees = 8, .seed = 11};
+  const auto clean_model = fit_risk_model(clean, clean_split.train, forest);
+  const auto dirty_model = fit_risk_model(dirty, dirty_split.train, forest);
+  EXPECT_TRUE(clean_model.forest == dirty_model.forest);
+
+  // The corruption was not a no-op: the test side sees different features
+  // and different labels (flipped triage guts the post-split signal).
+  EXPECT_NE(csv_of(clean.table, clean_split.test),
+            csv_of(dirty.table, dirty_split.test));
+  std::size_t clean_pos = 0, dirty_pos = 0;
+  for (std::size_t row : clean_split.test) {
+    clean_pos += clean.meta[row].label;
+    dirty_pos += dirty.meta[row].label;
+  }
+  EXPECT_NE(clean_pos, dirty_pos);
+}
+
+}  // namespace
+}  // namespace rainshine::predict

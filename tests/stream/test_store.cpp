@@ -113,6 +113,79 @@ TEST(SeriesStore, LateSamplesAreDroppedPerTierNotGlobally) {
   EXPECT_FALSE(store.push(id, -1000, 9.0));
 }
 
+// Seam regression: a chronological read whose bucket range wraps the ring's
+// physical end must still come back in bucket order with the right payloads,
+// and a range reaching past the retention horizon is clipped, not aliased
+// onto recycled slots.
+TEST(SeriesStore, ReadStraddlesTheRingSeamAfterWrap) {
+  SeriesStore store;
+  const SeriesId id = store.add_series({"s", {{1, 48}}});
+  for (std::int64_t h = 0; h < 100; ++h) {
+    store.push(id, h, static_cast<double>(h));
+  }
+
+  // Window is buckets [52, 99]; the ring seam sits at bucket 96 (96 % 48 ==
+  // 0). [90, 100) crosses it physically but must read chronologically.
+  const auto seam = store.read(id, 0, 90, 100);
+  ASSERT_EQ(seam.size(), 10u);
+  for (std::size_t i = 0; i < seam.size(); ++i) {
+    EXPECT_EQ(seam[i].bucket_start_hour, 90 + static_cast<std::int64_t>(i));
+    EXPECT_EQ(seam[i].count, 1u);
+    EXPECT_DOUBLE_EQ(seam[i].sum, 90.0 + static_cast<double>(i));
+  }
+
+  // A from_hour past retention clips to the oldest live bucket — the slots
+  // that once held hours [40, 52) now hold [88, 100) and must not leak.
+  const auto clipped = store.read(id, 0, 40, 100);
+  ASSERT_EQ(clipped.size(), 48u);
+  EXPECT_EQ(clipped.front().bucket_start_hour, 52);
+  EXPECT_EQ(clipped.back().bucket_start_hour, 99);
+}
+
+// Non-step-aligned read bounds: a partial first bucket is excluded (its
+// start precedes from_hour), a partial last bucket is included (its start
+// precedes to_hour) — both ends honor "bucket_start_hour in [from, to)".
+TEST(SeriesStore, NonAlignedReadBoundsRoundToBucketStarts) {
+  SeriesStore store;
+  const SeriesId id = store.add_series({"s", {{24, 10}}});
+  for (std::int64_t h = 0; h < 240; h += 6) {
+    store.push(id, h, 1.0);
+  }
+
+  const auto ragged = store.read(id, 0, 25, 73);
+  ASSERT_EQ(ragged.size(), 2u);  // day 1 starts at 24 < 25: out; day 3: in
+  EXPECT_EQ(ragged[0].bucket_start_hour, 48);
+  EXPECT_EQ(ragged[1].bucket_start_hour, 72);
+
+  const auto aligned = store.read(id, 0, 24, 72);
+  ASSERT_EQ(aligned.size(), 2u);
+  EXPECT_EQ(aligned[0].bucket_start_hour, 24);
+  EXPECT_EQ(aligned[1].bucket_start_hour, 48);
+}
+
+// Retention boundary, one bucket at a time: a late push landing EXACTLY on
+// the oldest retained slot is accepted; one bucket older is dropped and
+// must not disturb the ring.
+TEST(SeriesStore, LatePushOnTheOldestRetainedSlotLands) {
+  SeriesStore store;
+  const SeriesId id = store.add_series({"s", {{1, 8}}});
+  ASSERT_TRUE(store.push(id, 20, 1.0));  // window is now buckets [13, 20]
+
+  EXPECT_TRUE(store.push(id, 13, 7.0));  // oldest retained slot
+  const auto oldest = store.read(id, 0, 13, 14);
+  ASSERT_EQ(oldest.size(), 1u);
+  EXPECT_EQ(oldest[0].count, 1u);
+  EXPECT_DOUBLE_EQ(oldest[0].sum, 7.0);
+
+  EXPECT_FALSE(store.push(id, 12, 9.0));  // one older: rotated out
+  EXPECT_TRUE(store.read(id, 0, 12, 13).empty());
+  // The drop didn't corrupt its would-be alias slot (12 % 8 == 20 % 8).
+  const auto newest = store.read(id, 0, 20, 21);
+  ASSERT_EQ(newest.size(), 1u);
+  EXPECT_EQ(newest[0].count, 1u);
+  EXPECT_DOUBLE_EQ(newest[0].sum, 1.0);
+}
+
 TEST(SeriesStore, MemoryIsConstantOverATenWindowSoak) {
   SeriesStore store;
   // 3 series x (168-slot hourly + 14-slot daily) — a two-week window.

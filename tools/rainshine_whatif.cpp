@@ -1,0 +1,245 @@
+// rainshine_whatif — sweep operating policies against predicted failures
+// and print TCO per policy (the Q1/Q3 studies plus the early-warning
+// predictor, unified into one sortable table).
+//
+// The pipeline behind one invocation:
+//
+//   1. simulate the named fleet ONCE, streamed: the chunks feed both the
+//      predict::FeatureBuilder (per-server sliding-window features + labels)
+//      and its incremental FailureMetrics index — no TicketLog in memory;
+//   2. fit the risk forest on the temporal-split train side, evaluate on
+//      the test side, and take recall at the alert budget as the
+//      catch_rate the repair-opex model credits;
+//   3. sweep (set-point offset) x (LB/SF/MF provisioning) x (SLA) through
+//      predict::whatif_sweep and print the policy table.
+//
+// Every stage is deterministic and byte-identical across RAINSHINE_THREADS.
+//
+//   --fleet test|paper --days N --seed S        fleet under study
+//   --offsets -2,0,2,4 --slas 0.95,1.0          sweep axes
+//   --approaches lb,sf,mf --dc DC1|DC2
+//   --warmup N --stride N --horizon N           feature pipeline
+//   --split DAY                                 temporal split (default:
+//                                               days - max(3*horizon, 60))
+//   --trees N --budget F                        predictor fit / alert budget
+//   --catch F                                   skip the predictor, use F
+//   --no-predict                                catch_rate = 0
+//   --amort-years F --repair-discount F
+//   --sort tco|offset|spares|repair|cooling|sla [--desc] [--top N] [--csv]
+//   --metrics FILE                              JSON sidecar
+//
+// Exit codes: 0 ok, 2 usage error, 3 data/model error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rainshine/obs/export.hpp"
+#include "rainshine/obs/metrics.hpp"
+#include "rainshine/predict/eval.hpp"
+#include "rainshine/predict/model.hpp"
+#include "rainshine/predict/whatif.hpp"
+#include "rainshine/util/strings.hpp"
+#include "sidecar_signals.hpp"
+
+using namespace rainshine;
+
+namespace {
+
+struct Options {
+  std::string fleet = "test";
+  int days = 240;
+  std::uint64_t seed = 7;
+
+  predict::WhatifOptions whatif;
+  bool offsets_set = false, slas_set = false, approaches_set = false;
+
+  predict::FeatureConfig features{.warmup_days = 60, .snapshot_stride = 7,
+                                  .horizon_days = 30};
+  int split_day = -1;  // -1: derived from days/horizon
+  cart::ForestConfig forest{.num_trees = 24, .seed = 11};
+  double budget = 0.05;  // alert budget (top fraction) for catch_rate
+  double catch_override = -1.0;
+  bool no_predict = false;
+
+  predict::SortKey sort = predict::SortKey::kTco;
+  bool descending = false;
+  std::size_t top_n = 0;
+  bool csv = false;
+  std::string metrics;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fleet test|paper] [--days N] [--seed S]\n"
+               "        [--offsets F,F,...] [--slas F,F,...] "
+               "[--approaches lb,sf,mf] [--dc DC1|DC2]\n"
+               "        [--warmup N] [--stride N] [--horizon N] [--split DAY]\n"
+               "        [--trees N] [--budget F] [--catch F] [--no-predict]\n"
+               "        [--amort-years F] [--repair-discount F]\n"
+               "        [--sort tco|offset|spares|repair|cooling|sla] [--desc]"
+               " [--top N] [--csv]\n"
+               "        [--metrics metrics.json]\n",
+               argv0);
+  std::exit(2);
+}
+
+const char* need_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage(argv[0]);
+  return argv[++i];
+}
+
+std::vector<double> parse_doubles(const char* text, const char* argv0) {
+  std::vector<double> out;
+  for (const auto piece : util::split(text, ',')) {
+    char* end = nullptr;
+    const std::string s{util::trim(piece)};
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') usage(argv0);
+    out.push_back(v);
+  }
+  if (out.empty()) usage(argv0);
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--fleet") opt.fleet = need_value(argc, argv, i);
+    else if (a == "--days") opt.days = std::atoi(need_value(argc, argv, i));
+    else if (a == "--seed")
+      opt.seed = std::strtoull(need_value(argc, argv, i), nullptr, 10);
+    else if (a == "--offsets") {
+      opt.whatif.offsets_f = parse_doubles(need_value(argc, argv, i), argv[0]);
+      opt.offsets_set = true;
+    } else if (a == "--slas") {
+      opt.whatif.slas = parse_doubles(need_value(argc, argv, i), argv[0]);
+      opt.slas_set = true;
+    } else if (a == "--approaches") {
+      opt.whatif.approaches.clear();
+      for (const auto piece : util::split(need_value(argc, argv, i), ',')) {
+        const auto name = util::trim(piece);
+        if (name == "lb") opt.whatif.approaches.push_back(predict::Approach::kLB);
+        else if (name == "sf") opt.whatif.approaches.push_back(predict::Approach::kSF);
+        else if (name == "mf") opt.whatif.approaches.push_back(predict::Approach::kMF);
+        else usage(argv[0]);
+      }
+      opt.approaches_set = true;
+    } else if (a == "--dc") {
+      const std::string_view dc = need_value(argc, argv, i);
+      if (dc == "DC1") opt.whatif.dc = simdc::DataCenterId::kDC1;
+      else if (dc == "DC2") opt.whatif.dc = simdc::DataCenterId::kDC2;
+      else usage(argv[0]);
+    } else if (a == "--warmup")
+      opt.features.warmup_days = std::atoi(need_value(argc, argv, i));
+    else if (a == "--stride")
+      opt.features.snapshot_stride = std::atoi(need_value(argc, argv, i));
+    else if (a == "--horizon")
+      opt.features.horizon_days = std::atoi(need_value(argc, argv, i));
+    else if (a == "--split") opt.split_day = std::atoi(need_value(argc, argv, i));
+    else if (a == "--trees")
+      opt.forest.num_trees = static_cast<std::size_t>(
+          std::strtoul(need_value(argc, argv, i), nullptr, 10));
+    else if (a == "--budget") opt.budget = std::atof(need_value(argc, argv, i));
+    else if (a == "--catch")
+      opt.catch_override = std::atof(need_value(argc, argv, i));
+    else if (a == "--no-predict") opt.no_predict = true;
+    else if (a == "--amort-years")
+      opt.whatif.amortization_years = std::atof(need_value(argc, argv, i));
+    else if (a == "--repair-discount")
+      opt.whatif.planned_repair_discount = std::atof(need_value(argc, argv, i));
+    else if (a == "--sort") {
+      if (!predict::parse_sort_key(need_value(argc, argv, i), opt.sort))
+        usage(argv[0]);
+    } else if (a == "--desc") opt.descending = true;
+    else if (a == "--top")
+      opt.top_n = static_cast<std::size_t>(
+          std::strtoul(need_value(argc, argv, i), nullptr, 10));
+    else if (a == "--csv") opt.csv = true;
+    else if (a == "--metrics") opt.metrics = need_value(argc, argv, i);
+    else usage(argv[0]);
+  }
+  if (opt.days < 2 || opt.budget <= 0.0 || opt.budget > 1.0) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+  tools::install_sidecar_handlers(opt.metrics);
+  try {
+    simdc::FleetSpec spec = opt.fleet == "paper"
+                                ? simdc::FleetSpec::paper_default()
+                                : simdc::FleetSpec::test_default();
+    spec.num_days = opt.days;
+    spec.seed = opt.seed;
+    const simdc::Fleet fleet(spec);
+    const simdc::EnvironmentModel env(fleet, spec.seed);
+    const simdc::HazardModel hazard(fleet, env);
+
+    // One streamed sweep feeds features, labels AND the metrics index.
+    predict::FeatureBuilder builder(fleet, env, opt.features);
+    simdc::simulate_streamed(fleet, hazard, builder, {.seed = spec.seed});
+
+    double catch_rate = 0.0;
+    if (opt.catch_override >= 0.0) {
+      catch_rate = opt.catch_override;
+    } else if (!opt.no_predict) {
+      const predict::FeatureSet set = builder.finish();
+      const util::DayIndex split =
+          opt.split_day >= 0
+              ? opt.split_day
+              : std::max<util::DayIndex>(
+                    opt.features.warmup_days + opt.features.horizon_days,
+                    opt.days - std::max(3 * opt.features.horizon_days, 60));
+      const auto split_rows = predict::temporal_split(set, split);
+      if (split_rows.train.empty() || split_rows.test.empty()) {
+        std::fprintf(stderr,
+                     "whatif: temporal split at day %d leaves %zu train / %zu "
+                     "test rows; widen --days or lower --warmup\n",
+                     split, split_rows.train.size(), split_rows.test.size());
+        return 3;
+      }
+      const auto model = predict::fit_risk_model(set, split_rows.train,
+                                                 opt.forest);
+      const auto scores = predict::score_rows(model, set, split_rows.test);
+      const auto naive = predict::baseline_scores(set, split_rows.test);
+      predict::EvalOptions eopt;
+      eopt.primary_fraction = opt.budget;
+      const auto report =
+          predict::evaluate(set, split_rows.test, scores, naive, eopt);
+      catch_rate = report.model_primary.recall;
+      std::fprintf(stderr,
+                   "predictor: split@%d train=%zu test=%zu base_rate=%.4f  "
+                   "p@%.0f%%=%.3f (baseline %.3f)  recall=%.3f  "
+                   "median_lead=%.1fd\n",
+                   split, split_rows.train.size(), split_rows.test.size(),
+                   report.base_rate, opt.budget * 100.0,
+                   report.model_primary.precision,
+                   report.baseline_primary.precision,
+                   report.model_primary.recall,
+                   report.model_primary.median_lead_days);
+    }
+    opt.whatif.catch_rate = catch_rate;
+
+    const core::FailureMetrics metrics = builder.take_metrics();
+    predict::WhatifStudy study =
+        predict::whatif_sweep(metrics, env, hazard.config(), opt.whatif);
+    predict::sort_rows(study, opt.sort, opt.descending);
+    const std::string table =
+        predict::format_policy_table(study, opt.top_n, opt.csv);
+    std::fwrite(table.data(), 1, table.size(), stdout);
+
+    if (!opt.metrics.empty()) {
+      obs::write_file(opt.metrics, obs::to_json(obs::registry().snapshot()));
+      std::fprintf(stderr, "metrics -> %s\n", opt.metrics.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "whatif: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
